@@ -1,0 +1,228 @@
+package pocketcloudlets_test
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, each driving the same code path as `cmd/experiments`.
+// The shared lab (population, logs, replays) is built once per process;
+// the first iteration of a log-driven benchmark therefore includes the
+// experiment's real computation while later iterations measure the
+// cached read — both are reported by -benchtime=1x runs and the
+// experiment wall times printed by cmd/experiments.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"sync"
+	"testing"
+
+	"pocketcloudlets/internal/experiments"
+)
+
+var (
+	benchLabOnce sync.Once
+	benchLab     *experiments.Lab
+)
+
+// lab returns the shared benchmark lab: a reduced population (8000
+// users, 20 replayed users per class) that keeps the full harness
+// under a few minutes while preserving every experiment's shape.
+func lab(b *testing.B) *experiments.Lab {
+	b.Helper()
+	benchLabOnce.Do(func() { benchLab = experiments.NewLab(1, 8000, 20) })
+	return benchLab
+}
+
+func benchSink(b *testing.B, t experiments.Table) {
+	if len(t.Columns) == 0 {
+		b.Fatal("experiment produced an empty table")
+	}
+}
+
+func BenchmarkTable1NVMTrends(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink(b, experiments.Table1().Table())
+	}
+}
+
+func BenchmarkFig2MemoryEvolution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink(b, experiments.Fig2().Table())
+	}
+}
+
+func BenchmarkTable2ItemCounts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink(b, experiments.Table2().Table())
+	}
+}
+
+func BenchmarkFig4aQueryCDF(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink(b, experiments.Fig4a(l).Table())
+	}
+}
+
+func BenchmarkFig4bResultCDF(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink(b, experiments.Fig4b(l).Table())
+	}
+}
+
+func BenchmarkFig5Repeatability(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink(b, experiments.Fig5(l).Table())
+	}
+}
+
+func BenchmarkTable3Triplets(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink(b, experiments.Table3(l, 10).Table())
+	}
+}
+
+func BenchmarkFig7PairVolume(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink(b, experiments.Fig7(l).Table())
+	}
+}
+
+func BenchmarkFig8MemoryOverhead(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink(b, experiments.Fig8(l).Table())
+	}
+}
+
+func BenchmarkFig11HashFootprint(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink(b, experiments.Fig11(l).Table())
+	}
+}
+
+func BenchmarkFig12FileSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink(b, experiments.Fig12().Table())
+	}
+}
+
+func BenchmarkTable4Breakdown(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink(b, experiments.Table4(l).Table())
+	}
+}
+
+func BenchmarkFig15aLatency(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink(b, experiments.Fig15(l).TableTime())
+	}
+}
+
+func BenchmarkFig15bEnergy(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink(b, experiments.Fig15(l).TableEnergy())
+	}
+}
+
+func BenchmarkFig16PowerTrace(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink(b, experiments.Fig16(l).Table())
+	}
+}
+
+func BenchmarkTable5Navigation(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink(b, experiments.Table5(l).Table())
+	}
+}
+
+func BenchmarkTable6UserClasses(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink(b, experiments.Table6(l).Table())
+	}
+}
+
+func BenchmarkFig17HitRate(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink(b, experiments.Fig17(l).Table())
+	}
+}
+
+func BenchmarkFig18Warmup(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink(b, experiments.Fig18(l).Table())
+	}
+}
+
+func BenchmarkFig19HitBreakdown(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink(b, experiments.Fig19(l).Table())
+	}
+}
+
+func BenchmarkDailyUpdates(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink(b, experiments.DailyUpdates(l).Table())
+	}
+}
+
+func BenchmarkAblationSharedResults(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink(b, experiments.AblationSharedResults(l).Table())
+	}
+}
+
+func BenchmarkAblationDecay(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink(b, experiments.AblationDecay(l).Table())
+	}
+}
+
+func BenchmarkAblationThreeTier(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink(b, experiments.AblationThreeTier().Table())
+	}
+}
+
+func BenchmarkAblationCoordinatedEviction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink(b, experiments.AblationCoordinatedEviction().Table())
+	}
+}

@@ -1,0 +1,71 @@
+// Command experiments regenerates every table and figure of the Pocket
+// Cloudlets paper from the simulated system.
+//
+// Usage:
+//
+//	experiments                 # run everything (several minutes)
+//	experiments -run fig17      # run one experiment
+//	experiments -list           # list experiment names
+//	experiments -quick          # smaller replay samples (faster)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pocketcloudlets/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "comma-separated experiment names (default: all)")
+		list  = flag.Bool("list", false, "list experiment names and exit")
+		quick = flag.Bool("quick", false, "use smaller replay samples for faster runs")
+		seed  = flag.Int64("seed", 1, "simulation seed")
+		users = flag.Int("users", 0, "community population size (0 = calibrated default)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range experiments.All() {
+			heavy := ""
+			if s.Heavy {
+				heavy = " (heavy)"
+			}
+			fmt.Printf("  %-20s %s%s\n", s.Name, s.ID, heavy)
+		}
+		return
+	}
+
+	usersPerClass := 100
+	if *quick {
+		usersPerClass = 25
+	}
+	lab := experiments.NewLab(*seed, *users, usersPerClass)
+
+	var specs []experiments.Spec
+	if *run == "" {
+		specs = experiments.All()
+	} else {
+		for _, name := range strings.Split(*run, ",") {
+			s, ok := experiments.Find(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			specs = append(specs, s)
+		}
+	}
+
+	start := time.Now()
+	for _, s := range specs {
+		t0 := time.Now()
+		table := s.Run(lab)
+		table.Notes = append(table.Notes, fmt.Sprintf("computed in %v", time.Since(t0).Round(time.Millisecond)))
+		table.Render(os.Stdout)
+	}
+	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+}

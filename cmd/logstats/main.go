@@ -1,0 +1,68 @@
+// Command logstats runs the Section 4 mobile search characterization
+// over a search log produced by cmd/tracegen: popularity CDFs
+// (Figure 4), per-user repeatability (Figure 5), and the Table 6 user
+// classification.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pocketcloudlets/internal/analysis"
+	"pocketcloudlets/internal/engine"
+	"pocketcloudlets/internal/searchlog"
+)
+
+func main() {
+	var in = flag.String("i", "-", "input log file (- for stdin)")
+	flag.Parse()
+
+	u := engine.MustUniverse(engine.DefaultConfig())
+	r := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	log, err := searchlog.Read(r, u)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("log: %d entries over %v\n\n", len(log.Entries), log.Window)
+
+	topNs := []int{1000, 2000, 4000, 6000, 10000}
+	fmt.Println("community popularity (Figure 4):")
+	for _, s := range []struct {
+		name string
+		f    analysis.Filter
+	}{
+		{"all queries", analysis.Filter{}},
+		{"navigational", analysis.Filter{Nav: analysis.NavOnly}},
+		{"non-navigational", analysis.Filter{Nav: analysis.NonNavOnly}},
+	} {
+		vols := analysis.QueryVolumes(log.Entries, u, s.f)
+		fmt.Printf("  %-18s", s.name)
+		for _, p := range analysis.TopShares(vols, topNs) {
+			fmt.Printf("  top%-6d %5.1f%%", p.TopN, 100*p.Share)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nrepeatability (Figure 5):")
+	stats := analysis.RepeatStats(log.Entries, u, analysis.Filter{})
+	fmt.Printf("  users analyzed:          %d\n", len(stats))
+	fmt.Printf("  mean repeat rate:        %.1f%%\n", 100*analysis.MeanRepeatFrac(stats))
+	fmt.Printf("  users with >=70%% repeats: %.1f%%\n", 100*analysis.FracUsersNewAtMost(stats, 0.30))
+
+	fmt.Println("\nuser classes (Table 6):")
+	shares := analysis.ClassShares(analysis.MonthlyVolumes(log.Entries), analysis.Table6Brackets())
+	for _, s := range shares {
+		fmt.Printf("  %-15s %6d users  %5.1f%%\n", s.Bracket.Name, s.Users, 100*s.Share)
+	}
+}

@@ -1,0 +1,55 @@
+// Command tracegen generates a synthetic mobile search log in the
+// plain-text interchange format of internal/searchlog — the stand-in
+// for the paper's m.bing.com logs. The output can be analyzed with
+// cmd/logstats.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"pocketcloudlets/internal/engine"
+	"pocketcloudlets/internal/searchlog"
+	"pocketcloudlets/internal/workload"
+)
+
+func main() {
+	var (
+		users = flag.Int("users", 2000, "population size")
+		seed  = flag.Int64("seed", 1, "generator seed")
+		month = flag.Int("month", 0, "month index to generate")
+		out   = flag.String("o", "-", "output file (- for stdout)")
+	)
+	flag.Parse()
+
+	u := engine.MustUniverse(engine.DefaultConfig())
+	g, err := workload.New(workload.DefaultConfig(u, *users, *seed))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	log := g.MonthLog(*month)
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	if err := searchlog.Write(bw, log, u); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := bw.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d entries (%d users, month %d)\n", len(log.Entries), *users, *month)
+}

@@ -1,0 +1,80 @@
+// Offlinesync walks through the Section 5.4 cache management cycle
+// (Figure 14): the phone uses its cache for a while, then — overnight,
+// while charging — uploads its hash table to the server, which prunes
+// never-accessed pairs, merges the freshly extracted popular set
+// (conflicts take the maximum score), and ships back a new hash table
+// plus database patches.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pocketcloudlets"
+)
+
+func main() {
+	sim, err := pocketcloudlets.NewSimulation(pocketcloudlets.SimConfig{Seed: 11, Users: 2000})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Day 0: the phone is provisioned with last month's popular set.
+	content, err := sim.CommunityContent(0, 0.55)
+	if err != nil {
+		log.Fatal(err)
+	}
+	phone := sim.NewPhone(pocketcloudlets.RadioWiFi)
+	ps, err := sim.NewPocketSearch(phone, content, pocketcloudlets.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("provisioned: %d pairs (%d hash table refs)\n",
+		len(content.Triplets), ps.Table().NumRefs())
+
+	// The user searches during the day: some popular pairs (marking
+	// them accessed) and some personal ones (expanding the cache).
+	user := sim.Generator.Users()[10]
+	stream := sim.Generator.UserStream(user, 1)
+	for _, e := range stream {
+		q, url := sim.PairStrings(e.Pair)
+		if _, err := ps.Query(q, url); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st := ps.Stats()
+	fmt.Printf("a day of use: %d queries, %.0f%% hits, %d personal pairs added\n",
+		st.Queries, 100*st.HitRate(), st.Expansions)
+
+	// Nightly sync: the server's fresh popular set comes from the
+	// newest logs (month 1 here).
+	fresh, err := sim.CommunityContent(1, 0.55)
+	if err != nil {
+		log.Fatal(err)
+	}
+	refsBefore := ps.Table().NumRefs()
+	upd, err := sim.SyncWithServer(ps, fresh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nnightly sync with the server:\n")
+	fmt.Printf("  transfer: %.0f KB hash table + %.2f MB records = %.2f MB (paper budget: ~1.5 MB per update)\n",
+		float64(upd.TableBytes)/1000, float64(upd.RecordBytes)/1e6, float64(upd.TotalBytes())/1e6)
+	fmt.Printf("  hash table: %d refs -> %d refs (never-accessed community pairs pruned, fresh set merged)\n",
+		refsBefore, ps.Table().NumRefs())
+
+	// The user's own repeats still hit after the sync: accessed pairs
+	// survive pruning, and conflicts kept the higher personal score.
+	hits := 0
+	for _, e := range stream[:10] {
+		q, url := sim.PairStrings(e.Pair)
+		out, err := ps.Query(q, url)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if out.Hit {
+			hits++
+		}
+	}
+	fmt.Printf("  first 10 of yesterday's queries replayed: %d/10 still hit\n", hits)
+}

@@ -1,0 +1,84 @@
+// Pocketweb runs PocketSearch and PocketWeb together — the scenario of
+// the paper's footnote 2: the search cloudlet serves the result list
+// instantly, and the web-content cloudlet serves the clicked page,
+// keeping the user's frequently revisited dynamic pages (news, quotes)
+// fresh with small real-time radio refreshes instead of full refetches.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"pocketcloudlets"
+)
+
+func main() {
+	sim, err := pocketcloudlets.NewSimulation(pocketcloudlets.SimConfig{Seed: 9, Users: 2000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	content, err := sim.CommunityContent(0, 0.55)
+	if err != nil {
+		log.Fatal(err)
+	}
+	phone := sim.NewPhone(pocketcloudlets.Radio3G)
+	ps, err := sim.NewPocketSearch(phone, content, pocketcloudlets.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	web, err := sim.NewPocketWeb(phone, pocketcloudlets.WebConfig{
+		FlashBudget:     64 << 20,
+		RealTimeTopK:    20,
+		RefreshInterval: time.Hour,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Provision PocketWeb overnight with the community's popular
+	// landing pages (what the paper calls pushing content to the
+	// phone while charging).
+	var popular []string
+	for i, tr := range content.Triplets {
+		if i >= 300 {
+			break
+		}
+		_, url := sim.PairStrings(tr.Pair)
+		popular = append(popular, url)
+	}
+	web.Provision(popular, 0)
+	phone.Reset()
+	fmt.Printf("provisioned %d pages (%.1f MB of flash)\n", web.Len(), float64(web.UsedBytes())/1e6)
+
+	// A month of one user's search-then-browse sessions.
+	user := sim.Generator.Users()[3]
+	stream := sim.Generator.UserStream(user, 1)
+	var searchTime, browseTime time.Duration
+	for _, e := range stream {
+		q, url := sim.PairStrings(e.Pair)
+		sOut, err := ps.Query(q, url)
+		if err != nil {
+			log.Fatal(err)
+		}
+		searchTime += sOut.ResponseTime()
+		wOut, err := web.Visit(url, e.At)
+		if err != nil {
+			log.Fatal(err)
+		}
+		browseTime += wOut.Latency
+	}
+
+	sStats, wStats := ps.Stats(), web.Stats()
+	fmt.Printf("\n%d search-and-browse sessions by user %d (%s class):\n",
+		sStats.Queries, user.ID, user.Class)
+	fmt.Printf("  PocketSearch: %.0f%% hits, mean result time %v\n",
+		100*sStats.HitRate(), (searchTime / time.Duration(sStats.Queries)).Round(time.Millisecond))
+	fmt.Printf("  PocketWeb:    %.0f%% fresh hits (%d stale refetches, %d misses), mean page time %v\n",
+		100*wStats.HitRate(), wStats.StaleHits, wStats.Misses,
+		(browseTime / time.Duration(wStats.Visits)).Round(time.Millisecond))
+	fmt.Printf("  real-time refreshes: %d pages, %.1f MB over the radio (vs refetching everything)\n",
+		wStats.RealTimeRefreshes, float64(wStats.RefreshBytes)/1e6)
+	fmt.Printf("  device total: %.0f J, %d radio wakeups\n",
+		phone.TotalEnergy(), phone.Link().Wakeups())
+}

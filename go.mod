@@ -1,0 +1,3 @@
+module pocketcloudlets
+
+go 1.22

@@ -1,0 +1,181 @@
+package adlet
+
+import (
+	"testing"
+	"time"
+
+	"pocketcloudlets/internal/cachegen"
+	"pocketcloudlets/internal/device"
+	"pocketcloudlets/internal/engine"
+	"pocketcloudlets/internal/flashsim"
+	"pocketcloudlets/internal/radio"
+	"pocketcloudlets/internal/searchlog"
+)
+
+func fixture(t testing.TB) (*engine.Universe, *device.Device, *Cache, cachegen.Content) {
+	t.Helper()
+	u, err := engine.NewUniverse(engine.Config{
+		NavPairs:       800,
+		NonNavPairs:    4000,
+		NonNavSegments: []engine.Segment{{Queries: 100, ResultsPerQuery: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := device.New(device.Config{}, radio.ThreeG(), flashsim.Params{})
+	c, err := New(dev, NewInventory(u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Content covering the first 60 nav pairs (descending volume).
+	var entries []searchlog.Entry
+	for i := 0; i < 60; i++ {
+		for v := 0; v < 60-i; v++ {
+			entries = append(entries, searchlog.Entry{At: time.Duration(len(entries)), Pair: u.NavPair(i)})
+		}
+	}
+	tbl := searchlog.ExtractTriplets(entries)
+	content := cachegen.Generate(tbl, u, len(tbl.Triplets))
+	return u, dev, c, content
+}
+
+// monetizedQuery finds a cached query with at least one ad.
+func monetizedQuery(t testing.TB, u *engine.Universe, content cachegen.Content, inv *Inventory) string {
+	t.Helper()
+	for _, tr := range content.Triplets {
+		q := u.QueryOf(tr.Pair)
+		if len(inv.AdsForQuery(q)) > 0 {
+			return u.QueryText(q)
+		}
+	}
+	t.Fatal("no monetized query in content")
+	return ""
+}
+
+func TestNewValidation(t *testing.T) {
+	u, dev, _, _ := fixture(t)
+	if _, err := New(nil, NewInventory(u)); err == nil {
+		t.Error("nil device should fail")
+	}
+	if _, err := New(dev, nil); err == nil {
+		t.Error("nil inventory should fail")
+	}
+}
+
+func TestInventoryDeterministicAndRanked(t *testing.T) {
+	u, _, _, _ := fixture(t)
+	inv := NewInventory(u)
+	var monetized, total int
+	for q := 0; q < 300; q++ {
+		ads := inv.AdsForQuery(searchlog.QueryID(q))
+		again := inv.AdsForQuery(searchlog.QueryID(q))
+		if len(ads) != len(again) {
+			t.Fatal("inventory not deterministic")
+		}
+		if len(ads) > 2 {
+			t.Fatalf("query %d has %d ads, want <= 2", q, len(ads))
+		}
+		if len(ads) > 0 {
+			monetized++
+		}
+		total += len(ads)
+		for i, ad := range ads {
+			if ad.Text == "" || ad.ID == 0 {
+				t.Fatal("malformed ad")
+			}
+			if i > 0 && ads[i-1].ID == ad.ID {
+				t.Fatal("duplicate ad IDs within a query")
+			}
+		}
+	}
+	if monetized < 150 || monetized > 250 {
+		t.Errorf("monetized queries = %d/300, want ~2/3", monetized)
+	}
+}
+
+func TestProvisionAndServe(t *testing.T) {
+	u, dev, c, content := fixture(t)
+	c.Provision(content, u)
+	dev.Reset()
+	if c.Len() == 0 {
+		t.Fatal("provisioning cached no ads")
+	}
+	q := monetizedQuery(t, u, content, c.inv)
+
+	ads := c.Serve(q, true)
+	if len(ads) == 0 {
+		t.Fatal("cached query should serve ads on a search hit")
+	}
+	if dev.Link().Wakeups() != 0 {
+		t.Error("ad serving must not use the radio")
+	}
+	if c.PendingImpressions() != len(ads) {
+		t.Errorf("impressions = %d, want %d", c.PendingImpressions(), len(ads))
+	}
+	st := c.Stats()
+	if st.Lookups != 1 || st.Served != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSearchMissSkipsAdCache(t *testing.T) {
+	u, _, c, content := fixture(t)
+	c.Provision(content, u)
+	q := monetizedQuery(t, u, content, c.inv)
+	if ads := c.Serve(q, false); ads != nil {
+		t.Error("search miss must not consult the ad cache")
+	}
+	st := c.Stats()
+	if st.SkippedOnMiss != 1 || st.Lookups != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if c.PendingImpressions() != 0 {
+		t.Error("no impressions should be logged on a miss")
+	}
+}
+
+func TestUnmonetizedQueryServesNothing(t *testing.T) {
+	u, _, c, content := fixture(t)
+	c.Provision(content, u)
+	// Find a cached query without ads.
+	for _, tr := range content.Triplets {
+		q := u.QueryOf(tr.Pair)
+		if len(c.inv.AdsForQuery(q)) == 0 {
+			if ads := c.Serve(u.QueryText(q), true); ads != nil {
+				t.Error("unmonetized query should serve no ads")
+			}
+			return
+		}
+	}
+	t.Skip("no unmonetized query in content")
+}
+
+func TestFlushImpressions(t *testing.T) {
+	u, _, c, content := fixture(t)
+	c.Provision(content, u)
+	q := monetizedQuery(t, u, content, c.inv)
+	c.Serve(q, true)
+	c.Serve(q, true)
+	n := c.PendingImpressions()
+	if n < 2 {
+		t.Fatalf("pending = %d, want >= 2", n)
+	}
+	flushed := c.FlushImpressions()
+	if len(flushed) != n {
+		t.Errorf("flushed %d, want %d", len(flushed), n)
+	}
+	if c.PendingImpressions() != 0 {
+		t.Error("flush should clear the log")
+	}
+	if len(c.FlushImpressions()) != 0 {
+		t.Error("second flush should be empty")
+	}
+}
+
+func TestFlashAccounting(t *testing.T) {
+	u, _, c, content := fixture(t)
+	c.Provision(content, u)
+	if c.FlashBytes() != int64(c.Len())*BannerBytes {
+		t.Error("flash accounting mismatch")
+	}
+}

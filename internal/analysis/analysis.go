@@ -1,0 +1,130 @@
+// Package analysis implements the mobile search characterization of
+// Section 4 of the Pocket Cloudlets paper: community popularity curves
+// (Figure 4), per-user query repeatability (Figure 5), and the Table 6
+// classification of users by monthly query volume.
+package analysis
+
+import (
+	"sort"
+
+	"pocketcloudlets/internal/searchlog"
+)
+
+// NavFilter restricts an analysis to navigational or non-navigational
+// traffic.
+type NavFilter int
+
+const (
+	// NavAll keeps every entry.
+	NavAll NavFilter = iota
+	// NavOnly keeps entries whose query is a substring of the clicked
+	// URL (the paper's navigational classifier).
+	NavOnly
+	// NonNavOnly keeps the complement.
+	NonNavOnly
+)
+
+// DeviceFilter restricts an analysis to one device population.
+type DeviceFilter int
+
+const (
+	// DeviceAll keeps every entry.
+	DeviceAll DeviceFilter = iota
+	// SmartphoneOnly keeps smartphone entries.
+	SmartphoneOnly
+	// FeaturephoneOnly keeps featurephone entries.
+	FeaturephoneOnly
+)
+
+// Filter selects a sub-population of log entries.
+type Filter struct {
+	Nav    NavFilter
+	Device DeviceFilter
+}
+
+// Match reports whether the entry passes the filter.
+func (f Filter) Match(e searchlog.Entry, meta searchlog.PairMeta) bool {
+	switch f.Device {
+	case SmartphoneOnly:
+		if e.Device != searchlog.Smartphone {
+			return false
+		}
+	case FeaturephoneOnly:
+		if e.Device != searchlog.Featurephone {
+			return false
+		}
+	}
+	switch f.Nav {
+	case NavOnly:
+		return meta.Navigational(e.Pair)
+	case NonNavOnly:
+		return !meta.Navigational(e.Pair)
+	}
+	return true
+}
+
+// QueryVolumes aggregates entry counts per distinct query string under
+// the filter and returns the volumes sorted in descending order — the
+// input to the Figure 4(a) CDF.
+func QueryVolumes(entries []searchlog.Entry, meta searchlog.PairMeta, f Filter) []int64 {
+	counts := make(map[searchlog.QueryID]int64)
+	for _, e := range entries {
+		if f.Match(e, meta) {
+			counts[meta.QueryOf(e.Pair)]++
+		}
+	}
+	return sortedDesc(counts)
+}
+
+// ResultVolumes aggregates entry counts per distinct clicked search
+// result under the filter — the input to the Figure 4(b) CDF.
+func ResultVolumes(entries []searchlog.Entry, meta searchlog.PairMeta, f Filter) []int64 {
+	counts := make(map[searchlog.ResultID]int64)
+	for _, e := range entries {
+		if f.Match(e, meta) {
+			counts[meta.ResultOf(e.Pair)]++
+		}
+	}
+	return sortedDesc(counts)
+}
+
+func sortedDesc[K comparable](counts map[K]int64) []int64 {
+	out := make([]int64, 0, len(counts))
+	for _, v := range counts {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
+	return out
+}
+
+// CDFPoint is one point of a cumulative-volume curve: the share of
+// total volume carried by the TopN most popular items.
+type CDFPoint struct {
+	TopN  int
+	Share float64
+}
+
+// TopShares evaluates the cumulative-volume curve at the given item
+// counts. volumes must be sorted in descending order (as returned by
+// QueryVolumes/ResultVolumes); topNs must be ascending.
+func TopShares(volumes []int64, topNs []int) []CDFPoint {
+	var total int64
+	for _, v := range volumes {
+		total += v
+	}
+	out := make([]CDFPoint, len(topNs))
+	var cum int64
+	idx := 0
+	for i, n := range topNs {
+		for idx < n && idx < len(volumes) {
+			cum += volumes[idx]
+			idx++
+		}
+		share := 0.0
+		if total > 0 {
+			share = float64(cum) / float64(total)
+		}
+		out[i] = CDFPoint{TopN: n, Share: share}
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package analysis_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"pocketcloudlets/internal/analysis"
+	"pocketcloudlets/internal/engine"
+	"pocketcloudlets/internal/searchlog"
+)
+
+func testUniverse(t testing.TB) *engine.Universe {
+	t.Helper()
+	u, err := engine.NewUniverse(engine.Config{
+		NavPairs:       960,
+		NonNavPairs:    5000,
+		NonNavSegments: []engine.Segment{{Queries: 500, ResultsPerQuery: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func entry(u searchlog.UserID, p searchlog.PairID, d searchlog.DeviceClass, at time.Duration) searchlog.Entry {
+	return searchlog.Entry{At: at, User: u, Pair: p, Device: d}
+}
+
+func TestFilterMatch(t *testing.T) {
+	u := testUniverse(t)
+	nav := entry(1, u.NavPair(0), searchlog.Smartphone, 0)
+	nonNav := entry(1, u.NonNavPair(0), searchlog.Featurephone, 0)
+	cases := []struct {
+		f    analysis.Filter
+		e    searchlog.Entry
+		want bool
+	}{
+		{analysis.Filter{}, nav, true},
+		{analysis.Filter{}, nonNav, true},
+		{analysis.Filter{Nav: analysis.NavOnly}, nav, true},
+		{analysis.Filter{Nav: analysis.NavOnly}, nonNav, false},
+		{analysis.Filter{Nav: analysis.NonNavOnly}, nav, false},
+		{analysis.Filter{Nav: analysis.NonNavOnly}, nonNav, true},
+		{analysis.Filter{Device: analysis.SmartphoneOnly}, nav, true},
+		{analysis.Filter{Device: analysis.SmartphoneOnly}, nonNav, false},
+		{analysis.Filter{Device: analysis.FeaturephoneOnly}, nonNav, true},
+		{analysis.Filter{Nav: analysis.NavOnly, Device: analysis.FeaturephoneOnly}, nav, false},
+	}
+	for i, c := range cases {
+		if got := c.f.Match(c.e, u); got != c.want {
+			t.Errorf("case %d: Match = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestQueryVolumesAggregatesAliases(t *testing.T) {
+	u := testUniverse(t)
+	// Nav pairs 0 and 1 are different queries for the same result;
+	// they must count as separate queries but one result.
+	entries := []searchlog.Entry{
+		entry(1, u.NavPair(0), searchlog.Smartphone, 0),
+		entry(1, u.NavPair(0), searchlog.Smartphone, 1),
+		entry(2, u.NavPair(1), searchlog.Smartphone, 2),
+	}
+	qv := analysis.QueryVolumes(entries, u, analysis.Filter{})
+	if len(qv) != 2 || qv[0] != 2 || qv[1] != 1 {
+		t.Errorf("query volumes = %v, want [2 1]", qv)
+	}
+	rv := analysis.ResultVolumes(entries, u, analysis.Filter{})
+	if len(rv) != 1 || rv[0] != 3 {
+		t.Errorf("result volumes = %v, want [3]", rv)
+	}
+}
+
+func TestTopShares(t *testing.T) {
+	vols := []int64{50, 30, 15, 5}
+	pts := analysis.TopShares(vols, []int{1, 2, 4, 10})
+	wants := []float64{0.5, 0.8, 1.0, 1.0}
+	for i, w := range wants {
+		if math.Abs(pts[i].Share-w) > 1e-12 {
+			t.Errorf("TopShares[%d] = %g, want %g", i, pts[i].Share, w)
+		}
+	}
+	if pts := analysis.TopShares(nil, []int{5}); pts[0].Share != 0 {
+		t.Error("empty volumes should yield zero share")
+	}
+}
+
+func TestRepeatStats(t *testing.T) {
+	u := testUniverse(t)
+	p1, p2 := u.NavPair(0), u.NonNavPair(0)
+	entries := []searchlog.Entry{
+		entry(1, p1, searchlog.Smartphone, 0),
+		entry(1, p1, searchlog.Smartphone, 1), // repeat
+		entry(1, p2, searchlog.Smartphone, 2),
+		entry(1, p1, searchlog.Smartphone, 3), // repeat
+		entry(2, p2, searchlog.Smartphone, 4),
+	}
+	stats := analysis.RepeatStats(entries, u, analysis.Filter{})
+	if len(stats) != 2 {
+		t.Fatalf("stats for %d users, want 2", len(stats))
+	}
+	u1 := stats[0]
+	if u1.User != 1 || u1.Volume != 4 || u1.Repeats != 2 {
+		t.Errorf("user 1 stats = %+v, want volume 4 repeats 2", u1)
+	}
+	if got := u1.RepeatFrac(); got != 0.5 {
+		t.Errorf("repeat frac = %g, want 0.5", got)
+	}
+	if got := u1.NewFrac(); got != 0.5 {
+		t.Errorf("new frac = %g, want 0.5", got)
+	}
+	u2 := stats[1]
+	if u2.Volume != 1 || u2.Repeats != 0 {
+		t.Errorf("user 2 stats = %+v", u2)
+	}
+}
+
+func TestRepeatDifferentResultNotARepeat(t *testing.T) {
+	u := testUniverse(t)
+	// Same query, different clicked result: the paper does NOT count
+	// this as a repeated query. Head non-nav pairs 0,1 share a query.
+	p0, p1 := u.NonNavPair(0), u.NonNavPair(1)
+	if u.QueryOf(p0) != u.QueryOf(p1) {
+		t.Fatal("test requires a shared query")
+	}
+	entries := []searchlog.Entry{
+		entry(1, p0, searchlog.Smartphone, 0),
+		entry(1, p1, searchlog.Smartphone, 1),
+	}
+	stats := analysis.RepeatStats(entries, u, analysis.Filter{})
+	if stats[0].Repeats != 0 {
+		t.Errorf("different clicked result counted as repeat: %+v", stats[0])
+	}
+}
+
+func TestFracUsersNewAtMost(t *testing.T) {
+	stats := []analysis.UserRepeat{
+		{User: 1, Volume: 10, Repeats: 8}, // new 0.2
+		{User: 2, Volume: 10, Repeats: 5}, // new 0.5
+		{User: 3, Volume: 10, Repeats: 0}, // new 1.0
+	}
+	if got := analysis.FracUsersNewAtMost(stats, 0.3); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("frac = %g, want 1/3", got)
+	}
+	if got := analysis.FracUsersNewAtMost(nil, 0.3); got != 0 {
+		t.Errorf("empty stats frac = %g, want 0", got)
+	}
+	if got := analysis.MeanRepeatFrac(stats); math.Abs(got-(0.8+0.5+0)/3) > 1e-12 {
+		t.Errorf("mean repeat = %g", got)
+	}
+	if got := analysis.MeanRepeatFrac(nil); got != 0 {
+		t.Errorf("empty mean = %g, want 0", got)
+	}
+}
+
+func TestZeroVolumeUserFracs(t *testing.T) {
+	z := analysis.UserRepeat{User: 1}
+	if z.NewFrac() != 0 || z.RepeatFrac() != 0 {
+		t.Error("zero-volume user fracs should be 0")
+	}
+}
+
+func TestClassShares(t *testing.T) {
+	volumes := map[searchlog.UserID]int{
+		1: 25, 2: 30, 3: 50, 4: 200, 5: 999, 6: 5, // user 6 below minimum: ignored
+	}
+	shares := analysis.ClassShares(volumes, analysis.Table6Brackets())
+	if shares[0].Users != 2 || shares[1].Users != 1 || shares[2].Users != 1 || shares[3].Users != 1 {
+		t.Errorf("bracket users = %v", shares)
+	}
+	if math.Abs(shares[0].Share-0.4) > 1e-12 {
+		t.Errorf("low share = %g, want 0.4", shares[0].Share)
+	}
+	empty := analysis.ClassShares(nil, analysis.Table6Brackets())
+	for _, s := range empty {
+		if s.Share != 0 || s.Users != 0 {
+			t.Error("empty volumes should produce zero shares")
+		}
+	}
+}
+
+func TestMonthlyVolumes(t *testing.T) {
+	u := testUniverse(t)
+	entries := []searchlog.Entry{
+		entry(1, u.NavPair(0), searchlog.Smartphone, 0),
+		entry(1, u.NavPair(1), searchlog.Smartphone, 1),
+		entry(2, u.NavPair(0), searchlog.Smartphone, 2),
+	}
+	v := analysis.MonthlyVolumes(entries)
+	if v[1] != 2 || v[2] != 1 {
+		t.Errorf("volumes = %v", v)
+	}
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import "pocketcloudlets/internal/searchlog"
+
+// This file implements the Table 6 user classification: users are
+// bucketed by monthly query volume, and users below the minimum bracket
+// are ignored ("we ignore users that submit fewer than 20 queries per
+// month").
+
+// Bracket is a half-open monthly-volume bracket [Min, Max).
+type Bracket struct {
+	Name string
+	Min  int
+	Max  int // exclusive; use a large sentinel for the open top bracket
+}
+
+// Table6Brackets returns the paper's user classes.
+func Table6Brackets() []Bracket {
+	const open = 1 << 30
+	return []Bracket{
+		{Name: "Low Volume", Min: 20, Max: 40},
+		{Name: "Medium Volume", Min: 40, Max: 140},
+		{Name: "High Volume", Min: 140, Max: 460},
+		{Name: "Extreme Volume", Min: 460, Max: open},
+	}
+}
+
+// MonthlyVolumes counts queries per user in the log window.
+func MonthlyVolumes(entries []searchlog.Entry) map[searchlog.UserID]int {
+	v := make(map[searchlog.UserID]int)
+	for _, e := range entries {
+		v[e.User]++
+	}
+	return v
+}
+
+// BracketShare is one computed Table 6 row.
+type BracketShare struct {
+	Bracket Bracket
+	Users   int
+	Share   float64 // of users at or above the minimum bracket
+}
+
+// ClassShares buckets users into brackets and reports each bracket's
+// share of the qualifying population.
+func ClassShares(volumes map[searchlog.UserID]int, brackets []Bracket) []BracketShare {
+	out := make([]BracketShare, len(brackets))
+	for i, b := range brackets {
+		out[i].Bracket = b
+	}
+	total := 0
+	for _, v := range volumes {
+		for i, b := range brackets {
+			if v >= b.Min && v < b.Max {
+				out[i].Users++
+				total++
+				break
+			}
+		}
+	}
+	if total > 0 {
+		for i := range out {
+			out[i].Share = float64(out[i].Users) / float64(total)
+		}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"sort"
+
+	"pocketcloudlets/internal/searchlog"
+)
+
+// This file implements the Figure 5 repeatability analysis. The paper
+// calls a query a repeated query only if the user submits the same
+// query string AND clicks the same search result — i.e. re-issues the
+// same (query, result) pair, which is exactly a repeated PairID here.
+
+// UserRepeat summarizes one user's repeat behaviour over a log window.
+type UserRepeat struct {
+	User    searchlog.UserID
+	Volume  int // total queries under the filter
+	Repeats int // entries whose pair appeared earlier in the stream
+}
+
+// NewFrac is the user's probability of submitting a new query: the
+// fraction of their volume that is a first occurrence.
+func (u UserRepeat) NewFrac() float64 {
+	if u.Volume == 0 {
+		return 0
+	}
+	return float64(u.Volume-u.Repeats) / float64(u.Volume)
+}
+
+// RepeatFrac is the complement of NewFrac.
+func (u UserRepeat) RepeatFrac() float64 {
+	if u.Volume == 0 {
+		return 0
+	}
+	return float64(u.Repeats) / float64(u.Volume)
+}
+
+// RepeatStats computes per-user repeat statistics for the filtered
+// entries. Entries must be time-ordered per user (a time-sorted log
+// qualifies). Users with zero filtered volume are omitted.
+func RepeatStats(entries []searchlog.Entry, meta searchlog.PairMeta, f Filter) []UserRepeat {
+	type state struct {
+		seen    map[searchlog.PairID]bool
+		volume  int
+		repeats int
+	}
+	users := make(map[searchlog.UserID]*state)
+	for _, e := range entries {
+		if !f.Match(e, meta) {
+			continue
+		}
+		st := users[e.User]
+		if st == nil {
+			st = &state{seen: make(map[searchlog.PairID]bool)}
+			users[e.User] = st
+		}
+		st.volume++
+		if st.seen[e.Pair] {
+			st.repeats++
+		} else {
+			st.seen[e.Pair] = true
+		}
+	}
+	out := make([]UserRepeat, 0, len(users))
+	for id, st := range users {
+		out = append(out, UserRepeat{User: id, Volume: st.volume, Repeats: st.repeats})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].User < out[j].User })
+	return out
+}
+
+// FracUsersNewAtMost reports the fraction of users whose probability of
+// submitting a new query is at most p — one point of the Figure 5 CDF.
+// The paper reads this curve at p = 0.3: about 50% of users.
+func FracUsersNewAtMost(stats []UserRepeat, p float64) float64 {
+	if len(stats) == 0 {
+		return 0
+	}
+	n := 0
+	for _, s := range stats {
+		if s.NewFrac() <= p {
+			n++
+		}
+	}
+	return float64(n) / float64(len(stats))
+}
+
+// MeanRepeatFrac is the population mean repeat rate; the paper cites
+// 56.5% for mobile users vs. ~40% for desktop.
+func MeanRepeatFrac(stats []UserRepeat) float64 {
+	if len(stats) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range stats {
+		sum += s.RepeatFrac()
+	}
+	return sum / float64(len(stats))
+}

@@ -1,0 +1,172 @@
+// Package cachegen implements the cache content generation methodology
+// of Section 5.1 of the Pocket Cloudlets paper: given the sorted
+// (query, search result, volume) triplet table extracted from the
+// community's search logs, decide how many of the most popular pairs to
+// cache — by a memory threshold or by the cache saturation threshold —
+// and assign each cached pair its per-query normalized ranking score.
+package cachegen
+
+import (
+	"fmt"
+
+	"pocketcloudlets/internal/hashtable"
+	"pocketcloudlets/internal/searchlog"
+)
+
+// Content is the generated cache content: the selected triplet prefix
+// and the ranking score of every selected pair.
+type Content struct {
+	// Triplets is the selected prefix of the community triplet table,
+	// in descending volume order.
+	Triplets []searchlog.Triplet
+	// Scores maps each selected pair to its ranking score: the pair's
+	// volume normalized across all selected results for its query.
+	Scores map[searchlog.PairID]float64
+	// CoveredShare is the fraction of total community volume the
+	// selection covers (the x-axis of Figure 8).
+	CoveredShare float64
+}
+
+// Generate builds cache content from the first n triplets of the table.
+func Generate(tbl searchlog.TripletTable, meta searchlog.PairMeta, n int) Content {
+	if n > len(tbl.Triplets) {
+		n = len(tbl.Triplets)
+	}
+	if n < 0 {
+		n = 0
+	}
+	return Content{
+		Triplets:     tbl.Triplets[:n:n],
+		Scores:       tbl.RankingScores(meta, n),
+		CoveredShare: tbl.CumulativeShare(n),
+	}
+}
+
+// SelectBySaturation returns the number of top triplets selected by the
+// cache saturation threshold: pairs are added until one's normalized
+// volume (volume / total volume) falls below vth. The paper observes
+// this threshold is reached long before memory runs out, at roughly 55%
+// cumulative volume.
+func SelectBySaturation(tbl searchlog.TripletTable, vth float64) (int, error) {
+	if vth <= 0 || vth >= 1 {
+		return 0, fmt.Errorf("cachegen: saturation threshold %g outside (0, 1)", vth)
+	}
+	for i := range tbl.Triplets {
+		if tbl.NormalizedVolume(i) < vth {
+			return i, nil
+		}
+	}
+	return len(tbl.Triplets), nil
+}
+
+// SelectByShare returns the smallest number of top triplets whose
+// cumulative volume reaches the given share of total volume — the
+// selection the paper uses for its evaluation cache ("the query-search
+// result pairs that account for 55% of the cumulative volume").
+func SelectByShare(tbl searchlog.TripletTable, share float64) (int, error) {
+	if share <= 0 || share > 1 {
+		return 0, fmt.Errorf("cachegen: share %g outside (0, 1]", share)
+	}
+	if tbl.TotalVolume == 0 {
+		return 0, nil
+	}
+	target := share * float64(tbl.TotalVolume)
+	var cum float64
+	for i, tr := range tbl.Triplets {
+		cum += float64(tr.Volume)
+		if cum >= target {
+			return i + 1, nil
+		}
+	}
+	return len(tbl.Triplets), nil
+}
+
+// MemoryModel estimates the device memory a triplet prefix occupies:
+// the modeled DRAM footprint of the query hash table and the flash
+// footprint of the result database. RecordBytes reports the serialized
+// record size of a result.
+type MemoryModel struct {
+	// SlotsPerEntry is the hash table slot count (2 in the paper).
+	SlotsPerEntry int
+	// RecordBytes sizes one result's database record (~500 bytes).
+	RecordBytes func(searchlog.ResultID) int
+	// FlashSlackBytes is the expected allocation slack of the result
+	// database (about half an allocation unit per database file).
+	FlashSlackBytes int64
+}
+
+// Footprint is the modeled memory cost of caching a triplet prefix.
+type Footprint struct {
+	DRAMBytes  int64
+	FlashBytes int64
+	Queries    int
+	Results    int
+}
+
+// FootprintOf computes the modeled footprint of the first n triplets.
+// Shared results are counted once in flash (the paper's factor-of-8
+// saving over storing a result page per query).
+func (m MemoryModel) FootprintOf(tbl searchlog.TripletTable, meta searchlog.PairMeta, n int) Footprint {
+	if n > len(tbl.Triplets) {
+		n = len(tbl.Triplets)
+	}
+	resultsPerQuery := make(map[searchlog.QueryID]int)
+	seenResults := make(map[searchlog.ResultID]bool)
+	var flash int64
+	for i := 0; i < n; i++ {
+		tr := tbl.Triplets[i]
+		resultsPerQuery[meta.QueryOf(tr.Pair)]++
+		r := meta.ResultOf(tr.Pair)
+		if !seenResults[r] {
+			seenResults[r] = true
+			flash += int64(m.RecordBytes(r))
+		}
+	}
+	entries := 0
+	k := m.SlotsPerEntry
+	for _, rc := range resultsPerQuery {
+		entries += (rc + k - 1) / k
+	}
+	return Footprint{
+		DRAMBytes:  int64(entries) * int64(hashtable.EntryBytes(k)),
+		FlashBytes: flash + m.FlashSlackBytes,
+		Queries:    len(resultsPerQuery),
+		Results:    len(seenResults),
+	}
+}
+
+// SelectByMemory returns the largest number of top triplets whose
+// modeled footprint stays within both thresholds (either may be zero
+// to mean unconstrained) — the paper's memory-threshold policy.
+func SelectByMemory(tbl searchlog.TripletTable, meta searchlog.PairMeta, m MemoryModel, dramLimit, flashLimit int64) int {
+	resultsPerQuery := make(map[searchlog.QueryID]int)
+	seenResults := make(map[searchlog.ResultID]bool)
+	var flash int64
+	entries := 0
+	k := m.SlotsPerEntry
+	for i, tr := range tbl.Triplets {
+		q := meta.QueryOf(tr.Pair)
+		rc := resultsPerQuery[q]
+		newEntries := 0
+		if rc%k == 0 {
+			newEntries = 1
+		}
+		newFlash := int64(0)
+		r := meta.ResultOf(tr.Pair)
+		if !seenResults[r] {
+			newFlash = int64(m.RecordBytes(r))
+		}
+		dram := int64(entries+newEntries) * int64(hashtable.EntryBytes(k))
+		if dramLimit > 0 && dram > dramLimit {
+			return i
+		}
+		if flashLimit > 0 && flash+newFlash+m.FlashSlackBytes > flashLimit {
+			return i
+		}
+		resultsPerQuery[q] = rc + 1
+		entries += newEntries
+		seenResults[r] = true
+		flash += newFlash
+	}
+	return len(tbl.Triplets)
+}

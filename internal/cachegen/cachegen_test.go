@@ -1,0 +1,184 @@
+package cachegen
+
+import (
+	"testing"
+	"time"
+
+	"pocketcloudlets/internal/engine"
+	"pocketcloudlets/internal/searchlog"
+)
+
+func testUniverse(t testing.TB) *engine.Universe {
+	t.Helper()
+	u, err := engine.NewUniverse(engine.Config{
+		NavPairs:       608,
+		NonNavPairs:    3000,
+		NonNavSegments: []engine.Segment{{Queries: 50, ResultsPerQuery: 4}, {Queries: 200, ResultsPerQuery: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// tableFromVolumes builds a triplet table where pair i of the given
+// list has the given volume.
+func tableFromVolumes(pairs []searchlog.PairID, volumes []int) searchlog.TripletTable {
+	var entries []searchlog.Entry
+	for i, p := range pairs {
+		for v := 0; v < volumes[i]; v++ {
+			entries = append(entries, searchlog.Entry{At: time.Duration(len(entries)), Pair: p})
+		}
+	}
+	return searchlog.ExtractTriplets(entries)
+}
+
+func TestGenerate(t *testing.T) {
+	u := testUniverse(t)
+	tbl := tableFromVolumes(
+		[]searchlog.PairID{u.NavPair(0), u.NavPair(1), u.NavPair(6)},
+		[]int{10, 5, 5},
+	)
+	c := Generate(tbl, u, 2)
+	if len(c.Triplets) != 2 {
+		t.Fatalf("selected %d triplets, want 2", len(c.Triplets))
+	}
+	if c.CoveredShare != 0.75 {
+		t.Errorf("covered share = %g, want 0.75", c.CoveredShare)
+	}
+	if len(c.Scores) != 2 {
+		t.Errorf("scores for %d pairs, want 2", len(c.Scores))
+	}
+	// Out-of-range n clamps.
+	if got := Generate(tbl, u, 99); len(got.Triplets) != 3 || got.CoveredShare != 1 {
+		t.Errorf("over-long selection = %+v", got)
+	}
+	if got := Generate(tbl, u, -1); len(got.Triplets) != 0 {
+		t.Errorf("negative selection = %+v", got)
+	}
+}
+
+func TestSelectBySaturation(t *testing.T) {
+	u := testUniverse(t)
+	// Volumes 50, 30, 15, 5 of 100: normalized 0.5, 0.3, 0.15, 0.05.
+	tbl := tableFromVolumes(
+		[]searchlog.PairID{u.NavPair(0), u.NavPair(1), u.NavPair(2), u.NavPair(6)},
+		[]int{50, 30, 15, 5},
+	)
+	n, err := SelectBySaturation(tbl, 0.10)
+	if err != nil || n != 3 {
+		t.Errorf("SelectBySaturation(0.10) = %d, %v; want 3", n, err)
+	}
+	n, _ = SelectBySaturation(tbl, 0.001)
+	if n != 4 {
+		t.Errorf("tiny threshold should select all: %d", n)
+	}
+	if _, err := SelectBySaturation(tbl, 0); err == nil {
+		t.Error("threshold 0 should fail")
+	}
+	if _, err := SelectBySaturation(tbl, 1); err == nil {
+		t.Error("threshold 1 should fail")
+	}
+}
+
+func TestSelectByShare(t *testing.T) {
+	u := testUniverse(t)
+	tbl := tableFromVolumes(
+		[]searchlog.PairID{u.NavPair(0), u.NavPair(1), u.NavPair(2), u.NavPair(6)},
+		[]int{50, 30, 15, 5},
+	)
+	cases := []struct {
+		share float64
+		want  int
+	}{{0.5, 1}, {0.55, 2}, {0.8, 2}, {0.81, 3}, {1.0, 4}}
+	for _, c := range cases {
+		n, err := SelectByShare(tbl, c.share)
+		if err != nil || n != c.want {
+			t.Errorf("SelectByShare(%g) = %d, %v; want %d", c.share, n, err, c.want)
+		}
+	}
+	if _, err := SelectByShare(tbl, 0); err == nil {
+		t.Error("share 0 should fail")
+	}
+	if _, err := SelectByShare(tbl, 1.5); err == nil {
+		t.Error("share > 1 should fail")
+	}
+	empty := searchlog.TripletTable{}
+	if n, err := SelectByShare(empty, 0.5); err != nil || n != 0 {
+		t.Errorf("empty table selection = %d, %v", n, err)
+	}
+}
+
+func TestFootprintSharedResultsCountedOnce(t *testing.T) {
+	u := testUniverse(t)
+	// Nav pairs 0 and 1 share the front-page result.
+	tbl := tableFromVolumes(
+		[]searchlog.PairID{u.NavPair(0), u.NavPair(1)},
+		[]int{10, 8},
+	)
+	m := MemoryModel{
+		SlotsPerEntry: 2,
+		RecordBytes:   func(searchlog.ResultID) int { return 500 },
+	}
+	fp := m.FootprintOf(tbl, u, 2)
+	if fp.Results != 1 {
+		t.Errorf("unique results = %d, want 1 (shared)", fp.Results)
+	}
+	if fp.FlashBytes != 500 {
+		t.Errorf("flash = %d, want 500 (stored once)", fp.FlashBytes)
+	}
+	if fp.Queries != 2 {
+		t.Errorf("queries = %d, want 2", fp.Queries)
+	}
+	// Two single-result queries at 2 slots: 2 entries of 48 bytes.
+	if fp.DRAMBytes != 96 {
+		t.Errorf("dram = %d, want 96", fp.DRAMBytes)
+	}
+}
+
+func TestFootprintChainsLongClickLists(t *testing.T) {
+	u := testUniverse(t)
+	// The top non-nav query has 4 results: 2 entries at 2 slots.
+	q := u.QueryOf(u.NonNavPair(0))
+	pairs := u.PairsForQuery(q)
+	vols := make([]int, len(pairs))
+	for i := range vols {
+		vols[i] = 10 - i
+	}
+	tbl := tableFromVolumes(pairs, vols)
+	m := MemoryModel{SlotsPerEntry: 2, RecordBytes: func(searchlog.ResultID) int { return 500 }}
+	fp := m.FootprintOf(tbl, u, len(pairs))
+	if fp.DRAMBytes != 2*48 {
+		t.Errorf("dram = %d, want 96 (two chained entries)", fp.DRAMBytes)
+	}
+}
+
+func TestSelectByMemory(t *testing.T) {
+	u := testUniverse(t)
+	var pairs []searchlog.PairID
+	var vols []int
+	for i := 0; i < 60; i += 6 { // distinct blocks: distinct queries/results
+		pairs = append(pairs, u.NavPair(i))
+		vols = append(vols, 100-i)
+	}
+	tbl := tableFromVolumes(pairs, vols)
+	m := MemoryModel{SlotsPerEntry: 2, RecordBytes: func(searchlog.ResultID) int { return 500 }}
+
+	// DRAM limit of 5 entries' worth (240 bytes): selects 5 pairs.
+	if n := SelectByMemory(tbl, u, m, 240, 0); n != 5 {
+		t.Errorf("dram-limited selection = %d, want 5", n)
+	}
+	// Flash limit of 1600 bytes: 3 records of 500 fit.
+	if n := SelectByMemory(tbl, u, m, 0, 1600); n != 3 {
+		t.Errorf("flash-limited selection = %d, want 3", n)
+	}
+	// Unconstrained: everything.
+	if n := SelectByMemory(tbl, u, m, 0, 0); n != len(tbl.Triplets) {
+		t.Errorf("unconstrained selection = %d, want %d", n, len(tbl.Triplets))
+	}
+	// Consistency: the footprint of the selection respects the limit.
+	n := SelectByMemory(tbl, u, m, 240, 0)
+	if fp := m.FootprintOf(tbl, u, n); fp.DRAMBytes > 240 {
+		t.Errorf("selected footprint %d exceeds limit", fp.DRAMBytes)
+	}
+}

@@ -1,0 +1,279 @@
+// Package cloudletos implements the operating-system support for
+// running multiple pocket cloudlets on one device, following the
+// architectural recommendations of Section 7 of the Pocket Cloudlets
+// paper:
+//
+//   - User versus pocket cloudlets: the manager enforces per-cloudlet
+//     and global storage budgets so user data and applications always
+//     retain their reserve.
+//   - Pocket cloudlet interactions: cloudlets cache related data (a
+//     search query has matching ads, result pages link to map tiles);
+//     the manager evicts closely related items together, because a
+//     miss in one cloudlet makes hits on its related items worthless —
+//     the radio is waking up anyway.
+//   - Security: a cloudlet cannot read another cloudlet's cached data
+//     unless the owner granted it access; the manager mediates every
+//     cross-cloudlet read.
+package cloudletos
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Item describes one cached item for management purposes.
+type Item struct {
+	// Key identifies the item within its cloudlet.
+	Key uint64
+	// Relation tags items that belong together across cloudlets
+	// (e.g. the hash of the query that produced a search result, its
+	// ads, and its map tiles). Zero means unrelated.
+	Relation uint64
+	// Bytes is the item's flash footprint.
+	Bytes int64
+	// Utility orders eviction: lower-utility items go first.
+	Utility float64
+}
+
+// Cloudlet is the interface a pocket cloudlet exposes to the manager.
+type Cloudlet interface {
+	// Name identifies the cloudlet.
+	Name() string
+	// Items enumerates the cloudlet's cached items.
+	Items() []Item
+	// Evict removes the items with the given keys, returning the
+	// bytes actually freed.
+	Evict(keys []uint64) int64
+	// Read returns the cached bytes for a key, for mediated
+	// cross-cloudlet access.
+	Read(key uint64) ([]byte, bool)
+}
+
+// Quota is a cloudlet's storage allowance.
+type Quota struct {
+	FlashBytes int64
+}
+
+// registration pairs a cloudlet with its quota and ACL.
+type registration struct {
+	cloudlet Cloudlet
+	quota    Quota
+	// readers are the cloudlet names allowed to read this cloudlet's
+	// items.
+	readers map[string]bool
+}
+
+// Manager is the device-side coordinator for all pocket cloudlets.
+type Manager struct {
+	// totalFlash is the flash budget available to all cloudlets
+	// together; the rest of the device's storage belongs to the user.
+	totalFlash int64
+	regs       map[string]*registration
+	order      []string // registration order for deterministic walks
+}
+
+// NewManager creates a manager with the given total cloudlet flash
+// budget (e.g. 10% of device NVM, the paper's Table 2 assumption).
+func NewManager(totalFlash int64) (*Manager, error) {
+	if totalFlash <= 0 {
+		return nil, fmt.Errorf("cloudletos: total flash budget must be positive, got %d", totalFlash)
+	}
+	return &Manager{totalFlash: totalFlash, regs: make(map[string]*registration)}, nil
+}
+
+// TotalFlash returns the global cloudlet flash budget.
+func (m *Manager) TotalFlash() int64 { return m.totalFlash }
+
+// Register adds a cloudlet under a quota. The sum of quotas may not
+// exceed the global budget.
+func (m *Manager) Register(c Cloudlet, q Quota) error {
+	if c == nil {
+		return fmt.Errorf("cloudletos: nil cloudlet")
+	}
+	name := c.Name()
+	if name == "" {
+		return fmt.Errorf("cloudletos: cloudlet must have a name")
+	}
+	if _, dup := m.regs[name]; dup {
+		return fmt.Errorf("cloudletos: cloudlet %q already registered", name)
+	}
+	if q.FlashBytes <= 0 {
+		return fmt.Errorf("cloudletos: quota for %q must be positive", name)
+	}
+	var committed int64
+	for _, r := range m.regs {
+		committed += r.quota.FlashBytes
+	}
+	if committed+q.FlashBytes > m.totalFlash {
+		return fmt.Errorf("cloudletos: quota %d for %q exceeds remaining budget %d",
+			q.FlashBytes, name, m.totalFlash-committed)
+	}
+	m.regs[name] = &registration{cloudlet: c, quota: q, readers: make(map[string]bool)}
+	m.order = append(m.order, name)
+	return nil
+}
+
+// Quota returns a cloudlet's quota.
+func (m *Manager) Quota(name string) (Quota, bool) {
+	r, ok := m.regs[name]
+	if !ok {
+		return Quota{}, false
+	}
+	return r.quota, true
+}
+
+// Usage returns the cloudlet's current flash usage.
+func (m *Manager) Usage(name string) (int64, error) {
+	r, ok := m.regs[name]
+	if !ok {
+		return 0, fmt.Errorf("cloudletos: unknown cloudlet %q", name)
+	}
+	var used int64
+	for _, it := range r.cloudlet.Items() {
+		used += it.Bytes
+	}
+	return used, nil
+}
+
+// OverQuota reports how many bytes the cloudlet exceeds its quota by
+// (zero when within quota).
+func (m *Manager) OverQuota(name string) (int64, error) {
+	used, err := m.Usage(name)
+	if err != nil {
+		return 0, err
+	}
+	over := used - m.regs[name].quota.FlashBytes
+	if over < 0 {
+		over = 0
+	}
+	return over, nil
+}
+
+// Grant allows reader to read owner's cached items.
+func (m *Manager) Grant(owner, reader string) error {
+	r, ok := m.regs[owner]
+	if !ok {
+		return fmt.Errorf("cloudletos: unknown cloudlet %q", owner)
+	}
+	if _, ok := m.regs[reader]; !ok {
+		return fmt.Errorf("cloudletos: unknown cloudlet %q", reader)
+	}
+	r.readers[reader] = true
+	return nil
+}
+
+// Revoke removes a previously granted access.
+func (m *Manager) Revoke(owner, reader string) {
+	if r, ok := m.regs[owner]; ok {
+		delete(r.readers, reader)
+	}
+}
+
+// ErrPermission reports a denied cross-cloudlet read.
+type ErrPermission struct{ Owner, Reader string }
+
+func (e *ErrPermission) Error() string {
+	return fmt.Sprintf("cloudletos: %q may not read from %q", e.Reader, e.Owner)
+}
+
+// ReadFrom performs a mediated cross-cloudlet read: reader fetches the
+// item stored under key by owner. A cloudlet may always read its own
+// items; anything else requires a Grant (the paper's example: a map
+// cloudlet must not read a user's bank search history).
+func (m *Manager) ReadFrom(reader, owner string, key uint64) ([]byte, error) {
+	r, ok := m.regs[owner]
+	if !ok {
+		return nil, fmt.Errorf("cloudletos: unknown cloudlet %q", owner)
+	}
+	if reader != owner && !r.readers[reader] {
+		return nil, &ErrPermission{Owner: owner, Reader: reader}
+	}
+	data, ok := r.cloudlet.Read(key)
+	if !ok {
+		return nil, fmt.Errorf("cloudletos: %q has no item %d", owner, key)
+	}
+	return data, nil
+}
+
+// evictionCandidate is a flattened (cloudlet, item) pair.
+type evictionCandidate struct {
+	cloudlet string
+	item     Item
+}
+
+// Reclaim frees at least want bytes of cloudlet flash, evicting the
+// lowest-utility items across all cloudlets. With coordinate set, every
+// eviction also removes same-Relation items from the other cloudlets —
+// the paper's coordinated eviction policy ("if a particular query
+// misses in the local search cache, there is not much benefit in
+// hitting the ad cache"). It returns the bytes actually freed.
+func (m *Manager) Reclaim(want int64, coordinate bool) int64 {
+	if want <= 0 {
+		return 0
+	}
+	var cands []evictionCandidate
+	for _, name := range m.order {
+		for _, it := range m.regs[name].cloudlet.Items() {
+			cands = append(cands, evictionCandidate{cloudlet: name, item: it})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.item.Utility != b.item.Utility {
+			return a.item.Utility < b.item.Utility
+		}
+		if a.cloudlet != b.cloudlet {
+			return a.cloudlet < b.cloudlet
+		}
+		return a.item.Key < b.item.Key
+	})
+
+	evicted := make(map[string]map[uint64]bool) // cloudlet -> keys
+	mark := func(cloudlet string, key uint64) {
+		if evicted[cloudlet] == nil {
+			evicted[cloudlet] = make(map[uint64]bool)
+		}
+		evicted[cloudlet][key] = true
+	}
+	var planned int64
+	for _, c := range cands {
+		if planned >= want {
+			break
+		}
+		if evicted[c.cloudlet][c.item.Key] {
+			continue
+		}
+		mark(c.cloudlet, c.item.Key)
+		planned += c.item.Bytes
+		if coordinate && c.item.Relation != 0 {
+			for _, other := range cands {
+				if other.item.Relation == c.item.Relation &&
+					!(other.cloudlet == c.cloudlet && other.item.Key == c.item.Key) &&
+					!evicted[other.cloudlet][other.item.Key] {
+					mark(other.cloudlet, other.item.Key)
+					planned += other.item.Bytes
+				}
+			}
+		}
+	}
+
+	var freed int64
+	for _, name := range m.order {
+		keys := evicted[name]
+		if len(keys) == 0 {
+			continue
+		}
+		sorted := make([]uint64, 0, len(keys))
+		for k := range keys {
+			sorted = append(sorted, k)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		freed += m.regs[name].cloudlet.Evict(sorted)
+	}
+	return freed
+}
+
+// Cloudlets returns the registered cloudlet names in registration order.
+func (m *Manager) Cloudlets() []string {
+	return append([]string(nil), m.order...)
+}

@@ -1,0 +1,266 @@
+package cloudletos
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"pocketcloudlets/internal/flashsim"
+)
+
+func newKV(t testing.TB, name string, store *flashsim.FileStore) *KVCloudlet {
+	t.Helper()
+	c, err := NewKVCloudlet(name, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func sharedStore() *flashsim.FileStore {
+	return flashsim.NewFileStore(flashsim.NewDevice(flashsim.Params{}))
+}
+
+func TestKVCloudletRoundTrip(t *testing.T) {
+	store := sharedStore()
+	c := newKV(t, "ads", store)
+	c.Put(1, 100, 0.9, []byte("banner-1"))
+	data, lat, ok := c.Get(1)
+	if !ok || !bytes.Equal(data, []byte("banner-1")) || lat <= 0 {
+		t.Errorf("Get = %q, %v, %v", data, lat, ok)
+	}
+	if _, _, ok := c.Get(2); ok {
+		t.Error("missing key should not resolve")
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestKVCloudletEvict(t *testing.T) {
+	c := newKV(t, "maps", sharedStore())
+	c.Put(1, 0, 0.5, make([]byte, 500))
+	c.Put(2, 0, 0.5, make([]byte, 500))
+	freed := c.Evict([]uint64{1, 99})
+	if freed <= 0 {
+		t.Errorf("freed = %d, want > 0", freed)
+	}
+	if _, _, ok := c.Get(1); ok {
+		t.Error("evicted item should be gone")
+	}
+	if _, _, ok := c.Get(2); !ok {
+		t.Error("unevicted item should remain")
+	}
+}
+
+func TestKVValidation(t *testing.T) {
+	if _, err := NewKVCloudlet("", sharedStore()); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := NewKVCloudlet("x", nil); err == nil {
+		t.Error("nil store should fail")
+	}
+}
+
+func TestManagerRegistrationAndQuotas(t *testing.T) {
+	m, err := NewManager(10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := sharedStore()
+	search := newKV(t, "search", store)
+	ads := newKV(t, "ads", store)
+
+	if err := m.Register(search, Quota{FlashBytes: 6000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register(search, Quota{FlashBytes: 1000}); err == nil {
+		t.Error("duplicate registration should fail")
+	}
+	if err := m.Register(ads, Quota{FlashBytes: 5000}); err == nil {
+		t.Error("quota exceeding remaining budget should fail")
+	}
+	if err := m.Register(ads, Quota{FlashBytes: 4000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register(nil, Quota{FlashBytes: 1}); err == nil {
+		t.Error("nil cloudlet should fail")
+	}
+	if _, err := NewManager(0); err == nil {
+		t.Error("zero budget should fail")
+	}
+	if got := m.Cloudlets(); len(got) != 2 || got[0] != "search" || got[1] != "ads" {
+		t.Errorf("cloudlets = %v", got)
+	}
+	if q, ok := m.Quota("search"); !ok || q.FlashBytes != 6000 {
+		t.Errorf("quota = %+v, %v", q, ok)
+	}
+}
+
+func TestUsageAndOverQuota(t *testing.T) {
+	m, _ := NewManager(100_000)
+	store := sharedStore()
+	c := newKV(t, "web", store)
+	if err := m.Register(c, Quota{FlashBytes: 5000}); err != nil {
+		t.Fatal(err)
+	}
+	c.Put(1, 0, 0.5, make([]byte, 3000))
+	used, err := m.Usage("web")
+	if err != nil || used < 3000 {
+		t.Errorf("usage = %d, %v", used, err)
+	}
+	over, _ := m.OverQuota("web")
+	if over != 0 {
+		t.Errorf("within quota but over = %d", over)
+	}
+	c.Put(2, 0, 0.5, make([]byte, 4000))
+	over, _ = m.OverQuota("web")
+	if over <= 0 {
+		t.Error("should be over quota now")
+	}
+	if _, err := m.Usage("nope"); err == nil {
+		t.Error("unknown cloudlet should fail")
+	}
+}
+
+func TestAccessControl(t *testing.T) {
+	m, _ := NewManager(100_000)
+	store := sharedStore()
+	search := newKV(t, "search", store)
+	maps := newKV(t, "maps", store)
+	m.Register(search, Quota{FlashBytes: 1000})
+	m.Register(maps, Quota{FlashBytes: 1000})
+	search.Put(42, 0, 0.5, []byte("bank query result"))
+
+	// Own reads always work.
+	if _, err := m.ReadFrom("search", "search", 42); err != nil {
+		t.Errorf("own read failed: %v", err)
+	}
+	// Ungranted cross reads fail with ErrPermission.
+	_, err := m.ReadFrom("maps", "search", 42)
+	var perm *ErrPermission
+	if !errors.As(err, &perm) {
+		t.Fatalf("want ErrPermission, got %v", err)
+	}
+	// Granted reads succeed.
+	if err := m.Grant("search", "maps"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.ReadFrom("maps", "search", 42)
+	if err != nil || !bytes.Equal(data, []byte("bank query result")) {
+		t.Errorf("granted read = %q, %v", data, err)
+	}
+	// Revocation restores the denial.
+	m.Revoke("search", "maps")
+	if _, err := m.ReadFrom("maps", "search", 42); err == nil {
+		t.Error("revoked reader should be denied")
+	}
+	// Grant validation.
+	if err := m.Grant("nope", "maps"); err == nil {
+		t.Error("grant on unknown owner should fail")
+	}
+	if err := m.Grant("search", "nope"); err == nil {
+		t.Error("grant to unknown reader should fail")
+	}
+	// Missing item on a permitted path.
+	if _, err := m.ReadFrom("search", "search", 99); err == nil {
+		t.Error("missing item should fail")
+	}
+}
+
+func TestReclaimEvictsLowestUtilityFirst(t *testing.T) {
+	m, _ := NewManager(1 << 20)
+	store := sharedStore()
+	c := newKV(t, "web", store)
+	m.Register(c, Quota{FlashBytes: 1 << 20})
+	c.Put(1, 0, 0.9, make([]byte, 4000)) // high utility
+	c.Put(2, 0, 0.1, make([]byte, 4000)) // low utility: evicted first
+	freed := m.Reclaim(1000, false)
+	if freed < 1000 {
+		t.Errorf("freed = %d, want >= 1000", freed)
+	}
+	if _, _, ok := c.Get(2); ok {
+		t.Error("low-utility item should be evicted first")
+	}
+	if _, _, ok := c.Get(1); !ok {
+		t.Error("high-utility item should survive")
+	}
+	if m.Reclaim(0, false) != 0 {
+		t.Error("non-positive reclaim should be a no-op")
+	}
+}
+
+// TestCoordinatedEviction verifies the Section 7 policy: evicting a
+// search entry also evicts its related ad and map tile, while
+// uncoordinated eviction leaves them stranded.
+func TestCoordinatedEviction(t *testing.T) {
+	build := func() (*Manager, *KVCloudlet, *KVCloudlet) {
+		m, _ := NewManager(1 << 20)
+		store := sharedStore()
+		search := newKV(t, "search", store)
+		ads := newKV(t, "ads", store)
+		m.Register(search, Quota{FlashBytes: 1 << 19})
+		m.Register(ads, Quota{FlashBytes: 1 << 19})
+		const rel = 777
+		search.Put(1, rel, 0.1, make([]byte, 4000)) // the query's result
+		ads.Put(2, rel, 0.8, make([]byte, 4000))    // its ad: high utility but useless alone
+		ads.Put(3, 555, 0.9, make([]byte, 4000))    // unrelated ad
+		return m, search, ads
+	}
+
+	// Uncoordinated: the ad survives even though its query is gone.
+	m1, s1, a1 := build()
+	m1.Reclaim(1000, false)
+	if _, _, ok := s1.Get(1); ok {
+		t.Fatal("search entry should be evicted")
+	}
+	if _, _, ok := a1.Get(2); !ok {
+		t.Error("uncoordinated eviction should leave the related ad")
+	}
+
+	// Coordinated: the related ad goes with it; unrelated items stay.
+	m2, s2, a2 := build()
+	m2.Reclaim(1000, true)
+	if _, _, ok := s2.Get(1); ok {
+		t.Fatal("search entry should be evicted")
+	}
+	if _, _, ok := a2.Get(2); ok {
+		t.Error("coordinated eviction should remove the related ad")
+	}
+	if _, _, ok := a2.Get(3); !ok {
+		t.Error("unrelated ad should survive")
+	}
+}
+
+func TestReclaimDeterministic(t *testing.T) {
+	run := func() []string {
+		m, _ := NewManager(1 << 20)
+		store := sharedStore()
+		a := newKV(t, "a", store)
+		b := newKV(t, "b", store)
+		m.Register(a, Quota{FlashBytes: 1 << 19})
+		m.Register(b, Quota{FlashBytes: 1 << 19})
+		for i := uint64(0); i < 10; i++ {
+			a.Put(i, 0, 0.5, make([]byte, 1000))
+			b.Put(i, 0, 0.5, make([]byte, 1000))
+		}
+		m.Reclaim(5000, false)
+		var left []string
+		for _, it := range a.Items() {
+			left = append(left, "a", string(rune('0'+it.Key)))
+		}
+		for _, it := range b.Items() {
+			left = append(left, "b", string(rune('0'+it.Key)))
+		}
+		return left
+	}
+	r1, r2 := run(), run()
+	if len(r1) != len(r2) {
+		t.Fatal("non-deterministic eviction")
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatal("non-deterministic eviction order")
+		}
+	}
+}

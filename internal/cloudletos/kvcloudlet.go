@@ -1,0 +1,101 @@
+package cloudletos
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"pocketcloudlets/internal/flashsim"
+)
+
+// KVCloudlet is a generic key-value pocket cloudlet following the
+// paper's template architecture: an in-DRAM index over records stored
+// on flash. It is the minimal instantiation of the Section 3 design —
+// the mobile-ads, yellow-pages, mapping and web-content cloudlets of
+// Table 2 are all KVCloudlets with different item sizes — and is what
+// the multi-cloudlet examples register with the Manager.
+type KVCloudlet struct {
+	name  string
+	store *flashsim.FileStore
+	items map[uint64]Item
+}
+
+// NewKVCloudlet creates an empty cloudlet over the shared flash store.
+func NewKVCloudlet(name string, store *flashsim.FileStore) (*KVCloudlet, error) {
+	if name == "" {
+		return nil, fmt.Errorf("cloudletos: cloudlet name required")
+	}
+	if store == nil {
+		return nil, fmt.Errorf("cloudletos: flash store required")
+	}
+	return &KVCloudlet{name: name, store: store, items: make(map[uint64]Item)}, nil
+}
+
+// Name implements Cloudlet.
+func (c *KVCloudlet) Name() string { return c.name }
+
+func (c *KVCloudlet) fileName(key uint64) string {
+	return fmt.Sprintf("%s/%x", c.name, key)
+}
+
+// Put stores an item, returning the modeled flash latency.
+func (c *KVCloudlet) Put(key, relation uint64, utility float64, data []byte) time.Duration {
+	lat := c.store.Write(c.fileName(key), data)
+	c.items[key] = Item{
+		Key:      key,
+		Relation: relation,
+		Bytes:    c.store.Device().AllocatedBytes(len(data)),
+		Utility:  utility,
+	}
+	return lat
+}
+
+// Get retrieves an item with its modeled flash latency.
+func (c *KVCloudlet) Get(key uint64) ([]byte, time.Duration, bool) {
+	if _, ok := c.items[key]; !ok {
+		return nil, 0, false
+	}
+	data, lat, err := c.store.Read(c.fileName(key))
+	if err != nil {
+		return nil, 0, false
+	}
+	return data, lat, true
+}
+
+// Len returns the number of stored items.
+func (c *KVCloudlet) Len() int { return len(c.items) }
+
+// Items implements Cloudlet.
+func (c *KVCloudlet) Items() []Item {
+	out := make([]Item, 0, len(c.items))
+	for _, it := range c.items {
+		out = append(out, it)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Evict implements Cloudlet.
+func (c *KVCloudlet) Evict(keys []uint64) int64 {
+	var freed int64
+	for _, k := range keys {
+		it, ok := c.items[k]
+		if !ok {
+			continue
+		}
+		if err := c.store.Delete(c.fileName(k)); err == nil {
+			freed += it.Bytes
+			delete(c.items, k)
+		}
+	}
+	return freed
+}
+
+// Read implements Cloudlet (mediated cross-cloudlet access).
+func (c *KVCloudlet) Read(key uint64) ([]byte, bool) {
+	if _, ok := c.items[key]; !ok {
+		return nil, false
+	}
+	data, ok := c.store.Peek(c.fileName(key))
+	return data, ok
+}

@@ -1,0 +1,240 @@
+// Package core implements the general pocket cloudlet architecture of
+// Section 3 of the Pocket Cloudlets paper, independent of any concrete
+// service: data selection from combined community and personal access
+// models, data management policies for static versus dynamic content,
+// and budgeted selection of what to replicate on the device.
+//
+// PocketSearch (internal/pocketsearch) is the paper's fully elaborated
+// instance of this template; the generic cloudlets used by the
+// multi-cloudlet demonstrations (internal/cloudletos) are built
+// directly on this package.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// ItemID identifies one cacheable data item of a cloud service (a
+// search result page, a map tile, an ad banner, a web page).
+type ItemID uint64
+
+// Access is one recorded access: a user touched an item at a time.
+type Access struct {
+	User uint32
+	Item ItemID
+	At   time.Duration
+}
+
+// CommunityModel aggregates access counts across all users to identify
+// the most popular parts of a cloud service's data (Section 3.1).
+type CommunityModel struct {
+	counts map[ItemID]int64
+	total  int64
+}
+
+// NewCommunityModel creates an empty community model.
+func NewCommunityModel() *CommunityModel {
+	return &CommunityModel{counts: make(map[ItemID]int64)}
+}
+
+// Record adds accesses to the model.
+func (m *CommunityModel) Record(accesses ...Access) {
+	for _, a := range accesses {
+		m.counts[a.Item]++
+		m.total++
+	}
+}
+
+// Total returns the total recorded access volume.
+func (m *CommunityModel) Total() int64 { return m.total }
+
+// Popularity returns the item's share of total volume.
+func (m *CommunityModel) Popularity(item ItemID) float64 {
+	if m.total == 0 {
+		return 0
+	}
+	return float64(m.counts[item]) / float64(m.total)
+}
+
+// Ranked returns items in descending volume order (ties by ID).
+func (m *CommunityModel) Ranked() []ItemID {
+	items := make([]ItemID, 0, len(m.counts))
+	for it := range m.counts {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool {
+		a, b := items[i], items[j]
+		if m.counts[a] != m.counts[b] {
+			return m.counts[a] > m.counts[b]
+		}
+		return a < b
+	})
+	return items
+}
+
+// PersonalModel tracks one user's accesses with frequency and recency,
+// mirroring the PocketSearch personalization component: repeated items
+// score higher, stale items decay (Section 3.1, Equations 1-2).
+type PersonalModel struct {
+	lambda float64
+	scores map[ItemID]float64
+	last   map[ItemID]time.Duration
+	now    time.Duration
+}
+
+// NewPersonalModel creates a personal model with the given decay
+// constant per day of staleness.
+func NewPersonalModel(lambdaPerDay float64) *PersonalModel {
+	return &PersonalModel{
+		lambda: lambdaPerDay,
+		scores: make(map[ItemID]float64),
+		last:   make(map[ItemID]time.Duration),
+	}
+}
+
+// Touch records an access at the given model time (non-decreasing).
+func (m *PersonalModel) Touch(item ItemID, at time.Duration) {
+	if at > m.now {
+		m.now = at
+	}
+	m.scores[item] = m.Score(item) + 1
+	m.last[item] = at
+}
+
+// Score returns the item's personal score at the model's current time:
+// its accumulated score decayed by e^(-lambda * days since last touch).
+func (m *PersonalModel) Score(item ItemID) float64 {
+	s, ok := m.scores[item]
+	if !ok {
+		return 0
+	}
+	staleDays := (m.now - m.last[item]).Hours() / 24
+	if staleDays <= 0 {
+		return s
+	}
+	return s * math.Exp(-m.lambda*staleDays)
+}
+
+// Items returns every item the user has ever touched.
+func (m *PersonalModel) Items() []ItemID {
+	items := make([]ItemID, 0, len(m.scores))
+	for it := range m.scores {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	return items
+}
+
+// Volatility classifies how a cloudlet's data changes over time, which
+// determines its update policy (Section 3.2).
+type Volatility int
+
+const (
+	// Static data (search indexes, map tiles) changes slowly: update
+	// periodically while charging on a fast link.
+	Static Volatility = iota
+	// Dynamic data (news pages, stock quotes) changes within a day:
+	// only the small set of most frequently revisited items is
+	// refreshed in real time over the radio.
+	Dynamic
+)
+
+// String implements fmt.Stringer.
+func (v Volatility) String() string {
+	if v == Dynamic {
+		return "dynamic"
+	}
+	return "static"
+}
+
+// UpdatePolicy says when and over which link an item class is refreshed.
+type UpdatePolicy struct {
+	Volatility Volatility
+	// Period is the refresh cadence for static data (e.g. nightly).
+	Period time.Duration
+	// RealTimeTopK bounds how many dynamic items are refreshed over
+	// the radio; the paper notes the repeatedly accessed dynamic set
+	// is small (tens of pages for most users).
+	RealTimeTopK int
+}
+
+// PolicyFor returns the paper's recommended policy for a volatility
+// class.
+func PolicyFor(v Volatility) UpdatePolicy {
+	if v == Dynamic {
+		return UpdatePolicy{Volatility: Dynamic, RealTimeTopK: 20}
+	}
+	return UpdatePolicy{Volatility: Static, Period: 24 * time.Hour}
+}
+
+// Candidate is an item under consideration for device placement.
+type Candidate struct {
+	Item  ItemID
+	Bytes int64
+	// Utility is the item's combined selection score.
+	Utility float64
+}
+
+// Select combines the community and personal models to pick the items
+// to replicate on the device within a byte budget (Section 3.1): item
+// utility is the community popularity plus personalWeight times the
+// normalized personal score, and items are taken greedily by utility
+// per byte. sizeOf reports an item's on-device footprint.
+func Select(community *CommunityModel, personal *PersonalModel, personalWeight float64, budget int64, sizeOf func(ItemID) int64) ([]Candidate, error) {
+	if community == nil {
+		return nil, fmt.Errorf("core: community model is required")
+	}
+	if budget <= 0 {
+		return nil, fmt.Errorf("core: budget must be positive, got %d", budget)
+	}
+	seen := make(map[ItemID]bool)
+	var cands []Candidate
+	add := func(it ItemID) {
+		if seen[it] {
+			return
+		}
+		seen[it] = true
+		c := Candidate{Item: it, Bytes: sizeOf(it), Utility: community.Popularity(it)}
+		if personal != nil {
+			c.Utility += personalWeight * personal.Score(it)
+		}
+		cands = append(cands, c)
+	}
+	for _, it := range community.Ranked() {
+		add(it)
+	}
+	if personal != nil {
+		for _, it := range personal.Items() {
+			add(it)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		// Utility per byte, deterministic tie-break.
+		ui := cands[i].Utility / float64(max64(cands[i].Bytes, 1))
+		uj := cands[j].Utility / float64(max64(cands[j].Bytes, 1))
+		if ui != uj {
+			return ui > uj
+		}
+		return cands[i].Item < cands[j].Item
+	})
+	var out []Candidate
+	var used int64
+	for _, c := range cands {
+		if c.Bytes <= 0 || used+c.Bytes > budget {
+			continue
+		}
+		used += c.Bytes
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func day(n float64) time.Duration { return time.Duration(n * 24 * float64(time.Hour)) }
+
+func TestCommunityModelRanking(t *testing.T) {
+	m := NewCommunityModel()
+	for i := 0; i < 5; i++ {
+		m.Record(Access{User: 1, Item: 10})
+	}
+	for i := 0; i < 3; i++ {
+		m.Record(Access{User: 2, Item: 20})
+	}
+	m.Record(Access{User: 3, Item: 30})
+	ranked := m.Ranked()
+	if len(ranked) != 3 || ranked[0] != 10 || ranked[1] != 20 || ranked[2] != 30 {
+		t.Errorf("ranked = %v", ranked)
+	}
+	if got := m.Popularity(10); math.Abs(got-5.0/9) > 1e-12 {
+		t.Errorf("popularity = %g, want 5/9", got)
+	}
+	if m.Popularity(99) != 0 {
+		t.Error("unseen item should have zero popularity")
+	}
+	if NewCommunityModel().Popularity(1) != 0 {
+		t.Error("empty model popularity should be 0")
+	}
+}
+
+func TestCommunityRankedTieBreak(t *testing.T) {
+	m := NewCommunityModel()
+	m.Record(Access{Item: 7}, Access{Item: 3})
+	r := m.Ranked()
+	if r[0] != 3 || r[1] != 7 {
+		t.Errorf("equal counts should order by ID: %v", r)
+	}
+}
+
+func TestPersonalModelFrequency(t *testing.T) {
+	m := NewPersonalModel(0.1)
+	m.Touch(1, day(0))
+	m.Touch(1, day(0))
+	m.Touch(2, day(0))
+	if m.Score(1) <= m.Score(2) {
+		t.Errorf("twice-touched item should outscore once-touched: %g vs %g", m.Score(1), m.Score(2))
+	}
+	if m.Score(99) != 0 {
+		t.Error("untouched item should score 0")
+	}
+}
+
+// TestPersonalModelFreshness mirrors the paper's example: a result
+// clicked 100 times a month ago scores below one clicked 100 times
+// last week.
+func TestPersonalModelFreshness(t *testing.T) {
+	m := NewPersonalModel(0.1)
+	for i := 0; i < 100; i++ {
+		m.Touch(1, day(0)) // old favorite
+	}
+	for i := 0; i < 100; i++ {
+		m.Touch(2, day(23)) // fresh favorite
+	}
+	// Advance time to day 30 via a touch on an unrelated item.
+	m.Touch(3, day(30))
+	if m.Score(1) >= m.Score(2) {
+		t.Errorf("stale favorite %g should score below fresh %g", m.Score(1), m.Score(2))
+	}
+}
+
+func TestPersonalModelDecayMonotone(t *testing.T) {
+	f := func(gapDays uint8) bool {
+		m := NewPersonalModel(0.2)
+		m.Touch(1, 0)
+		base := m.Score(1)
+		m.Touch(2, day(float64(gapDays)))
+		return m.Score(1) <= base+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPersonalItemsSorted(t *testing.T) {
+	m := NewPersonalModel(0.1)
+	m.Touch(9, 0)
+	m.Touch(3, 0)
+	items := m.Items()
+	if len(items) != 2 || items[0] != 3 || items[1] != 9 {
+		t.Errorf("items = %v", items)
+	}
+}
+
+func TestPolicyFor(t *testing.T) {
+	s := PolicyFor(Static)
+	if s.Volatility != Static || s.Period != 24*time.Hour {
+		t.Errorf("static policy = %+v", s)
+	}
+	d := PolicyFor(Dynamic)
+	if d.Volatility != Dynamic || d.RealTimeTopK <= 0 {
+		t.Errorf("dynamic policy = %+v", d)
+	}
+	if Static.String() == Dynamic.String() {
+		t.Error("volatility strings should differ")
+	}
+}
+
+func TestSelectValidation(t *testing.T) {
+	if _, err := Select(nil, nil, 0, 100, func(ItemID) int64 { return 1 }); err == nil {
+		t.Error("nil community model should fail")
+	}
+	if _, err := Select(NewCommunityModel(), nil, 0, 0, func(ItemID) int64 { return 1 }); err == nil {
+		t.Error("zero budget should fail")
+	}
+}
+
+func TestSelectRespectsBudget(t *testing.T) {
+	m := NewCommunityModel()
+	for i := 0; i < 10; i++ {
+		for n := 0; n <= i; n++ {
+			m.Record(Access{Item: ItemID(i)})
+		}
+	}
+	sel, err := Select(m, nil, 0, 300, func(ItemID) int64 { return 100 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 3 {
+		t.Fatalf("selected %d items, want 3 (budget 300 at 100 each)", len(sel))
+	}
+	// The most popular items (9, 8, 7) should win.
+	want := map[ItemID]bool{9: true, 8: true, 7: true}
+	for _, c := range sel {
+		if !want[c.Item] {
+			t.Errorf("unexpected selection %d", c.Item)
+		}
+	}
+}
+
+func TestSelectCombinesPersonal(t *testing.T) {
+	comm := NewCommunityModel()
+	for i := 0; i < 100; i++ {
+		comm.Record(Access{Item: 1}) // community favorite
+	}
+	comm.Record(Access{Item: 2})
+
+	pers := NewPersonalModel(0.1)
+	for i := 0; i < 50; i++ {
+		pers.Touch(3, 0) // personal-only favorite, unknown to community
+	}
+
+	sel, err := Select(comm, pers, 0.01, 200, func(ItemID) int64 { return 100 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[ItemID]bool{}
+	for _, c := range sel {
+		got[c.Item] = true
+	}
+	if !got[1] || !got[3] {
+		t.Errorf("selection should include community favorite 1 and personal favorite 3: %v", sel)
+	}
+	if got[2] {
+		t.Error("weak item 2 should lose to the favorites")
+	}
+}
+
+func TestSelectSkipsOversizedItems(t *testing.T) {
+	m := NewCommunityModel()
+	m.Record(Access{Item: 1}, Access{Item: 2})
+	sel, err := Select(m, nil, 0, 150, func(it ItemID) int64 {
+		if it == 1 {
+			return 1000 // cannot fit
+		}
+		return 100
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 1 || sel[0].Item != 2 {
+		t.Errorf("selection = %v, want just item 2", sel)
+	}
+}

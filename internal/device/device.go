@@ -1,0 +1,218 @@
+// Package device models the mobile device hosting pocket cloudlets: a
+// power baseline for the screen/CPU, a browser rendering cost, a
+// DRAM/PCM/NAND memory hierarchy, and the composition of the flash
+// storage (internal/flashsim) and radio link (internal/radio) models
+// under a single model clock with joint energy accounting.
+//
+// The model is calibrated to the paper's prototype measurements: a
+// cache hit costs ~378 ms end to end, dominated by 361 ms of browser
+// rendering (Table 4); the device draws ~900 mW while serving locally
+// and ~1.4-1.5 W with the radio active (Figure 16).
+package device
+
+import (
+	"time"
+
+	"pocketcloudlets/internal/flashsim"
+	"pocketcloudlets/internal/radio"
+)
+
+// Config sets the device's timing and power constants.
+type Config struct {
+	// BasePower is the screen+CPU draw while the device is in use, in
+	// watts. Figure 16 shows ~900 mW during local serving.
+	BasePower float64
+	// RenderBase is the fixed browser cost to lay out a result page.
+	RenderBase time.Duration
+	// RenderPerByte is the marginal render cost per byte of page
+	// content. With the defaults a ~100 KB search result page renders
+	// in ~361 ms, matching Table 4.
+	RenderPerByte time.Duration
+	// MiscPerQuery is the application overhead per query outside of
+	// lookup, fetch and render (Table 4's 7 ms "miscellaneous" row).
+	MiscPerQuery time.Duration
+	// DRAMBandwidth and PCMBandwidth are bulk-copy rates used by the
+	// Section 3.3 index-placement ablation, in bytes per second.
+	DRAMBandwidth float64
+	PCMBandwidth  float64
+}
+
+// DefaultConfig returns the paper-calibrated constants.
+func DefaultConfig() Config {
+	return Config{
+		BasePower:     0.9,
+		RenderBase:    200 * time.Millisecond,
+		RenderPerByte: 1610 * time.Nanosecond,
+		MiscPerQuery:  7 * time.Millisecond,
+		DRAMBandwidth: 1e9,
+		PCMBandwidth:  300e6,
+	}
+}
+
+// PowerSegment is one piece of a device power trace (Figure 16): the
+// total device draw over an interval of model time.
+type PowerSegment struct {
+	Start    time.Duration
+	Duration time.Duration
+	Watts    float64
+	Label    string
+}
+
+// End returns the model time at which the segment finishes.
+func (s PowerSegment) End() time.Duration { return s.Start + s.Duration }
+
+// Device is a simulated smartphone.
+type Device struct {
+	cfg   Config
+	flash *flashsim.Device
+	store *flashsim.FileStore
+	link  *radio.Link
+
+	clock      time.Duration
+	baseEnergy float64 // joules from BasePower over busy time
+	trace      []PowerSegment
+	tracing    bool
+}
+
+// New creates a device with the given configuration, radio technology
+// and flash parameters. Zero-value Config fields are filled from
+// DefaultConfig.
+func New(cfg Config, link radio.Params, flash flashsim.Params) *Device {
+	def := DefaultConfig()
+	if cfg.BasePower <= 0 {
+		cfg.BasePower = def.BasePower
+	}
+	if cfg.RenderBase <= 0 {
+		cfg.RenderBase = def.RenderBase
+	}
+	if cfg.RenderPerByte <= 0 {
+		cfg.RenderPerByte = def.RenderPerByte
+	}
+	if cfg.MiscPerQuery <= 0 {
+		cfg.MiscPerQuery = def.MiscPerQuery
+	}
+	if cfg.DRAMBandwidth <= 0 {
+		cfg.DRAMBandwidth = def.DRAMBandwidth
+	}
+	if cfg.PCMBandwidth <= 0 {
+		cfg.PCMBandwidth = def.PCMBandwidth
+	}
+	fd := flashsim.NewDevice(flash)
+	return &Device{
+		cfg:   cfg,
+		flash: fd,
+		store: flashsim.NewFileStore(fd),
+		link:  radio.NewLink(link),
+	}
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Flash returns the device's flash part.
+func (d *Device) Flash() *flashsim.Device { return d.flash }
+
+// Store returns the device's flash file store.
+func (d *Device) Store() *flashsim.FileStore { return d.store }
+
+// Link returns the device's radio link.
+func (d *Device) Link() *radio.Link { return d.link }
+
+// Now returns the device's model time.
+func (d *Device) Now() time.Duration { return d.clock }
+
+// TotalEnergy returns the joules consumed so far: device baseline over
+// busy time plus the radio's extra draw.
+func (d *Device) TotalEnergy() float64 { return d.baseEnergy + d.link.RadioEnergy() }
+
+// StartTrace begins recording power segments for Figure 16.
+func (d *Device) StartTrace() {
+	d.tracing = true
+	d.trace = nil
+}
+
+// Trace returns the recorded power segments.
+func (d *Device) Trace() []PowerSegment { return d.trace }
+
+func (d *Device) record(dur time.Duration, extraWatts float64, label string) {
+	if !d.tracing || dur <= 0 {
+		return
+	}
+	d.trace = append(d.trace, PowerSegment{
+		Start:    d.clock,
+		Duration: dur,
+		Watts:    d.cfg.BasePower + extraWatts,
+		Label:    label,
+	})
+}
+
+// radioExtraIdle returns the radio's current non-active extra draw,
+// used to compose trace segments during local work.
+func (d *Device) radioExtraIdle() float64 {
+	p := d.link.Params()
+	if d.link.State() == radio.Tail {
+		return p.ExtraTailPower
+	}
+	return p.ExtraIdlePower
+}
+
+// Busy advances the model clock by d with the device active locally
+// (CPU/screen on, radio not transmitting). The radio continues its own
+// tail/idle accounting in parallel.
+func (d *Device) Busy(dur time.Duration, label string) {
+	if dur <= 0 {
+		return
+	}
+	d.record(dur, d.radioExtraIdle(), label)
+	d.baseEnergy += d.cfg.BasePower * dur.Seconds()
+	d.link.Advance(dur)
+	d.clock += dur
+}
+
+// NetworkRequest performs a request/response exchange over the radio,
+// advancing the model clock by the exchange latency. The device stays
+// at base power while waiting (screen on, spinner visible).
+func (d *Device) NetworkRequest(reqBytes, respBytes int) radio.Transfer {
+	tr := d.link.Request(reqBytes, respBytes)
+	d.record(tr.Total(), d.link.Params().ExtraActivePower, "radio")
+	d.baseEnergy += d.cfg.BasePower * tr.Total().Seconds()
+	d.clock += tr.Total()
+	return tr
+}
+
+// FlashBusy charges a previously computed flash latency against the
+// device clock and energy, treating it as local busy time.
+func (d *Device) FlashBusy(dur time.Duration) { d.Busy(dur, "flash") }
+
+// RenderLatency models the browser rendering a page of the given size.
+func (d *Device) RenderLatency(pageBytes int) time.Duration {
+	if pageBytes < 0 {
+		pageBytes = 0
+	}
+	return d.cfg.RenderBase + time.Duration(pageBytes)*d.cfg.RenderPerByte
+}
+
+// Render advances the clock by the render latency for a page and
+// returns that latency.
+func (d *Device) Render(pageBytes int) time.Duration {
+	lat := d.RenderLatency(pageBytes)
+	d.Busy(lat, "render")
+	return lat
+}
+
+// Misc charges the per-query application overhead.
+func (d *Device) Misc() time.Duration {
+	d.Busy(d.cfg.MiscPerQuery, "misc")
+	return d.cfg.MiscPerQuery
+}
+
+// Reset returns the device to model time zero with energy and trace
+// cleared. Flash contents are preserved; the radio link is reset.
+func (d *Device) Reset() {
+	d.clock = 0
+	d.baseEnergy = 0
+	d.trace = nil
+	d.tracing = false
+	d.link.Reset()
+	d.flash.ResetStats()
+}

@@ -1,0 +1,177 @@
+package engine
+
+import (
+	"strconv"
+	"strings"
+
+	"pocketcloudlets/internal/searchlog"
+)
+
+// PairsForQuery returns the pairs (and hence ranked results) the engine
+// associates with a query, best-ranked first. Navigational queries have
+// two results (front page, then section page); non-navigational queries
+// have their segment's click-list length (6 down to 1).
+func (u *Universe) PairsForQuery(q searchlog.QueryID) []searchlog.PairID {
+	if int(q) < u.navQueries {
+		b, form := int(q)/4, int(q)%4
+		return []searchlog.PairID{
+			searchlog.PairID(8*b + form),     // primary: front page
+			searchlog.PairID(8*b + 4 + form), // secondary: section page
+		}
+	}
+	qidx := int(q) - u.navQueries
+	s := u.nnSegmentForQuery(qidx)
+	first := s.pairStart + (qidx-s.queryStart)*s.perQuery
+	pairs := make([]searchlog.PairID, s.perQuery)
+	for i := range pairs {
+		pairs[i] = u.NonNavPair(first + i)
+	}
+	return pairs
+}
+
+// ResolveQuery maps a query string back to its QueryID.
+func (u *Universe) ResolveQuery(text string) (searchlog.QueryID, bool) {
+	switch {
+	case strings.HasPrefix(text, "www.site"):
+		body := text[len("www.site"):]
+		form := 2
+		if strings.HasSuffix(body, ".com") {
+			body = strings.TrimSuffix(body, ".com")
+			form = 3
+		}
+		b, ok := parseB36(body)
+		if !ok || b >= u.navBlocks {
+			return 0, false
+		}
+		return searchlog.QueryID(4*b + form), true
+	case strings.HasPrefix(text, "site"):
+		body := text[len("site"):]
+		form := 0
+		if strings.HasSuffix(body, ".com") {
+			body = strings.TrimSuffix(body, ".com")
+			form = 1
+		}
+		b, ok := parseB36(body)
+		if !ok || b >= u.navBlocks {
+			return 0, false
+		}
+		return searchlog.QueryID(4*b + form), true
+	case strings.HasPrefix(text, "q") && strings.HasSuffix(text, " facts"):
+		qidx, ok := parseB36(text[1 : len(text)-len(" facts")])
+		if !ok || qidx >= u.nnQueries {
+			return 0, false
+		}
+		return searchlog.QueryID(u.navQueries + qidx), true
+	}
+	return 0, false
+}
+
+// ResolveURL maps a web address back to its result identifier.
+func (u *Universe) ResolveURL(url string) (searchlog.ResultID, bool) {
+	switch {
+	case strings.HasPrefix(url, "www.site"):
+		body := strings.TrimPrefix(url, "www.site")
+		odd := false
+		switch {
+		case strings.HasSuffix(body, ".com/"):
+			body = strings.TrimSuffix(body, ".com/")
+		case strings.HasSuffix(body, ".com/videos"):
+			body = strings.TrimSuffix(body, ".com/videos")
+			odd = true
+		default:
+			return 0, false
+		}
+		b, ok := parseB36(body)
+		if !ok || b >= u.navBlocks {
+			return 0, false
+		}
+		rid := 2 * b
+		if odd {
+			rid++
+		}
+		return searchlog.ResultID(rid), true
+	case strings.HasPrefix(url, "www.info"):
+		rest := strings.TrimPrefix(url, "www.info")
+		i := strings.Index(rest, ".net/article/")
+		if i < 0 {
+			return 0, false
+		}
+		j, ok := parseB36(rest[:i])
+		if !ok || j >= u.cfg.NonNavPairs {
+			return 0, false
+		}
+		rid := searchlog.ResultID(u.navResults + j)
+		if u.ResultURL(rid) != url {
+			return 0, false
+		}
+		return rid, true
+	}
+	return 0, false
+}
+
+// ResolvePair implements searchlog.PairResolver: it maps the string
+// form (query, clicked URL) back to the pair identifier.
+func (u *Universe) ResolvePair(query, url string) (searchlog.PairID, bool) {
+	q, ok := u.ResolveQuery(query)
+	if !ok {
+		return 0, false
+	}
+	for _, p := range u.PairsForQuery(q) {
+		if u.ResultURL(u.ResultOf(p)) == url {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+func parseB36(s string) (int, bool) {
+	if s == "" {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(s, 36, 64)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return int(n), true
+}
+
+// Engine is the cloud search service: it resolves query strings to
+// ranked, materialized results. Latency and energy of reaching it are
+// modeled by the device/radio layer, not here.
+type Engine struct {
+	u *Universe
+}
+
+// New creates an engine over the given universe.
+func New(u *Universe) *Engine { return &Engine{u: u} }
+
+// Universe returns the engine's corpus.
+func (e *Engine) Universe() *Universe { return e.u }
+
+// SearchResponse is what the engine returns for a query.
+type SearchResponse struct {
+	Query   string
+	Results []Result
+	// PageBytes is the size of the rendered result page shipped to
+	// the device (~100 KB).
+	PageBytes int
+}
+
+// Search resolves a query string. Unknown queries return ok == false
+// (the engine has no results; the device still paid for the round trip).
+func (e *Engine) Search(query string) (SearchResponse, bool) {
+	q, ok := e.u.ResolveQuery(query)
+	if !ok {
+		return SearchResponse{Query: query}, false
+	}
+	pairs := e.u.PairsForQuery(q)
+	resp := SearchResponse{Query: query, Results: make([]Result, 0, len(pairs))}
+	for _, p := range pairs {
+		r := e.u.Result(e.u.ResultOf(p))
+		resp.Results = append(resp.Results, r)
+		if resp.PageBytes == 0 {
+			resp.PageBytes = e.u.PageBytes(r.ID)
+		}
+	}
+	return resp, true
+}

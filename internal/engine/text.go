@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"pocketcloudlets/internal/searchlog"
+)
+
+// This file materializes the human-readable side of the universe:
+// titles, snippets and the ~500-byte serialized search-result records
+// that the PocketSearch database stores (Section 5.2.2 measures the
+// average record at 500 bytes: title, short description of the landing
+// page, and the human-readable form of the hyperlink).
+
+var lexicon = []string{
+	"mobile", "service", "official", "community", "guide", "daily",
+	"results", "network", "online", "photo", "music", "video", "news",
+	"local", "review", "profile", "market", "travel", "health", "game",
+	"forum", "store", "search", "weather", "sport", "finance", "radio",
+}
+
+// Result is a materialized search result: everything PocketSearch
+// needs to render the same search experience as the engine.
+type Result struct {
+	ID         searchlog.ResultID
+	URL        string
+	Title      string
+	Snippet    string
+	DisplayURL string
+}
+
+// Result materializes the search result with the given ID.
+func (u *Universe) Result(r searchlog.ResultID) Result {
+	url := u.ResultURL(r)
+	return Result{
+		ID:         r,
+		URL:        url,
+		Title:      u.title(r),
+		Snippet:    u.snippet(r),
+		DisplayURL: strings.TrimSuffix(url, "/"),
+	}
+}
+
+func (u *Universe) title(r searchlog.ResultID) string {
+	i := int(r)
+	w1 := lexicon[i%len(lexicon)]
+	w2 := lexicon[(i/7+3)%len(lexicon)]
+	if i < u.navResults {
+		site := b36(i / 2)
+		if i%2 == 0 {
+			return fmt.Sprintf("Site %s — the %s %s portal", site, w1, w2)
+		}
+		return fmt.Sprintf("Site %s Videos — %s %s section", site, w1, w2)
+	}
+	return fmt.Sprintf("Info %s: %s %s reference", b36(i-u.navResults), w1, w2)
+}
+
+// snippet produces a deterministic ~400-character landing-page
+// description so that records land near the paper's 500-byte average.
+func (u *Universe) snippet(r searchlog.ResultID) string {
+	var b strings.Builder
+	i := int(r)
+	for n := 0; b.Len() < 390; n++ {
+		w := lexicon[(i*31+n*17+n*n)%len(lexicon)]
+		if n == 0 {
+			b.WriteString(strings.ToUpper(w[:1]))
+			b.WriteString(w[1:])
+			continue
+		}
+		b.WriteByte(' ')
+		b.WriteString(w)
+	}
+	b.WriteByte('.')
+	return b.String()
+}
+
+// recordSep separates fields inside a serialized record; it never
+// appears in generated text.
+const recordSep = '\x1f'
+
+// Record serializes the result into the plain-text form stored in the
+// custom database files.
+func (r Result) Record() []byte {
+	var b bytes.Buffer
+	b.WriteString(r.Title)
+	b.WriteByte(recordSep)
+	b.WriteString(r.URL)
+	b.WriteByte(recordSep)
+	b.WriteString(r.DisplayURL)
+	b.WriteByte(recordSep)
+	b.WriteString(r.Snippet)
+	return b.Bytes()
+}
+
+// ParseRecord deserializes a record produced by Record. The result ID
+// is not part of the record (the database keys records by URL hash).
+func ParseRecord(data []byte) (Result, error) {
+	parts := bytes.Split(data, []byte{recordSep})
+	if len(parts) != 4 {
+		return Result{}, fmt.Errorf("engine: malformed record: %d fields, want 4", len(parts))
+	}
+	return Result{
+		Title:      string(parts[0]),
+		URL:        string(parts[1]),
+		DisplayURL: string(parts[2]),
+		Snippet:    string(parts[3]),
+	}, nil
+}
+
+// PageBytes returns the size of the full search-result page for the
+// result, as downloaded from the engine on a cache miss. The paper
+// sizes a search result page at ~100 KB (Table 2).
+func (u *Universe) PageBytes(r searchlog.ResultID) int {
+	return 90_000 + int(r%21)*1000
+}

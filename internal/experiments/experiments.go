@@ -1,0 +1,201 @@
+// Package experiments regenerates every table and figure of the Pocket
+// Cloudlets paper's evaluation from the simulated system. Each
+// experiment returns typed data plus a renderable Table so that
+// cmd/experiments can print paper-style output and the benchmark
+// harness (bench_test.go) can exercise the same code paths.
+//
+// The per-experiment index lives in DESIGN.md; expected-versus-measured
+// values are recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"pocketcloudlets/internal/cachegen"
+	"pocketcloudlets/internal/engine"
+	"pocketcloudlets/internal/replay"
+	"pocketcloudlets/internal/searchlog"
+	"pocketcloudlets/internal/workload"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	// ID is the paper artifact this reproduces ("Table 4", "Figure 17").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Columns are the header labels.
+	Columns []string
+	// Rows hold the formatted cells.
+	Rows [][]string
+	// Notes carry comparison points from the paper.
+	Notes []string
+}
+
+// Render writes the table as aligned text.
+func (t Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Lab owns the shared, lazily computed simulation state every
+// log-driven experiment needs: the universe, the user population, the
+// month logs and their triplet tables, and community cache contents.
+type Lab struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Users is the community population size (defaults to the
+	// calibrated workload.CommunityUsers).
+	Users int
+	// UsersPerClass is the replay sample per class (the paper uses
+	// 100; benchmarks may use fewer).
+	UsersPerClass int
+
+	universe *engine.Universe
+	eng      *engine.Engine
+	gen      *workload.Generator
+	logs     map[int]searchlog.Log
+	triplets map[int]searchlog.TripletTable
+	contents map[contentKey]cachegen.Content
+	replays  map[replay.Mode]replay.Result
+}
+
+type contentKey struct {
+	month int
+	share int // share * 1000
+}
+
+// NewLab creates a lab. Zero values select the calibrated defaults
+// (20000 users, 100 replayed users per class).
+func NewLab(seed int64, users, usersPerClass int) *Lab {
+	if users <= 0 {
+		users = workload.CommunityUsers
+	}
+	if usersPerClass <= 0 {
+		usersPerClass = 100
+	}
+	return &Lab{
+		Seed:          seed,
+		Users:         users,
+		UsersPerClass: usersPerClass,
+		logs:          make(map[int]searchlog.Log),
+		triplets:      make(map[int]searchlog.TripletTable),
+		contents:      make(map[contentKey]cachegen.Content),
+	}
+}
+
+// Universe returns the lab's corpus, building it on first use.
+func (l *Lab) Universe() *engine.Universe {
+	if l.universe == nil {
+		l.universe = engine.MustUniverse(engine.DefaultConfig())
+	}
+	return l.universe
+}
+
+// Engine returns the lab's cloud engine.
+func (l *Lab) Engine() *engine.Engine {
+	if l.eng == nil {
+		l.eng = engine.New(l.Universe())
+	}
+	return l.eng
+}
+
+// Generator returns the lab's workload generator.
+func (l *Lab) Generator() *workload.Generator {
+	if l.gen == nil {
+		g, err := workload.New(workload.DefaultConfig(l.Universe(), l.Users, l.Seed))
+		if err != nil {
+			panic(fmt.Sprintf("experiments: generator: %v", err))
+		}
+		l.gen = g
+	}
+	return l.gen
+}
+
+// MonthLog returns (and caches) the community log for a month.
+func (l *Lab) MonthLog(month int) searchlog.Log {
+	if log, ok := l.logs[month]; ok {
+		return log
+	}
+	log := l.Generator().MonthLog(month)
+	l.logs[month] = log
+	return log
+}
+
+// Triplets returns (and caches) the sorted triplet table for a month.
+func (l *Lab) Triplets(month int) searchlog.TripletTable {
+	if tbl, ok := l.triplets[month]; ok {
+		return tbl
+	}
+	tbl := searchlog.ExtractTriplets(l.MonthLog(month).Entries)
+	l.triplets[month] = tbl
+	return tbl
+}
+
+// Content returns (and caches) community cache content built from a
+// month's logs at a cumulative-volume share.
+func (l *Lab) Content(month int, share float64) cachegen.Content {
+	key := contentKey{month: month, share: int(share * 1000)}
+	if c, ok := l.contents[key]; ok {
+		return c
+	}
+	tbl := l.Triplets(month)
+	n, err := cachegen.SelectByShare(tbl, share)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: content selection: %v", err))
+	}
+	c := cachegen.Generate(tbl, l.Universe(), n)
+	l.contents[key] = c
+	return c
+}
+
+// EvalShare is the cumulative-volume share the paper's evaluation cache
+// covers ("approximately 55% of the cumulative query-search result
+// volume").
+const EvalShare = 0.55
+
+// percent formats a fraction as a percentage cell.
+func percent(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }

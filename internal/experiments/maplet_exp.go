@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pocketcloudlets/internal/device"
+	"pocketcloudlets/internal/flashsim"
+	"pocketcloudlets/internal/maplet"
+	"pocketcloudlets/internal/radio"
+)
+
+// MapletResult carries the mapping-cloudlet extension experiment: a
+// month of map browsing against a state-sized provisioned pyramid.
+type MapletResult struct {
+	HomeZoom       int
+	ProvisionedGB  float64
+	Sessions       int
+	TileHitRate    float64
+	RadioMB        float64
+	StateTiles300m int64
+}
+
+// ExtMaplet provisions the user's state at the Table 2 budget and
+// replays a month of map sessions: most browsing happens around home
+// and work, with occasional trips out of the region.
+func ExtMaplet(seed int64) MapletResult {
+	dev := device.New(device.Config{}, radio.ThreeG(), flashsim.Params{})
+	c, err := maplet.New(dev, maplet.Config{})
+	if err != nil {
+		panic(err)
+	}
+	state := maplet.Region{MinX: 0.50, MinY: 0.30, MaxX: 0.53, MaxY: 0.33}
+	zoom, err := c.ProvisionHome(state)
+	if err != nil {
+		panic(err)
+	}
+	dev.Reset()
+
+	rng := rand.New(rand.NewSource(seed))
+	home := [2]float64{0.512, 0.318}
+	work := [2]float64{0.522, 0.309}
+	const sessions = 120 // ~4 map sessions a day for a month
+	for s := 0; s < sessions; s++ {
+		var cx, cy float64
+		switch {
+		case rng.Float64() < 0.10: // a trip out of the region
+			cx, cy = rng.Float64(), rng.Float64()
+		case rng.Float64() < 0.5:
+			cx, cy = home[0]+0.004*(rng.Float64()-0.5), home[1]+0.004*(rng.Float64()-0.5)
+		default:
+			cx, cy = work[0]+0.004*(rng.Float64()-0.5), work[1]+0.004*(rng.Float64()-0.5)
+		}
+		// A session: pan and zoom a few viewports.
+		views := 3 + rng.Intn(5)
+		for v := 0; v < views; v++ {
+			z := c.HomeZoom() - rng.Intn(4)
+			if _, _, err := c.Viewport(cx, cy, z, 3, 3); err != nil {
+				panic(err)
+			}
+			cx += 0.0005 * (rng.Float64() - 0.5)
+			cy += 0.0005 * (rng.Float64() - 0.5)
+		}
+	}
+	st := c.Stats()
+	return MapletResult{
+		HomeZoom:       zoom,
+		ProvisionedGB:  float64(c.ProvisionedBytes()) / 1e9,
+		Sessions:       sessions,
+		TileHitRate:    st.HitRate(),
+		RadioMB:        float64(st.RadioBytes) / 1e6,
+		StateTiles300m: maplet.StateRegionTiles(400_000),
+	}
+}
+
+// Table renders the experiment.
+func (r MapletResult) Table() Table {
+	return Table{
+		ID:      "Extension: mapping cloudlet",
+		Title:   "A month of map browsing against a provisioned state pyramid",
+		Columns: []string{"metric", "value"},
+		Rows: [][]string{
+			{"provisioned pyramid", fmt.Sprintf("%.1f GB, zooms %d..%d", r.ProvisionedGB, 7, r.HomeZoom)},
+			{"map sessions", fmt.Sprintf("%d", r.Sessions)},
+			{"tile hit rate", percent(r.TileHitRate)},
+			{"radio traffic", fmt.Sprintf("%.1f MB/month", r.RadioMB)},
+			{"300 m tiles for a 400k km² state", fmt.Sprintf("%d", r.StateTiles300m)},
+		},
+		Notes: []string{
+			"paper (Table 2, Section 7): ~5.5M map tiles cover a whole state; ~25 GB caches the user's state so in-region map use never wakes the radio",
+		},
+	}
+}

@@ -1,0 +1,162 @@
+package flashsim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// FileStore is a simulated flat filesystem on a flash Device. It holds
+// file contents in memory while charging modeled flash latencies for
+// every operation and accounting allocation slack per file.
+//
+// The PocketSearch result database (internal/resultdb) and the cache
+// patch mechanism (internal/updater) are built on this store.
+type FileStore struct {
+	dev   *Device
+	files map[string][]byte
+}
+
+// NewFileStore creates an empty store on the given device.
+func NewFileStore(dev *Device) *FileStore {
+	return &FileStore{dev: dev, files: make(map[string][]byte)}
+}
+
+// Device returns the underlying flash device.
+func (fs *FileStore) Device() *Device { return fs.dev }
+
+// ErrNotExist reports that a named file is absent from the store.
+type ErrNotExist struct{ Name string }
+
+func (e *ErrNotExist) Error() string { return fmt.Sprintf("flashsim: file %q does not exist", e.Name) }
+
+// Exists reports whether the named file exists. It charges no latency:
+// existence checks hit the in-DRAM filesystem metadata.
+func (fs *FileStore) Exists(name string) bool {
+	_, ok := fs.files[name]
+	return ok
+}
+
+// Size returns the logical size of the named file, or an error if it
+// does not exist.
+func (fs *FileStore) Size(name string) (int, error) {
+	data, ok := fs.files[name]
+	if !ok {
+		return 0, &ErrNotExist{name}
+	}
+	return len(data), nil
+}
+
+// Write replaces the named file's contents, creating it if needed, and
+// returns the modeled latency of the operation.
+func (fs *FileStore) Write(name string, data []byte) time.Duration {
+	t := fs.dev.OpenCost()
+	if _, existed := fs.files[name]; existed {
+		t += fs.dev.RewriteCost(len(data))
+	} else {
+		t += fs.dev.WriteCost(len(data))
+	}
+	fs.files[name] = append([]byte(nil), data...)
+	return t
+}
+
+// Append adds data to the end of the named file, creating it if needed,
+// and returns the modeled latency. Appends program only the new pages.
+func (fs *FileStore) Append(name string, data []byte) time.Duration {
+	t := fs.dev.OpenCost() + fs.dev.WriteCost(len(data))
+	fs.files[name] = append(fs.files[name], data...)
+	return t
+}
+
+// Read returns the full contents of the named file and the modeled
+// latency (open plus per-page reads).
+func (fs *FileStore) Read(name string) ([]byte, time.Duration, error) {
+	data, ok := fs.files[name]
+	if !ok {
+		return nil, 0, &ErrNotExist{name}
+	}
+	t := fs.dev.OpenCost() + fs.dev.ReadCost(len(data))
+	return append([]byte(nil), data...), t, nil
+}
+
+// ReadAt returns n bytes starting at off from the named file, charging
+// open cost plus reads for the touched pages only. Reads past the end
+// of the file are truncated.
+func (fs *FileStore) ReadAt(name string, off, n int) ([]byte, time.Duration, error) {
+	data, ok := fs.files[name]
+	if !ok {
+		return nil, 0, &ErrNotExist{name}
+	}
+	if off < 0 || off > len(data) {
+		return nil, 0, fmt.Errorf("flashsim: offset %d out of range for %q (size %d)", off, name, len(data))
+	}
+	end := off + n
+	if n < 0 || end > len(data) {
+		end = len(data)
+	}
+	t := fs.dev.OpenCost() + fs.dev.ReadCost(end-off)
+	return append([]byte(nil), data[off:end]...), t, nil
+}
+
+// Peek returns the named file's contents without charging any device
+// cost. It is intended for layers (such as internal/resultdb) that
+// model their own access costs explicitly and only need the bytes.
+// The returned slice is a copy.
+func (fs *FileStore) Peek(name string) ([]byte, bool) {
+	data, ok := fs.files[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), data...), true
+}
+
+// ReplaceSilently sets the named file's contents without charging any
+// device cost, for layers that charge their own modeled latencies.
+func (fs *FileStore) ReplaceSilently(name string, data []byte) {
+	fs.files[name] = append([]byte(nil), data...)
+}
+
+// Delete removes the named file. Deleting a missing file is an error.
+func (fs *FileStore) Delete(name string) error {
+	if _, ok := fs.files[name]; !ok {
+		return &ErrNotExist{name}
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// Names returns the stored file names in sorted order.
+func (fs *FileStore) Names() []string {
+	names := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LogicalBytes is the sum of file sizes.
+func (fs *FileStore) LogicalBytes() int64 {
+	var total int64
+	for _, d := range fs.files {
+		total += int64(len(d))
+	}
+	return total
+}
+
+// AllocatedBytes is the flash space the files occupy after rounding
+// each up to the allocation unit.
+func (fs *FileStore) AllocatedBytes() int64 {
+	var total int64
+	for _, d := range fs.files {
+		total += fs.dev.AllocatedBytes(len(d))
+	}
+	return total
+}
+
+// FragmentationBytes is the allocation slack: allocated minus logical.
+// It grows with the number of files, which is the cost side of the
+// paper's file-count tradeoff (Section 5.2.2).
+func (fs *FileStore) FragmentationBytes() int64 {
+	return fs.AllocatedBytes() - fs.LogicalBytes()
+}

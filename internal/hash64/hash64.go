@@ -1,0 +1,23 @@
+// Package hash64 provides the 64-bit string hash used consistently
+// across the PocketSearch components: the query hash table keys its
+// entries by query hash, identifies search results by the hash of
+// their web address, and the result database assigns results to files
+// by hash modulo the file count (paper Sections 5.2.1-5.2.2). All
+// three must agree on the hash function.
+package hash64
+
+import "hash/fnv"
+
+// Sum returns the FNV-1a 64-bit hash of s.
+func Sum(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// SumBytes returns the FNV-1a 64-bit hash of b.
+func SumBytes(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}

@@ -1,0 +1,34 @@
+package hash64
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterministic(t *testing.T) {
+	if Sum("michael jackson") != Sum("michael jackson") {
+		t.Error("hash not deterministic")
+	}
+}
+
+func TestStringBytesAgree(t *testing.T) {
+	f := func(s string) bool { return Sum(s) == SumBytes([]byte(s)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistinctInputsUsuallyDiffer(t *testing.T) {
+	seen := map[uint64]string{}
+	collisions := 0
+	for _, s := range []string{"youtube", "yotube", "facebook", "boa", "pof", "movies", "ringtones", "www.cnn.com", "cnn", "news"} {
+		h := Sum(s)
+		if prev, ok := seen[h]; ok && prev != s {
+			collisions++
+		}
+		seen[h] = s
+	}
+	if collisions != 0 {
+		t.Errorf("%d collisions among tiny sample", collisions)
+	}
+}

@@ -1,0 +1,338 @@
+// Package hashtable implements the DRAM query hash table of Section
+// 5.2.1 of the Pocket Cloudlets paper (Figure 10): the in-memory index
+// that links query hashes to search results stored in the flash
+// database.
+//
+// Every entry corresponds to exactly one query and holds a fixed number
+// of search-result slots (two in the paper's design — the
+// footprint-optimal choice explored in Figure 11), each a pair of
+// (web-address hash, ranking score), plus a 64-bit flags word. Queries
+// with more results than slots chain additional entries, which the
+// paper creates "by properly setting the second argument of the hash
+// function"; here the chain is an ordered slice per query hash.
+package hashtable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// SearchRef is one search-result slot: the hash of the result's web
+// address (which doubles as the database key) and its ranking score.
+type SearchRef struct {
+	ResultHash uint64
+	Score      float64
+}
+
+// entry is one hash-table entry: up to slotsPerEntry refs plus flags.
+type entry struct {
+	refs  []SearchRef
+	flags uint64
+}
+
+// Flag bits: bit i set means the user has accessed slot i of the entry.
+// The paper reserves the remaining bits for future use.
+const accessedBit = 1
+
+// Table is the query hash table.
+type Table struct {
+	slots   int
+	entries map[uint64][]entry
+	// refCount tracks the total number of stored refs for O(1) stats.
+	refCount int
+}
+
+// New creates a table with the given number of search-result slots per
+// entry. The paper's design uses two; Figure 11 sweeps 1..6.
+func New(slotsPerEntry int) (*Table, error) {
+	if slotsPerEntry < 1 {
+		return nil, fmt.Errorf("hashtable: slots per entry must be >= 1, got %d", slotsPerEntry)
+	}
+	return &Table{slots: slotsPerEntry, entries: make(map[uint64][]entry)}, nil
+}
+
+// MustNew is New for known-good slot counts.
+func MustNew(slotsPerEntry int) *Table {
+	t, err := New(slotsPerEntry)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// SlotsPerEntry returns the configured slot count.
+func (t *Table) SlotsPerEntry() int { return t.slots }
+
+// NumQueries returns the number of distinct query hashes present.
+func (t *Table) NumQueries() int { return len(t.entries) }
+
+// NumEntries returns the total number of entries including chained ones.
+func (t *Table) NumEntries() int {
+	n := 0
+	for _, chain := range t.entries {
+		n += len(chain)
+	}
+	return n
+}
+
+// NumRefs returns the total number of stored search references.
+func (t *Table) NumRefs() int { return t.refCount }
+
+// Contains reports whether the query hash has an entry — the cache
+// hit/miss test. On the paper's prototype this lookup costs ~10 µs and
+// is therefore negligible on both the hit and the miss path (Table 4).
+func (t *Table) Contains(queryHash uint64) bool {
+	_, ok := t.entries[queryHash]
+	return ok
+}
+
+// Lookup returns the search references of a query ordered by
+// descending score (ties broken by result hash for determinism).
+// It returns nil for a miss.
+func (t *Table) Lookup(queryHash uint64) []SearchRef {
+	chain, ok := t.entries[queryHash]
+	if !ok {
+		return nil
+	}
+	var refs []SearchRef
+	for _, e := range chain {
+		refs = append(refs, e.refs...)
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Score != refs[j].Score {
+			return refs[i].Score > refs[j].Score
+		}
+		return refs[i].ResultHash < refs[j].ResultHash
+	})
+	return refs
+}
+
+// find locates the chain entry and slot index of a (query, result).
+func (t *Table) find(queryHash, resultHash uint64) (ei, si int, ok bool) {
+	for ei, e := range t.entries[queryHash] {
+		for si, r := range e.refs {
+			if r.ResultHash == resultHash {
+				return ei, si, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// Score returns the ranking score of a (query, result) pair.
+func (t *Table) Score(queryHash, resultHash uint64) (float64, bool) {
+	ei, si, ok := t.find(queryHash, resultHash)
+	if !ok {
+		return 0, false
+	}
+	return t.entries[queryHash][ei].refs[si].Score, true
+}
+
+// Put inserts or updates the (query, result) pair with the given
+// score. New results go into the first entry with a free slot, or a
+// new chained entry when all are full.
+func (t *Table) Put(queryHash uint64, ref SearchRef) {
+	if ei, si, ok := t.find(queryHash, ref.ResultHash); ok {
+		t.entries[queryHash][ei].refs[si].Score = ref.Score
+		return
+	}
+	chain := t.entries[queryHash]
+	for i := range chain {
+		if len(chain[i].refs) < t.slots {
+			chain[i].refs = append(chain[i].refs, ref)
+			t.entries[queryHash] = chain
+			t.refCount++
+			return
+		}
+	}
+	t.entries[queryHash] = append(chain, entry{refs: append(make([]SearchRef, 0, t.slots), ref)})
+	t.refCount++
+}
+
+// SetScore updates the score of an existing pair.
+func (t *Table) SetScore(queryHash, resultHash uint64, score float64) bool {
+	ei, si, ok := t.find(queryHash, resultHash)
+	if !ok {
+		return false
+	}
+	t.entries[queryHash][ei].refs[si].Score = score
+	return true
+}
+
+// MarkAccessed sets the pair's accessed flag — the bit the server-side
+// cache manager uses to decide which entries to preserve (Section 5.4).
+func (t *Table) MarkAccessed(queryHash, resultHash uint64) bool {
+	ei, si, ok := t.find(queryHash, resultHash)
+	if !ok {
+		return false
+	}
+	t.entries[queryHash][ei].flags |= accessedBit << uint(si)
+	return true
+}
+
+// Accessed reports whether the pair's accessed flag is set.
+func (t *Table) Accessed(queryHash, resultHash uint64) bool {
+	ei, si, ok := t.find(queryHash, resultHash)
+	if !ok {
+		return false
+	}
+	return t.entries[queryHash][ei].flags&(accessedBit<<uint(si)) != 0
+}
+
+// Remove deletes the (query, result) pair, compacting its entry and
+// dropping empty entries. It reports whether the pair existed.
+func (t *Table) Remove(queryHash, resultHash uint64) bool {
+	ei, si, ok := t.find(queryHash, resultHash)
+	if !ok {
+		return false
+	}
+	chain := t.entries[queryHash]
+	e := &chain[ei]
+	// Compact refs and the corresponding flag bits.
+	copy(e.refs[si:], e.refs[si+1:])
+	e.refs = e.refs[:len(e.refs)-1]
+	low := e.flags & ((1 << uint(si)) - 1)
+	high := (e.flags >> uint(si+1)) << uint(si)
+	e.flags = low | high
+	t.refCount--
+	if len(e.refs) == 0 {
+		chain = append(chain[:ei], chain[ei+1:]...)
+	}
+	if len(chain) == 0 {
+		delete(t.entries, queryHash)
+	} else {
+		t.entries[queryHash] = chain
+	}
+	return true
+}
+
+// RemoveResult deletes every pair that references the given result
+// hash (used when a result's record is no longer available). It
+// returns the number of pairs removed.
+func (t *Table) RemoveResult(resultHash uint64) int {
+	type loc struct{ q, r uint64 }
+	var victims []loc
+	for qh, chain := range t.entries {
+		for _, e := range chain {
+			for _, ref := range e.refs {
+				if ref.ResultHash == resultHash {
+					victims = append(victims, loc{qh, ref.ResultHash})
+				}
+			}
+		}
+	}
+	for _, v := range victims {
+		t.Remove(v.q, v.r)
+	}
+	return len(victims)
+}
+
+// Pair is a flattened (query, result) pair with its metadata, used for
+// iteration and serialization.
+type Pair struct {
+	QueryHash  uint64
+	ResultHash uint64
+	Score      float64
+	Accessed   bool
+}
+
+// Pairs returns every stored pair in deterministic order (by query
+// hash, then result hash).
+func (t *Table) Pairs() []Pair {
+	out := make([]Pair, 0, t.refCount)
+	for qh, chain := range t.entries {
+		for _, e := range chain {
+			for si, r := range e.refs {
+				out = append(out, Pair{
+					QueryHash:  qh,
+					ResultHash: r.ResultHash,
+					Score:      r.Score,
+					Accessed:   e.flags&(accessedBit<<uint(si)) != 0,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].QueryHash != out[j].QueryHash {
+			return out[i].QueryHash < out[j].QueryHash
+		}
+		return out[i].ResultHash < out[j].ResultHash
+	})
+	return out
+}
+
+// Modeled on-device entry layout (Figure 10): an 8-byte query hash,
+// slots x (8-byte result hash + 4-byte score), an 8-byte flags word,
+// and an 8-byte chain/bucket link (every practical hash table pays a
+// per-entry pointer). With the paper's two slots this is 48 bytes per
+// entry — consistent with the paper's own arithmetic of ~200 KB of
+// DRAM for the ~4000-entry evaluation cache (Figure 8).
+const (
+	entryFixedBytes = 8 + 8 + 8 // query hash + flags + chain link
+	refBytes        = 8 + 4     // result hash + float32 score
+)
+
+// EntryBytes returns the modeled size of one entry with k slots.
+func EntryBytes(k int) int { return entryFixedBytes + k*refBytes }
+
+// FootprintBytes returns the modeled DRAM footprint of the table: the
+// number of entries (including chained and partially empty ones) times
+// the modeled entry size. This is the y-axis of Figures 8 and 11.
+func (t *Table) FootprintBytes() int64 {
+	return int64(t.NumEntries()) * int64(EntryBytes(t.slots))
+}
+
+// Encode serializes the table (used when the phone transmits its hash
+// table to the server for the Section 5.4 update cycle).
+func (t *Table) Encode(w io.Writer) error {
+	pairs := t.Pairs()
+	var buf [25]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(t.slots))
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(len(pairs)))
+	if _, err := w.Write(buf[:16]); err != nil {
+		return err
+	}
+	for _, p := range pairs {
+		binary.LittleEndian.PutUint64(buf[:8], p.QueryHash)
+		binary.LittleEndian.PutUint64(buf[8:16], p.ResultHash)
+		binary.LittleEndian.PutUint64(buf[16:24], floatBits(p.Score))
+		buf[24] = 0
+		if p.Accessed {
+			buf[24] = 1
+		}
+		if _, err := w.Write(buf[:25]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decode reconstructs a table serialized by Encode.
+func Decode(r io.Reader) (*Table, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("hashtable: decode header: %w", err)
+	}
+	slots := int(binary.LittleEndian.Uint64(hdr[:8]))
+	n := binary.LittleEndian.Uint64(hdr[8:16])
+	t, err := New(slots)
+	if err != nil {
+		return nil, err
+	}
+	var buf [25]byte
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return nil, fmt.Errorf("hashtable: decode pair %d: %w", i, err)
+		}
+		qh := binary.LittleEndian.Uint64(buf[:8])
+		rh := binary.LittleEndian.Uint64(buf[8:16])
+		score := bitsFloat(binary.LittleEndian.Uint64(buf[16:24]))
+		t.Put(qh, SearchRef{ResultHash: rh, Score: score})
+		if buf[24] != 0 {
+			t.MarkAccessed(qh, rh)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,219 @@
+package maplet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pocketcloudlets/internal/device"
+	"pocketcloudlets/internal/flashsim"
+	"pocketcloudlets/internal/radio"
+)
+
+func newCache(t testing.TB, cfg Config) (*Cache, *device.Device) {
+	t.Helper()
+	dev := device.New(device.Config{}, radio.ThreeG(), flashsim.Params{})
+	c, err := New(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, dev
+}
+
+// testState is a region about the size of a US state: ~3% of the world
+// square in each dimension.
+var testState = Region{MinX: 0.50, MinY: 0.30, MaxX: 0.53, MaxY: 0.33}
+
+func TestNewValidation(t *testing.T) {
+	dev := device.New(device.Config{}, radio.ThreeG(), flashsim.Params{})
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("nil device should fail")
+	}
+	if _, err := New(dev, Config{FlashBudget: 100, RoamBudget: 1000}); err == nil {
+		t.Error("roam > flash should fail")
+	}
+	if _, err := New(dev, Config{BaseZoom: 10, MaxZoom: 5}); err == nil {
+		t.Error("inverted zoom range should fail")
+	}
+}
+
+func TestTileAtAndValid(t *testing.T) {
+	k := TileAt(0.5, 0.5, 1)
+	if k != (TileKey{Z: 1, X: 1, Y: 1}) {
+		t.Errorf("TileAt(0.5,0.5,1) = %+v", k)
+	}
+	if got := TileAt(0.999999, 0.0, 3); got.X != 7 || got.Y != 0 {
+		t.Errorf("edge tile = %+v", got)
+	}
+	if got := TileAt(1.5, -0.5, 2); !got.Valid() {
+		t.Errorf("clamped tile should be valid: %+v", got)
+	}
+	if (TileKey{Z: -1}).Valid() || (TileKey{Z: 2, X: 4, Y: 0}).Valid() {
+		t.Error("invalid keys accepted")
+	}
+}
+
+func TestTileAtProperty(t *testing.T) {
+	f := func(xr, yr uint16, zr uint8) bool {
+		x := float64(xr) / 65536
+		y := float64(yr) / 65536
+		z := int(zr % 18)
+		return TileAt(x, y, z).Valid()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegionTiles(t *testing.T) {
+	r := Region{MinX: 0, MinY: 0, MaxX: 0.5, MaxY: 0.5}
+	if got := r.TileCount(2); got != 4 {
+		t.Errorf("quarter world at z=2 = %d tiles, want 4", got)
+	}
+	tiles := r.Tiles(2)
+	if len(tiles) != 4 {
+		t.Fatalf("Tiles = %v", tiles)
+	}
+	for _, k := range tiles {
+		if !k.Valid() || k.X > 1 || k.Y > 1 {
+			t.Errorf("tile %+v outside the region", k)
+		}
+	}
+	empty := Region{MinX: 0.5, MinY: 0.5, MaxX: 0.5, MaxY: 0.5}
+	if empty.TileCount(5) != 0 {
+		t.Error("empty region should have no tiles")
+	}
+}
+
+// TestTable2StateArithmetic checks the paper's sizing claim: ~5.5M
+// 300x300 m tiles cover a state-sized area, and they fit in 25.6 GB
+// plus room to spare at 5 KB per tile.
+func TestTable2StateArithmetic(t *testing.T) {
+	// A large US state: ~400,000 km^2 (e.g. California).
+	tiles := StateRegionTiles(400_000)
+	if tiles < 4_000_000 || tiles > 6_000_000 {
+		t.Errorf("state tiles = %d, want ~4.4M (paper: 5.5M covers a whole state)", tiles)
+	}
+	if tiles*TileBytes > 25_600_000_000 {
+		t.Errorf("state pyramid %d bytes exceeds the 25.6 GB budget", tiles*TileBytes)
+	}
+}
+
+func TestProvisionHomeDepthScalesWithBudget(t *testing.T) {
+	small, _ := newCache(t, Config{FlashBudget: 2 << 30, RoamBudget: 16 << 20})
+	big, _ := newCache(t, Config{}) // 25.6 GB default
+	zs, err := small.ProvisionHome(testState)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zb, err := big.ProvisionHome(testState)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zb <= zs {
+		t.Errorf("bigger budget should afford deeper zoom: %d vs %d", zb, zs)
+	}
+	if big.ProvisionedBytes() > big.cfg.FlashBudget {
+		t.Error("provisioned bytes exceed the budget")
+	}
+	if _, err := small.ProvisionHome(Region{}); err == nil {
+		t.Error("empty region should fail")
+	}
+}
+
+func TestInRegionViewportsServeLocally(t *testing.T) {
+	c, dev := newCache(t, Config{})
+	if _, err := c.ProvisionHome(testState); err != nil {
+		t.Fatal(err)
+	}
+	dev.Reset()
+	// Browse around the home region at provisioned depths.
+	cx, cy := 0.515, 0.315
+	for z := c.cfg.BaseZoom; z <= c.HomeZoom(); z++ {
+		local, total, err := c.Viewport(cx, cy, z, 3, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if local != total {
+			t.Errorf("z=%d: %d/%d tiles local, want all", z, local, total)
+		}
+	}
+	if dev.Link().Wakeups() != 0 {
+		t.Error("in-region browsing must not use the radio")
+	}
+	if c.Stats().HitRate() != 1 {
+		t.Errorf("hit rate = %.2f, want 1", c.Stats().HitRate())
+	}
+}
+
+func TestOutOfRegionTripUsesRadioThenWarms(t *testing.T) {
+	c, dev := newCache(t, Config{})
+	if _, err := c.ProvisionHome(testState); err != nil {
+		t.Fatal(err)
+	}
+	dev.Reset()
+	z := c.HomeZoom()
+	// A trip far from home at deep zoom: misses over the radio.
+	local, total, err := c.Viewport(0.9, 0.9, z, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local != 0 || total != 9 {
+		t.Errorf("first remote view: %d/%d local, want 0/9", local, total)
+	}
+	if dev.Link().Wakeups() == 0 {
+		t.Error("remote view should use the radio")
+	}
+	if c.Stats().RadioTiles != 9 {
+		t.Errorf("radio tiles = %d, want 9", c.Stats().RadioTiles)
+	}
+	// The same view again is now warm from the roaming LRU.
+	local, total, _ = c.Viewport(0.9, 0.9, z, 3, 3)
+	if local != total {
+		t.Errorf("second remote view: %d/%d local, want all", local, total)
+	}
+}
+
+func TestRoamLRUBounded(t *testing.T) {
+	// A tiny roam budget of 4 tiles.
+	c, _ := newCache(t, Config{FlashBudget: 1 << 30, RoamBudget: 4 * TileBytes})
+	if _, err := c.ProvisionHome(testState); err != nil {
+		t.Fatal(err)
+	}
+	z := c.HomeZoom()
+	// Visit many distinct remote tiles one by one.
+	for i := 0; i < 20; i++ {
+		x := 0.9 + float64(i)*0.001
+		if _, _, err := c.Viewport(x, 0.9, z, 1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.RoamTiles() > 4 {
+		t.Errorf("roam LRU holds %d tiles, budget is 4", c.RoamTiles())
+	}
+}
+
+func TestBaseZoomCoversWorld(t *testing.T) {
+	c, dev := newCache(t, Config{})
+	if _, err := c.ProvisionHome(testState); err != nil {
+		t.Fatal(err)
+	}
+	dev.Reset()
+	// Anywhere in the world at the base zoom is provisioned.
+	local, total, err := c.Viewport(0.05, 0.95, c.cfg.BaseZoom, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local != total {
+		t.Errorf("base-zoom view: %d/%d local, want all", local, total)
+	}
+}
+
+func TestViewportValidation(t *testing.T) {
+	c, _ := newCache(t, Config{})
+	if _, _, err := c.Viewport(0.5, 0.5, -1, 3, 3); err == nil {
+		t.Error("negative zoom should fail")
+	}
+	if _, _, err := c.Viewport(0.5, 0.5, 5, 0, 3); err == nil {
+		t.Error("empty viewport should fail")
+	}
+}

@@ -1,0 +1,54 @@
+package nvm
+
+// This file reproduces Table 2: the number of cloud-service data items
+// that fit in a fixed pocket-cloudlet budget (10% of the projected
+// low-end smartphone NVM, i.e. 25.6 GB).
+
+// CloudletKind identifies a cloud service that could be replicated on
+// the device as a pocket cloudlet.
+type CloudletKind struct {
+	Name     string
+	ItemDesc string // what one cached item is
+	ItemSize int64  // bytes per item
+}
+
+// Table2Budget is the cache budget used in Table 2: 10% of the 256 GB
+// NVM projected for low-end smartphones at the end of the Table 1 window.
+const Table2Budget = 256 * GB / 10
+
+// Cloudlets returns the Table 2 rows: the pocket cloudlet services the
+// paper sizes, with their single-item footprints.
+func Cloudlets() []CloudletKind {
+	return []CloudletKind{
+		{Name: "Web Search", ItemDesc: "search result page", ItemSize: 100 * KB},
+		{Name: "Mobile Ads", ItemDesc: "ad banner", ItemSize: 5 * KB},
+		{Name: "Yellow Business", ItemDesc: "map tile with business info", ItemSize: 5 * KB},
+		{Name: "Web Content", ItemDesc: "full web site (www.cnn.com)", ItemSize: 1500 * KB},
+		{Name: "Mapping", ItemDesc: "128x128 pixels map tile", ItemSize: 5 * KB},
+	}
+}
+
+// ItemCount reports how many items of the given size fit in the budget.
+func ItemCount(budget, itemSize int64) int64 {
+	if itemSize <= 0 {
+		return 0
+	}
+	return budget / itemSize
+}
+
+// ItemCountRow is one computed row of Table 2.
+type ItemCountRow struct {
+	Cloudlet CloudletKind
+	Count    int64
+}
+
+// Table2 computes the item counts for every cloudlet at the standard
+// 25.6 GB budget.
+func Table2() []ItemCountRow {
+	kinds := Cloudlets()
+	rows := make([]ItemCountRow, len(kinds))
+	for i, k := range kinds {
+		rows[i] = ItemCountRow{Cloudlet: k, Count: ItemCount(Table2Budget, k.ItemSize)}
+	}
+	return rows
+}

@@ -1,0 +1,182 @@
+package nvm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTrendsOrderedAndComplete(t *testing.T) {
+	trends := Trends()
+	if len(trends) != 9 {
+		t.Fatalf("want 9 trend points, got %d", len(trends))
+	}
+	for i := 1; i < len(trends); i++ {
+		if trends[i].Year != trends[i-1].Year+2 {
+			t.Errorf("years not biennial at index %d: %d after %d", i, trends[i].Year, trends[i-1].Year)
+		}
+		if trends[i].ScalingFactor < trends[i-1].ScalingFactor {
+			t.Errorf("scaling factor regressed in %d", trends[i].Year)
+		}
+		if trends[i].ChipStack < trends[i-1].ChipStack {
+			t.Errorf("chip stack regressed in %d", trends[i].Year)
+		}
+		if trends[i].CellLayers < trends[i-1].CellLayers {
+			t.Errorf("cell layers regressed in %d", trends[i].Year)
+		}
+	}
+}
+
+func TestTechnologyTransitionIn2018(t *testing.T) {
+	for _, p := range Trends() {
+		want := Flash
+		if p.Year >= 2018 {
+			want = OtherNVM
+		}
+		if p.Technology != want {
+			t.Errorf("year %d: technology %v, want %v", p.Year, p.Technology, want)
+		}
+	}
+}
+
+func TestTrendFor(t *testing.T) {
+	p, ok := TrendFor(2016)
+	if !ok || p.Year != 2016 || p.ScalingFactor != 8 {
+		t.Errorf("TrendFor(2016) = %+v, %v", p, ok)
+	}
+	if _, ok := TrendFor(2017); ok {
+		t.Error("TrendFor(2017) should not exist")
+	}
+}
+
+// TestHighEndReaches1TBIn2018 checks the paper's headline projection:
+// "high-end phones may reach 1 TB of NVM as early as 2018".
+func TestHighEndReaches1TBIn2018(t *testing.T) {
+	all := Scenarios()[3]
+	got, ok := CapacityIn(HighEnd2010, all, 2018)
+	if !ok {
+		t.Fatal("2018 missing from projection")
+	}
+	// 32 GB x 8 (scaling) x 2 (chip stack) x 2 (cell layers) = 1024 GB.
+	if got != 1024*GB {
+		t.Errorf("high-end 2018 capacity = %d bytes, want 1024 GB (~1 TB)", got)
+	}
+}
+
+// TestLowEndProjection checks "low-end phones may eventually reach
+// 256 GB (16 GB in 2018)".
+func TestLowEndProjection(t *testing.T) {
+	all := Scenarios()[3]
+	in2018, _ := CapacityIn(LowEnd2010, all, 2018)
+	if in2018 != 512*MB*32 { // 16.384 GB, the paper's "16 GB in 2018"
+		t.Errorf("low-end 2018 = %d, want %d (~16 GB)", in2018, 512*MB*32)
+	}
+	pts := Project(LowEnd2010, all)
+	final := pts[len(pts)-1]
+	if final.Year != 2026 || final.Bytes != 512*MB*512 { // ~256 GB
+		t.Errorf("low-end final = %d bytes in %d, want ~256 GB in 2026", final.Bytes, final.Year)
+	}
+}
+
+func TestStackingLeversOnlyIncreaseCapacity(t *testing.T) {
+	// Chip stacking and cell stacking multipliers never drop below the
+	// 2010 baseline, so enabling them can only raise a projection.
+	// (Bits per cell is the exception: it peaks at 3 in 2012 and then
+	// falls to 1, which is why the later Figure 2 curves can dip below
+	// the earlier ones — the paper's point about MLC retreat.)
+	scens := Scenarios()
+	for _, year := range []int{2012, 2016, 2020, 2026} {
+		prev := int64(0)
+		for _, s := range scens[1:] { // scenarios 2..4 each add a stacking lever
+			c, ok := CapacityIn(HighEnd2010, s, year)
+			if !ok {
+				t.Fatalf("missing year %d", year)
+			}
+			if c < prev {
+				t.Errorf("year %d: scenario %q capacity %d < previous %d", year, s.Name, c, prev)
+			}
+			prev = c
+		}
+	}
+}
+
+func TestBitsPerCellRetreat(t *testing.T) {
+	// The bits/cell row rises to 3 in 2012 then retreats to 1 by 2020
+	// as smaller cells hold fewer electrons.
+	p2012, _ := TrendFor(2012)
+	p2020, _ := TrendFor(2020)
+	if p2012.BitsPerCell != 3 || p2020.BitsPerCell != 1 {
+		t.Errorf("bits/cell: 2012=%g 2020=%g, want 3 and 1", p2012.BitsPerCell, p2020.BitsPerCell)
+	}
+}
+
+func TestProjectionNondecreasingExceptBitsPerCell(t *testing.T) {
+	// With the bits-per-cell lever disabled every multiplier row is
+	// non-decreasing, so capacity curves must be non-decreasing too.
+	s := Scenarios()[0]
+	pts := Project(HighEnd2010, s)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Bytes < pts[i-1].Bytes {
+			t.Errorf("scaling-only curve decreased: %d -> %d at %d", pts[i-1].Bytes, pts[i].Bytes, pts[i].Year)
+		}
+	}
+}
+
+func TestTable2Counts(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 5 {
+		t.Fatalf("want 5 Table 2 rows, got %d", len(rows))
+	}
+	byName := map[string]int64{}
+	for _, r := range rows {
+		byName[r.Cloudlet.Name] = r.Count
+	}
+	// Paper's approximate values: ~270,000 result pages, ~5.5M 5 KB
+	// items, ~17,500 web sites. Our decimal arithmetic gives 256,000,
+	// 5,120,000 and 17,066 — the same order and within 10% of the
+	// paper's rounded numbers except the 5 KB rows (7%).
+	checks := []struct {
+		name     string
+		min, max int64
+	}{
+		{"Web Search", 230000, 290000},
+		{"Mobile Ads", 4800000, 5600000},
+		{"Yellow Business", 4800000, 5600000},
+		{"Web Content", 15000, 18500},
+		{"Mapping", 4800000, 5600000},
+	}
+	for _, c := range checks {
+		got, ok := byName[c.name]
+		if !ok {
+			t.Errorf("missing Table 2 row %q", c.name)
+			continue
+		}
+		if got < c.min || got > c.max {
+			t.Errorf("%s: count %d outside [%d, %d]", c.name, got, c.min, c.max)
+		}
+	}
+}
+
+func TestItemCountProperties(t *testing.T) {
+	f := func(budget, size int64) bool {
+		n := ItemCount(budget, size)
+		if size <= 0 {
+			return n == 0
+		}
+		if budget < 0 {
+			return n <= 0
+		}
+		return n == budget/size
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTechnologyString(t *testing.T) {
+	if Flash.String() != "Flash" || OtherNVM.String() != "Other NVM" {
+		t.Error("Technology.String mismatch")
+	}
+	if Technology(99).String() == "" {
+		t.Error("unknown technology should still stringify")
+	}
+}

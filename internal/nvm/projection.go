@@ -1,0 +1,81 @@
+package nvm
+
+// This file implements the Figure 2 capacity projections: starting from
+// the NVM found in a 2010 smartphone, apply different combinations of
+// the Table 1 capacity levers to project total NVM capacity through 2026.
+
+// Byte-size units. The paper's arithmetic is decimal (1 GB = 1e9 bytes);
+// using decimal units reproduces its item counts in Table 2.
+const (
+	KB int64 = 1e3
+	MB int64 = 1e6
+	GB int64 = 1e9
+	TB int64 = 1e12
+)
+
+// Baseline capacities for year-2010 devices used in Section 2.
+const (
+	// HighEnd2010 is the NVM storage of a 2010 high-end smartphone.
+	// With all four Table 1 levers applied it reaches 1 TB in 2018,
+	// matching the paper's headline projection.
+	HighEnd2010 = 32 * GB
+	// LowEnd2010 is the NVM storage of a 2010 low-end smartphone;
+	// the paper quotes 512 MB, a 64:1 ratio to high-end, reaching
+	// 16 GB in 2018 and 256 GB by the end of the projection.
+	LowEnd2010 = 512 * MB
+)
+
+// Scenario selects which capacity-increasing techniques a Figure 2
+// curve assumes. Each field corresponds to one row of Table 1.
+type Scenario struct {
+	Name           string
+	ProcessScaling bool // row 1: cells per layer (feature-size scaling)
+	BitsPerCell    bool // row 4: multi-level cells
+	ChipStacking   bool // row 2: dies per package
+	CellStacking   bool // row 3: monolithic device layers
+}
+
+// Scenarios returns the Figure 2 curve set, from most conservative to
+// most aggressive. The final scenario includes every lever and is the
+// one behind the "1 TB by 2018" headline.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{Name: "process scaling only", ProcessScaling: true},
+		{Name: "scaling + bits/cell", ProcessScaling: true, BitsPerCell: true},
+		{Name: "scaling + bits/cell + chip stacking", ProcessScaling: true, BitsPerCell: true, ChipStacking: true},
+		{Name: "all techniques (+ cell stacking)", ProcessScaling: true, BitsPerCell: true, ChipStacking: true, CellStacking: true},
+	}
+}
+
+// CapacityPoint is one point on a Figure 2 curve.
+type CapacityPoint struct {
+	Year  int
+	Bytes int64
+}
+
+// Project computes the projected NVM capacity for each Table 1 year,
+// starting from baseline bytes in 2010 and applying the levers the
+// scenario enables.
+func Project(baseline int64, s Scenario) []CapacityPoint {
+	trends := Trends()
+	base := trends[0]
+	out := make([]CapacityPoint, len(trends))
+	for i, p := range trends {
+		out[i] = CapacityPoint{
+			Year:  p.Year,
+			Bytes: int64(float64(baseline) * capacityMultiplier(p, base, s)),
+		}
+	}
+	return out
+}
+
+// CapacityIn projects the capacity of a device with the given 2010
+// baseline in a specific year under a scenario. It returns false if the
+// year is not a Table 1 projection year.
+func CapacityIn(baseline int64, s Scenario, year int) (int64, bool) {
+	p, ok := TrendFor(year)
+	if !ok {
+		return 0, false
+	}
+	return int64(float64(baseline) * capacityMultiplier(p, Trends()[0], s)), true
+}

@@ -1,0 +1,90 @@
+// Package nvm models the non-volatile memory technology scaling trends
+// of Section 2 of the Pocket Cloudlets paper: the Table 1 projection of
+// process scaling, chip stacking, cell stacking, and bits per cell from
+// 2010 through 2026, the smartphone capacity evolution scenarios of
+// Figure 2, and the Table 2 accounting of how many cloud-service data
+// items fit in a fixed cache budget.
+package nvm
+
+import "fmt"
+
+// Technology identifies the NVM technology assumed for a projection year.
+type Technology int
+
+const (
+	// Flash is charge-based NAND flash, assumed dominant through 2016.
+	Flash Technology = iota
+	// OtherNVM is the post-flash technology (resistive or
+	// magneto-resistive: PCM, RRAM, STT-MRAM) assumed from 2018 on.
+	OtherNVM
+)
+
+// String implements fmt.Stringer.
+func (t Technology) String() string {
+	switch t {
+	case Flash:
+		return "Flash"
+	case OtherNVM:
+		return "Other NVM"
+	default:
+		return fmt.Sprintf("Technology(%d)", int(t))
+	}
+}
+
+// TrendPoint is one column of Table 1: the projected state of NVM
+// technology in a given year.
+type TrendPoint struct {
+	Year          int
+	Technology    Technology
+	TechNM        int     // process feature size in nanometers
+	ScalingFactor float64 // cells per layer relative to 2010
+	ChipStack     int     // independently fabricated dies per package
+	CellLayers    int     // device layers per die (cell stacking)
+	BitsPerCell   float64 // logic levels stored per cell
+}
+
+// Trends returns the Table 1 scaling projection, ordered by year.
+// Values are exactly those printed in the paper.
+func Trends() []TrendPoint {
+	return []TrendPoint{
+		{2010, Flash, 32, 1, 4, 1, 2},
+		{2012, Flash, 22, 2, 4, 1, 3},
+		{2014, Flash, 16, 4, 6, 1, 2},
+		{2016, Flash, 11, 8, 6, 2, 2},
+		{2018, OtherNVM, 11, 8, 8, 2, 2},
+		{2020, OtherNVM, 8, 16, 8, 4, 1},
+		{2022, OtherNVM, 5, 32, 12, 4, 1},
+		{2024, OtherNVM, 5, 32, 12, 8, 1},
+		{2026, OtherNVM, 5, 32, 16, 8, 1},
+	}
+}
+
+// TrendFor returns the trend point for the given projection year.
+func TrendFor(year int) (TrendPoint, bool) {
+	for _, p := range Trends() {
+		if p.Year == year {
+			return p, true
+		}
+	}
+	return TrendPoint{}, false
+}
+
+// capacityMultiplier computes the total density gain of a trend point
+// relative to the 2010 baseline, counting only the capacity levers
+// enabled in the scenario.
+func capacityMultiplier(p, base TrendPoint, s Scenario) float64 {
+	m := 1.0
+	if s.ProcessScaling {
+		m *= p.ScalingFactor / base.ScalingFactor
+	}
+	if s.BitsPerCell {
+		m *= p.BitsPerCell / base.BitsPerCell
+	}
+	if s.ChipStacking {
+		m *= float64(p.ChipStack) / float64(base.ChipStack)
+	}
+	if s.CellStacking {
+		m *= float64(p.CellLayers) / float64(base.CellLayers)
+	}
+	return m
+}

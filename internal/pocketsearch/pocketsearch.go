@@ -1,0 +1,465 @@
+// Package pocketsearch implements the PocketSearch cloudlet of
+// Section 5 of the Pocket Cloudlets paper: an on-device search cache
+// that serves web search queries from local flash, falling back to the
+// cloud search engine over the radio on a miss.
+//
+// The cache has two interrelated components (Figure 6):
+//
+//   - The community component is preloaded from the community's search
+//     logs (internal/cachegen) and gives a warm out-of-the-box start.
+//   - The personalization component monitors the user's queries and
+//     clicks: it expands the cache with pairs the user accessed that
+//     the community part lacked, and it personalizes ranking scores —
+//     the clicked result's score is incremented by one while its
+//     siblings decay exponentially (Equations 1 and 2).
+//
+// Storage follows the paper's architecture (Figure 9): a DRAM hash
+// table (internal/hashtable) linking query hashes to result hashes and
+// scores, and a 32-file custom database (internal/resultdb) holding
+// each search result record once in flash. All latencies and energy
+// are charged against the device model (internal/device).
+package pocketsearch
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"pocketcloudlets/internal/cachegen"
+	"pocketcloudlets/internal/device"
+	"pocketcloudlets/internal/engine"
+	"pocketcloudlets/internal/hash64"
+	"pocketcloudlets/internal/hashtable"
+	"pocketcloudlets/internal/resultdb"
+	"pocketcloudlets/internal/suggest"
+)
+
+// DefaultLambda is the score decay constant of Equation 2: unselected
+// sibling results decay by e^-lambda per click, so freshness of clicks
+// outweighs stale history.
+const DefaultLambda = 0.1
+
+// LookupCost is the modeled hash-table lookup time: the paper measures
+// 10 µs, negligible against every other component (Table 4).
+const LookupCost = 10 * time.Microsecond
+
+// Options configure a PocketSearch cache instance.
+type Options struct {
+	// SlotsPerEntry is the hash table slot count. Zero selects the
+	// paper's choice of 2.
+	SlotsPerEntry int
+	// DatabaseFiles is the result database file count. Zero selects
+	// the paper's choice of 32.
+	DatabaseFiles int
+	// Lambda is the Equation 2 decay constant. Zero selects DefaultLambda.
+	Lambda float64
+	// DisablePersonalization turns off cache expansion and score
+	// updates — the "community only" configuration of Figure 17.
+	DisablePersonalization bool
+	// ResultsShown is how many top-ranked cached results are fetched
+	// and displayed on a hit (the prototype shows results in the
+	// auto-suggest box; two are fetched in Table 4's breakdown).
+	ResultsShown int
+	// IndexPlacement selects where the hash table lives across power
+	// cycles (Section 3.3): the default two-tier DRAM+NAND hierarchy
+	// reloads it from flash at every boot, while a three-tier
+	// hierarchy keeps it instantly available in PCM.
+	IndexPlacement device.IndexPlacement
+}
+
+func (o Options) withDefaults() Options {
+	if o.SlotsPerEntry == 0 {
+		o.SlotsPerEntry = 2
+	}
+	if o.DatabaseFiles == 0 {
+		o.DatabaseFiles = resultdb.DefaultFiles
+	}
+	if o.Lambda == 0 {
+		o.Lambda = DefaultLambda
+	}
+	if o.ResultsShown == 0 {
+		o.ResultsShown = 2
+	}
+	return o
+}
+
+// Cache is a live PocketSearch instance on a device.
+type Cache struct {
+	opts  Options
+	dev   *device.Device
+	table *hashtable.Table
+	db    *resultdb.DB
+	eng   *engine.Engine
+	stats Stats
+	// completions indexes the cached query strings for the Figure 1
+	// auto-suggest box; queryText maps query hashes back to strings so
+	// the index can follow hash table updates.
+	completions *suggest.Index
+	queryText   map[uint64]string
+	// lastQueryText carries the miss-path query string to expand.
+	lastQueryText string
+}
+
+// Stats accumulates cache activity counters.
+type Stats struct {
+	Queries    int
+	Hits       int
+	Misses     int
+	Expansions int // pairs added by the personalization component
+}
+
+// HitRate returns the fraction of queries served locally.
+func (s Stats) HitRate() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Queries)
+}
+
+// New creates an empty PocketSearch cache on the device, backed by the
+// given cloud engine for misses.
+func New(dev *device.Device, eng *engine.Engine, opts Options) (*Cache, error) {
+	if dev == nil || eng == nil {
+		return nil, fmt.Errorf("pocketsearch: device and engine are required")
+	}
+	o := opts.withDefaults()
+	tbl, err := hashtable.New(o.SlotsPerEntry)
+	if err != nil {
+		return nil, err
+	}
+	db, err := resultdb.New(dev.Store(), resultdb.Config{Files: o.DatabaseFiles})
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{
+		opts:        o,
+		dev:         dev,
+		table:       tbl,
+		db:          db,
+		eng:         eng,
+		completions: suggest.New(),
+		queryText:   make(map[uint64]string),
+	}, nil
+}
+
+// Build creates a cache preloaded with community content. The preload
+// models the overnight provisioning path (WiFi or tethered, device
+// charging), so it charges flash write latency but no radio cost.
+func Build(dev *device.Device, eng *engine.Engine, content cachegen.Content, opts Options) (*Cache, error) {
+	c, err := New(dev, eng, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Preload(content); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Preload installs community content into the cache. Records are
+// bulk-loaded one database file at a time, merged with any records
+// already present.
+func (c *Cache) Preload(content cachegen.Content) error {
+	u := c.eng.Universe()
+	perFile := make(map[int]map[uint64][]byte)
+	for _, tr := range content.Triplets {
+		q := u.QueryText(u.QueryOf(tr.Pair))
+		res := u.Result(u.ResultOf(tr.Pair))
+		qh := hash64.Sum(q)
+		rh := hash64.Sum(res.URL)
+		c.table.Put(qh, hashtable.SearchRef{ResultHash: rh, Score: content.Scores[tr.Pair]})
+		// Completions rank by community popularity: the pair's volume.
+		c.indexQuery(qh, q, float64(tr.Volume))
+		f := c.db.FileOf(rh)
+		if perFile[f] == nil {
+			perFile[f] = make(map[uint64][]byte)
+		}
+		if _, dup := perFile[f][rh]; !dup {
+			perFile[f][rh] = res.Record()
+		}
+	}
+	for f, recs := range perFile {
+		existing, err := c.db.RecordsOf(f)
+		if err != nil {
+			return fmt.Errorf("pocketsearch: preload: %w", err)
+		}
+		for rh, rec := range existing {
+			if _, ok := recs[rh]; !ok {
+				recs[rh] = rec
+			}
+		}
+		if _, err := c.db.ReplaceFile(f, recs); err != nil {
+			return fmt.Errorf("pocketsearch: preload: %w", err)
+		}
+	}
+	return nil
+}
+
+// Table exposes the underlying hash table (used by the cache manager
+// when synchronizing with the server, Section 5.4).
+func (c *Cache) Table() *hashtable.Table { return c.table }
+
+// ReplaceTable installs a new hash table, completing the Section 5.4
+// update cycle on the phone side. queryTexts carries the string form
+// of the queries the server shipped, so the auto-completion index can
+// be rebuilt; strings the phone already knows are preserved for pairs
+// that survived the merge.
+func (c *Cache) ReplaceTable(t *hashtable.Table, queryTexts map[uint64]string) {
+	c.table = t
+	for qh, q := range queryTexts {
+		if q != "" {
+			c.queryText[qh] = q
+		}
+	}
+	prev := c.completions
+	c.completions = suggest.New()
+	for qh, q := range c.queryText {
+		if !t.Contains(qh) {
+			delete(c.queryText, qh)
+			continue
+		}
+		best := 0.0
+		for _, ref := range t.Lookup(qh) {
+			if ref.Score > best {
+				best = ref.Score
+			}
+		}
+		// Surviving queries keep their established completion rank.
+		if old, ok := prev.Score(q); ok && old > best {
+			best = old
+		}
+		c.completions.Add(q, best)
+	}
+}
+
+// indexQuery records a query string for auto-completion, keeping the
+// best score seen.
+func (c *Cache) indexQuery(qh uint64, q string, score float64) {
+	c.queryText[qh] = q
+	c.completions.Add(q, score)
+}
+
+// Autocomplete returns up to k cached-query completions of the typed
+// prefix, best ranking score first — the Figure 1 auto-suggest box.
+// Like Suggest, it is served entirely from DRAM: the production
+// alternative the paper describes submits a server query per typed
+// letter over the radio (Section 8).
+func (c *Cache) Autocomplete(prefix string, k int) []suggest.Completion {
+	return c.completions.Complete(prefix, k)
+}
+
+// DB exposes the underlying result database.
+func (c *Cache) DB() *resultdb.DB { return c.db }
+
+// Device returns the device the cache runs on.
+func (c *Cache) Device() *device.Device { return c.dev }
+
+// Engine returns the cloud engine backing the cache.
+func (c *Cache) Engine() *engine.Engine { return c.eng }
+
+// Stats returns a snapshot of the activity counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears the activity counters.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Outcome describes how one query was served.
+type Outcome struct {
+	// Hit reports whether the query (and the clicked result) was
+	// served from the local cache.
+	Hit bool
+	// Results are the displayed results, best-ranked first (cached
+	// records on a hit, engine results on a miss).
+	Results []engine.Result
+	// Lookup, Fetch, Render, Misc and Network decompose the user
+	// response time (Table 4); Network is zero on a hit.
+	Lookup  time.Duration
+	Fetch   time.Duration
+	Render  time.Duration
+	Misc    time.Duration
+	Network time.Duration
+}
+
+// ResponseTime is the end-to-end user response time of the query.
+func (o Outcome) ResponseTime() time.Duration {
+	return o.Lookup + o.Fetch + o.Render + o.Misc + o.Network
+}
+
+// RemovePair removes one (query, result) pair from the cache index,
+// dropping the query from auto-completion when its last result goes
+// (the incremental daily-update path uses this for pruned pairs).
+func (c *Cache) RemovePair(queryHash, resultHash uint64) bool {
+	ok := c.table.Remove(queryHash, resultHash)
+	if ok && !c.table.Contains(queryHash) {
+		if q, known := c.queryText[queryHash]; known {
+			c.completions.Remove(q)
+			delete(c.queryText, queryHash)
+		}
+	}
+	return ok
+}
+
+// Boot models a device power cycle: before the first query can be
+// served, the hash table must be available. Under the two-tier
+// hierarchy it streams out of NAND into DRAM; under the three-tier
+// hierarchy it is already resident in PCM and boot costs nothing
+// (Section 3.3). The load time is charged to the device and returned.
+func (c *Cache) Boot() time.Duration {
+	lat := c.dev.BootIndexLoad(c.table.FootprintBytes(), c.opts.IndexPlacement)
+	c.dev.Busy(lat, "boot")
+	return lat
+}
+
+// Suggest returns the cached results for a query without charging any
+// serving cost — the instant auto-suggest experience of the prototype
+// GUI (Figure 1): cached results appear as the user types, and the 3G
+// path is only taken if the user asks for fresh results.
+func (c *Cache) Suggest(queryText string) []engine.Result {
+	refs := c.table.Lookup(hash64.Sum(queryText))
+	var out []engine.Result
+	for _, r := range refs {
+		rec, _, err := c.db.Get(r.ResultHash)
+		if err != nil {
+			continue
+		}
+		res, err := engine.ParseRecord(rec)
+		if err != nil {
+			continue
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// suggestPersonalBoost scales personal click scores above raw
+// community volumes in the auto-completion ranking.
+const suggestPersonalBoost = 1000
+
+// resultsPageBytes is the nominal size of the rendered search results
+// page: ~100 KB whether assembled locally or downloaded (Table 2).
+const resultsPageBytes = 100_000
+
+// Query serves one search interaction: the user submits queryText and
+// clicks the result with clickURL. It returns the serving outcome and
+// advances the device's model clock and energy accounting.
+//
+// A query is a cache hit only when the query is present AND the
+// clicked result is among its cached results — the same criterion the
+// paper uses for repeated queries (same query, same clicked result).
+func (c *Cache) Query(queryText, clickURL string) (Outcome, error) {
+	c.stats.Queries++
+	qh := hash64.Sum(queryText)
+	ch := hash64.Sum(clickURL)
+
+	var out Outcome
+	out.Lookup = LookupCost
+	c.dev.Busy(LookupCost, "lookup")
+
+	refs := c.table.Lookup(qh)
+	var clickCached bool
+	for _, r := range refs {
+		if r.ResultHash == ch {
+			clickCached = true
+			break
+		}
+	}
+
+	if len(refs) > 0 && clickCached {
+		// Cache hit: fetch the top-ranked records from flash, render.
+		c.stats.Hits++
+		out.Hit = true
+		shown := c.opts.ResultsShown
+		if shown > len(refs) {
+			shown = len(refs)
+		}
+		for _, r := range refs[:shown] {
+			rec, lat, err := c.db.Get(r.ResultHash)
+			if err != nil {
+				return out, fmt.Errorf("pocketsearch: hit fetch: %w", err)
+			}
+			out.Fetch += lat
+			res, err := engine.ParseRecord(rec)
+			if err != nil {
+				return out, fmt.Errorf("pocketsearch: hit parse: %w", err)
+			}
+			out.Results = append(out.Results, res)
+		}
+		c.dev.FlashBusy(out.Fetch)
+		out.Render = c.dev.Render(resultsPageBytes)
+		out.Misc = c.dev.Misc()
+		if !c.opts.DisablePersonalization {
+			c.personalizeClick(qh, ch)
+			if s, ok := c.table.Score(qh, ch); ok {
+				// Personal clicks outweigh raw community volume in the
+				// completion ranking: the user's own queries surface first.
+				c.indexQuery(qh, queryText, s*suggestPersonalBoost)
+			}
+		}
+		c.table.MarkAccessed(qh, ch)
+		return out, nil
+	}
+
+	// Cache miss: query the engine over the radio.
+	c.stats.Misses++
+	c.lastQueryText = queryText
+	resp, found := c.eng.Search(queryText)
+	pageBytes := resp.PageBytes
+	if pageBytes == 0 {
+		pageBytes = resultsPageBytes
+	}
+	tr := c.dev.NetworkRequest(queryRequestBytes, pageBytes)
+	out.Network = tr.Total()
+	out.Render = c.dev.Render(pageBytes)
+	out.Misc = c.dev.Misc()
+	if found {
+		out.Results = resp.Results
+	}
+
+	if !c.opts.DisablePersonalization && clickURL != "" {
+		c.expand(qh, ch, clickURL, resp, found)
+	}
+	return out, nil
+}
+
+// queryRequestBytes is the size of the HTTP search request.
+const queryRequestBytes = 800
+
+// expand implements the personalization component's cache expansion:
+// after a miss, the (query, clicked result) pair enters the cache with
+// score 1 so future repeats hit locally.
+func (c *Cache) expand(qh, ch uint64, clickURL string, resp engine.SearchResponse, found bool) {
+	var rec []byte
+	if found {
+		for _, r := range resp.Results {
+			if r.URL == clickURL {
+				rec = r.Record()
+				break
+			}
+		}
+	}
+	if rec == nil {
+		// The engine did not return the clicked result (synthetic
+		// streams never hit this; defensive for interactive use).
+		return
+	}
+	c.table.Put(qh, hashtable.SearchRef{ResultHash: ch, Score: 1})
+	c.table.MarkAccessed(qh, ch)
+	c.indexQuery(qh, c.lastQueryText, suggestPersonalBoost)
+	if lat, err := c.db.Put(ch, rec); err == nil {
+		// Stored off the critical path, but still paid in time/energy.
+		c.dev.FlashBusy(lat)
+	}
+	c.stats.Expansions++
+}
+
+// personalizeClick applies Equations 1 and 2: the clicked result's
+// score increases by one; every sibling decays by e^-lambda.
+func (c *Cache) personalizeClick(qh, ch uint64) {
+	for _, r := range c.table.Lookup(qh) {
+		if r.ResultHash == ch {
+			c.table.SetScore(qh, ch, r.Score+1)
+		} else {
+			c.table.SetScore(qh, r.ResultHash, r.Score*math.Exp(-c.opts.Lambda))
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package pocketweb
+
+import (
+	"testing"
+	"time"
+
+	"pocketcloudlets/internal/device"
+	"pocketcloudlets/internal/engine"
+	"pocketcloudlets/internal/flashsim"
+	"pocketcloudlets/internal/radio"
+	"pocketcloudlets/internal/searchlog"
+)
+
+func testUniverse(t testing.TB) *engine.Universe {
+	t.Helper()
+	u, err := engine.NewUniverse(engine.Config{
+		NavPairs:       800,
+		NonNavPairs:    4000,
+		NonNavSegments: []engine.Segment{{Queries: 100, ResultsPerQuery: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func newCache(t testing.TB, cfg Config) (*Cache, *device.Device, *EngineSource) {
+	t.Helper()
+	u := testUniverse(t)
+	dev := device.New(device.Config{}, radio.ThreeG(), flashsim.Params{})
+	src := NewEngineSource(u)
+	c, err := New(dev, src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, dev, src
+}
+
+// pickURLs returns n distinct page URLs of the requested volatility.
+func pickURLs(t testing.TB, src *EngineSource, n int, dynamic bool) []string {
+	t.Helper()
+	var out []string
+	for rid := 0; len(out) < n && rid < src.u.NumResults(); rid++ {
+		url := src.u.ResultURL(searchlog.ResultID(rid))
+		if src.Dynamic(url) == dynamic {
+			out = append(out, url)
+		}
+	}
+	if len(out) < n {
+		t.Fatalf("could not find %d urls (dynamic=%v)", n, dynamic)
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	u := testUniverse(t)
+	dev := device.New(device.Config{}, radio.ThreeG(), flashsim.Params{})
+	if _, err := New(nil, NewEngineSource(u), Config{}); err == nil {
+		t.Error("nil device should fail")
+	}
+	if _, err := New(dev, nil, Config{}); err == nil {
+		t.Error("nil source should fail")
+	}
+	c, err := New(dev, NewEngineSource(u), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.cfg.FlashBudget <= 0 || c.cfg.RealTimeTopK <= 0 {
+		t.Error("defaults not filled")
+	}
+}
+
+func TestStaticPageLifecycle(t *testing.T) {
+	c, dev, src := newCache(t, Config{})
+	url := pickURLs(t, src, 1, false)[0]
+
+	// First visit misses over the radio.
+	out, err := c.Visit(url, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Hit || out.WasStale {
+		t.Fatalf("first visit should miss: %+v", out)
+	}
+	if dev.Link().Wakeups() != 1 {
+		t.Error("miss should wake the radio")
+	}
+	missLatency := out.Latency
+
+	// Revisit hits from flash, much faster and radio-free.
+	out2, err := c.Visit(url, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out2.Hit {
+		t.Fatal("revisit of a static page should hit")
+	}
+	if dev.Link().Wakeups() != 1 {
+		t.Error("hit should not wake the radio")
+	}
+	if out2.Latency*3 > missLatency {
+		t.Errorf("hit %v should be far faster than miss %v", out2.Latency, missLatency)
+	}
+	st := c.Stats()
+	if st.Visits != 2 || st.FreshHits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestUnknownURL(t *testing.T) {
+	c, _, _ := newCache(t, Config{})
+	if _, err := c.Visit("www.nosuchsite.example/", 0); err == nil {
+		t.Error("unknown url should fail")
+	}
+}
+
+func TestDynamicPageGoesStale(t *testing.T) {
+	c, _, src := newCache(t, Config{RefreshInterval: 1000 * time.Hour}) // sweeps off
+	url := pickURLs(t, src, 1, true)[0]
+
+	c.Visit(url, 0)
+	// Within the version period the cached copy is fresh.
+	soon := 10 * time.Minute
+	out, _ := c.Visit(url, soon)
+	if !out.Hit {
+		t.Error("dynamic page should hit while its version is current")
+	}
+	// After the content changes, the cached copy is stale and the
+	// radio is used again.
+	later := src.DynamicPeriod + 2*time.Hour
+	out2, _ := c.Visit(url, later)
+	if out2.Hit || !out2.WasStale {
+		t.Errorf("dynamic page should be stale after version change: %+v", out2)
+	}
+	// The refetch re-admitted the new version: fresh again.
+	out3, _ := c.Visit(url, later+time.Minute)
+	if !out3.Hit {
+		t.Error("refetched page should be fresh")
+	}
+}
+
+// TestRealTimeSweepKeepsTopKFresh verifies the Section 3.2 policy: the
+// user's frequently revisited dynamic pages stay fresh because the
+// sweep refreshes them over the radio before the next visit.
+func TestRealTimeSweepKeepsTopKFresh(t *testing.T) {
+	c, _, src := newCache(t, Config{RealTimeTopK: 5, RefreshInterval: time.Hour})
+	url := pickURLs(t, src, 1, true)[0]
+
+	// Establish the page as a personal favorite.
+	c.Visit(url, 0)
+	for i := 1; i <= 3; i++ {
+		c.Visit(url, time.Duration(i)*10*time.Minute)
+	}
+	// Visit something else after the content changed; the sweep runs
+	// and refreshes the favorite in the background.
+	other := pickURLs(t, src, 2, false)[1]
+	afterChange := src.DynamicPeriod + 3*time.Hour
+	c.Visit(other, afterChange)
+	if c.Stats().RealTimeRefreshes == 0 {
+		t.Fatal("sweep should have refreshed the stale favorite")
+	}
+	// The favorite is fresh despite the version change.
+	out, _ := c.Visit(url, afterChange+time.Minute)
+	if !out.Hit {
+		t.Error("swept favorite should hit fresh")
+	}
+}
+
+func TestProvisionServesWithoutRadio(t *testing.T) {
+	c, dev, src := newCache(t, Config{})
+	pages := pickURLs(t, src, 10, false)
+	c.Provision(pages, 0)
+	dev.Reset()
+	for _, url := range pages {
+		out, err := c.Visit(url, time.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Hit {
+			t.Fatalf("provisioned page %q should hit", url)
+		}
+	}
+	if dev.Link().Wakeups() != 0 {
+		t.Error("provisioned browsing should not use the radio")
+	}
+}
+
+func TestBudgetEviction(t *testing.T) {
+	// Budget fits ~3 pages of ~100 KB.
+	c, _, src := newCache(t, Config{FlashBudget: 320_000})
+	pages := pickURLs(t, src, 6, false)
+
+	// Make page 0 a strong favorite so it survives.
+	c.Visit(pages[0], 0)
+	c.Visit(pages[0], time.Minute)
+	c.Visit(pages[0], 2*time.Minute)
+	for i, url := range pages[1:] {
+		c.Visit(url, time.Duration(3+i)*time.Minute)
+	}
+	if c.UsedBytes() > 320_000 {
+		t.Errorf("used %d exceeds budget", c.UsedBytes())
+	}
+	if !c.Contains(pages[0]) {
+		t.Error("favorite should survive eviction")
+	}
+	if c.Len() >= 6 {
+		t.Error("eviction should have removed some pages")
+	}
+}
+
+func TestOversizedPageNeverAdmitted(t *testing.T) {
+	c, _, src := newCache(t, Config{FlashBudget: 1000})
+	url := pickURLs(t, src, 1, false)[0]
+	c.Visit(url, 0)
+	if c.Contains(url) {
+		t.Error("page larger than the budget must not be admitted")
+	}
+	// A second visit is another miss but must not error.
+	if _, err := c.Visit(url, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRevisitWorkloadHitRate reproduces the paper's motivation number:
+// with revisit-heavy browsing ("70% of web visits are revisits"),
+// PocketWeb serves the bulk of visits from flash.
+func TestRevisitWorkloadHitRate(t *testing.T) {
+	c, _, src := newCache(t, Config{RealTimeTopK: 20, RefreshInterval: time.Hour})
+	favorites := pickURLs(t, src, 15, false)
+	dynFavorites := pickURLs(t, src, 5, true)
+	favorites = append(favorites, dynFavorites...)
+
+	// A month of browsing: mostly revisits to the favorites.
+	at := time.Duration(0)
+	for i := 0; i < 400; i++ {
+		at += 100 * time.Minute
+		url := favorites[(i*7)%len(favorites)]
+		if _, err := c.Visit(url, at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hr := c.Stats().HitRate(); hr < 0.80 {
+		t.Errorf("revisit-heavy hit rate = %.2f, want > 0.80", hr)
+	}
+	if c.Stats().RealTimeRefreshes == 0 {
+		t.Error("dynamic favorites should have been refreshed in real time")
+	}
+}
+
+func TestEngineSource(t *testing.T) {
+	u := testUniverse(t)
+	src := NewEngineSource(u)
+	url := u.ResultURL(0)
+	if src.PageBytes(url) <= 0 {
+		t.Error("known url should have a size")
+	}
+	if src.PageBytes("garbage") != 0 {
+		t.Error("unknown url should have zero size")
+	}
+	if src.Version("garbage", 0) != 0 {
+		t.Error("unknown url should have zero version")
+	}
+	// Versions advance for dynamic pages and not for static ones.
+	dyn := pickURLs(t, src, 1, true)[0]
+	stat := pickURLs(t, src, 1, false)[0]
+	if src.Version(dyn, 0) == src.Version(dyn, 48*time.Hour) {
+		t.Error("dynamic version should advance")
+	}
+	if src.Version(stat, 0) != src.Version(stat, 1000*time.Hour) {
+		t.Error("static version should not advance")
+	}
+}

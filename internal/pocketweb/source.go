@@ -1,0 +1,54 @@
+package pocketweb
+
+import (
+	"time"
+
+	"pocketcloudlets/internal/engine"
+)
+
+// EngineSource adapts the procedural corpus of internal/engine to the
+// PocketWeb Source interface: every search result's landing page is a
+// browsable web page. One in five pages is dynamic (news-like content
+// that re-renders several times a day); the rest are static.
+type EngineSource struct {
+	u *engine.Universe
+	// DynamicPeriod is how often dynamic content changes version.
+	DynamicPeriod time.Duration
+}
+
+// NewEngineSource wraps a universe as a web source.
+func NewEngineSource(u *engine.Universe) *EngineSource {
+	return &EngineSource{u: u, DynamicPeriod: 6 * time.Hour}
+}
+
+// PageBytes implements Source.
+func (s *EngineSource) PageBytes(url string) int {
+	rid, ok := s.u.ResolveURL(url)
+	if !ok {
+		return 0
+	}
+	return s.u.PageBytes(rid)
+}
+
+// Dynamic implements Source: every fifth page is news-like.
+func (s *EngineSource) Dynamic(url string) bool {
+	rid, ok := s.u.ResolveURL(url)
+	if !ok {
+		return false
+	}
+	return rid%5 == 0
+}
+
+// Version implements Source: dynamic pages change every DynamicPeriod,
+// offset per page so the whole web does not flip at once.
+func (s *EngineSource) Version(url string, at time.Duration) uint64 {
+	rid, ok := s.u.ResolveURL(url)
+	if !ok {
+		return 0
+	}
+	if rid%5 != 0 {
+		return 1
+	}
+	offset := time.Duration(rid%97) * time.Minute
+	return 1 + uint64((at+offset)/s.DynamicPeriod)
+}

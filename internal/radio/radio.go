@@ -1,0 +1,246 @@
+// Package radio models the wireless links of a late-2000s smartphone:
+// 3G (UMTS/HSPA), EDGE and 802.11g WiFi.
+//
+// The model captures the two properties the Pocket Cloudlets paper
+// identifies as the mobile bottleneck (Section 1): a radio that is idle
+// must first be woken up — a 1.5–2 s promotion that is independent of
+// link throughput — and small request/response exchanges are dominated
+// by round-trip latency rather than bandwidth. A link is a small state
+// machine (Idle → Wakeup → Active → Tail → Idle) driven by a model
+// clock; each request reports the modeled latency decomposition and the
+// radio-power segments needed for energy accounting (Figures 15b, 16).
+package radio
+
+import (
+	"fmt"
+	"time"
+)
+
+// State is the radio state at a point in model time.
+type State int
+
+const (
+	// Idle: radio in its low-power standby state.
+	Idle State = iota
+	// Active: radio transmitting or receiving.
+	Active
+	// Tail: radio holding its high-power channel after a transfer,
+	// awaiting demotion back to idle.
+	Tail
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Idle:
+		return "idle"
+	case Active:
+		return "active"
+	case Tail:
+		return "tail"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Params describes one link technology.
+type Params struct {
+	Name string
+	// WakeupLatency is the idle→active promotion time. The paper cites
+	// 1.5–2 s for cellular radios and notes it is expected to persist
+	// across radio generations.
+	WakeupLatency time.Duration
+	// RTT is one network round trip to the service.
+	RTT time.Duration
+	// HandshakeRTTs is the number of round trips a request costs before
+	// payload flows (DNS, TCP, TLS/HTTP request — the paper's "users
+	// exchange small data packets, making link latency the bottleneck").
+	HandshakeRTTs int
+	// UplinkBps and DownlinkBps are effective payload throughputs in
+	// bytes per second.
+	UplinkBps   float64
+	DownlinkBps float64
+	// ExtraActivePower is the radio's added power draw while active,
+	// on top of the device baseline.
+	ExtraActivePower float64 // watts
+	// ExtraTailPower is the added draw during the post-transfer tail.
+	ExtraTailPower float64 // watts
+	// ExtraIdlePower is the added draw while idle (paging, beacons).
+	ExtraIdlePower float64 // watts
+	// TailDuration is how long the link lingers in Tail after a
+	// transfer before demoting to Idle. A request issued within the
+	// tail skips the wakeup — this is why the second of ten
+	// back-to-back 3G queries in Figure 16 is faster than the first.
+	TailDuration time.Duration
+}
+
+// The built-in technologies, calibrated so a PocketSearch miss (a
+// ~100 KB search-result page fetched after a ~800 B query) reproduces
+// the paper's measured user response times of Figure 15a — roughly
+// 6 s over 3G, 9.5 s over EDGE and 2.6 s over 802.11g against the 378 ms
+// cache hit — and the Figure 15b energy ratios.
+
+// ThreeG returns the 3G (UMTS/HSPA) parameter set.
+func ThreeG() Params {
+	return Params{
+		Name:             "3G",
+		WakeupLatency:    2000 * time.Millisecond,
+		RTT:              475 * time.Millisecond,
+		HandshakeRTTs:    4,
+		UplinkBps:        8e3,  // ~64 kbit/s effective uplink
+		DownlinkBps:      60e3, // ~480 kbit/s effective downlink
+		ExtraActivePower: 0.45,
+		ExtraTailPower:   0.30,
+		ExtraIdlePower:   0.01,
+		TailDuration:     5 * time.Second,
+	}
+}
+
+// EDGE returns the EDGE (2.75G) parameter set.
+func EDGE() Params {
+	return Params{
+		Name:             "Edge",
+		WakeupLatency:    2000 * time.Millisecond,
+		RTT:              700 * time.Millisecond,
+		HandshakeRTTs:    4,
+		UplinkBps:        3.75e3, // ~30 kbit/s
+		DownlinkBps:      25e3,   // ~200 kbit/s
+		ExtraActivePower: 0.55,
+		ExtraTailPower:   0.30,
+		ExtraIdlePower:   0.01,
+		TailDuration:     5 * time.Second,
+	}
+}
+
+// WiFi returns the 802.11g parameter set. The wakeup term models the
+// extra steps the paper notes make WiFi "not instantly available":
+// waking from power-save, scanning and (re)associating with an access
+// point before the first packet flows.
+func WiFi() Params {
+	return Params{
+		Name:             "802.11g",
+		WakeupLatency:    1550 * time.Millisecond,
+		RTT:              100 * time.Millisecond,
+		HandshakeRTTs:    4,
+		UplinkBps:        125e3, // ~1 Mbit/s
+		DownlinkBps:      400e3, // ~3.2 Mbit/s
+		ExtraActivePower: 0.65,
+		ExtraTailPower:   0.25,
+		ExtraIdlePower:   0.02,
+		TailDuration:     2 * time.Second,
+	}
+}
+
+// Technologies returns every built-in link parameter set.
+func Technologies() []Params { return []Params{ThreeG(), EDGE(), WiFi()} }
+
+// Transfer is the modeled outcome of one request/response exchange.
+type Transfer struct {
+	// Wakeup is the promotion latency paid (zero if the link was warm).
+	Wakeup time.Duration
+	// Handshake is the connection-establishment round-trip time.
+	Handshake time.Duration
+	// Payload is the request upload plus response download time.
+	Payload time.Duration
+	// RadioActive is the time the radio spent in Active state,
+	// including the wakeup.
+	RadioActive time.Duration
+	// WasWarm reports whether the link skipped the wakeup.
+	WasWarm bool
+}
+
+// Total is the end-to-end network latency of the exchange.
+func (t Transfer) Total() time.Duration { return t.Wakeup + t.Handshake + t.Payload }
+
+// Link is a radio link instance with its own model clock.
+type Link struct {
+	params Params
+	now    time.Duration // model time
+	// tailEnds is the model time at which the current tail expires;
+	// zero or past means the link is idle.
+	tailEnds time.Duration
+	// accumulated radio-only energy in joules
+	energy float64
+	// accounting
+	activeTime time.Duration
+	wakeups    int
+}
+
+// NewLink creates a link in the Idle state at model time zero.
+func NewLink(p Params) *Link { return &Link{params: p} }
+
+// Params returns the link's technology parameters.
+func (l *Link) Params() Params { return l.params }
+
+// Now returns the link's current model time.
+func (l *Link) Now() time.Duration { return l.now }
+
+// StateAt reports the link state at the current model time.
+func (l *Link) State() State {
+	if l.now < l.tailEnds {
+		return Tail
+	}
+	return Idle
+}
+
+// RadioEnergy returns the accumulated radio-only energy in joules
+// (excluding the device baseline, which internal/device adds).
+func (l *Link) RadioEnergy() float64 { return l.energy }
+
+// ActiveTime returns the cumulative time spent in the Active state.
+func (l *Link) ActiveTime() time.Duration { return l.activeTime }
+
+// Wakeups returns how many idle→active promotions the link performed.
+func (l *Link) Wakeups() int { return l.wakeups }
+
+func transferTime(bytes int, bps float64) time.Duration {
+	if bytes <= 0 || bps <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes) / bps * float64(time.Second))
+}
+
+// Request models sending reqBytes upstream and receiving respBytes
+// downstream at the current model time, advancing the clock by the
+// exchange's total latency and accounting the radio energy.
+func (l *Link) Request(reqBytes, respBytes int) Transfer {
+	t := Transfer{
+		Handshake: time.Duration(l.params.HandshakeRTTs) * l.params.RTT,
+		Payload:   transferTime(reqBytes, l.params.UplinkBps) + transferTime(respBytes, l.params.DownlinkBps),
+	}
+	if l.State() == Idle {
+		t.Wakeup = l.params.WakeupLatency
+		l.wakeups++
+	} else {
+		t.WasWarm = true
+	}
+	t.RadioActive = t.Wakeup + t.Handshake + t.Payload
+	l.energy += l.params.ExtraActivePower * t.RadioActive.Seconds()
+	l.activeTime += t.RadioActive
+	l.now += t.Total()
+	l.tailEnds = l.now + l.params.TailDuration
+	return t
+}
+
+// Advance moves the model clock forward by d with the radio inactive,
+// charging tail power while the tail lasts and idle power afterwards.
+func (l *Link) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	end := l.now + d
+	if l.now < l.tailEnds {
+		tail := l.tailEnds - l.now
+		if tail > d {
+			tail = d
+		}
+		l.energy += l.params.ExtraTailPower * tail.Seconds()
+		l.energy += l.params.ExtraIdlePower * (d - tail).Seconds()
+	} else {
+		l.energy += l.params.ExtraIdlePower * d.Seconds()
+	}
+	l.now = end
+}
+
+// Reset returns the link to Idle at model time zero with counters cleared.
+func (l *Link) Reset() { *l = Link{params: l.params} }

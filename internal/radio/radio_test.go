@@ -1,0 +1,190 @@
+package radio
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Query sizes used throughout the evaluation: a small HTTP search
+// request and a ~100 KB search-result page.
+const (
+	reqBytes  = 800
+	pageBytes = 100 * 1000
+)
+
+func TestColdRequestPaysWakeup(t *testing.T) {
+	l := NewLink(ThreeG())
+	tr := l.Request(reqBytes, pageBytes)
+	if tr.WasWarm {
+		t.Error("first request should be cold")
+	}
+	if tr.Wakeup != ThreeG().WakeupLatency {
+		t.Errorf("wakeup = %v, want %v", tr.Wakeup, ThreeG().WakeupLatency)
+	}
+	if l.Wakeups() != 1 {
+		t.Errorf("wakeups = %d, want 1", l.Wakeups())
+	}
+}
+
+func TestWarmRequestSkipsWakeup(t *testing.T) {
+	l := NewLink(ThreeG())
+	l.Request(reqBytes, pageBytes)
+	tr := l.Request(reqBytes, pageBytes) // immediately after: inside tail
+	if !tr.WasWarm || tr.Wakeup != 0 {
+		t.Errorf("back-to-back request should be warm: %+v", tr)
+	}
+	if l.Wakeups() != 1 {
+		t.Errorf("wakeups = %d, want 1", l.Wakeups())
+	}
+}
+
+func TestTailExpiryForcesWakeup(t *testing.T) {
+	l := NewLink(ThreeG())
+	l.Request(reqBytes, pageBytes)
+	l.Advance(ThreeG().TailDuration + time.Second)
+	if l.State() != Idle {
+		t.Fatalf("state after tail expiry = %v, want idle", l.State())
+	}
+	tr := l.Request(reqBytes, pageBytes)
+	if tr.WasWarm {
+		t.Error("request after tail expiry should be cold")
+	}
+	if l.Wakeups() != 2 {
+		t.Errorf("wakeups = %d, want 2", l.Wakeups())
+	}
+}
+
+func TestStateTransitions(t *testing.T) {
+	l := NewLink(WiFi())
+	if l.State() != Idle {
+		t.Errorf("initial state = %v, want idle", l.State())
+	}
+	l.Request(reqBytes, pageBytes)
+	if l.State() != Tail {
+		t.Errorf("state after request = %v, want tail", l.State())
+	}
+	l.Advance(WiFi().TailDuration)
+	if l.State() != Idle {
+		t.Errorf("state after tail = %v, want idle", l.State())
+	}
+}
+
+// TestPaperLatencyShapes checks the Figure 15a ordering and rough
+// magnitudes for a search-query exchange: EDGE slowest, then 3G, then
+// WiFi; 3G in the paper's 3-10 s window.
+func TestPaperLatencyShapes(t *testing.T) {
+	lat := map[string]time.Duration{}
+	for _, p := range Technologies() {
+		l := NewLink(p)
+		lat[p.Name] = l.Request(reqBytes, pageBytes).Total()
+	}
+	g3, edge, wifi := lat["3G"], lat["Edge"], lat["802.11g"]
+	if !(edge > g3 && g3 > wifi) {
+		t.Errorf("latency ordering wrong: edge=%v 3g=%v wifi=%v", edge, g3, wifi)
+	}
+	if g3 < 3*time.Second || g3 > 10*time.Second {
+		t.Errorf("3G search latency %v outside the paper's 3-10 s window", g3)
+	}
+	if wifi < 1500*time.Millisecond || wifi > 3*time.Second {
+		t.Errorf("WiFi search latency %v, want ~2-2.5 s", wifi)
+	}
+}
+
+func TestEnergyAccumulatesWithActivity(t *testing.T) {
+	l := NewLink(ThreeG())
+	if l.RadioEnergy() != 0 {
+		t.Fatal("energy should start at zero")
+	}
+	l.Request(reqBytes, pageBytes)
+	e1 := l.RadioEnergy()
+	if e1 <= 0 {
+		t.Fatal("request should consume radio energy")
+	}
+	l.Advance(10 * time.Second)
+	e2 := l.RadioEnergy()
+	if e2 <= e1 {
+		t.Error("tail+idle time should consume some energy")
+	}
+}
+
+func TestAdvanceChargesTailThenIdle(t *testing.T) {
+	p := ThreeG()
+	l := NewLink(p)
+	l.Request(reqBytes, pageBytes)
+	base := l.RadioEnergy()
+	l.Advance(p.TailDuration) // exactly the tail window
+	tailEnergy := l.RadioEnergy() - base
+	wantTail := p.ExtraTailPower * p.TailDuration.Seconds()
+	if diff := tailEnergy - wantTail; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("tail energy = %g, want %g", tailEnergy, wantTail)
+	}
+	base = l.RadioEnergy()
+	l.Advance(10 * time.Second)
+	idleEnergy := l.RadioEnergy() - base
+	wantIdle := p.ExtraIdlePower * 10
+	if diff := idleEnergy - wantIdle; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("idle energy = %g, want %g", idleEnergy, wantIdle)
+	}
+}
+
+func TestTransferTimeZeroForEmptyPayload(t *testing.T) {
+	l := NewLink(WiFi())
+	tr := l.Request(0, 0)
+	if tr.Payload != 0 {
+		t.Errorf("payload time for empty exchange = %v, want 0", tr.Payload)
+	}
+	if tr.Handshake <= 0 {
+		t.Error("handshake should still cost round trips")
+	}
+}
+
+func TestClockAdvancesByTotal(t *testing.T) {
+	l := NewLink(EDGE())
+	before := l.Now()
+	tr := l.Request(reqBytes, pageBytes)
+	if l.Now()-before != tr.Total() {
+		t.Errorf("clock advanced %v, want %v", l.Now()-before, tr.Total())
+	}
+}
+
+func TestReset(t *testing.T) {
+	l := NewLink(ThreeG())
+	l.Request(reqBytes, pageBytes)
+	l.Reset()
+	if l.Now() != 0 || l.RadioEnergy() != 0 || l.State() != Idle || l.Wakeups() != 0 {
+		t.Error("reset did not clear link state")
+	}
+}
+
+func TestLatencyMonotoneInResponseSize(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := int(a%10_000_000), int(b%10_000_000)
+		if x > y {
+			x, y = y, x
+		}
+		l1 := NewLink(ThreeG())
+		l2 := NewLink(ThreeG())
+		return l1.Request(reqBytes, x).Total() <= l2.Request(reqBytes, y).Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdvanceIgnoresNonPositive(t *testing.T) {
+	l := NewLink(ThreeG())
+	l.Advance(-5 * time.Second)
+	if l.Now() != 0 {
+		t.Error("negative advance moved the clock")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Idle.String() != "idle" || Active.String() != "active" || Tail.String() != "tail" {
+		t.Error("State.String mismatch")
+	}
+	if State(42).String() == "" {
+		t.Error("unknown state should stringify")
+	}
+}

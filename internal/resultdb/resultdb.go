@@ -1,0 +1,358 @@
+// Package resultdb implements the custom search-result database of
+// Section 5.2.2 of the Pocket Cloudlets paper (Figure 13): search
+// results stored once each in a small, fixed number of plain-text
+// files on flash, keyed by the hash of their web address.
+//
+// Each result is assigned to one of N files by hash modulo N. A file
+// begins with a header line of (hash, offset, length) triples locating
+// every record in the file body; records are appended at the end and
+// the header is augmented. The file count trades retrieval time
+// against flash fragmentation — few files mean long headers that are
+// slow to read and parse, many files mean allocation slack — and the
+// paper's sweep (Figure 12) picks 32 as the knee. Retrieval cost is
+// modeled against the flash device (file open, page reads) plus a CPU
+// charge for parsing header entries.
+package resultdb
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"pocketcloudlets/internal/flashsim"
+)
+
+// DefaultFiles is the paper's chosen database file count.
+const DefaultFiles = 32
+
+// DefaultHeaderParseCost is the modeled CPU time to parse one header
+// triple on the prototype-class device.
+const DefaultHeaderParseCost = 5 * time.Microsecond
+
+// Config parameterizes a database.
+type Config struct {
+	// Files is the number of database files (Figure 12 sweeps 1..256).
+	Files int
+	// Prefix names the files in the flash store: "<prefix><i>.db".
+	Prefix string
+	// HeaderParseCost is the CPU cost per header entry parsed during
+	// retrieval. Zero selects DefaultHeaderParseCost.
+	HeaderParseCost time.Duration
+}
+
+// DB is the on-flash result database.
+type DB struct {
+	store *flashsim.FileStore
+	cfg   Config
+}
+
+// New creates (or reopens) a database over the given flash store.
+func New(store *flashsim.FileStore, cfg Config) (*DB, error) {
+	if store == nil {
+		return nil, fmt.Errorf("resultdb: store is required")
+	}
+	if cfg.Files <= 0 {
+		return nil, fmt.Errorf("resultdb: file count must be positive, got %d", cfg.Files)
+	}
+	if cfg.Prefix == "" {
+		cfg.Prefix = "psdb-"
+	}
+	if cfg.HeaderParseCost <= 0 {
+		cfg.HeaderParseCost = DefaultHeaderParseCost
+	}
+	return &DB{store: store, cfg: cfg}, nil
+}
+
+// Files returns the configured file count.
+func (db *DB) Files() int { return db.cfg.Files }
+
+// FileOf returns the file index a result hash is assigned to: the
+// remainder of the hash divided by the file count (Section 5.2.2).
+func (db *DB) FileOf(resultHash uint64) int {
+	return int(resultHash % uint64(db.cfg.Files))
+}
+
+func (db *DB) fileName(i int) string {
+	return fmt.Sprintf("%s%d.db", db.cfg.Prefix, i)
+}
+
+// header is the parsed first line of a database file.
+type header struct {
+	entries []headerEntry
+}
+
+type headerEntry struct {
+	hash        uint64
+	off, length int
+}
+
+func (h *header) find(hash uint64) (headerEntry, bool) {
+	for _, e := range h.entries {
+		if e.hash == hash {
+			return e, true
+		}
+	}
+	return headerEntry{}, false
+}
+
+// serialize renders the header line: "hash,off,len;...\n" in hex.
+func (h *header) serialize() []byte {
+	var b bytes.Buffer
+	for i, e := range h.entries {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "%x,%x,%x", e.hash, e.off, e.length)
+	}
+	b.WriteByte('\n')
+	return b.Bytes()
+}
+
+func parseHeader(line []byte) (*header, error) {
+	h := &header{}
+	s := strings.TrimSuffix(string(line), "\n")
+	if s == "" {
+		return h, nil
+	}
+	for _, part := range strings.Split(s, ";") {
+		fields := strings.Split(part, ",")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("resultdb: malformed header triple %q", part)
+		}
+		hash, err := strconv.ParseUint(fields[0], 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("resultdb: bad header hash: %v", err)
+		}
+		off, err := strconv.ParseInt(fields[1], 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("resultdb: bad header offset: %v", err)
+		}
+		length, err := strconv.ParseInt(fields[2], 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("resultdb: bad header length: %v", err)
+		}
+		h.entries = append(h.entries, headerEntry{hash: hash, off: int(off), length: int(length)})
+	}
+	return h, nil
+}
+
+// loadFile reads and parses one database file, returning the header,
+// the raw body, and the modeled latency of reading the header portion
+// (open + header pages + per-entry parse CPU). bodyLatency charging is
+// left to the caller since most operations touch only one record.
+func (db *DB) loadFile(i int) (*header, []byte, time.Duration, error) {
+	name := db.fileName(i)
+	data, ok := db.store.Peek(name)
+	if !ok {
+		return &header{}, nil, db.store.Device().OpenCost(), nil
+	}
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, nil, 0, fmt.Errorf("resultdb: file %q has no header line", name)
+	}
+	h, err := parseHeader(data[:nl+1])
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	// Model: open the file, read the header pages, parse each entry.
+	lat := db.store.Device().OpenCost() +
+		db.store.Device().ReadCost(nl+1) +
+		time.Duration(len(h.entries))*db.cfg.HeaderParseCost
+	return h, data[nl+1:], lat, nil
+}
+
+// Put stores a record under its result hash, appending it to its file
+// and augmenting the header. Storing an existing hash again is a no-op
+// (results are shared across queries and stored once — the paper's
+// factor-of-8 storage saving). It returns the modeled flash latency.
+func (db *DB) Put(resultHash uint64, record []byte) (time.Duration, error) {
+	i := db.FileOf(resultHash)
+	h, body, lat, err := db.loadFile(i)
+	if err != nil {
+		return 0, err
+	}
+	if _, exists := h.find(resultHash); exists {
+		return lat, nil
+	}
+	h.entries = append(h.entries, headerEntry{hash: resultHash, off: len(body), length: len(record)})
+	newBody := append(body, record...)
+	// The header line changes size, so it is rewritten in place
+	// (charged as a flash rewrite); the record itself is an append.
+	hdr := h.serialize()
+	lat += db.store.Device().RewriteCost(len(hdr)) + db.store.Device().WriteCost(len(record))
+	db.storeFile(i, hdr, newBody)
+	return lat, nil
+}
+
+// storeFile writes the serialized file content without charging
+// additional device cost (costs are charged explicitly by callers).
+func (db *DB) storeFile(i int, hdr, body []byte) {
+	content := make([]byte, 0, len(hdr)+len(body))
+	content = append(content, hdr...)
+	content = append(content, body...)
+	db.store.ReplaceSilently(db.fileName(i), content)
+}
+
+// Get retrieves the record stored under the result hash, with the
+// modeled latency: open + header read + header parse + record pages.
+func (db *DB) Get(resultHash uint64) ([]byte, time.Duration, error) {
+	i := db.FileOf(resultHash)
+	h, body, lat, err := db.loadFile(i)
+	if err != nil {
+		return nil, 0, err
+	}
+	e, ok := h.find(resultHash)
+	if !ok {
+		return nil, lat, fmt.Errorf("resultdb: result %x not found in file %d", resultHash, i)
+	}
+	if e.off < 0 || e.off+e.length > len(body) {
+		return nil, lat, fmt.Errorf("resultdb: corrupt header entry for %x", resultHash)
+	}
+	lat += db.store.Device().ReadCost(e.length)
+	return append([]byte(nil), body[e.off:e.off+e.length]...), lat, nil
+}
+
+// Contains reports whether a record exists, without charging latency
+// (existence is known from the DRAM hash table in the real system).
+func (db *DB) Contains(resultHash uint64) bool {
+	name := db.fileName(db.FileOf(resultHash))
+	if !db.store.Exists(name) {
+		return false
+	}
+	h, _, err := db.peekHeader(name)
+	if err != nil {
+		return false
+	}
+	_, ok := h.find(resultHash)
+	return ok
+}
+
+// peekHeader parses a file's header without device-cost accounting.
+func (db *DB) peekHeader(name string) (*header, []byte, error) {
+	data, ok := db.store.Peek(name)
+	if !ok {
+		return nil, nil, &flashsim.ErrNotExist{Name: name}
+	}
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, nil, fmt.Errorf("resultdb: file %q has no header line", name)
+	}
+	h, err := parseHeader(data[:nl+1])
+	return h, data[nl+1:], err
+}
+
+// Hashes returns every stored result hash in ascending order.
+func (db *DB) Hashes() []uint64 {
+	var out []uint64
+	for i := 0; i < db.cfg.Files; i++ {
+		name := db.fileName(i)
+		if !db.store.Exists(name) {
+			continue
+		}
+		h, _, err := db.peekHeader(name)
+		if err != nil {
+			continue
+		}
+		for _, e := range h.entries {
+			out = append(out, e.hash)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of stored records.
+func (db *DB) Len() int {
+	n := 0
+	for i := 0; i < db.cfg.Files; i++ {
+		name := db.fileName(i)
+		if !db.store.Exists(name) {
+			continue
+		}
+		if h, _, err := db.peekHeader(name); err == nil {
+			n += len(h.entries)
+		}
+	}
+	return n
+}
+
+// ReplaceFile atomically replaces one database file's full record set
+// — the patch-application primitive of the Section 5.4 update cycle.
+// It returns the modeled flash latency of rewriting the file.
+func (db *DB) ReplaceFile(i int, records map[uint64][]byte) (time.Duration, error) {
+	if i < 0 || i >= db.cfg.Files {
+		return 0, fmt.Errorf("resultdb: file index %d out of range [0, %d)", i, db.cfg.Files)
+	}
+	h := &header{}
+	var body []byte
+	hashes := make([]uint64, 0, len(records))
+	for hash := range records {
+		if db.FileOf(hash) != i {
+			return 0, fmt.Errorf("resultdb: record %x does not belong in file %d", hash, i)
+		}
+		hashes = append(hashes, hash)
+	}
+	sort.Slice(hashes, func(a, b int) bool { return hashes[a] < hashes[b] })
+	for _, hash := range hashes {
+		rec := records[hash]
+		h.entries = append(h.entries, headerEntry{hash: hash, off: len(body), length: len(rec)})
+		body = append(body, rec...)
+	}
+	hdr := h.serialize()
+	lat := db.store.Device().OpenCost() + db.store.Device().RewriteCost(len(hdr)+len(body))
+	db.storeFile(i, hdr, body)
+	return lat, nil
+}
+
+// RecordsOf returns the records of one file keyed by hash — the
+// server-side read when computing patches.
+func (db *DB) RecordsOf(i int) (map[uint64][]byte, error) {
+	name := db.fileName(i)
+	out := make(map[uint64][]byte)
+	if !db.store.Exists(name) {
+		return out, nil
+	}
+	h, body, err := db.peekHeader(name)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range h.entries {
+		if e.off < 0 || e.off+e.length > len(body) {
+			return nil, fmt.Errorf("resultdb: corrupt entry %x in file %d", e.hash, i)
+		}
+		out[e.hash] = append([]byte(nil), body[e.off:e.off+e.length]...)
+	}
+	return out, nil
+}
+
+// LogicalBytes is the total size of the database files.
+func (db *DB) LogicalBytes() int64 {
+	var n int64
+	for i := 0; i < db.cfg.Files; i++ {
+		if sz, err := db.store.Size(db.fileName(i)); err == nil {
+			n += int64(sz)
+		}
+	}
+	return n
+}
+
+// AllocatedBytes is the flash space the database occupies including
+// allocation slack.
+func (db *DB) AllocatedBytes() int64 {
+	var n int64
+	for i := 0; i < db.cfg.Files; i++ {
+		if sz, err := db.store.Size(db.fileName(i)); err == nil {
+			n += db.store.Device().AllocatedBytes(sz)
+		}
+	}
+	return n
+}
+
+// FragmentationBytes is the allocation slack of the database — the
+// quantity that grows with the file count in the Figure 12 tradeoff.
+func (db *DB) FragmentationBytes() int64 {
+	return db.AllocatedBytes() - db.LogicalBytes()
+}

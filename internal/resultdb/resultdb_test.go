@@ -1,0 +1,298 @@
+package resultdb
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"pocketcloudlets/internal/flashsim"
+)
+
+func newDB(t testing.TB, files int) *DB {
+	t.Helper()
+	store := flashsim.NewFileStore(flashsim.NewDevice(flashsim.Params{}))
+	db, err := New(store, Config{Files: files})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestNewValidation(t *testing.T) {
+	store := flashsim.NewFileStore(flashsim.NewDevice(flashsim.Params{}))
+	if _, err := New(nil, Config{Files: 32}); err == nil {
+		t.Error("nil store should fail")
+	}
+	if _, err := New(store, Config{Files: 0}); err == nil {
+		t.Error("zero files should fail")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	db := newDB(t, 32)
+	rec := []byte("Title\x1fwww.example.com\x1fexample.com\x1fSnippet text")
+	if _, err := db.Put(12345, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, lat, err := db.Get(12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, rec) {
+		t.Errorf("got %q, want %q", got, rec)
+	}
+	if lat <= 0 {
+		t.Error("retrieval latency should be positive")
+	}
+}
+
+func TestPutIdempotent(t *testing.T) {
+	db := newDB(t, 8)
+	rec := []byte("record")
+	db.Put(7, rec)
+	db.Put(7, []byte("different content ignored"))
+	got, _, err := db.Get(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, rec) {
+		t.Errorf("second Put overwrote the record: %q", got)
+	}
+	if db.Len() != 1 {
+		t.Errorf("len = %d, want 1", db.Len())
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	db := newDB(t, 8)
+	if _, _, err := db.Get(99); err == nil {
+		t.Error("Get of missing record should fail")
+	}
+	db.Put(99, []byte("x"))
+	// Same file, different hash.
+	if _, _, err := db.Get(99 + 8); err == nil {
+		t.Error("Get of missing record in populated file should fail")
+	}
+}
+
+func TestFileAssignment(t *testing.T) {
+	db := newDB(t, 32)
+	for h := uint64(0); h < 200; h++ {
+		if got := db.FileOf(h); got != int(h%32) {
+			t.Fatalf("FileOf(%d) = %d, want %d", h, got, h%32)
+		}
+	}
+}
+
+func TestManyRecordsAcrossFiles(t *testing.T) {
+	db := newDB(t, 32)
+	r := rand.New(rand.NewSource(5))
+	want := map[uint64][]byte{}
+	for i := 0; i < 500; i++ {
+		h := r.Uint64()
+		rec := []byte(fmt.Sprintf("record-%d-%d", i, h))
+		want[h] = rec
+		if _, err := db.Put(h, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.Len() != len(want) {
+		t.Fatalf("len = %d, want %d", db.Len(), len(want))
+	}
+	for h, rec := range want {
+		got, _, err := db.Get(h)
+		if err != nil {
+			t.Fatalf("Get(%x): %v", h, err)
+		}
+		if !bytes.Equal(got, rec) {
+			t.Fatalf("Get(%x) = %q, want %q", h, got, rec)
+		}
+	}
+	if got := len(db.Hashes()); got != len(want) {
+		t.Errorf("Hashes() returned %d, want %d", got, len(want))
+	}
+}
+
+func TestContains(t *testing.T) {
+	db := newDB(t, 4)
+	if db.Contains(5) {
+		t.Error("empty db should not contain anything")
+	}
+	db.Put(5, []byte("x"))
+	if !db.Contains(5) || db.Contains(9) {
+		t.Error("Contains mismatch")
+	}
+}
+
+// TestRetrievalTimeFallsWithFileCount verifies the Figure 12 shape:
+// with a fixed record population, retrieving a record is slower with
+// fewer files (long headers) and fragmentation grows with more files.
+func TestRetrievalTimeFallsWithFileCount(t *testing.T) {
+	const records = 2500
+	rec := make([]byte, 500)
+	lat := map[int]time.Duration{}
+	frag := map[int]int64{}
+	for _, files := range []int{1, 32, 256} {
+		db := newDB(t, files)
+		for i := 0; i < records; i++ {
+			if _, err := db.Put(uint64(i)*2654435761, rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var total time.Duration
+		const probes = 50
+		for i := 0; i < probes; i++ {
+			_, l, err := db.Get(uint64(i*37) * 2654435761)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += l
+		}
+		lat[files] = total / probes
+		frag[files] = db.FragmentationBytes()
+	}
+	if !(lat[1] > lat[32] && lat[32] >= lat[256]) {
+		t.Errorf("latency should fall with file count: %v", lat)
+	}
+	if !(frag[1] <= frag[32] && frag[32] < frag[256]) {
+		t.Errorf("fragmentation should grow with file count: %v", frag)
+	}
+	// Table 4 calibration: with 32 files, fetching two results ~10 ms.
+	twoFetch := 2 * lat[32]
+	if twoFetch < 5*time.Millisecond || twoFetch > 18*time.Millisecond {
+		t.Errorf("two-result fetch at 32 files = %v, want ~10 ms", twoFetch)
+	}
+}
+
+func TestReplaceFileAndRecordsOf(t *testing.T) {
+	db := newDB(t, 4)
+	db.Put(0, []byte("old0"))
+	db.Put(4, []byte("old4"))
+	db.Put(1, []byte("other-file"))
+
+	newRecs := map[uint64][]byte{
+		8:  []byte("new8"),
+		12: []byte("new12"),
+	}
+	if _, err := db.ReplaceFile(0, newRecs); err != nil {
+		t.Fatal(err)
+	}
+	// Old file-0 records replaced.
+	if db.Contains(0) || db.Contains(4) {
+		t.Error("old records should be gone after ReplaceFile")
+	}
+	got, _, err := db.Get(8)
+	if err != nil || !bytes.Equal(got, []byte("new8")) {
+		t.Errorf("Get(8) = %q, %v", got, err)
+	}
+	// Other files untouched.
+	if !db.Contains(1) {
+		t.Error("other files should be untouched")
+	}
+	recs, err := db.RecordsOf(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || !bytes.Equal(recs[12], []byte("new12")) {
+		t.Errorf("RecordsOf(0) = %v", recs)
+	}
+}
+
+func TestReplaceFileValidation(t *testing.T) {
+	db := newDB(t, 4)
+	if _, err := db.ReplaceFile(9, nil); err == nil {
+		t.Error("out-of-range file index should fail")
+	}
+	if _, err := db.ReplaceFile(0, map[uint64][]byte{1: []byte("x")}); err == nil {
+		t.Error("record belonging to another file should fail")
+	}
+}
+
+func TestRecordsOfEmptyFile(t *testing.T) {
+	db := newDB(t, 4)
+	recs, err := db.RecordsOf(2)
+	if err != nil || len(recs) != 0 {
+		t.Errorf("RecordsOf on empty file = %v, %v", recs, err)
+	}
+}
+
+func TestAccountingConsistency(t *testing.T) {
+	db := newDB(t, 16)
+	for i := 0; i < 100; i++ {
+		db.Put(uint64(i)*7919, make([]byte, 100+i))
+	}
+	if db.LogicalBytes() <= 0 {
+		t.Error("logical bytes should be positive")
+	}
+	if db.AllocatedBytes() < db.LogicalBytes() {
+		t.Error("allocated must be >= logical")
+	}
+	if db.FragmentationBytes() != db.AllocatedBytes()-db.LogicalBytes() {
+		t.Error("fragmentation identity violated")
+	}
+}
+
+func TestHeaderSerializationRoundTrip(t *testing.T) {
+	f := func(hashes []uint64, sizes []uint16) bool {
+		h := &header{}
+		off := 0
+		n := len(hashes)
+		if len(sizes) < n {
+			n = len(sizes)
+		}
+		for i := 0; i < n; i++ {
+			h.entries = append(h.entries, headerEntry{hash: hashes[i], off: off, length: int(sizes[i])})
+			off += int(sizes[i])
+		}
+		parsed, err := parseHeader(h.serialize())
+		if err != nil {
+			return false
+		}
+		if len(parsed.entries) != len(h.entries) {
+			return false
+		}
+		for i := range h.entries {
+			if parsed.entries[i] != h.entries[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseHeaderRejectsMalformed(t *testing.T) {
+	for _, s := range []string{"a,b\n", "zz,1,2;bad\n", "1,zz,3\n", "1,2,zz\n"} {
+		if _, err := parseHeader([]byte(s)); err == nil {
+			t.Errorf("parseHeader(%q) should fail", s)
+		}
+	}
+	if h, err := parseHeader([]byte("\n")); err != nil || len(h.entries) != 0 {
+		t.Error("empty header should parse to zero entries")
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	store := flashsim.NewFileStore(flashsim.NewDevice(flashsim.Params{}))
+	db, err := New(store, Config{Files: 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := make([]byte, 500)
+	for i := 0; i < 2500; i++ {
+		if _, err := db.Put(uint64(i)*2654435761, rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := db.Get(uint64(i%2500) * 2654435761); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package searchlog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file implements a plain-text interchange format for search
+// logs, used by cmd/tracegen and cmd/logstats. Each line holds one
+// entry as tab-separated fields:
+//
+//	at_ms <TAB> user <TAB> device <TAB> query <TAB> clicked_url
+//
+// preceded by a single header line recording the window length.
+
+// PairResolver maps the string form of an entry back to its pair
+// identifier. internal/engine's Universe implements it.
+type PairResolver interface {
+	ResolvePair(query, url string) (PairID, bool)
+}
+
+// Write serializes the log using meta to materialize strings.
+func Write(w io.Writer, log Log, meta PairMeta) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# pocketcloudlets-searchlog window_ms=%d\n", log.Window.Milliseconds()); err != nil {
+		return err
+	}
+	for _, e := range log.Entries {
+		q := meta.QueryText(meta.QueryOf(e.Pair))
+		u := meta.ResultURL(meta.ResultOf(e.Pair))
+		if _, err := fmt.Fprintf(bw, "%d\t%d\t%d\t%s\t%s\n",
+			e.At.Milliseconds(), e.User, e.Device, q, u); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a log written by Write, resolving string pairs back to
+// identifiers. Lines whose pair cannot be resolved produce an error:
+// a log must be read against the universe that produced it.
+func Read(r io.Reader, res PairResolver) (Log, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var log Log
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if i := strings.Index(line, "window_ms="); i >= 0 {
+				ms, err := strconv.ParseInt(strings.TrimSpace(line[i+len("window_ms="):]), 10, 64)
+				if err != nil {
+					return Log{}, fmt.Errorf("searchlog: line %d: bad window: %v", lineNo, err)
+				}
+				log.Window = time.Duration(ms) * time.Millisecond
+			}
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != 5 {
+			return Log{}, fmt.Errorf("searchlog: line %d: want 5 fields, got %d", lineNo, len(fields))
+		}
+		atMs, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return Log{}, fmt.Errorf("searchlog: line %d: bad time: %v", lineNo, err)
+		}
+		user, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return Log{}, fmt.Errorf("searchlog: line %d: bad user: %v", lineNo, err)
+		}
+		dev, err := strconv.ParseUint(fields[2], 10, 8)
+		if err != nil {
+			return Log{}, fmt.Errorf("searchlog: line %d: bad device: %v", lineNo, err)
+		}
+		pair, ok := res.ResolvePair(fields[3], fields[4])
+		if !ok {
+			return Log{}, fmt.Errorf("searchlog: line %d: unresolvable pair (%q, %q)", lineNo, fields[3], fields[4])
+		}
+		log.Entries = append(log.Entries, Entry{
+			At:     time.Duration(atMs) * time.Millisecond,
+			User:   UserID(user),
+			Device: DeviceClass(dev),
+			Pair:   pair,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return Log{}, err
+	}
+	return log, nil
+}

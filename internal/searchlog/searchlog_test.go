@@ -1,0 +1,174 @@
+package searchlog_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"pocketcloudlets/internal/engine"
+	"pocketcloudlets/internal/searchlog"
+)
+
+func testUniverse(t testing.TB) *engine.Universe {
+	t.Helper()
+	u, err := engine.NewUniverse(engine.Config{
+		NavPairs:       960,
+		NonNavPairs:    5000,
+		NonNavSegments: []engine.Segment{{Queries: 500, ResultsPerQuery: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func entriesFromPairs(pairs []searchlog.PairID) []searchlog.Entry {
+	es := make([]searchlog.Entry, len(pairs))
+	for i, p := range pairs {
+		es[i] = searchlog.Entry{
+			At:     time.Duration(i) * time.Minute,
+			User:   searchlog.UserID(i % 3),
+			Pair:   p,
+			Device: searchlog.DeviceClass(i % 2),
+		}
+	}
+	return es
+}
+
+func TestExtractTripletsSortedByVolume(t *testing.T) {
+	// Pair 5 appears 3 times, pair 2 twice, pair 9 once.
+	entries := entriesFromPairs([]searchlog.PairID{5, 2, 5, 9, 2, 5})
+	tbl := searchlog.ExtractTriplets(entries)
+	if tbl.TotalVolume != 6 {
+		t.Errorf("total volume = %d, want 6", tbl.TotalVolume)
+	}
+	if len(tbl.Triplets) != 3 {
+		t.Fatalf("triplet count = %d, want 3", len(tbl.Triplets))
+	}
+	want := []searchlog.Triplet{{5, 3}, {2, 2}, {9, 1}}
+	for i, w := range want {
+		if tbl.Triplets[i] != w {
+			t.Errorf("triplet[%d] = %+v, want %+v", i, tbl.Triplets[i], w)
+		}
+	}
+}
+
+func TestExtractTripletsTieBreakDeterministic(t *testing.T) {
+	entries := entriesFromPairs([]searchlog.PairID{7, 3, 3, 7})
+	tbl := searchlog.ExtractTriplets(entries)
+	if tbl.Triplets[0].Pair != 3 || tbl.Triplets[1].Pair != 7 {
+		t.Errorf("equal volumes should order by pair ID: %+v", tbl.Triplets)
+	}
+}
+
+func TestCumulativeShare(t *testing.T) {
+	entries := entriesFromPairs([]searchlog.PairID{1, 1, 1, 2, 2, 3})
+	tbl := searchlog.ExtractTriplets(entries)
+	checks := []struct {
+		n    int
+		want float64
+	}{{0, 0}, {1, 0.5}, {2, 5.0 / 6}, {3, 1}, {99, 1}}
+	for _, c := range checks {
+		if got := tbl.CumulativeShare(c.n); got != c.want {
+			t.Errorf("CumulativeShare(%d) = %g, want %g", c.n, got, c.want)
+		}
+	}
+}
+
+func TestNormalizedVolume(t *testing.T) {
+	entries := entriesFromPairs([]searchlog.PairID{1, 1, 2, 2, 2})
+	tbl := searchlog.ExtractTriplets(entries)
+	if got := tbl.NormalizedVolume(0); got != 0.6 {
+		t.Errorf("NormalizedVolume(0) = %g, want 0.6", got)
+	}
+	empty := searchlog.ExtractTriplets(nil)
+	if len(empty.Triplets) != 0 || empty.TotalVolume != 0 {
+		t.Error("empty log should produce empty table")
+	}
+}
+
+// TestRankingScores reproduces the paper's worked example structure:
+// two results under one query score volume/totalVolumeOfQuery.
+func TestRankingScores(t *testing.T) {
+	u := testUniverse(t)
+	// Head non-nav pairs 0 and 1 share a query.
+	p0, p1 := u.NonNavPair(0), u.NonNavPair(1)
+	var pairs []searchlog.PairID
+	for i := 0; i < 10; i++ { // volume 10 for p0
+		pairs = append(pairs, p0)
+	}
+	for i := 0; i < 9; i++ { // volume 9 for p1
+		pairs = append(pairs, p1)
+	}
+	tbl := searchlog.ExtractTriplets(entriesFromPairs(pairs))
+	scores := tbl.RankingScores(u, len(tbl.Triplets))
+	if got := scores[p0]; got < 0.52 || got > 0.54 {
+		t.Errorf("score(p0) = %g, want ~10/19 = 0.526", got)
+	}
+	if got := scores[p1]; got < 0.46 || got > 0.48 {
+		t.Errorf("score(p1) = %g, want ~9/19 = 0.474", got)
+	}
+	// A single-result query scores 1.
+	solo := u.NavPair(0)
+	tbl2 := searchlog.ExtractTriplets(entriesFromPairs([]searchlog.PairID{solo, solo}))
+	if got := tbl2.RankingScores(u, 1)[solo]; got != 1 {
+		t.Errorf("single-result query score = %g, want 1", got)
+	}
+}
+
+func TestLogIORoundTrip(t *testing.T) {
+	u := testUniverse(t)
+	log := searchlog.Log{
+		Window: 30 * 24 * time.Hour,
+		Entries: entriesFromPairs([]searchlog.PairID{
+			u.NavPair(0), u.NavPair(1), u.NonNavPair(0), u.NonNavPair(999),
+		}),
+	}
+	var buf bytes.Buffer
+	if err := searchlog.Write(&buf, log, u); err != nil {
+		t.Fatal(err)
+	}
+	got, err := searchlog.Read(&buf, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Window != log.Window {
+		t.Errorf("window = %v, want %v", got.Window, log.Window)
+	}
+	if len(got.Entries) != len(log.Entries) {
+		t.Fatalf("entry count = %d, want %d", len(got.Entries), len(log.Entries))
+	}
+	for i := range log.Entries {
+		if got.Entries[i] != log.Entries[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, got.Entries[i], log.Entries[i])
+		}
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	u := testUniverse(t)
+	cases := []string{
+		"1\t2\t0\tsite0",                            // too few fields
+		"x\t2\t0\tsite0\twww.site0.com/",            // bad time
+		"1\tx\t0\tsite0\twww.site0.com/",            // bad user
+		"1\t2\tx\tsite0\twww.site0.com/",            // bad device
+		"1\t2\t0\tnot a query\twww.site0.com/",      // unresolvable
+		"# pocketcloudlets-searchlog window_ms=abc", // bad header
+	}
+	for _, c := range cases {
+		if _, err := searchlog.Read(strings.NewReader(c), u); err == nil {
+			t.Errorf("Read(%q) should fail", c)
+		}
+	}
+}
+
+func TestDeviceClassString(t *testing.T) {
+	if searchlog.Smartphone.String() != "smartphone" ||
+		searchlog.Featurephone.String() != "featurephone" {
+		t.Error("DeviceClass.String mismatch")
+	}
+	if searchlog.DeviceClass(7).String() == "" {
+		t.Error("unknown device class should stringify")
+	}
+}

@@ -1,0 +1,93 @@
+// Package searchlog defines the mobile search log model of Section 4
+// of the Pocket Cloudlets paper: timestamped per-user records of a
+// submitted query string and the search result clicked in response,
+// plus the (query, search result, volume) triplet extraction of
+// Section 5.1 (Table 3) that drives cache content generation.
+//
+// To keep month-scale logs of millions of entries cheap, entries carry
+// compact numeric identifiers into a query/result universe (implemented
+// by internal/engine) rather than strings; the PairMeta interface
+// supplies the string forms and metadata when needed.
+package searchlog
+
+import (
+	"fmt"
+	"time"
+)
+
+// PairID identifies one (query, clicked search result) pair in the
+// universe. A pair is exactly the unit the paper's Table 3 ranks by
+// volume and the unit the PocketSearch cache stores.
+type PairID uint32
+
+// QueryID identifies a distinct query string.
+type QueryID uint32
+
+// ResultID identifies a distinct search result (a web address). Several
+// queries may share a result: the paper found only ~60% of cached
+// search results are unique because users reach popular pages through
+// misspellings and shortcuts.
+type ResultID uint32
+
+// UserID identifies an anonymized mobile user.
+type UserID uint32
+
+// DeviceClass distinguishes the two device populations the paper
+// analyzes separately in Figure 4.
+type DeviceClass uint8
+
+const (
+	// Smartphone is a high-end device with a capable browser.
+	Smartphone DeviceClass = iota
+	// Featurephone is a low-end device with a limited browser; its
+	// users' queries are more concentrated.
+	Featurephone
+)
+
+// String implements fmt.Stringer.
+func (d DeviceClass) String() string {
+	switch d {
+	case Smartphone:
+		return "smartphone"
+	case Featurephone:
+		return "featurephone"
+	default:
+		return fmt.Sprintf("DeviceClass(%d)", int(d))
+	}
+}
+
+// Entry is one search log record: at time At (offset from the start of
+// the log window) user User submitted the query of pair Pair and
+// clicked its result.
+type Entry struct {
+	At     time.Duration
+	User   UserID
+	Pair   PairID
+	Device DeviceClass
+}
+
+// Log is a window of search log entries, ordered by time.
+type Log struct {
+	// Window is the length of the collection window (e.g. one month).
+	Window time.Duration
+	// Entries are the records, in non-decreasing At order.
+	Entries []Entry
+}
+
+// PairMeta resolves pair identifiers to their structure and string
+// forms. internal/engine's Universe is the canonical implementation.
+type PairMeta interface {
+	// NumPairs reports the size of the pair universe.
+	NumPairs() int
+	// QueryOf returns the query of a pair.
+	QueryOf(PairID) QueryID
+	// ResultOf returns the clicked result of a pair.
+	ResultOf(PairID) ResultID
+	// Navigational reports whether the pair's query string is a
+	// substring of its clicked URL (the paper's classifier).
+	Navigational(PairID) bool
+	// QueryText returns the query string.
+	QueryText(QueryID) string
+	// ResultURL returns the result's web address.
+	ResultURL(ResultID) string
+}

@@ -1,0 +1,169 @@
+// Package suggest implements query auto-completion over the cached
+// query set — the other half of the prototype GUI of Figure 1, where
+// suggestions and results appear in real time as the user types.
+//
+// The paper (Section 8) describes how production phones did this at
+// the time: "for every new letter typed in the search box, a query is
+// submitted in the background to the server ... the usual slow mobile
+// search experience is taking place". Completing from the on-device
+// cached query set instead answers every keystroke locally.
+//
+// The index is a byte-wise trie over the cached query strings, each
+// terminal node carrying the query's best ranking score; completions
+// for a prefix are returned best-score first. The trie lives in DRAM
+// next to the query hash table.
+package suggest
+
+import (
+	"sort"
+)
+
+// Completion is one suggested query.
+type Completion struct {
+	Query string
+	Score float64
+}
+
+// node is one trie node. Children are kept sorted by byte for
+// deterministic traversal.
+type node struct {
+	children []child
+	// terminal marks a complete query; score is its ranking score.
+	terminal bool
+	score    float64
+}
+
+type child struct {
+	b byte
+	n *node
+}
+
+func (n *node) get(b byte) *node {
+	i := sort.Search(len(n.children), func(i int) bool { return n.children[i].b >= b })
+	if i < len(n.children) && n.children[i].b == b {
+		return n.children[i].n
+	}
+	return nil
+}
+
+func (n *node) getOrAdd(b byte) *node {
+	i := sort.Search(len(n.children), func(i int) bool { return n.children[i].b >= b })
+	if i < len(n.children) && n.children[i].b == b {
+		return n.children[i].n
+	}
+	nn := &node{}
+	n.children = append(n.children, child{})
+	copy(n.children[i+1:], n.children[i:])
+	n.children[i] = child{b: b, n: nn}
+	return nn
+}
+
+// Index is the auto-completion trie.
+type Index struct {
+	root    node
+	queries int
+	nodes   int
+}
+
+// New creates an empty index.
+func New() *Index { return &Index{} }
+
+// Len reports the number of indexed queries.
+func (ix *Index) Len() int { return ix.queries }
+
+// Add indexes a query with its ranking score. Re-adding a query keeps
+// the higher score.
+func (ix *Index) Add(query string, score float64) {
+	if query == "" {
+		return
+	}
+	n := &ix.root
+	for i := 0; i < len(query); i++ {
+		before := n.get(query[i])
+		n = n.getOrAdd(query[i])
+		if before == nil {
+			ix.nodes++
+		}
+	}
+	if !n.terminal {
+		n.terminal = true
+		ix.queries++
+		n.score = score
+	} else if score > n.score {
+		n.score = score
+	}
+}
+
+// Remove unindexes a query. Nodes are left in place (the cache
+// rebuilds its index at the nightly sync); it reports whether the
+// query was present.
+func (ix *Index) Remove(query string) bool {
+	n := &ix.root
+	for i := 0; i < len(query); i++ {
+		if n = n.get(query[i]); n == nil {
+			return false
+		}
+	}
+	if !n.terminal {
+		return false
+	}
+	n.terminal = false
+	ix.queries--
+	return true
+}
+
+// Score returns the indexed score of an exact query.
+func (ix *Index) Score(query string) (float64, bool) {
+	n := &ix.root
+	for i := 0; i < len(query); i++ {
+		if n = n.get(query[i]); n == nil {
+			return 0, false
+		}
+	}
+	if !n.terminal {
+		return 0, false
+	}
+	return n.score, true
+}
+
+// Complete returns up to k completions of the prefix, best score
+// first (ties alphabetical). An empty prefix completes everything.
+func (ix *Index) Complete(prefix string, k int) []Completion {
+	if k <= 0 {
+		return nil
+	}
+	n := &ix.root
+	for i := 0; i < len(prefix); i++ {
+		if n = n.get(prefix[i]); n == nil {
+			return nil
+		}
+	}
+	var out []Completion
+	var walk func(n *node, buf []byte)
+	walk = func(n *node, buf []byte) {
+		if n.terminal {
+			out = append(out, Completion{Query: prefix + string(buf), Score: n.score})
+		}
+		for _, c := range n.children {
+			walk(c.n, append(buf, c.b))
+		}
+	}
+	walk(n, nil)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Query < out[j].Query
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// FootprintBytes models the trie's DRAM cost: one byte label, a score
+// and two pointers per node in a compact layout.
+func (ix *Index) FootprintBytes() int64 {
+	const nodeBytes = 1 + 8 + 2*8
+	return int64(ix.nodes) * nodeBytes
+}

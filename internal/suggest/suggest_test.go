@@ -1,0 +1,175 @@
+package suggest
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddComplete(t *testing.T) {
+	ix := New()
+	ix.Add("youtube", 0.9)
+	ix.Add("yotube", 0.2) // the paper's misspelling example
+	ix.Add("yahoo", 0.5)
+	ix.Add("facebook", 0.8)
+
+	got := ix.Complete("y", 10)
+	if len(got) != 3 {
+		t.Fatalf("completions = %v, want 3", got)
+	}
+	if got[0].Query != "youtube" || got[1].Query != "yahoo" || got[2].Query != "yotube" {
+		t.Errorf("order = %v, want by score", got)
+	}
+	if c := ix.Complete("yo", 10); len(c) != 2 {
+		t.Errorf("prefix yo = %v", c)
+	}
+	if c := ix.Complete("z", 10); c != nil {
+		t.Errorf("no-match prefix should return nil, got %v", c)
+	}
+	if c := ix.Complete("youtube", 10); len(c) != 1 || c[0].Query != "youtube" {
+		t.Errorf("exact prefix = %v", c)
+	}
+}
+
+func TestKLimit(t *testing.T) {
+	ix := New()
+	for _, q := range []string{"aa", "ab", "ac", "ad"} {
+		ix.Add(q, 1)
+	}
+	if got := ix.Complete("a", 2); len(got) != 2 {
+		t.Errorf("k=2 returned %d", len(got))
+	}
+	if got := ix.Complete("a", 0); got != nil {
+		t.Error("k=0 should return nil")
+	}
+}
+
+func TestEmptyPrefixCompletesAll(t *testing.T) {
+	ix := New()
+	ix.Add("one", 1)
+	ix.Add("two", 2)
+	if got := ix.Complete("", 10); len(got) != 2 {
+		t.Errorf("empty prefix = %v", got)
+	}
+}
+
+func TestAddKeepsBestScore(t *testing.T) {
+	ix := New()
+	ix.Add("q", 0.2)
+	ix.Add("q", 0.9)
+	ix.Add("q", 0.1)
+	if ix.Len() != 1 {
+		t.Errorf("len = %d, want 1", ix.Len())
+	}
+	if got := ix.Complete("q", 1); got[0].Score != 0.9 {
+		t.Errorf("score = %g, want max 0.9", got[0].Score)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	ix := New()
+	ix.Add("alpha", 1)
+	ix.Add("alphabet", 1)
+	if !ix.Remove("alpha") {
+		t.Fatal("Remove failed")
+	}
+	if ix.Remove("alpha") || ix.Remove("missing") {
+		t.Error("double/unknown remove should fail")
+	}
+	got := ix.Complete("alpha", 10)
+	if len(got) != 1 || got[0].Query != "alphabet" {
+		t.Errorf("after remove = %v", got)
+	}
+	if ix.Len() != 1 {
+		t.Errorf("len = %d", ix.Len())
+	}
+}
+
+func TestEmptyQueryIgnored(t *testing.T) {
+	ix := New()
+	ix.Add("", 1)
+	if ix.Len() != 0 {
+		t.Error("empty query should not be indexed")
+	}
+}
+
+func TestCompleteMatchesNaiveScan(t *testing.T) {
+	f := func(raw []string, prefixByte byte) bool {
+		ix := New()
+		set := map[string]float64{}
+		for i, q := range raw {
+			if len(q) > 12 {
+				q = q[:12]
+			}
+			if q == "" {
+				continue
+			}
+			score := float64(i%7) / 7
+			ix.Add(q, score)
+			if old, ok := set[q]; !ok || score > old {
+				set[q] = score
+			}
+		}
+		prefix := string([]byte{'a' + prefixByte%3})
+		got := ix.Complete(prefix, 1<<30)
+		var want []Completion
+		for q, s := range set {
+			if strings.HasPrefix(q, prefix) {
+				want = append(want, Completion{Query: q, Score: s})
+			}
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].Score != want[j].Score {
+				return want[i].Score > want[j].Score
+			}
+			return want[i].Query < want[j].Query
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFootprintGrows(t *testing.T) {
+	ix := New()
+	before := ix.FootprintBytes()
+	ix.Add("query one", 1)
+	if ix.FootprintBytes() <= before {
+		t.Error("footprint should grow with nodes")
+	}
+}
+
+func BenchmarkComplete(b *testing.B) {
+	ix := New()
+	for i := 0; i < 6000; i++ {
+		ix.Add("query "+string(rune('a'+i%26))+string(rune('a'+(i/26)%26))+string(rune('0'+i%10)), float64(i%100))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Complete("query a", 8)
+	}
+}
+
+func TestScoreExact(t *testing.T) {
+	ix := New()
+	ix.Add("alpha", 3)
+	if s, ok := ix.Score("alpha"); !ok || s != 3 {
+		t.Errorf("Score = %g, %v", s, ok)
+	}
+	if _, ok := ix.Score("alph"); ok {
+		t.Error("prefix of a query is not a query")
+	}
+	if _, ok := ix.Score("beta"); ok {
+		t.Error("unknown query should have no score")
+	}
+}

@@ -1,0 +1,248 @@
+package updater
+
+import (
+	"testing"
+	"time"
+
+	"pocketcloudlets/internal/cachegen"
+	"pocketcloudlets/internal/device"
+	"pocketcloudlets/internal/engine"
+	"pocketcloudlets/internal/flashsim"
+	"pocketcloudlets/internal/hash64"
+	"pocketcloudlets/internal/hashtable"
+	"pocketcloudlets/internal/pocketsearch"
+	"pocketcloudlets/internal/radio"
+	"pocketcloudlets/internal/searchlog"
+)
+
+func testUniverse(t testing.TB) *engine.Universe {
+	t.Helper()
+	u, err := engine.NewUniverse(engine.Config{
+		NavPairs:       608,
+		NonNavPairs:    3000,
+		NonNavSegments: []engine.Segment{{Queries: 100, ResultsPerQuery: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func contentFromPairs(u *engine.Universe, pairs []searchlog.PairID, vols []int) cachegen.Content {
+	var entries []searchlog.Entry
+	for i, p := range pairs {
+		for v := 0; v < vols[i]; v++ {
+			entries = append(entries, searchlog.Entry{At: time.Duration(len(entries)), Pair: p})
+		}
+	}
+	tbl := searchlog.ExtractTriplets(entries)
+	return cachegen.Generate(tbl, u, len(tbl.Triplets))
+}
+
+func pairHashes(u *engine.Universe, p searchlog.PairID) (uint64, uint64) {
+	return hash64.Sum(u.QueryText(u.QueryOf(p))), hash64.Sum(u.ResultURL(u.ResultOf(p)))
+}
+
+func TestBuildUpdatePrunesUnaccessed(t *testing.T) {
+	u := testUniverse(t)
+	phone := hashtable.MustNew(2)
+	accessed, _ := pairHashes(u, u.NavPair(0))
+	_, accessedR := pairHashes(u, u.NavPair(0))
+	phone.Put(accessed, hashtable.SearchRef{ResultHash: accessedR, Score: 0.8})
+	phone.MarkAccessed(accessed, accessedR)
+	unaccQ, unaccR := pairHashes(u, u.NavPair(6))
+	phone.Put(unaccQ, hashtable.SearchRef{ResultHash: unaccR, Score: 0.9})
+
+	upd, err := BuildUpdate(phone, cachegen.Content{}, u, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !upd.Table.Contains(accessed) {
+		t.Error("accessed pair should survive")
+	}
+	if upd.Table.Contains(unaccQ) {
+		t.Error("never-accessed pair should be pruned")
+	}
+	if !upd.Table.Accessed(accessed, accessedR) {
+		t.Error("accessed flag should be preserved")
+	}
+}
+
+func TestBuildUpdateDropsStaleAccessed(t *testing.T) {
+	u := testUniverse(t)
+	phone := hashtable.MustNew(2)
+	q, r := pairHashes(u, u.NavPair(0))
+	phone.Put(q, hashtable.SearchRef{ResultHash: r, Score: 0.01}) // decayed below floor
+	phone.MarkAccessed(q, r)
+	upd, err := BuildUpdate(phone, cachegen.Content{}, u, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upd.Table.Contains(q) {
+		t.Error("stale accessed pair should be dropped")
+	}
+}
+
+func TestBuildUpdateConflictTakesMaxScore(t *testing.T) {
+	u := testUniverse(t)
+	p := u.NavPair(0)
+	q, r := pairHashes(u, p)
+
+	fresh := contentFromPairs(u, []searchlog.PairID{p}, []int{10})
+	freshScore := fresh.Scores[p]
+
+	// Phone score higher than fresh: phone wins.
+	phone := hashtable.MustNew(2)
+	phone.Put(q, hashtable.SearchRef{ResultHash: r, Score: freshScore + 5})
+	phone.MarkAccessed(q, r)
+	upd, err := BuildUpdate(phone, fresh, u, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := upd.Table.Score(q, r); s != freshScore+5 {
+		t.Errorf("merged score = %g, want phone's %g", s, freshScore+5)
+	}
+
+	// Phone score lower: server wins.
+	phone2 := hashtable.MustNew(2)
+	phone2.Put(q, hashtable.SearchRef{ResultHash: r, Score: 0.1})
+	phone2.MarkAccessed(q, r)
+	upd2, err := BuildUpdate(phone2, fresh, u, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := upd2.Table.Score(q, r); s != freshScore {
+		t.Errorf("merged score = %g, want server's %g", s, freshScore)
+	}
+	// Accessed flag survives the merge either way.
+	if !upd2.Table.Accessed(q, r) {
+		t.Error("accessed flag lost in merge")
+	}
+}
+
+func TestUpdateTransferUnderPaperBudget(t *testing.T) {
+	u := testUniverse(t)
+	// A paper-scale popular set: a few thousand pairs.
+	var pairs []searchlog.PairID
+	var vols []int
+	for i := 0; i < 600; i++ {
+		pairs = append(pairs, u.NavPair(i))
+		vols = append(vols, 600-i)
+	}
+	for i := 0; i < 2000; i++ {
+		pairs = append(pairs, u.NonNavPair(i))
+		vols = append(vols, 2000-i)
+	}
+	fresh := contentFromPairs(u, pairs, vols)
+	upd, err := BuildUpdate(nil, fresh, u, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~2600 pairs -> table well under 200 KB, records ~1.1 MB;
+	// total under the paper's ~1.5 MB budget.
+	if upd.TableBytes > 200_000 {
+		t.Errorf("table transfer = %d bytes, want < 200 KB", upd.TableBytes)
+	}
+	if upd.TotalBytes() > 1_600_000 {
+		t.Errorf("total transfer = %d bytes, want < ~1.5 MB", upd.TotalBytes())
+	}
+}
+
+func newCache(t testing.TB, u *engine.Universe, content cachegen.Content) *pocketsearch.Cache {
+	t.Helper()
+	dev := device.New(device.Config{}, radio.ThreeG(), flashsim.Params{})
+	c, err := pocketsearch.Build(dev, engine.New(u), content, pocketsearch.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Reset()
+	return c
+}
+
+func TestApplyEndToEnd(t *testing.T) {
+	u := testUniverse(t)
+	// Initial cache: nav pairs 0 and 6.
+	initial := contentFromPairs(u, []searchlog.PairID{u.NavPair(0), u.NavPair(6)}, []int{10, 8})
+	c := newCache(t, u, initial)
+
+	// User accesses pair 0 and a brand-new pair 12.
+	q0 := u.QueryText(u.QueryOf(u.NavPair(0)))
+	r0 := u.ResultURL(u.ResultOf(u.NavPair(0)))
+	if out, err := c.Query(q0, r0); err != nil || !out.Hit {
+		t.Fatalf("expected hit on preloaded pair: %v %v", out, err)
+	}
+	q12 := u.QueryText(u.QueryOf(u.NavPair(12)))
+	r12 := u.ResultURL(u.ResultOf(u.NavPair(12)))
+	if _, err := c.Query(q12, r12); err != nil {
+		t.Fatal(err)
+	}
+
+	// Server's fresh popular set: pairs 18 and 0.
+	fresh := contentFromPairs(u, []searchlog.PairID{u.NavPair(18), u.NavPair(0)}, []int{10, 9})
+	upd, err := BuildUpdate(c.Table(), fresh, u, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Apply(c, upd); err != nil {
+		t.Fatal(err)
+	}
+
+	// After the update: pair 0 (accessed + popular) hits; pair 18
+	// (fresh popular) hits; pair 12 (accessed personal) hits; pair 6
+	// (never accessed) was pruned and misses.
+	checks := []struct {
+		pair searchlog.PairID
+		hit  bool
+	}{
+		{u.NavPair(0), true},
+		{u.NavPair(18), true},
+		{u.NavPair(12), true},
+		{u.NavPair(6), false},
+	}
+	for _, chk := range checks {
+		q := u.QueryText(u.QueryOf(chk.pair))
+		r := u.ResultURL(u.ResultOf(chk.pair))
+		out, err := c.Query(q, r)
+		if err != nil {
+			t.Fatalf("query %q: %v", q, err)
+		}
+		if out.Hit != chk.hit {
+			t.Errorf("pair %d: hit = %v, want %v", chk.pair, out.Hit, chk.hit)
+		}
+	}
+}
+
+func TestApplyIsIdempotentOnUnchangedFiles(t *testing.T) {
+	u := testUniverse(t)
+	initial := contentFromPairs(u, []searchlog.PairID{u.NavPair(0)}, []int{10})
+	c := newCache(t, u, initial)
+	q0, r0 := u.QueryText(u.QueryOf(u.NavPair(0))), u.ResultURL(u.ResultOf(u.NavPair(0)))
+	c.Query(q0, r0) // mark accessed
+
+	fresh := contentFromPairs(u, []searchlog.PairID{u.NavPair(0)}, []int{10})
+	upd, err := BuildUpdate(c.Table(), fresh, u, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat1, err := Apply(c, upd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Applying the identical update again rewrites nothing.
+	upd2, _ := BuildUpdate(c.Table(), fresh, u, DefaultPolicy())
+	lat2, err := Apply(c, upd2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat2 != 0 {
+		t.Errorf("second identical update cost %v, want 0 (no changed files); first was %v", lat2, lat1)
+	}
+}
+
+func TestApplyRejectsEmptyUpdate(t *testing.T) {
+	u := testUniverse(t)
+	c := newCache(t, u, cachegen.Content{})
+	if _, err := Apply(c, Update{}); err == nil {
+		t.Error("update without table should fail")
+	}
+}

@@ -1,0 +1,135 @@
+package zipf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadArgs(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		s float64
+	}{{0, 1}, {-5, 1}, {10, -0.1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d, %g) did not panic", tc.n, tc.s)
+				}
+			}()
+			New(tc.n, tc.s)
+		}()
+	}
+}
+
+func TestCDFMonotoneAndNormalized(t *testing.T) {
+	d := New(1000, 0.8)
+	prev := 0.0
+	for i := 0; i < d.N(); i++ {
+		c := d.CDF(i)
+		if c < prev {
+			t.Fatalf("CDF not monotone at rank %d: %g < %g", i, c, prev)
+		}
+		prev = c
+	}
+	if got := d.CDF(d.N() - 1); got != 1 {
+		t.Errorf("CDF(last) = %g, want 1", got)
+	}
+	if got := d.CDF(d.N() + 10); got != 1 {
+		t.Errorf("CDF beyond range = %g, want 1", got)
+	}
+	if got := d.CDF(-1); got != 0 {
+		t.Errorf("CDF(-1) = %g, want 0", got)
+	}
+}
+
+func TestPSumsToOne(t *testing.T) {
+	d := New(500, 1.1)
+	sum := 0.0
+	for i := 0; i < d.N(); i++ {
+		sum += d.P(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("sum of P = %g, want 1", sum)
+	}
+}
+
+func TestPDecreasesWithRank(t *testing.T) {
+	d := New(200, 0.7)
+	for i := 1; i < d.N(); i++ {
+		if d.P(i) > d.P(i-1)+1e-12 {
+			t.Fatalf("P(%d)=%g > P(%d)=%g", i, d.P(i), i-1, d.P(i-1))
+		}
+	}
+}
+
+func TestUniformWhenExponentZero(t *testing.T) {
+	d := New(10, 0)
+	for i := 0; i < 10; i++ {
+		if math.Abs(d.P(i)-0.1) > 1e-12 {
+			t.Errorf("P(%d) = %g, want 0.1", i, d.P(i))
+		}
+	}
+}
+
+func TestSampleMatchesCDF(t *testing.T) {
+	d := New(100, 1.0)
+	r := rand.New(rand.NewSource(42))
+	const draws = 200000
+	counts := make([]int, d.N())
+	for i := 0; i < draws; i++ {
+		counts[d.Sample(r)]++
+	}
+	// Check the head of the distribution against expected mass.
+	for i := 0; i < 5; i++ {
+		got := float64(counts[i]) / draws
+		want := d.P(i)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("empirical P(%d) = %g, want %g (±0.01)", i, got, want)
+		}
+	}
+}
+
+func TestSampleInRange(t *testing.T) {
+	f := func(seed int64) bool {
+		d := New(37, 0.9)
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 100; i++ {
+			v := d.Sample(r)
+			if v < 0 || v >= 37 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConcentrationReference sanity-checks the theoretical top-share
+// arithmetic the workload calibration relied on: at s=1.20 a bounded
+// Zipf over 100k ranks carries ~90% of its mass in the top 5000, while
+// at s=0.80 over 1M ranks the top 5000 carry ~30%. (The workload
+// generator uses slightly lower exponents because finite-sample repeat
+// amplification adds empirical concentration on top of these curves.)
+func TestConcentrationReference(t *testing.T) {
+	nav := New(100000, 1.20)
+	if got := nav.TopShare(5000); got < 0.85 || got > 0.95 {
+		t.Errorf("s=1.20 top-5000 share = %.3f, want ~0.90", got)
+	}
+	nonNav := New(1000000, 0.80)
+	if got := nonNav.TopShare(5000); got < 0.25 || got > 0.35 {
+		t.Errorf("s=0.80 top-5000 share = %.3f, want ~0.30", got)
+	}
+}
+
+func BenchmarkSample(b *testing.B) {
+	d := New(1000000, 0.8)
+	r := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Sample(r)
+	}
+}
