@@ -14,9 +14,13 @@ package pocketcloudlets_test
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 
+	"pocketcloudlets"
+	"pocketcloudlets/internal/engine"
 	"pocketcloudlets/internal/experiments"
+	"pocketcloudlets/internal/loadgen"
 )
 
 var (
@@ -225,4 +229,116 @@ func BenchmarkAblationCoordinatedEviction(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		benchSink(b, experiments.AblationCoordinatedEviction().Table())
 	}
+}
+
+// --- Fleet serving-path benchmarks ---
+
+// fleetRig is the shared fleet benchmark fixture: a small warmed-up
+// fleet plus per-user request tapes. Like the lab, it is built once
+// per process; the warm-up replays every tape once so steady-state
+// iterations measure the hit-dominated serving path.
+type fleetRig struct {
+	f     *pocketcloudlets.Fleet
+	tapes [][]pocketcloudlets.FleetRequest
+}
+
+var (
+	fleetRigOnce sync.Once
+	fleetRigLab  *fleetRig
+	fleetRigErr  error
+)
+
+func fleetBench(b *testing.B) *fleetRig {
+	b.Helper()
+	fleetRigOnce.Do(func() {
+		ucfg := engine.Config{
+			NavPairs:    8000,
+			NonNavPairs: 40000,
+			NonNavSegments: []engine.Segment{
+				{Queries: 50, ResultsPerQuery: 6},
+				{Queries: 200, ResultsPerQuery: 3},
+				{Queries: 2000, ResultsPerQuery: 2},
+			},
+		}
+		sim, err := pocketcloudlets.NewSimulation(pocketcloudlets.SimConfig{
+			Seed: 1, Users: 512, UniverseConfig: &ucfg,
+		})
+		if err != nil {
+			fleetRigErr = err
+			return
+		}
+		content, err := sim.CommunityContent(0, 0.55)
+		if err != nil {
+			fleetRigErr = err
+			return
+		}
+		f, err := sim.NewFleet(content, pocketcloudlets.FleetConfig{
+			Shards: 4, QueueDepth: 8192,
+		})
+		if err != nil {
+			fleetRigErr = err
+			return
+		}
+		rig := &fleetRig{f: f}
+		for _, up := range sim.Generator.Users()[:32] {
+			tape := loadgen.Tape(sim.Generator, up, 1)
+			for _, req := range tape {
+				if resp := f.Do(req); resp.Err != nil {
+					fleetRigErr = resp.Err
+					return
+				}
+			}
+			rig.tapes = append(rig.tapes, tape)
+		}
+		fleetRigLab = rig
+	})
+	if fleetRigErr != nil {
+		b.Fatal(fleetRigErr)
+	}
+	return fleetRigLab
+}
+
+// BenchmarkFleetServeDo measures the closed-loop serving path: one
+// client blocking on each response.
+func BenchmarkFleetServeDo(b *testing.B) {
+	rig := fleetBench(b)
+	tape := rig.tapes[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if resp := rig.f.Do(tape[i%len(tape)]); resp.Err != nil {
+			b.Fatal(resp.Err)
+		}
+	}
+}
+
+// BenchmarkFleetServeParallel measures contended throughput: many
+// client goroutines, each replaying a different user's tape.
+func BenchmarkFleetServeParallel(b *testing.B) {
+	rig := fleetBench(b)
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		tape := rig.tapes[int(next.Add(1))%len(rig.tapes)]
+		i := 0
+		for pb.Next() {
+			if resp := rig.f.Do(tape[i%len(tape)]); resp.Err != nil {
+				b.Error(resp.Err)
+				return
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkFleetSubmit measures the open-loop submission path
+// (enqueue plus shed decision; the drain falls outside the timer).
+func BenchmarkFleetSubmit(b *testing.B) {
+	rig := fleetBench(b)
+	tape := rig.tapes[1%len(rig.tapes)]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rig.f.Submit(tape[i%len(tape)])
+	}
+	b.StopTimer()
+	rig.f.Drain()
 }

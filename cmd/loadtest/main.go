@@ -1,0 +1,141 @@
+// Command loadtest drives a fleet of pocket cloudlets with calibrated
+// load and reports latency percentiles, throughput, hit rate and shed
+// rate. Two protocols are supported:
+//
+//   - open (default): requests arrive as a Poisson process at -qps,
+//     replayed from the community month log for -duration. Overload
+//     shows up as queue sheds and wall-latency inflation.
+//   - closed: every user of the -users population replays their own
+//     month stream concurrently, waiting for each response. With
+//     -duration 0 each user replays exactly one month, which makes the
+//     run's counters fully deterministic given -seed.
+//
+// Example (the acceptance run):
+//
+//	loadtest -users 10000 -duration 5s -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pocketcloudlets"
+	"pocketcloudlets/internal/engine"
+)
+
+func main() {
+	var (
+		mode       = flag.String("mode", "open", "load protocol: open (Poisson at -qps) or closed (-users concurrent users)")
+		users      = flag.Int("users", 4000, "simulated user population (and closed-loop concurrency)")
+		qps        = flag.Float64("qps", 2000, "open-loop target arrival rate")
+		duration   = flag.Duration("duration", 5*time.Second, "run length; 0 in closed mode replays exactly one month")
+		shards     = flag.Int("shards", 8, "user shards (community cache replicas)")
+		workers    = flag.Int("workers", 0, "worker pool size; 0 selects min(shards, GOMAXPROCS)")
+		queue      = flag.Int("queue", 1024, "per-worker queue depth before shedding")
+		seed       = flag.Int64("seed", 1, "simulation and arrival-schedule seed")
+		share      = flag.Float64("share", 0.55, "community cache cumulative-volume share")
+		month      = flag.Int("month", 1, "month to replay (content is built from the preceding month)")
+		radioName  = flag.String("radio", "3g", "radio technology: 3g, edge, wifi")
+		userBudget = flag.Int64("userbudget", 0, "per-user personal flash cap in bytes; 0 = unlimited")
+		fleetBut   = flag.Int64("fleetbudget", 0, "fleet-wide personal flash budget in bytes; 0 = default 2.5 GB")
+		jsonOut    = flag.Bool("json", false, "emit the report as JSON only")
+	)
+	flag.Parse()
+
+	var tech pocketcloudlets.RadioTech
+	switch strings.ToLower(*radioName) {
+	case "3g":
+		tech = pocketcloudlets.Radio3G
+	case "edge":
+		tech = pocketcloudlets.RadioEDGE
+	case "wifi":
+		tech = pocketcloudlets.RadioWiFi
+	default:
+		fmt.Fprintf(os.Stderr, "unknown radio %q\n", *radioName)
+		os.Exit(2)
+	}
+
+	progress := func(format string, args ...any) {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, format, args...)
+		}
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	progress("building ecosystem: %d users, seed %d...\n", *users, *seed)
+	ucfg := engine.Config{
+		NavPairs:    24000,
+		NonNavPairs: 120000,
+		NonNavSegments: []engine.Segment{
+			{Queries: 100, ResultsPerQuery: 6},
+			{Queries: 400, ResultsPerQuery: 4},
+			{Queries: 1500, ResultsPerQuery: 3},
+			{Queries: 8000, ResultsPerQuery: 2},
+		},
+	}
+	sim, err := pocketcloudlets.NewSimulation(pocketcloudlets.SimConfig{
+		Seed: *seed, Users: *users, UniverseConfig: &ucfg,
+	})
+	if err != nil {
+		fail(err)
+	}
+	content, err := sim.CommunityContent(*month-1, *share)
+	if err != nil {
+		fail(err)
+	}
+	progress("community content: %d pairs covering %.0f%% of volume\n",
+		len(content.Triplets), 100*content.CoveredShare)
+
+	col := pocketcloudlets.NewLoadCollector()
+	f, err := sim.NewFleet(content, pocketcloudlets.FleetConfig{
+		Shards:             *shards,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		Radio:              tech.Params(),
+		PerUserBytes:       *userBudget,
+		TotalPersonalBytes: *fleetBut,
+		Observer:           col,
+	})
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	progress("fleet up: %d shards, %d workers, queue depth %d, radio %s\n",
+		f.NumShards(), f.NumWorkers(), *queue, tech)
+
+	var report pocketcloudlets.LoadReport
+	switch *mode {
+	case "open":
+		progress("open loop: %.0f QPS for %v...\n", *qps, *duration)
+		report, err = sim.RunOpenLoad(f, col, pocketcloudlets.OpenLoadConfig{
+			QPS: *qps, Duration: *duration, Month: *month, Seed: *seed,
+		})
+	case "closed":
+		progress("closed loop: %d concurrent users...\n", *users)
+		report, err = sim.RunClosedLoad(f, col, pocketcloudlets.ClosedLoadConfig{
+			Users: *users, Month: *month, Duration: *duration, Seed: *seed,
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q (want open or closed)\n", *mode)
+		os.Exit(2)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	if *jsonOut {
+		raw, err := report.JSON()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(string(raw))
+		return
+	}
+	fmt.Print(report.String())
+}

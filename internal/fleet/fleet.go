@@ -1,0 +1,486 @@
+// Package fleet is the concurrent serving layer that turns the
+// single-device PocketSearch reproduction into a multi-user service:
+// the back end a carrier or search provider would run to simulate,
+// provision and evaluate pocket cloudlets for a whole user population
+// at once.
+//
+// Architecture:
+//
+//   - The user population is sharded by user hash across N shards.
+//     Each shard holds one replica of the shared community cache
+//     (preloaded from community logs, read-mostly) plus the personal
+//     PocketSearch state of every resident user, all guarded by the
+//     shard lock.
+//   - A pool of W workers drains W bounded queues. A shard is owned by
+//     exactly one worker (shard s → queue s mod W), so the requests of
+//     one user — who hashes to one shard — are always served in
+//     submission order. That, plus seedable workloads, makes fleet hit
+//     rates reproducible run to run.
+//   - Submission is non-blocking with explicit backpressure: when the
+//     owning worker's queue is full the request is shed and counted,
+//     never silently queued without bound (an open-loop load generator
+//     must observe overload, not hide it).
+//   - Personal state lives under a fleet-wide storage budget managed
+//     by the Section 7 cloudlet manager (internal/cloudletos): each
+//     shard registers its users' personal records as one cloudlet, and
+//     Reclaim evicts the lowest-utility records across the whole fleet.
+//
+// Request routing mirrors the paper's two-component cache at fleet
+// scale: personal component first, then the shared community replica,
+// then the cloud over the radio (which expands the user's personal
+// component, Section 5.3).
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pocketcloudlets/internal/cachegen"
+	"pocketcloudlets/internal/cloudletos"
+	"pocketcloudlets/internal/engine"
+	"pocketcloudlets/internal/pocketsearch"
+	"pocketcloudlets/internal/radio"
+	"pocketcloudlets/internal/searchlog"
+)
+
+// Source identifies which tier served a request.
+type Source int
+
+const (
+	// SourceShed marks a request rejected by backpressure.
+	SourceShed Source = iota
+	// SourcePersonal marks a hit in the user's personal component.
+	SourcePersonal
+	// SourceCommunity marks a hit in the shared community replica.
+	SourceCommunity
+	// SourceCloud marks a miss served by the cloud engine over the radio.
+	SourceCloud
+	numSources
+)
+
+// String implements fmt.Stringer.
+func (s Source) String() string {
+	switch s {
+	case SourceShed:
+		return "shed"
+	case SourcePersonal:
+		return "personal"
+	case SourceCommunity:
+		return "community"
+	case SourceCloud:
+		return "cloud"
+	default:
+		return fmt.Sprintf("Source(%d)", int(s))
+	}
+}
+
+// Request is one search interaction to serve on behalf of a user.
+type Request struct {
+	User  searchlog.UserID
+	Query string
+	Click string
+}
+
+// Response describes how one request was (or was not) served.
+type Response struct {
+	Req Request
+	// Shed reports that the request was rejected by backpressure and
+	// never served; all other fields except Req are zero.
+	Shed   bool
+	Source Source
+	// Outcome is the device-model serving outcome; its ResponseTime is
+	// the modeled user-perceived latency and is deterministic given the
+	// workload seed.
+	Outcome pocketsearch.Outcome
+	// Wall is the measured wall-clock latency from submission to
+	// completion, including queue wait (not deterministic).
+	Wall time.Duration
+	Err  error
+}
+
+// Hit reports whether the request was served from on-device state.
+func (r Response) Hit() bool { return !r.Shed && r.Err == nil && r.Outcome.Hit }
+
+// Observer receives every completed (or shed) response. Observe is
+// called concurrently from worker goroutines and must be safe for
+// concurrent use.
+type Observer interface {
+	Observe(Response)
+}
+
+// DefaultTotalPersonalBytes is the default fleet-wide personal storage
+// budget: the Table 2 assumption of ~2.5 GB of cloudlet flash, here
+// dedicated to the personal components of the whole resident
+// population.
+const DefaultTotalPersonalBytes = 2_500_000_000
+
+// Config parameterizes a fleet.
+type Config struct {
+	// Engine is the shared cloud engine (stateless, safe to share).
+	Engine *engine.Engine
+	// Content is the community cache content; every shard preloads a
+	// replica.
+	Content cachegen.Content
+	// Shards is the number of user shards. Zero selects 8.
+	Shards int
+	// Workers is the worker-pool size. Zero selects
+	// min(Shards, GOMAXPROCS); values above Shards are clamped (a
+	// shard is owned by exactly one worker).
+	Workers int
+	// QueueDepth is each worker queue's capacity; submissions beyond
+	// it are shed. Zero selects 1024.
+	QueueDepth int
+	// Options configure each user's personal cache (and, with
+	// personalization forced off, the community replicas).
+	Options pocketsearch.Options
+	// Radio is the radio technology of the simulated devices. Zero
+	// value selects 3G.
+	Radio radio.Params
+	// PerUserBytes caps each user's personal flash footprint; the cap
+	// is enforced deterministically on the serving path. Zero means
+	// unlimited.
+	PerUserBytes int64
+	// TotalPersonalBytes is the fleet-wide personal storage budget
+	// registered with the cloudlet manager and divided evenly among
+	// shards. Zero selects DefaultTotalPersonalBytes.
+	TotalPersonalBytes int64
+	// Observer, when non-nil, receives every response (completed or
+	// shed). It must be safe for concurrent use.
+	Observer Observer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers > c.Shards {
+		c.Workers = c.Shards
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.Radio.Name == "" {
+		c.Radio = radio.ThreeG()
+	}
+	if c.TotalPersonalBytes <= 0 {
+		c.TotalPersonalBytes = DefaultTotalPersonalBytes
+	}
+	return c
+}
+
+// task is one queued unit of work. A nil reply means fire-and-forget;
+// a non-nil barrier is a drain marker instead of a request.
+type task struct {
+	req      Request
+	shard    int
+	enqueued time.Time
+	reply    chan Response
+	barrier  chan struct{}
+}
+
+// Fleet is a running serving layer.
+type Fleet struct {
+	cfg     Config
+	shards  []*shard
+	queues  []chan task
+	wg      sync.WaitGroup
+	manager *cloudletos.Manager
+
+	// mu guards closed against concurrent Submit/Do/Close.
+	mu     sync.RWMutex
+	closed bool
+
+	served   atomic.Int64
+	shed     atomic.Int64
+	errors   atomic.Int64
+	bySource [numSources]atomic.Int64
+}
+
+// New builds the shards (community replicas are preloaded in
+// parallel), registers them with the storage manager, and starts the
+// worker pool.
+func New(cfg Config) (*Fleet, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("fleet: engine is required")
+	}
+	cfg = cfg.withDefaults()
+	f := &Fleet{
+		cfg:    cfg,
+		shards: make([]*shard, cfg.Shards),
+		queues: make([]chan task, cfg.Workers),
+	}
+
+	var build sync.WaitGroup
+	errs := make([]error, cfg.Shards)
+	for i := range f.shards {
+		build.Add(1)
+		go func(i int) {
+			defer build.Done()
+			f.shards[i], errs[i] = newShard(i, cfg.Engine, cfg.Content, cfg.Options, cfg.Radio, cfg.PerUserBytes)
+		}(i)
+	}
+	build.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	mgr, err := cloudletos.NewManager(cfg.TotalPersonalBytes)
+	if err != nil {
+		return nil, err
+	}
+	quota := cloudletos.Quota{FlashBytes: cfg.TotalPersonalBytes / int64(cfg.Shards)}
+	for _, sh := range f.shards {
+		if err := mgr.Register(sh, quota); err != nil {
+			return nil, err
+		}
+	}
+	f.manager = mgr
+
+	for w := range f.queues {
+		f.queues[w] = make(chan task, cfg.QueueDepth)
+		f.wg.Add(1)
+		go f.worker(w)
+	}
+	return f, nil
+}
+
+// NumShards returns the shard count.
+func (f *Fleet) NumShards() int { return len(f.shards) }
+
+// NumWorkers returns the worker-pool size.
+func (f *Fleet) NumWorkers() int { return len(f.queues) }
+
+// Manager exposes the Section 7 storage manager governing the fleet's
+// personal state.
+func (f *Fleet) Manager() *cloudletos.Manager { return f.manager }
+
+// shardOf maps a user to their home shard.
+func (f *Fleet) shardOf(uid searchlog.UserID) int {
+	return int(itemKey(uid, 0x517CC1B727220A95) % uint64(len(f.shards)))
+}
+
+// worker drains one queue, serving each task against its shard.
+func (f *Fleet) worker(id int) {
+	defer f.wg.Done()
+	for t := range f.queues[id] {
+		if t.barrier != nil {
+			t.barrier <- struct{}{}
+			continue
+		}
+		resp := f.shards[t.shard].serve(t.req)
+		resp.Wall = time.Since(t.enqueued)
+		f.served.Add(1)
+		f.bySource[resp.Source].Add(1)
+		if resp.Err != nil {
+			f.errors.Add(1)
+		}
+		if obs := f.cfg.Observer; obs != nil {
+			obs.Observe(resp)
+		}
+		if t.reply != nil {
+			t.reply <- resp
+		}
+	}
+}
+
+// enqueue routes a task to the owning worker's queue without blocking.
+// It reports false — and records the shed — when the queue is full or
+// the fleet is closed.
+func (f *Fleet) enqueue(t task) bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.closed {
+		f.recordShed(t.req)
+		return false
+	}
+	select {
+	case f.queues[t.shard%len(f.queues)] <- t:
+		return true
+	default:
+		f.recordShed(t.req)
+		return false
+	}
+}
+
+func (f *Fleet) recordShed(req Request) {
+	f.shed.Add(1)
+	f.bySource[SourceShed].Add(1)
+	if obs := f.cfg.Observer; obs != nil {
+		obs.Observe(Response{Req: req, Shed: true, Source: SourceShed})
+	}
+}
+
+// Submit enqueues a request fire-and-forget — the open-loop path. The
+// outcome reaches the Observer. It reports false when the request was
+// shed by backpressure.
+func (f *Fleet) Submit(req Request) bool {
+	return f.enqueue(task{req: req, shard: f.shardOf(req.User), enqueued: time.Now()})
+}
+
+// Do serves a request and blocks for its response — the closed-loop
+// path (the simulated user waits for their results page). A request
+// shed by backpressure returns immediately with Shed set.
+func (f *Fleet) Do(req Request) Response {
+	t := task{
+		req:      req,
+		shard:    f.shardOf(req.User),
+		enqueued: time.Now(),
+		reply:    make(chan Response, 1),
+	}
+	if !f.enqueue(t) {
+		return Response{Req: req, Shed: true, Source: SourceShed}
+	}
+	return <-t.reply
+}
+
+// Drain blocks until every request submitted before the call has been
+// served: it pushes a barrier through each worker queue. Safe to call
+// while other goroutines keep submitting (their requests may or may
+// not be covered).
+func (f *Fleet) Drain() {
+	acks := make([]chan struct{}, len(f.queues))
+	f.mu.RLock()
+	if f.closed {
+		f.mu.RUnlock()
+		return
+	}
+	for w := range f.queues {
+		acks[w] = make(chan struct{}, 1)
+		f.queues[w] <- task{barrier: acks[w]}
+	}
+	f.mu.RUnlock()
+	for _, ack := range acks {
+		<-ack
+	}
+}
+
+// Close drains and stops the worker pool. Requests submitted after
+// Close are shed.
+func (f *Fleet) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	for _, q := range f.queues {
+		close(q)
+	}
+	f.mu.Unlock()
+	f.wg.Wait()
+}
+
+// Stats is a snapshot of fleet-wide serving counters.
+type Stats struct {
+	// Served counts completed requests (including errored ones);
+	// Shed counts requests rejected by backpressure.
+	Served, Shed, Errors int64
+	// PersonalHits + CommunityHits are local serves; CloudMisses paid
+	// the radio round trip.
+	PersonalHits, CommunityHits, CloudMisses int64
+	// Users is the number of resident users (personal states).
+	Users int
+	// PersonalBytes is the personal flash footprint across all users.
+	PersonalBytes int64
+}
+
+// HitRate is the fraction of served requests answered from on-device
+// state — the fleet-scale analogue of the paper's combined hit rate.
+func (s Stats) HitRate() float64 {
+	if s.Served == 0 {
+		return 0
+	}
+	return float64(s.PersonalHits+s.CommunityHits) / float64(s.Served)
+}
+
+// ShedRate is the fraction of submitted requests shed by backpressure.
+func (s Stats) ShedRate() float64 {
+	total := s.Served + s.Shed
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Shed) / float64(total)
+}
+
+// Stats returns a fleet-wide snapshot. The per-shard walk takes each
+// shard lock briefly; counters are atomics.
+func (f *Fleet) Stats() Stats {
+	s := Stats{
+		Served:        f.served.Load(),
+		Shed:          f.shed.Load(),
+		Errors:        f.errors.Load(),
+		PersonalHits:  f.bySource[SourcePersonal].Load(),
+		CommunityHits: f.bySource[SourceCommunity].Load(),
+		CloudMisses:   f.bySource[SourceCloud].Load(),
+	}
+	for _, sh := range f.shards {
+		sh.mu.Lock()
+		s.Users += len(sh.users)
+		s.PersonalBytes += sh.personalBytes
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+// MeanUserHitRate is the mean of per-user hit rates across resident
+// users with at least one served request — the averaging the paper
+// uses for its "65% of queries are cache hits" headline. Rates are
+// summed in user-ID order so the float result is bit-reproducible.
+func (f *Fleet) MeanUserHitRate() float64 {
+	type userRate struct {
+		id   searchlog.UserID
+		rate float64
+	}
+	var rates []userRate
+	for _, sh := range f.shards {
+		sh.mu.Lock()
+		for uid, st := range sh.users {
+			if st.served > 0 {
+				rates = append(rates, userRate{uid, float64(st.hits) / float64(st.served)})
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if len(rates) == 0 {
+		return 0
+	}
+	sort.Slice(rates, func(i, j int) bool { return rates[i].id < rates[j].id })
+	var sum float64
+	for _, r := range rates {
+		sum += r.rate
+	}
+	return sum / float64(len(rates))
+}
+
+// CommunityStats aggregates the activity counters of every shard's
+// community replica. It deliberately reads through the caches' own
+// stats locks without taking shard locks, so monitoring never blocks
+// serving (the pocketsearch.Cache.Stats concurrency guarantee).
+func (f *Fleet) CommunityStats() pocketsearch.Stats {
+	var agg pocketsearch.Stats
+	for _, sh := range f.shards {
+		st := sh.community.Stats()
+		agg.Queries += st.Queries
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.Expansions += st.Expansions
+	}
+	return agg
+}
+
+// ReclaimPersonal frees at least want bytes of personal flash across
+// the whole fleet, evicting lowest-utility records first via the
+// Section 7 manager. With coordinate set, same-query records are
+// evicted together across shards. It returns the bytes freed.
+func (f *Fleet) ReclaimPersonal(want int64, coordinate bool) int64 {
+	return f.manager.Reclaim(want, coordinate)
+}

@@ -1,0 +1,280 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"pocketcloudlets/internal/cachegen"
+	"pocketcloudlets/internal/cloudletos"
+	"pocketcloudlets/internal/device"
+	"pocketcloudlets/internal/engine"
+	"pocketcloudlets/internal/flashsim"
+	"pocketcloudlets/internal/hash64"
+	"pocketcloudlets/internal/pocketsearch"
+	"pocketcloudlets/internal/radio"
+	"pocketcloudlets/internal/searchlog"
+)
+
+// userState is the per-user slice of a shard: the user's personal
+// PocketSearch cache (their expansions and click scores) plus serving
+// counters. The community component is shared by every user of the
+// shard, so the personal cache starts empty and stays small.
+type userState struct {
+	cache *pocketsearch.Cache
+	// bytes is the user's personal flash footprint (logical result-db
+	// bytes), maintained incrementally from expansion/eviction deltas.
+	bytes  int64
+	served int64
+	hits   int64
+	// refs indexes the user's personal records by eviction key, so the
+	// budget enforcer can find this user's lowest-utility items without
+	// scanning the whole shard.
+	refs map[uint64]evictRef
+}
+
+// evictRef locates one personal record for eviction bookkeeping.
+type evictRef struct {
+	user       searchlog.UserID
+	queryHash  uint64
+	resultHash uint64
+	bytes      int64
+}
+
+// shard owns a deterministic slice of the user population: one shared
+// community cache replica plus every resident user's personal state.
+// All mutation happens under mu; the fleet guarantees that requests of
+// one user are always executed in submission order (a user hashes to
+// exactly one shard and each shard is drained by exactly one worker).
+type shard struct {
+	id   int
+	eng  *engine.Engine
+	opts pocketsearch.Options
+	link radio.Params
+	// perUserBytes caps each user's personal flash footprint; zero
+	// means unlimited. Enforcement is deterministic: it runs after the
+	// expansion that crossed the cap, evicting that user's
+	// lowest-utility records first.
+	perUserBytes int64
+
+	mu        sync.Mutex
+	community *pocketsearch.Cache
+	users     map[searchlog.UserID]*userState
+	// keys routes cloudletos eviction keys back to their owner.
+	keys          map[uint64]evictRef
+	personalBytes int64
+}
+
+// itemKey derives the stable eviction key of a (user, result) personal
+// record via splitmix64 finalization.
+func itemKey(uid searchlog.UserID, resultHash uint64) uint64 {
+	x := (uint64(uid)+1)*0x9E3779B97F4A7C15 ^ resultHash
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// newShard builds one shard: a community cache replica preloaded with
+// the shared content (provisioned overnight, so its model clock is
+// reset afterwards) and an empty user map.
+func newShard(id int, eng *engine.Engine, content cachegen.Content, opts pocketsearch.Options, link radio.Params, perUserBytes int64) (*shard, error) {
+	commOpts := opts
+	// The community replica is shared by every user of the shard, so
+	// it must never absorb one user's personalization.
+	commOpts.DisablePersonalization = true
+	dev := device.New(device.Config{}, link, flashsim.Params{})
+	community, err := pocketsearch.Build(dev, eng, content, commOpts)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: shard %d community build: %w", id, err)
+	}
+	dev.Reset()
+	return &shard{
+		id:           id,
+		eng:          eng,
+		opts:         opts,
+		link:         link,
+		perUserBytes: perUserBytes,
+		community:    community,
+		users:        make(map[searchlog.UserID]*userState),
+		keys:         make(map[uint64]evictRef),
+	}, nil
+}
+
+// user returns (lazily creating) the per-user state. Caller holds mu.
+func (sh *shard) user(uid searchlog.UserID) (*userState, error) {
+	if st, ok := sh.users[uid]; ok {
+		return st, nil
+	}
+	dev := device.New(device.Config{}, sh.link, flashsim.Params{})
+	cache, err := pocketsearch.New(dev, sh.eng, sh.opts)
+	if err != nil {
+		return nil, err
+	}
+	st := &userState{cache: cache, refs: make(map[uint64]evictRef)}
+	sh.users[uid] = st
+	return st, nil
+}
+
+// serve executes one request under the shard lock. The routing mirrors
+// the paper's two-component cache (Figure 6) at fleet scale: the
+// personal component is consulted first (it carries the user's own
+// expansions and click scores), then the shared community replica, and
+// only a miss in both pays the radio round trip — which also expands
+// the user's personal component so the next repeat hits locally.
+func (sh *shard) serve(req Request) Response {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	resp := Response{Req: req}
+	st, err := sh.user(req.User)
+	if err != nil {
+		resp.Err = err
+		return resp
+	}
+	qh := hash64.Sum(req.Query)
+	ch := hash64.Sum(req.Click)
+
+	switch {
+	case st.cache.ContainsPair(qh, ch):
+		resp.Source = SourcePersonal
+		resp.Outcome, resp.Err = st.cache.Query(req.Query, req.Click)
+	case sh.community.ContainsPair(qh, ch):
+		resp.Source = SourceCommunity
+		resp.Outcome, resp.Err = sh.community.Query(req.Query, req.Click)
+	default:
+		resp.Source = SourceCloud
+		before := st.cache.DB().LogicalBytes()
+		resp.Outcome, resp.Err = st.cache.Query(req.Query, req.Click)
+		if delta := st.cache.DB().LogicalBytes() - before; delta > 0 {
+			ref := evictRef{user: req.User, queryHash: qh, resultHash: ch, bytes: delta}
+			key := itemKey(req.User, ch)
+			st.refs[key] = ref
+			sh.keys[key] = ref
+			st.bytes += delta
+			sh.personalBytes += delta
+			sh.enforceUserBudget(st)
+		}
+	}
+
+	st.served++
+	if resp.Outcome.Hit {
+		st.hits++
+	}
+	return resp
+}
+
+// utilityOf is the eviction utility of a personal record: the best
+// click score any query still gives it (Equation 1's S values), so a
+// user's stale, decayed records go first.
+func (st *userState) utilityOf(ref evictRef) float64 {
+	s, ok := st.cache.Table().Score(ref.queryHash, ref.resultHash)
+	if !ok {
+		return 0
+	}
+	return s
+}
+
+// enforceUserBudget evicts the user's lowest-utility personal records
+// until the user is back under the per-user byte cap. Caller holds mu.
+func (sh *shard) enforceUserBudget(st *userState) {
+	if sh.perUserBytes <= 0 {
+		return
+	}
+	for st.bytes > sh.perUserBytes && len(st.refs) > 0 {
+		var victim uint64
+		var victimRef evictRef
+		best := false
+		var bestScore float64
+		for key, ref := range st.refs {
+			s := st.utilityOf(ref)
+			if !best || s < bestScore || (s == bestScore && ref.resultHash < victimRef.resultHash) {
+				best, bestScore, victim, victimRef = true, s, key, ref
+			}
+		}
+		sh.evictLocked(victim, victimRef)
+	}
+}
+
+// evictLocked removes one personal record and its index entries.
+// Caller holds mu.
+func (sh *shard) evictLocked(key uint64, ref evictRef) int64 {
+	st, ok := sh.users[ref.user]
+	if !ok {
+		return 0
+	}
+	freed := st.cache.EvictResult(ref.resultHash)
+	st.bytes -= freed
+	sh.personalBytes -= freed
+	delete(st.refs, key)
+	delete(sh.keys, key)
+	return freed
+}
+
+// --- cloudletos.Cloudlet: the shard's personal state is one cloudlet
+// under the fleet-wide storage budget, so the Section 7 manager can
+// arbitrate flash across users exactly as it does across cloudlets.
+
+// Name implements cloudletos.Cloudlet.
+func (sh *shard) Name() string { return fmt.Sprintf("pocketsearch-shard-%d", sh.id) }
+
+// Items implements cloudletos.Cloudlet: every resident user's personal
+// records, in deterministic key order. Relation carries the query hash
+// so coordinated eviction can link a search record with same-query
+// items in sibling cloudlets (ads, maps).
+func (sh *shard) Items() []cloudletos.Item {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	keys := make([]uint64, 0, len(sh.keys))
+	for k := range sh.keys {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]cloudletos.Item, 0, len(keys))
+	for _, k := range keys {
+		ref := sh.keys[k]
+		st := sh.users[ref.user]
+		out = append(out, cloudletos.Item{
+			Key:      k,
+			Relation: ref.queryHash,
+			Bytes:    ref.bytes,
+			Utility:  st.utilityOf(ref),
+		})
+	}
+	return out
+}
+
+// Evict implements cloudletos.Cloudlet.
+func (sh *shard) Evict(keys []uint64) int64 {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var freed int64
+	for _, k := range keys {
+		if ref, ok := sh.keys[k]; ok {
+			freed += sh.evictLocked(k, ref)
+		}
+	}
+	return freed
+}
+
+// Read implements cloudletos.Cloudlet: a mediated read of one personal
+// record, charged to the owning user's device like any flash read.
+func (sh *shard) Read(key uint64) ([]byte, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ref, ok := sh.keys[key]
+	if !ok {
+		return nil, false
+	}
+	st, ok := sh.users[ref.user]
+	if !ok {
+		return nil, false
+	}
+	rec, _, err := st.cache.DB().Get(ref.resultHash)
+	if err != nil {
+		return nil, false
+	}
+	return rec, true
+}

@@ -1,0 +1,169 @@
+package loadgen
+
+import (
+	"math"
+	"time"
+)
+
+// histBuckets bounds the histogram's bucket array. With quarter-octave
+// buckets starting at 1 µs, bucket 199 covers latencies beyond 10^9
+// seconds — effectively unbounded.
+const histBuckets = 200
+
+// Histogram is a log-bucketed latency histogram: bucket 0 holds
+// sub-microsecond samples and every later bucket spans a quarter
+// octave (×2^¼ ≈ 1.19), so quantiles are accurate to ~±9% across nine
+// decades at a fixed 200-counter footprint. The zero value is ready to
+// use. Histograms are value-mergeable and order-independent: the same
+// multiset of samples produces the same histogram, which is what makes
+// the load generator's modeled-latency percentiles reproducible across
+// runs even though workers interleave differently.
+//
+// Histogram is not safe for concurrent use; the Collector serializes
+// access.
+type Histogram struct {
+	counts   [histBuckets]uint64
+	total    uint64
+	sum      time.Duration
+	min, max time.Duration
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	if d < time.Microsecond {
+		return 0
+	}
+	i := 1 + int(math.Floor(math.Log2(float64(d)/float64(time.Microsecond))*4))
+	if i < 1 {
+		i = 1
+	}
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// bucketUpper returns the exclusive upper bound of a bucket.
+func bucketUpper(i int) time.Duration {
+	if i <= 0 {
+		return time.Microsecond
+	}
+	return time.Duration(float64(time.Microsecond) * math.Pow(2, float64(i)/4))
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketOf(d)]++
+	h.total++
+	h.sum += d
+	if h.total == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Merge folds another histogram into this one.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.total == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.total == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.total += o.total
+	h.sum += o.sum
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the exact mean of all samples.
+func (h *Histogram) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.total)
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Min returns the smallest sample.
+func (h *Histogram) Min() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Quantile returns the latency at or below which a fraction q of the
+// samples fall, reported as the holding bucket's upper bound (clamped
+// to the exact observed extrema).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := uint64(math.Ceil(q * float64(h.total)))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= target {
+			u := bucketUpper(i)
+			if u > h.max {
+				u = h.max
+			}
+			if u < h.min {
+				u = h.min
+			}
+			return u
+		}
+	}
+	return h.max
+}
+
+// LatencySummary is the machine-readable digest of a histogram, with
+// durations in integer nanoseconds for stable JSON.
+type LatencySummary struct {
+	Count  uint64 `json:"count"`
+	MeanNS int64  `json:"mean_ns"`
+	MinNS  int64  `json:"min_ns"`
+	P50NS  int64  `json:"p50_ns"`
+	P90NS  int64  `json:"p90_ns"`
+	P99NS  int64  `json:"p99_ns"`
+	P999NS int64  `json:"p999_ns"`
+	MaxNS  int64  `json:"max_ns"`
+}
+
+// Summary digests the histogram.
+func (h *Histogram) Summary() LatencySummary {
+	return LatencySummary{
+		Count:  h.total,
+		MeanNS: int64(h.Mean()),
+		MinNS:  int64(h.Min()),
+		P50NS:  int64(h.Quantile(0.50)),
+		P90NS:  int64(h.Quantile(0.90)),
+		P99NS:  int64(h.Quantile(0.99)),
+		P999NS: int64(h.Quantile(0.999)),
+		MaxNS:  int64(h.Max()),
+	}
+}

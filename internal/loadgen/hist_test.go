@@ -1,0 +1,115 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("empty histogram not zeroed: %+v", h.Summary())
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Errorf("empty quantile = %v, want 0", h.Quantile(0.5))
+	}
+}
+
+func TestBucketBoundsMonotone(t *testing.T) {
+	for i := 1; i < histBuckets; i++ {
+		if bucketUpper(i) <= bucketUpper(i-1) {
+			t.Fatalf("bucket %d upper %v not above bucket %d upper %v",
+				i, bucketUpper(i), i-1, bucketUpper(i-1))
+		}
+	}
+	// A sample must land in a bucket whose bounds contain it.
+	for _, d := range []time.Duration{0, time.Microsecond, 3 * time.Microsecond,
+		time.Millisecond, 250 * time.Millisecond, 3 * time.Second, time.Hour} {
+		i := bucketOf(d)
+		if d >= bucketUpper(i) {
+			t.Errorf("%v in bucket %d but >= upper bound %v", d, i, bucketUpper(i))
+		}
+		if i > 0 && d < bucketUpper(i-1) {
+			t.Errorf("%v in bucket %d but < lower bound %v", d, i, bucketUpper(i-1))
+		}
+	}
+}
+
+func TestQuantileAccuracy(t *testing.T) {
+	// Exponentially distributed samples with a known mean: quarter-
+	// octave buckets bound the relative quantile error by 2^¼ ≈ 19%.
+	rng := rand.New(rand.NewSource(42))
+	const n = 100_000
+	samples := make([]float64, n)
+	var h Histogram
+	for i := range samples {
+		d := time.Duration(rng.ExpFloat64() * float64(50*time.Millisecond))
+		samples[i] = float64(d)
+		h.Observe(d)
+	}
+	if h.Count() != n {
+		t.Fatalf("count = %d, want %d", h.Count(), n)
+	}
+	// Exact quantiles by sorting.
+	sorted := append([]float64(nil), samples...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := sorted[int(q*float64(n))]
+		got := float64(h.Quantile(q))
+		if rel := math.Abs(got-exact) / exact; rel > 0.2 {
+			t.Errorf("q%.2f = %v, exact %v: relative error %.3f > 0.2",
+				q, time.Duration(got), time.Duration(exact), rel)
+		}
+	}
+	// Quantiles are clamped to the observed extrema.
+	if h.Quantile(0) != h.Min() || h.Quantile(1) != h.Max() {
+		t.Errorf("extreme quantiles not clamped: q0=%v min=%v q1=%v max=%v",
+			h.Quantile(0), h.Min(), h.Quantile(1), h.Max())
+	}
+}
+
+func TestMergeEqualsCombined(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var a, b, all Histogram
+	for i := 0; i < 10_000; i++ {
+		d := time.Duration(rng.Int63n(int64(time.Second)))
+		all.Observe(d)
+		if i%2 == 0 {
+			a.Observe(d)
+		} else {
+			b.Observe(d)
+		}
+	}
+	a.Merge(&b)
+	if a != all {
+		t.Error("merged histogram differs from directly-observed one")
+	}
+	// Merging an empty histogram is a no-op.
+	before := a
+	a.Merge(&Histogram{})
+	if a != before {
+		t.Error("merging empty histogram changed state")
+	}
+}
+
+func TestSummaryOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var h Histogram
+	for i := 0; i < 5000; i++ {
+		h.Observe(time.Duration(rng.ExpFloat64() * float64(10*time.Millisecond)))
+	}
+	s := h.Summary()
+	if !(s.MinNS <= s.P50NS && s.P50NS <= s.P90NS && s.P90NS <= s.P99NS &&
+		s.P99NS <= s.P999NS && s.P999NS <= s.MaxNS) {
+		t.Errorf("summary quantiles not monotone: %+v", s)
+	}
+	if s.Count != 5000 {
+		t.Errorf("count = %d, want 5000", s.Count)
+	}
+}

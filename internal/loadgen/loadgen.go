@@ -1,0 +1,429 @@
+// Package loadgen drives a fleet (internal/fleet) with calibrated
+// load and measures it, the way the milvus-benchmark and ReqBench
+// style harnesses measure a serving system:
+//
+//   - Open loop: requests arrive as a Poisson process at a target QPS,
+//     replayed from the community's merged month log, regardless of
+//     how fast the fleet keeps up — overload shows up as queue sheds
+//     and wall-latency inflation, never as a silently slowed-down
+//     generator.
+//   - Closed loop: K concurrent simulated users each replay their own
+//     workload stream (internal/workload cursor) and wait for each
+//     response before issuing the next query, reusing the replay
+//     harness's per-user outcome accounting so fleet hit rates are
+//     directly comparable with the paper's Figure 17 numbers.
+//
+// Both record per-request latency into log-bucketed histograms — the
+// measured wall latency including queue wait, and the modeled
+// on-device response time, which is deterministic given the workload
+// seed — plus throughput, hit-, miss- and shed-rates, emitted as a
+// machine-readable Report.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pocketcloudlets/internal/fleet"
+	"pocketcloudlets/internal/replay"
+	"pocketcloudlets/internal/workload"
+)
+
+// Collector aggregates fleet responses into histograms and counters.
+// Install it as the fleet's Observer (fleet.Config.Observer) before
+// running a load phase. Observe is safe for concurrent use.
+type Collector struct {
+	mu       sync.Mutex
+	wall     Histogram
+	model    Histogram
+	shed     uint64
+	errors   uint64
+	bySource map[fleet.Source]uint64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{bySource: make(map[fleet.Source]uint64)}
+}
+
+// Observe implements fleet.Observer.
+func (c *Collector) Observe(r fleet.Response) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r.Shed {
+		c.shed++
+		return
+	}
+	if r.Err != nil {
+		c.errors++
+		return
+	}
+	c.wall.Observe(r.Wall)
+	c.model.Observe(r.Outcome.ResponseTime())
+	c.bySource[r.Source]++
+}
+
+// Reset clears the collector for a fresh load phase.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.wall = Histogram{}
+	c.model = Histogram{}
+	c.shed = 0
+	c.errors = 0
+	c.bySource = make(map[fleet.Source]uint64)
+}
+
+// snapshot copies the collector state.
+func (c *Collector) snapshot() (wall, model Histogram, shed, errs uint64, bySource map[fleet.Source]uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bySource = make(map[fleet.Source]uint64, len(c.bySource))
+	for k, v := range c.bySource {
+		bySource[k] = v
+	}
+	return c.wall, c.model, c.shed, c.errors, bySource
+}
+
+// Report is the machine-readable result of one load phase. Counters
+// and the modeled-latency summary are deterministic given the workload
+// seed (when nothing was shed); wall-clock figures are measurements.
+type Report struct {
+	Mode    string `json:"mode"`
+	Seed    int64  `json:"seed"`
+	Users   int    `json:"users"`
+	Shards  int    `json:"shards"`
+	Workers int    `json:"workers"`
+
+	Requests uint64 `json:"requests"`
+	Served   uint64 `json:"served"`
+	Shed     uint64 `json:"shed"`
+	Errors   uint64 `json:"errors"`
+
+	PersonalHits  uint64 `json:"personal_hits"`
+	CommunityHits uint64 `json:"community_hits"`
+	CloudMisses   uint64 `json:"cloud_misses"`
+
+	HitRate float64 `json:"hit_rate"`
+	// MeanUserHitRate averages per-user hit rates — the paper's
+	// Figure 17 metric (closed loop only; zero otherwise).
+	MeanUserHitRate float64 `json:"mean_user_hit_rate"`
+	// ClassHitRate is the mean per-user hit rate by user class
+	// (closed loop only).
+	ClassHitRate map[string]float64 `json:"class_hit_rate,omitempty"`
+	ShedRate     float64            `json:"shed_rate"`
+
+	ElapsedNS int64 `json:"elapsed_ns"`
+	// OfferedQPS is the generator's target arrival rate (open loop).
+	OfferedQPS float64 `json:"offered_qps"`
+	// ServedQPS is completed requests per wall-clock second.
+	ServedQPS float64 `json:"served_qps"`
+	// MaxScheduleLagNS is how far the open-loop generator fell behind
+	// its Poisson schedule at worst (a saturated generator, not fleet).
+	MaxScheduleLagNS int64 `json:"max_schedule_lag_ns,omitempty"`
+
+	// Wall is measured submit-to-completion latency including queue
+	// wait; Model is the modeled on-device response time.
+	Wall  LatencySummary `json:"wall_latency"`
+	Model LatencySummary `json:"model_latency"`
+
+	// PersonalBytes is the fleet's personal flash footprint after the
+	// run; ResidentUsers the number of materialized personal states.
+	PersonalBytes int64 `json:"personal_bytes"`
+	ResidentUsers int   `json:"resident_users"`
+
+	// Outcomes carries per-user accounting for further analysis
+	// (closed loop only; not serialized).
+	Outcomes []replay.UserOutcome `json:"-"`
+}
+
+// JSON renders the report as indented JSON.
+func (r Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// String renders a human-readable summary.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s load: %d requests in %v (%.0f served QPS", r.Mode, r.Requests, time.Duration(r.ElapsedNS).Round(time.Millisecond), r.ServedQPS)
+	if r.OfferedQPS > 0 {
+		fmt.Fprintf(&b, ", %.0f offered", r.OfferedQPS)
+	}
+	fmt.Fprintf(&b, ")\n")
+	fmt.Fprintf(&b, "  served %d  shed %d (%.2f%%)  errors %d\n", r.Served, r.Shed, 100*r.ShedRate, r.Errors)
+	fmt.Fprintf(&b, "  hit rate %.1f%% (personal %d, community %d, cloud misses %d)\n",
+		100*r.HitRate, r.PersonalHits, r.CommunityHits, r.CloudMisses)
+	if r.MeanUserHitRate > 0 {
+		fmt.Fprintf(&b, "  mean per-user hit rate %.1f%%", 100*r.MeanUserHitRate)
+		if len(r.ClassHitRate) > 0 {
+			classes := make([]string, 0, len(r.ClassHitRate))
+			for c := range r.ClassHitRate {
+				classes = append(classes, c)
+			}
+			sort.Strings(classes)
+			parts := make([]string, 0, len(classes))
+			for _, c := range classes {
+				parts = append(parts, fmt.Sprintf("%s %.1f%%", c, 100*r.ClassHitRate[c]))
+			}
+			fmt.Fprintf(&b, " (%s)", strings.Join(parts, ", "))
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	ms := func(ns int64) string { return time.Duration(ns).Round(10 * time.Microsecond).String() }
+	fmt.Fprintf(&b, "  wall latency  p50 %s  p90 %s  p99 %s  p99.9 %s  max %s\n",
+		ms(r.Wall.P50NS), ms(r.Wall.P90NS), ms(r.Wall.P99NS), ms(r.Wall.P999NS), ms(r.Wall.MaxNS))
+	fmt.Fprintf(&b, "  model latency p50 %s  p90 %s  p99 %s  p99.9 %s  max %s\n",
+		ms(r.Model.P50NS), ms(r.Model.P90NS), ms(r.Model.P99NS), ms(r.Model.P999NS), ms(r.Model.MaxNS))
+	fmt.Fprintf(&b, "  personal flash %d bytes across %d resident users\n", r.PersonalBytes, r.ResidentUsers)
+	return b.String()
+}
+
+// fill populates the shared report fields from the collector and the
+// fleet's counters.
+func fill(r *Report, f *fleet.Fleet, col *Collector, elapsed time.Duration) {
+	wall, model, shed, errs, bySource := col.snapshot()
+	r.Shards = f.NumShards()
+	r.Workers = f.NumWorkers()
+	r.Shed = shed
+	r.Errors = errs
+	r.PersonalHits = bySource[fleet.SourcePersonal]
+	r.CommunityHits = bySource[fleet.SourceCommunity]
+	r.CloudMisses = bySource[fleet.SourceCloud]
+	r.Served = r.PersonalHits + r.CommunityHits + r.CloudMisses
+	r.Requests = r.Served + r.Shed + r.Errors
+	if r.Served > 0 {
+		r.HitRate = float64(r.PersonalHits+r.CommunityHits) / float64(r.Served)
+	}
+	if r.Requests > 0 {
+		r.ShedRate = float64(r.Shed) / float64(r.Requests)
+	}
+	r.ElapsedNS = int64(elapsed)
+	if elapsed > 0 {
+		r.ServedQPS = float64(r.Served) / elapsed.Seconds()
+	}
+	r.Wall = wall.Summary()
+	r.Model = model.Summary()
+	st := f.Stats()
+	r.PersonalBytes = st.PersonalBytes
+	r.ResidentUsers = st.Users
+}
+
+// OpenConfig parameterizes an open-loop run.
+type OpenConfig struct {
+	// QPS is the target Poisson arrival rate.
+	QPS float64
+	// Duration bounds the arrival schedule; the schedule (and so the
+	// request count) is deterministic given Seed, QPS and Duration.
+	Duration time.Duration
+	// Month selects which month's community log is replayed as the
+	// request tape. The tape wraps if the schedule outruns it.
+	Month int
+	// Seed drives the Poisson schedule.
+	Seed int64
+	// MaxRequests caps the schedule length. Zero selects 10 million.
+	MaxRequests int
+}
+
+// RunOpen replays the community month log against the fleet as an
+// open-loop Poisson arrival process. col must be installed as the
+// fleet's Observer; it is reset at the start of the run. The call
+// returns after every scheduled request has been served or shed.
+func RunOpen(f *fleet.Fleet, col *Collector, g *workload.Generator, cfg OpenConfig) (Report, error) {
+	if f == nil || col == nil || g == nil {
+		return Report{}, fmt.Errorf("loadgen: fleet, collector and generator are required")
+	}
+	if cfg.QPS <= 0 {
+		return Report{}, fmt.Errorf("loadgen: QPS must be positive, got %g", cfg.QPS)
+	}
+	if cfg.Duration <= 0 {
+		return Report{}, fmt.Errorf("loadgen: Duration must be positive, got %v", cfg.Duration)
+	}
+	maxReq := cfg.MaxRequests
+	if maxReq <= 0 {
+		maxReq = 10_000_000
+	}
+	tape := g.MonthLog(cfg.Month).Entries
+	if len(tape) == 0 {
+		return Report{}, fmt.Errorf("loadgen: month %d log is empty", cfg.Month)
+	}
+	u := g.Config().Universe
+
+	// The whole Poisson schedule is drawn up front so the arrival
+	// count is a pure function of (Seed, QPS, Duration) — an open-loop
+	// generator must not let fleet backpressure slow the arrivals.
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x09E2_7C15))
+	var schedule []time.Duration
+	var at time.Duration
+	for len(schedule) < maxReq {
+		at += time.Duration(rng.ExpFloat64() / cfg.QPS * float64(time.Second))
+		if at > cfg.Duration {
+			break
+		}
+		schedule = append(schedule, at)
+	}
+
+	col.Reset()
+	var maxLag time.Duration
+	start := time.Now()
+	for i, due := range schedule {
+		now := time.Since(start)
+		if wait := due - now; wait > 0 {
+			time.Sleep(wait)
+		} else if lag := -wait; lag > maxLag {
+			maxLag = lag
+		}
+		e := tape[i%len(tape)]
+		f.Submit(fleet.Request{
+			User:  e.User,
+			Query: u.QueryText(u.QueryOf(e.Pair)),
+			Click: u.ResultURL(u.ResultOf(e.Pair)),
+		})
+	}
+	f.Drain()
+	elapsed := time.Since(start)
+
+	r := Report{
+		Mode:             "open",
+		Seed:             cfg.Seed,
+		Users:            len(g.Users()),
+		OfferedQPS:       cfg.QPS,
+		MaxScheduleLagNS: int64(maxLag),
+	}
+	fill(&r, f, col, elapsed)
+	return r, nil
+}
+
+// ClosedConfig parameterizes a closed-loop run.
+type ClosedConfig struct {
+	// Users is the number of concurrent simulated users (the first K
+	// profiles of the population, which samples classes by share).
+	Users int
+	// Month is the first month each user replays.
+	Month int
+	// Duration bounds the run; users keep replaying subsequent months
+	// until it elapses. Zero replays exactly one month per user, which
+	// makes the run's request count — and every derived counter —
+	// deterministic.
+	Duration time.Duration
+	// MaxQueriesPerUser caps each user's stream. Zero means no cap.
+	MaxQueriesPerUser int
+	// Weeks is the weekly bucket count for per-user accounting. Zero
+	// selects 5, matching the replay harness.
+	Weeks int
+	// Seed is recorded in the report (closed-loop arrivals are fully
+	// determined by the generator's own seed).
+	Seed int64
+}
+
+// RunClosed drives the fleet with K concurrent simulated users, each
+// replaying their own workload stream and waiting for every response —
+// the closed-loop protocol whose hit rates correspond to the paper's
+// replay evaluation. col must be installed as the fleet's Observer; it
+// is reset at the start of the run.
+func RunClosed(f *fleet.Fleet, col *Collector, g *workload.Generator, cfg ClosedConfig) (Report, error) {
+	if f == nil || col == nil || g == nil {
+		return Report{}, fmt.Errorf("loadgen: fleet, collector and generator are required")
+	}
+	profiles := g.Users()
+	if cfg.Users <= 0 || cfg.Users > len(profiles) {
+		return Report{}, fmt.Errorf("loadgen: Users must be in [1, %d], got %d", len(profiles), cfg.Users)
+	}
+	weeks := cfg.Weeks
+	if weeks <= 0 {
+		weeks = 5
+	}
+	u := g.Config().Universe
+
+	col.Reset()
+	outcomes := make([]replay.UserOutcome, cfg.Users)
+	var deadline time.Time
+	if cfg.Duration > 0 {
+		deadline = time.Now().Add(cfg.Duration)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Users; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			up := profiles[i]
+			cur := g.Cursor(up, cfg.Month)
+			uo := replay.NewUserOutcome(up, weeks)
+			for n := 0; cfg.MaxQueriesPerUser <= 0 || n < cfg.MaxQueriesPerUser; n++ {
+				if cfg.Duration > 0 && !time.Now().Before(deadline) {
+					break
+				}
+				e, month := cur.Next()
+				if cfg.Duration <= 0 && month > cfg.Month {
+					break
+				}
+				resp := f.Do(fleet.Request{
+					User:  up.ID,
+					Query: u.QueryText(u.QueryOf(e.Pair)),
+					Click: u.ResultURL(u.ResultOf(e.Pair)),
+				})
+				if resp.Shed || resp.Err != nil {
+					continue
+				}
+				uo.Record(e.At, u.Navigational(e.Pair), resp.Outcome)
+			}
+			outcomes[i] = uo
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	r := Report{
+		Mode:     "closed",
+		Seed:     cfg.Seed,
+		Users:    cfg.Users,
+		Outcomes: outcomes,
+	}
+	fill(&r, f, col, elapsed)
+
+	classSum := make(map[string]float64)
+	classN := make(map[string]int)
+	var sum float64
+	var n int
+	for _, uo := range outcomes {
+		if uo.Volume == 0 {
+			continue
+		}
+		hr := uo.HitRate()
+		sum += hr
+		n++
+		name := uo.Profile.Class.String()
+		classSum[name] += hr
+		classN[name]++
+	}
+	if n > 0 {
+		r.MeanUserHitRate = sum / float64(n)
+		r.ClassHitRate = make(map[string]float64, len(classSum))
+		for c, s := range classSum {
+			r.ClassHitRate[c] = s / float64(classN[c])
+		}
+	}
+	return r, nil
+}
+
+// Tape materializes one user's month stream as ready-to-serve fleet
+// requests — a convenience for benchmarks that drive the serving path
+// directly.
+func Tape(g *workload.Generator, up workload.UserProfile, month int) []fleet.Request {
+	u := g.Config().Universe
+	stream := g.UserStream(up, month)
+	out := make([]fleet.Request, len(stream))
+	for i, e := range stream {
+		out[i] = fleet.Request{
+			User:  e.User,
+			Query: u.QueryText(u.QueryOf(e.Pair)),
+			Click: u.ResultURL(u.ResultOf(e.Pair)),
+		}
+	}
+	return out
+}

@@ -1,0 +1,282 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"pocketcloudlets/internal/cachegen"
+	"pocketcloudlets/internal/engine"
+	"pocketcloudlets/internal/fleet"
+	"pocketcloudlets/internal/replay"
+	"pocketcloudlets/internal/searchlog"
+	"pocketcloudlets/internal/workload"
+)
+
+func smallGen(t testing.TB, users int) *workload.Generator {
+	t.Helper()
+	u, err := engine.NewUniverse(engine.Config{
+		NavPairs:    8000,
+		NonNavPairs: 40000,
+		NonNavSegments: []engine.Segment{
+			{Queries: 50, ResultsPerQuery: 6},
+			{Queries: 200, ResultsPerQuery: 3},
+			{Queries: 2000, ResultsPerQuery: 2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := workload.DefaultConfig(u, users, 7)
+	cfg.FavNavRanks = 2000
+	cfg.FavNonNavRanks = 6000
+	g, err := workload.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func smallContent(t testing.TB, g *workload.Generator) cachegen.Content {
+	t.Helper()
+	tbl := searchlog.ExtractTriplets(g.MonthLog(0).Entries)
+	n, err := cachegen.SelectByShare(tbl, 0.55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cachegen.Generate(tbl, g.Config().Universe, n)
+}
+
+// newRig builds a fleet with a collector installed as its observer.
+func newRig(t testing.TB, g *workload.Generator, content cachegen.Content) (*fleet.Fleet, *Collector) {
+	t.Helper()
+	col := NewCollector()
+	f, err := fleet.New(fleet.Config{
+		Engine:     engine.New(g.Config().Universe),
+		Content:    content,
+		Shards:     4,
+		Workers:    2,
+		QueueDepth: 4096,
+		Observer:   col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	return f, col
+}
+
+func TestRunValidation(t *testing.T) {
+	g := smallGen(t, 16)
+	f, col := newRig(t, g, smallContent(t, g))
+	if _, err := RunOpen(nil, col, g, OpenConfig{QPS: 1, Duration: time.Second}); err == nil {
+		t.Error("nil fleet should fail")
+	}
+	if _, err := RunOpen(f, col, g, OpenConfig{QPS: 0, Duration: time.Second}); err == nil {
+		t.Error("zero QPS should fail")
+	}
+	if _, err := RunOpen(f, col, g, OpenConfig{QPS: 10, Duration: 0}); err == nil {
+		t.Error("zero duration should fail")
+	}
+	if _, err := RunClosed(f, col, g, ClosedConfig{Users: 0}); err == nil {
+		t.Error("zero users should fail")
+	}
+	if _, err := RunClosed(f, col, g, ClosedConfig{Users: 100}); err == nil {
+		t.Error("more users than population should fail")
+	}
+}
+
+// TestClosedLoopDeterministic runs the same closed-loop experiment on
+// two fresh fleets and expects every seed-deterministic field of the
+// report to agree bit-for-bit, concurrency notwithstanding.
+func TestClosedLoopDeterministic(t *testing.T) {
+	g := smallGen(t, 160)
+	content := smallContent(t, g)
+	cfg := ClosedConfig{Users: 160, Month: 1, Seed: 9}
+
+	run := func() Report {
+		f, col := newRig(t, g, content)
+		r, err := RunClosed(f, col, g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r1, r2 := run(), run()
+
+	if r1.Shed != 0 || r2.Shed != 0 {
+		t.Fatalf("closed loop shed requests (%d, %d); determinism undefined", r1.Shed, r2.Shed)
+	}
+	if r1.Requests != r2.Requests || r1.Served != r2.Served ||
+		r1.PersonalHits != r2.PersonalHits || r1.CommunityHits != r2.CommunityHits ||
+		r1.CloudMisses != r2.CloudMisses {
+		t.Errorf("counters differ:\n  %+v\n  %+v", r1, r2)
+	}
+	if r1.HitRate != r2.HitRate || r1.MeanUserHitRate != r2.MeanUserHitRate {
+		t.Errorf("hit rates differ: %v/%v vs %v/%v",
+			r1.HitRate, r1.MeanUserHitRate, r2.HitRate, r2.MeanUserHitRate)
+	}
+	for class, hr := range r1.ClassHitRate {
+		if r2.ClassHitRate[class] != hr {
+			t.Errorf("class %s hit rate differs: %v vs %v", class, hr, r2.ClassHitRate[class])
+		}
+	}
+	// The modeled-latency histogram is order-independent, so its whole
+	// summary is reproducible even though workers interleave freely.
+	if r1.Model != r2.Model {
+		t.Errorf("model latency summaries differ:\n  %+v\n  %+v", r1.Model, r2.Model)
+	}
+	if r1.PersonalBytes != r2.PersonalBytes || r1.ResidentUsers != r2.ResidentUsers {
+		t.Errorf("residency differs: %d/%d vs %d/%d",
+			r1.PersonalBytes, r1.ResidentUsers, r2.PersonalBytes, r2.ResidentUsers)
+	}
+}
+
+// TestClosedLoopMatchesReplay checks the paper-shape acceptance: the
+// fleet's closed-loop mean per-user hit rate lands on the replay
+// harness's Full-mode number (~65%, Figure 17) for the same users.
+func TestClosedLoopMatchesReplay(t *testing.T) {
+	g := smallGen(t, 160)
+	content := smallContent(t, g)
+
+	f, col := newRig(t, g, content)
+	r, err := RunClosed(f, col, g, ClosedConfig{Users: 160, Month: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := replay.Run(replay.Config{Gen: g, Content: content, Mode: replay.Full, Month: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	var n int
+	for _, uo := range res.Users {
+		if uo.Volume > 0 {
+			sum += uo.HitRate()
+			n++
+		}
+	}
+	want := sum / float64(n)
+
+	if diff := math.Abs(r.MeanUserHitRate - want); diff > 1e-9 {
+		t.Errorf("closed-loop mean user hit rate %.6f, replay %.6f (diff %g)",
+			r.MeanUserHitRate, want, diff)
+	}
+	if r.MeanUserHitRate < 0.45 || r.MeanUserHitRate > 0.9 {
+		t.Errorf("mean user hit rate %.3f outside the paper's plausible band", r.MeanUserHitRate)
+	}
+	if r.CommunityHits == 0 || r.PersonalHits == 0 || r.CloudMisses == 0 {
+		t.Errorf("expected all three tiers exercised: %+v", r)
+	}
+	// Per-user accounting is carried for downstream analysis.
+	if len(r.Outcomes) != 160 {
+		t.Errorf("outcomes = %d, want 160", len(r.Outcomes))
+	}
+}
+
+// TestOpenLoopSchedule checks the open-loop arrival count is a pure
+// function of (seed, QPS, duration) and the report is consistent.
+func TestOpenLoopSchedule(t *testing.T) {
+	g := smallGen(t, 64)
+	content := smallContent(t, g)
+	cfg := OpenConfig{QPS: 5000, Duration: 200 * time.Millisecond, Month: 1, Seed: 11}
+
+	run := func() Report {
+		f, col := newRig(t, g, content)
+		r, err := RunOpen(f, col, g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r1, r2 := run(), run()
+	if r1.Requests != r2.Requests {
+		t.Errorf("arrival counts differ across runs: %d vs %d", r1.Requests, r2.Requests)
+	}
+	if r1.Requests == 0 {
+		t.Fatal("no arrivals scheduled")
+	}
+	if r1.Served+r1.Shed+r1.Errors != r1.Requests {
+		t.Errorf("served %d + shed %d + errors %d != requests %d",
+			r1.Served, r1.Shed, r1.Errors, r1.Requests)
+	}
+	if r1.Mode != "open" || r1.OfferedQPS != cfg.QPS || r1.ServedQPS <= 0 {
+		t.Errorf("report inconsistent: %+v", r1)
+	}
+	if r1.Wall.Count != r1.Served || r1.Model.Count != r1.Served {
+		t.Errorf("histogram counts %d/%d, want %d", r1.Wall.Count, r1.Model.Count, r1.Served)
+	}
+	// A different seed draws a different Poisson schedule.
+	cfg.Seed = 12
+	f, col := newRig(t, g, content)
+	r3, err := RunOpen(f, col, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Requests == r1.Requests {
+		t.Logf("note: different seeds drew equal arrival counts (%d); merely unlikely", r1.Requests)
+	}
+}
+
+func TestReportJSON(t *testing.T) {
+	g := smallGen(t, 32)
+	f, col := newRig(t, g, smallContent(t, g))
+	r, err := RunClosed(f, col, g, ClosedConfig{Users: 20, Month: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"mode", "seed", "requests", "hit_rate",
+		"mean_user_hit_rate", "shed_rate", "wall_latency", "model_latency"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("JSON report missing %q", key)
+		}
+	}
+	if _, ok := m["Outcomes"]; ok {
+		t.Error("per-user outcomes must not be serialized")
+	}
+	if r.String() == "" {
+		t.Error("human-readable summary is empty")
+	}
+}
+
+func TestCollectorObserve(t *testing.T) {
+	col := NewCollector()
+	col.Observe(fleet.Response{Shed: true})
+	col.Observe(fleet.Response{Err: errors.New("boom")})
+	col.Observe(fleet.Response{Source: fleet.SourceCommunity, Wall: time.Millisecond})
+	wall, _, shed, errs, bySource := col.snapshot()
+	if shed != 1 || errs != 1 || wall.Count() != 1 || bySource[fleet.SourceCommunity] != 1 {
+		t.Errorf("collector state wrong: shed=%d errs=%d wall=%d", shed, errs, wall.Count())
+	}
+	col.Reset()
+	wall, _, shed, errs, _ = col.snapshot()
+	if shed != 0 || errs != 0 || wall.Count() != 0 {
+		t.Error("Reset did not clear the collector")
+	}
+}
+
+func TestTape(t *testing.T) {
+	g := smallGen(t, 16)
+	up := g.Users()[3]
+	tape := Tape(g, up, 1)
+	stream := g.UserStream(up, 1)
+	if len(tape) != len(stream) {
+		t.Fatalf("tape length %d, want %d", len(tape), len(stream))
+	}
+	for i, req := range tape {
+		if req.User != up.ID || req.Query == "" || req.Click == "" {
+			t.Fatalf("tape entry %d malformed: %+v", i, req)
+		}
+	}
+}

@@ -23,6 +23,7 @@ package pocketsearch
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"pocketcloudlets/internal/cachegen"
@@ -84,13 +85,23 @@ func (o Options) withDefaults() Options {
 }
 
 // Cache is a live PocketSearch instance on a device.
+//
+// Concurrency contract: a Cache models one device and is single-owner —
+// Query, Preload, ReplaceTable and the other mutating methods must not
+// be called concurrently. The fleet layer (internal/fleet) enforces this
+// by serializing all access to a cache behind its shard lock. The only
+// exception is the activity counters: Stats and ResetStats are safe to
+// call from any goroutine, concurrently with Query, so monitoring never
+// needs the shard lock.
 type Cache struct {
 	opts  Options
 	dev   *device.Device
 	table *hashtable.Table
 	db    *resultdb.DB
 	eng   *engine.Engine
-	stats Stats
+
+	statsMu sync.Mutex
+	stats   Stats
 	// completions indexes the cached query strings for the Figure 1
 	// auto-suggest box; queryText maps query hashes back to strings so
 	// the index can follow hash table updates.
@@ -257,11 +268,28 @@ func (c *Cache) Device() *device.Device { return c.dev }
 // Engine returns the cloud engine backing the cache.
 func (c *Cache) Engine() *engine.Engine { return c.eng }
 
-// Stats returns a snapshot of the activity counters.
-func (c *Cache) Stats() Stats { return c.stats }
+// Stats returns a snapshot of the activity counters. It is safe to
+// call concurrently with Query.
+func (c *Cache) Stats() Stats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.stats
+}
 
-// ResetStats clears the activity counters.
-func (c *Cache) ResetStats() { c.stats = Stats{} }
+// ResetStats clears the activity counters. It is safe to call
+// concurrently with Query.
+func (c *Cache) ResetStats() {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	c.stats = Stats{}
+}
+
+// bump applies one mutation to the counters under the stats lock.
+func (c *Cache) bump(f func(*Stats)) {
+	c.statsMu.Lock()
+	f(&c.stats)
+	c.statsMu.Unlock()
+}
 
 // Outcome describes how one query was served.
 type Outcome struct {
@@ -297,6 +325,41 @@ func (c *Cache) RemovePair(queryHash, resultHash uint64) bool {
 		}
 	}
 	return ok
+}
+
+// ContainsPair reports whether the cache holds the (query, clicked
+// result) pair — Query's hit criterion — without charging any model
+// cost. The fleet layer uses it to route a request to the cache tier
+// that will serve it.
+func (c *Cache) ContainsPair(queryHash, resultHash uint64) bool {
+	for _, r := range c.table.Lookup(queryHash) {
+		if r.ResultHash == resultHash {
+			return true
+		}
+	}
+	return false
+}
+
+// EvictResult removes every cached (query, result) pair referencing
+// the result, the result record itself, and any auto-completions whose
+// query lost its last cached result. The flash rewrite latency is
+// charged to the device. It returns the logical flash bytes freed —
+// the currency of the fleet layer's storage budget (Section 7's user
+// vs. pocket cloudlet storage arbitration, applied across users).
+func (c *Cache) EvictResult(resultHash uint64) int64 {
+	before := c.db.LogicalBytes()
+	if c.table.RemoveResult(resultHash) > 0 {
+		for qh, q := range c.queryText {
+			if !c.table.Contains(qh) {
+				c.completions.Remove(q)
+				delete(c.queryText, qh)
+			}
+		}
+	}
+	if lat, ok, err := c.db.Delete(resultHash); err == nil && ok {
+		c.dev.FlashBusy(lat)
+	}
+	return before - c.db.LogicalBytes()
 }
 
 // Boot models a device power cycle: before the first query can be
@@ -347,7 +410,7 @@ const resultsPageBytes = 100_000
 // clicked result is among its cached results — the same criterion the
 // paper uses for repeated queries (same query, same clicked result).
 func (c *Cache) Query(queryText, clickURL string) (Outcome, error) {
-	c.stats.Queries++
+	c.bump(func(s *Stats) { s.Queries++ })
 	qh := hash64.Sum(queryText)
 	ch := hash64.Sum(clickURL)
 
@@ -366,7 +429,7 @@ func (c *Cache) Query(queryText, clickURL string) (Outcome, error) {
 
 	if len(refs) > 0 && clickCached {
 		// Cache hit: fetch the top-ranked records from flash, render.
-		c.stats.Hits++
+		c.bump(func(s *Stats) { s.Hits++ })
 		out.Hit = true
 		shown := c.opts.ResultsShown
 		if shown > len(refs) {
@@ -400,7 +463,7 @@ func (c *Cache) Query(queryText, clickURL string) (Outcome, error) {
 	}
 
 	// Cache miss: query the engine over the radio.
-	c.stats.Misses++
+	c.bump(func(s *Stats) { s.Misses++ })
 	c.lastQueryText = queryText
 	resp, found := c.eng.Search(queryText)
 	pageBytes := resp.PageBytes
@@ -449,7 +512,7 @@ func (c *Cache) expand(qh, ch uint64, clickURL string, resp engine.SearchRespons
 		// Stored off the critical path, but still paid in time/energy.
 		c.dev.FlashBusy(lat)
 	}
-	c.stats.Expansions++
+	c.bump(func(s *Stats) { s.Expansions++ })
 }
 
 // personalizeClick applies Equations 1 and 2: the clicked result's

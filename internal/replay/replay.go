@@ -106,6 +106,48 @@ type UserOutcome struct {
 	Energy      float64
 }
 
+// NewUserOutcome prepares an outcome accumulator for one user over the
+// given number of weekly buckets.
+func NewUserOutcome(up workload.UserProfile, weeks int) UserOutcome {
+	if weeks <= 0 {
+		weeks = 5
+	}
+	return UserOutcome{
+		Profile:    up,
+		WeekVolume: make([]int, weeks),
+		WeekHits:   make([]int, weeks),
+	}
+}
+
+// Record accumulates one served query into the outcome: volume, the
+// weekly buckets of Figure 18, response time, and the navigational hit
+// split of Figure 19. at is the query's offset within its month and
+// nav reports whether the pair is navigational. Both the replay
+// harness and the fleet's closed-loop load generator account outcomes
+// through this method so their hit rates are directly comparable.
+func (uo *UserOutcome) Record(at time.Duration, nav bool, out pocketsearch.Outcome) {
+	weeks := len(uo.WeekVolume)
+	w := int(at / (7 * 24 * time.Hour))
+	if w >= weeks {
+		w = weeks - 1
+	}
+	if w < 0 {
+		w = 0
+	}
+	uo.Volume++
+	uo.WeekVolume[w]++
+	uo.RespTimeSum += out.ResponseTime()
+	if out.Hit {
+		uo.Hits++
+		uo.WeekHits[w]++
+		if nav {
+			uo.NavHits++
+		} else {
+			uo.NonNavHits++
+		}
+	}
+}
+
 // HitRate is the user's overall hit rate.
 func (u UserOutcome) HitRate() float64 {
 	if u.Volume == 0 {
@@ -245,11 +287,7 @@ func replayUser(cfg Config, up workload.UserProfile, weeks int) (UserOutcome, er
 	}
 	dev.Reset()
 
-	uo := UserOutcome{
-		Profile:    up,
-		WeekVolume: make([]int, weeks),
-		WeekHits:   make([]int, weeks),
-	}
+	uo := NewUserOutcome(up, weeks)
 	stream := cfg.Gen.UserStream(up, cfg.Month)
 	day := 0
 	for _, e := range stream {
@@ -278,22 +316,7 @@ func replayUser(cfg Config, up workload.UserProfile, weeks int) (UserOutcome, er
 		if err != nil {
 			return UserOutcome{}, err
 		}
-		w := int(e.At / (7 * 24 * time.Hour))
-		if w >= weeks {
-			w = weeks - 1
-		}
-		uo.Volume++
-		uo.WeekVolume[w]++
-		uo.RespTimeSum += out.ResponseTime()
-		if out.Hit {
-			uo.Hits++
-			uo.WeekHits[w]++
-			if u.Navigational(e.Pair) {
-				uo.NavHits++
-			} else {
-				uo.NonNavHits++
-			}
-		}
+		uo.Record(e.At, u.Navigational(e.Pair), out)
 	}
 	uo.Energy = dev.TotalEnergy()
 	return uo, nil

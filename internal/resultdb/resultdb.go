@@ -307,6 +307,28 @@ func (db *DB) ReplaceFile(i int, records map[uint64][]byte) (time.Duration, erro
 	return lat, nil
 }
 
+// Delete removes the record stored under resultHash, rewriting its
+// database file without it. It reports whether the record existed and
+// the modeled flash latency of the rewrite (zero when absent). The
+// fleet layer uses this to reclaim personal-cache flash under a
+// storage budget.
+func (db *DB) Delete(resultHash uint64) (time.Duration, bool, error) {
+	f := db.FileOf(resultHash)
+	recs, err := db.RecordsOf(f)
+	if err != nil {
+		return 0, false, err
+	}
+	if _, ok := recs[resultHash]; !ok {
+		return 0, false, nil
+	}
+	delete(recs, resultHash)
+	lat, err := db.ReplaceFile(f, recs)
+	if err != nil {
+		return 0, false, err
+	}
+	return lat, true, nil
+}
+
 // RecordsOf returns the records of one file keyed by hash — the
 // server-side read when computing patches.
 func (db *DB) RecordsOf(i int) (map[uint64][]byte, error) {

@@ -437,6 +437,46 @@ func (g *Generator) UserStream(u UserProfile, month int) []searchlog.Entry {
 	return entries
 }
 
+// Cursor walks one user's query stream in time order, materializing
+// further months on demand, so a stream can drive an arrival process
+// of arbitrary length (the fleet's closed-loop load generator keeps a
+// cursor per simulated user). Cursors are deterministic: two cursors
+// over the same (generator config, user, start month) yield identical
+// entry sequences.
+type Cursor struct {
+	g       *Generator
+	u       UserProfile
+	month   int
+	entries []searchlog.Entry
+	i       int
+}
+
+// Cursor opens a stream cursor for the user starting at the given
+// month index.
+func (g *Generator) Cursor(u UserProfile, startMonth int) *Cursor {
+	return &Cursor{g: g, u: u, month: startMonth, entries: g.UserStream(u, startMonth)}
+}
+
+// Month returns the month index the cursor is currently inside.
+func (c *Cursor) Month() int { return c.month }
+
+// User returns the profile the cursor walks.
+func (c *Cursor) User() UserProfile { return c.u }
+
+// Next returns the next entry of the stream and the month it belongs
+// to, generating the following month when the current one is
+// exhausted. Entry times are offsets within the returned month.
+func (c *Cursor) Next() (searchlog.Entry, int) {
+	for c.i >= len(c.entries) {
+		c.month++
+		c.entries = c.g.UserStream(c.u, c.month)
+		c.i = 0
+	}
+	e := c.entries[c.i]
+	c.i++
+	return e, c.month
+}
+
 // TrendingPair returns the event pair for the k-th event starting on
 // the given absolute day (month*30 + day). Events live in the deep
 // non-navigational tail: trending topics are queries that were rare

@@ -133,3 +133,35 @@ func BenchmarkSample(b *testing.B) {
 		d.Sample(r)
 	}
 }
+
+// TestSampleSeedRegression pins the sampling path to its seed: the
+// same source must reproduce the identical rank sequence (the whole
+// workload pipeline leans on this), and a different seed must not.
+func TestSampleSeedRegression(t *testing.T) {
+	d := New(5000, 0.9)
+	draw := func(seed int64, n int) []int {
+		r := rand.New(rand.NewSource(seed))
+		out := make([]int, n)
+		for i := range out {
+			out[i] = d.Sample(r)
+		}
+		return out
+	}
+	a, b := draw(1234, 2000), draw(1234, 2000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs for identical seeds: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := draw(1235, 2000)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds reproduced the identical 2000-sample sequence")
+	}
+}

@@ -36,6 +36,8 @@ import (
 	"pocketcloudlets/internal/device"
 	"pocketcloudlets/internal/engine"
 	"pocketcloudlets/internal/flashsim"
+	"pocketcloudlets/internal/fleet"
+	"pocketcloudlets/internal/loadgen"
 	"pocketcloudlets/internal/maplet"
 	"pocketcloudlets/internal/pocketsearch"
 	"pocketcloudlets/internal/pocketweb"
@@ -100,6 +102,26 @@ type (
 	ReplayConfig = replay.Config
 	// ReplayResult is a replay outcome.
 	ReplayResult = replay.Result
+	// Fleet is the sharded multi-user serving layer.
+	Fleet = fleet.Fleet
+	// FleetConfig parameterizes a fleet.
+	FleetConfig = fleet.Config
+	// FleetRequest is one search interaction to serve.
+	FleetRequest = fleet.Request
+	// FleetResponse describes how a fleet request was served.
+	FleetResponse = fleet.Response
+	// FleetStats is a fleet-wide counter snapshot.
+	FleetStats = fleet.Stats
+	// RadioParams are the link parameters of a radio technology.
+	RadioParams = radio.Params
+	// LoadCollector aggregates fleet responses into latency histograms.
+	LoadCollector = loadgen.Collector
+	// LoadReport is the machine-readable result of one load phase.
+	LoadReport = loadgen.Report
+	// OpenLoadConfig parameterizes an open-loop (Poisson) load run.
+	OpenLoadConfig = loadgen.OpenConfig
+	// ClosedLoadConfig parameterizes a closed-loop (K users) load run.
+	ClosedLoadConfig = loadgen.ClosedConfig
 )
 
 // RadioTech selects a radio technology for a simulated phone.
@@ -127,6 +149,10 @@ func (r RadioTech) params() radio.Params {
 
 // String implements fmt.Stringer.
 func (r RadioTech) String() string { return r.params().Name }
+
+// Params returns the link parameters of the technology, for use in
+// configurations that take RadioParams (e.g. FleetConfig.Radio).
+func (r RadioTech) Params() RadioParams { return r.params() }
 
 // SimConfig parameterizes a simulated ecosystem.
 type SimConfig struct {
@@ -231,6 +257,31 @@ func (s *Simulation) Replay(cfg ReplayConfig) (ReplayResult, error) {
 		cfg.Gen = s.Generator
 	}
 	return replay.Run(cfg)
+}
+
+// NewFleet builds a sharded serving fleet over this simulation's
+// engine, with every shard's community replica preloaded from content.
+func (s *Simulation) NewFleet(content Content, cfg FleetConfig) (*Fleet, error) {
+	cfg.Engine = s.Engine
+	cfg.Content = content
+	return fleet.New(cfg)
+}
+
+// NewLoadCollector creates an empty load-test collector; install it as
+// FleetConfig.Observer before running a load phase.
+func NewLoadCollector() *LoadCollector { return loadgen.NewCollector() }
+
+// RunOpenLoad replays the community month log against a fleet as an
+// open-loop Poisson arrival process and reports latency percentiles,
+// throughput, hit- and shed-rates.
+func (s *Simulation) RunOpenLoad(f *Fleet, col *LoadCollector, cfg OpenLoadConfig) (LoadReport, error) {
+	return loadgen.RunOpen(f, col, s.Generator, cfg)
+}
+
+// RunClosedLoad drives a fleet with K concurrent simulated users, each
+// waiting for every response before issuing their next query.
+func (s *Simulation) RunClosedLoad(f *Fleet, col *LoadCollector, cfg ClosedLoadConfig) (LoadReport, error) {
+	return loadgen.RunClosed(f, col, s.Generator, cfg)
 }
 
 // NewPocketAds builds the advertisement cloudlet on a phone,

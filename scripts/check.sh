@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate (see ROADMAP.md): formatting, static
+# analysis, a full build, the whole test suite, and a race-detector
+# pass. Everything must pass before a change lands.
+#
+# The race pass uses -short: the race detector slows the log-scale
+# calibration/replay suites (internal/experiments) by an order of
+# magnitude, past the per-package test timeout on small machines,
+# and they are single-goroutine anyway. Every concurrent code path —
+# fleet serving, load generation, workload, cloudletos — runs under
+# the detector at full depth.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "files need gofmt:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== go build ./... =="
+go build ./...
+
+echo "== go test ./... =="
+go test ./...
+
+echo "== go test -race -short ./... =="
+go test -race -short ./...
+
+echo "all checks passed"
