@@ -248,20 +248,24 @@ var (
 	fleetRigErr  error
 )
 
+// benchUniverseConfig is the shared fleet-benchmark universe.
+func benchUniverseConfig() *engine.Config {
+	return &engine.Config{
+		NavPairs:    8000,
+		NonNavPairs: 40000,
+		NonNavSegments: []engine.Segment{
+			{Queries: 50, ResultsPerQuery: 6},
+			{Queries: 200, ResultsPerQuery: 3},
+			{Queries: 2000, ResultsPerQuery: 2},
+		},
+	}
+}
+
 func fleetBench(b *testing.B) *fleetRig {
 	b.Helper()
 	fleetRigOnce.Do(func() {
-		ucfg := engine.Config{
-			NavPairs:    8000,
-			NonNavPairs: 40000,
-			NonNavSegments: []engine.Segment{
-				{Queries: 50, ResultsPerQuery: 6},
-				{Queries: 200, ResultsPerQuery: 3},
-				{Queries: 2000, ResultsPerQuery: 2},
-			},
-		}
 		sim, err := pocketcloudlets.NewSimulation(pocketcloudlets.SimConfig{
-			Seed: 1, Users: 512, UniverseConfig: &ucfg,
+			Seed: 1, Users: 512, UniverseConfig: benchUniverseConfig(),
 		})
 		if err != nil {
 			fleetRigErr = err
@@ -328,6 +332,77 @@ func BenchmarkFleetServeParallel(b *testing.B) {
 			i++
 		}
 	})
+}
+
+// BenchmarkFleetServeBatchedParallel measures contended throughput with
+// miss coalescing on: the same parallel tape replay as
+// BenchmarkFleetServeParallel, but cloud misses park with a dispatcher
+// and share batched radio sessions. The delta against the unbatched
+// benchmark is the serving-path cost of the coalescing machinery.
+func BenchmarkFleetServeBatchedParallel(b *testing.B) {
+	rig := fleetBatchBench(b)
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		tape := rig.tapes[int(next.Add(1))%len(rig.tapes)]
+		i := 0
+		for pb.Next() {
+			if resp := rig.f.Do(tape[i%len(tape)]); resp.Err != nil {
+				b.Error(resp.Err)
+				return
+			}
+			i++
+		}
+	})
+}
+
+var (
+	fleetBatchRigOnce sync.Once
+	fleetBatchRigLab  *fleetRig
+	fleetBatchRigErr  error
+)
+
+// fleetBatchBench is fleetBench with miss coalescing enabled (its own
+// fixture: batching state must not leak into the unbatched benchmarks).
+func fleetBatchBench(b *testing.B) *fleetRig {
+	b.Helper()
+	fleetBatchRigOnce.Do(func() {
+		base := fleetBench(b)
+		sim, err := pocketcloudlets.NewSimulation(pocketcloudlets.SimConfig{
+			Seed: 1, Users: 512, UniverseConfig: benchUniverseConfig(),
+		})
+		if err != nil {
+			fleetBatchRigErr = err
+			return
+		}
+		content, err := sim.CommunityContent(0, 0.55)
+		if err != nil {
+			fleetBatchRigErr = err
+			return
+		}
+		f, err := sim.NewFleet(content, pocketcloudlets.FleetConfig{
+			Shards: 4, QueueDepth: 8192,
+			Batch: pocketcloudlets.FleetBatchOptions{Enabled: true},
+		})
+		if err != nil {
+			fleetBatchRigErr = err
+			return
+		}
+		rig := &fleetRig{f: f, tapes: base.tapes}
+		for _, tape := range rig.tapes {
+			for _, req := range tape {
+				if resp := f.Do(req); resp.Err != nil {
+					fleetBatchRigErr = resp.Err
+					return
+				}
+			}
+		}
+		fleetBatchRigLab = rig
+	})
+	if fleetBatchRigErr != nil {
+		b.Fatal(fleetBatchRigErr)
+	}
+	return fleetBatchRigLab
 }
 
 // BenchmarkFleetSubmit measures the open-loop submission path

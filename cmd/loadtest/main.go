@@ -10,6 +10,14 @@
 //     -duration 0 each user replays exactly one month, which makes the
 //     run's counters fully deterministic given -seed.
 //
+// Miss batching (-batch) coalesces concurrent cloud misses into shared
+// radio sessions — one wake-up, one handshake, one tail per batch —
+// capped at -batchmax misses after a -batchlinger collection window,
+// per shard by default or fleet-wide with -batchwide. The report's
+// energy figures (energy_per_query_j, radio_energy_per_miss_j,
+// radio_wakeups) quantify the savings; per-user hit/miss outcomes are
+// unchanged for the same seed.
+//
 // Example (the acceptance run):
 //
 //	loadtest -users 10000 -duration 5s -seed 1
@@ -28,20 +36,24 @@ import (
 
 func main() {
 	var (
-		mode       = flag.String("mode", "open", "load protocol: open (Poisson at -qps) or closed (-users concurrent users)")
-		users      = flag.Int("users", 4000, "simulated user population (and closed-loop concurrency)")
-		qps        = flag.Float64("qps", 2000, "open-loop target arrival rate")
-		duration   = flag.Duration("duration", 5*time.Second, "run length; 0 in closed mode replays exactly one month")
-		shards     = flag.Int("shards", 8, "user shards (community cache replicas)")
-		workers    = flag.Int("workers", 0, "worker pool size; 0 selects min(shards, GOMAXPROCS)")
-		queue      = flag.Int("queue", 1024, "per-worker queue depth before shedding")
-		seed       = flag.Int64("seed", 1, "simulation and arrival-schedule seed")
-		share      = flag.Float64("share", 0.55, "community cache cumulative-volume share")
-		month      = flag.Int("month", 1, "month to replay (content is built from the preceding month)")
-		radioName  = flag.String("radio", "3g", "radio technology: 3g, edge, wifi")
-		userBudget = flag.Int64("userbudget", 0, "per-user personal flash cap in bytes; 0 = unlimited")
-		fleetBut   = flag.Int64("fleetbudget", 0, "fleet-wide personal flash budget in bytes; 0 = default 2.5 GB")
-		jsonOut    = flag.Bool("json", false, "emit the report as JSON only")
+		mode        = flag.String("mode", "open", "load protocol: open (Poisson at -qps) or closed (-users concurrent users)")
+		users       = flag.Int("users", 4000, "simulated user population (and closed-loop concurrency)")
+		qps         = flag.Float64("qps", 2000, "open-loop target arrival rate")
+		duration    = flag.Duration("duration", 5*time.Second, "run length; 0 in closed mode replays exactly one month")
+		shards      = flag.Int("shards", 8, "user shards (community cache replicas)")
+		workers     = flag.Int("workers", 0, "worker pool size; 0 selects min(shards, GOMAXPROCS)")
+		queue       = flag.Int("queue", 1024, "per-worker queue depth before shedding")
+		seed        = flag.Int64("seed", 1, "simulation and arrival-schedule seed")
+		share       = flag.Float64("share", 0.55, "community cache cumulative-volume share")
+		month       = flag.Int("month", 1, "month to replay (content is built from the preceding month)")
+		radioName   = flag.String("radio", "3g", "radio technology: 3g, edge, wifi")
+		userBudget  = flag.Int64("userbudget", 0, "per-user personal flash cap in bytes; 0 = unlimited")
+		fleetBut    = flag.Int64("fleetbudget", 0, "fleet-wide personal flash budget in bytes; 0 = default 2.5 GB")
+		batch       = flag.Bool("batch", false, "coalesce concurrent cloud misses into batched radio sessions")
+		batchMax    = flag.Int("batchmax", 0, "max misses per batched radio session; 0 = default 16")
+		batchLinger = flag.Duration("batchlinger", 0, "how long a dispatcher holds an open batch for more misses; 0 = default 200µs")
+		batchWide   = flag.Bool("batchwide", false, "pool misses fleet-wide into one dispatcher instead of one per shard")
+		jsonOut     = flag.Bool("json", false, "emit the report as JSON only")
 	)
 	flag.Parse()
 
@@ -100,14 +112,20 @@ func main() {
 		Radio:              tech.Params(),
 		PerUserBytes:       *userBudget,
 		TotalPersonalBytes: *fleetBut,
-		Observer:           col,
+		Batch: pocketcloudlets.FleetBatchOptions{
+			Enabled:   *batch,
+			MaxBatch:  *batchMax,
+			Linger:    *batchLinger,
+			FleetWide: *batchWide,
+		},
+		Observer: col,
 	})
 	if err != nil {
 		fail(err)
 	}
 	defer f.Close()
-	progress("fleet up: %d shards, %d workers, queue depth %d, radio %s\n",
-		f.NumShards(), f.NumWorkers(), *queue, tech)
+	progress("fleet up: %d shards, %d workers, queue depth %d, radio %s, batching %v\n",
+		f.NumShards(), f.NumWorkers(), *queue, tech, *batch)
 
 	var report pocketcloudlets.LoadReport
 	switch *mode {

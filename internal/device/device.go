@@ -180,6 +180,21 @@ func (d *Device) NetworkRequest(reqBytes, respBytes int) radio.Transfer {
 	return tr
 }
 
+// NetworkBatchShare charges this device's membership in a coalesced
+// radio exchange (radio.BatchTransfer) computed on a shared uplink:
+// the device waits wait of model time at base power (screen on,
+// spinner visible) while its link absorbs share of the session's
+// radio-active time and is left in the post-transfer tail.
+func (d *Device) NetworkBatchShare(wait, share time.Duration) {
+	if wait < 0 {
+		wait = 0
+	}
+	d.record(wait, d.link.Params().ExtraActivePower, "radio")
+	d.baseEnergy += d.cfg.BasePower * wait.Seconds()
+	d.link.JoinBatch(wait, share)
+	d.clock += wait
+}
+
 // FlashBusy charges a previously computed flash latency against the
 // device clock and energy, treating it as local busy time.
 func (d *Device) FlashBusy(dur time.Duration) { d.Busy(dur, "flash") }

@@ -175,3 +175,17 @@ func (e *Engine) Search(query string) (SearchResponse, bool) {
 	}
 	return resp, true
 }
+
+// SearchBatch resolves a batch of query strings in one engine visit —
+// the cloud half of the fleet's miss coalescing: concurrent cache
+// misses that share one radio session also share one call into the
+// engine. Element i of both slices is exactly what Search(queries[i])
+// would have returned.
+func (e *Engine) SearchBatch(queries []string) ([]SearchResponse, []bool) {
+	resps := make([]SearchResponse, len(queries))
+	found := make([]bool, len(queries))
+	for i, q := range queries {
+		resps[i], found[i] = e.Search(q)
+	}
+	return resps, found
+}

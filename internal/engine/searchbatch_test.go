@@ -1,0 +1,38 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSearchBatchMatchesSearch checks the batched entry point is
+// element-wise identical to per-query Search — the property the fleet's
+// miss coalescing relies on to keep outcomes byte-identical.
+func TestSearchBatchMatchesSearch(t *testing.T) {
+	u := testUniverse(t)
+	e := New(u)
+	queries := []string{
+		u.QueryText(u.QueryOf(u.NavPair(0))),
+		u.QueryText(u.QueryOf(u.NonNavPair(0))),
+		"no such query",
+		u.QueryText(u.QueryOf(u.NavPair(13))),
+		"", // empty query
+		u.QueryText(u.QueryOf(u.NonNavPair(7))),
+	}
+	resps, found := e.SearchBatch(queries)
+	if len(resps) != len(queries) || len(found) != len(queries) {
+		t.Fatalf("lengths %d/%d, want %d", len(resps), len(found), len(queries))
+	}
+	for i, q := range queries {
+		wantResp, wantOK := e.Search(q)
+		if found[i] != wantOK {
+			t.Errorf("query %d found = %v, Search says %v", i, found[i], wantOK)
+		}
+		if !reflect.DeepEqual(resps[i], wantResp) {
+			t.Errorf("query %d response diverges:\n  batch:  %+v\n  search: %+v", i, resps[i], wantResp)
+		}
+	}
+	if r, f := e.SearchBatch(nil); len(r) != 0 || len(f) != 0 {
+		t.Errorf("empty batch returned %d/%d elements", len(r), len(f))
+	}
+}

@@ -1,0 +1,260 @@
+package fleet
+
+import (
+	"time"
+
+	"pocketcloudlets/internal/pocketsearch"
+	"pocketcloudlets/internal/radio"
+)
+
+// BatchOptions configure cloud-miss coalescing. The paper's energy
+// argument (Sections 1 and 5, Figures 15b and 16) is that a radio
+// session's overhead — the 1.5–2 s wake-up, the handshake round trips
+// and the multi-second high-power tail — dwarfs the payload of a small
+// exchange, so misses that share one session amortize nearly all of
+// that cost. With coalescing enabled, concurrent misses are parked in
+// a miss queue and a dispatcher goroutine drains them into batched
+// radio sessions: one wake-up, one handshake and one tail per batch,
+// payloads serialized in submission order.
+type BatchOptions struct {
+	// Enabled turns miss coalescing on.
+	Enabled bool
+	// MaxBatch caps the misses per radio session. Zero selects
+	// DefaultMaxBatch.
+	MaxBatch int
+	// Linger is how long a dispatcher holds an open batch waiting for
+	// more misses before firing the session. It is wall-clock
+	// collection time only and never enters the modeled latency. Zero
+	// selects DefaultLinger.
+	Linger time.Duration
+	// FleetWide pools the misses of every shard into a single
+	// dispatcher, so one session can amortize across the whole fleet;
+	// the default is one dispatcher (one uplink session at a time) per
+	// shard.
+	FleetWide bool
+}
+
+// DefaultMaxBatch is the default cap on misses per radio session.
+const DefaultMaxBatch = 16
+
+// DefaultLinger is the default dispatcher linger window.
+const DefaultLinger = 200 * time.Microsecond
+
+func (o BatchOptions) withDefaults() BatchOptions {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = DefaultMaxBatch
+	}
+	if o.Linger <= 0 {
+		o.Linger = DefaultLinger
+	}
+	return o
+}
+
+// BatchStats summarize miss-coalescing activity.
+type BatchStats struct {
+	// Batches is the number of batched radio sessions dispatched;
+	// BatchedMisses the misses they carried.
+	Batches, BatchedMisses int64
+	// Wakeups is the radio wake-ups those sessions paid — one per
+	// batch (the shared uplink sleeps between linger windows), versus
+	// one per session-opening miss on the unbatched path.
+	Wakeups int64
+	// MaxBatch is the largest session observed.
+	MaxBatch int
+	// SizeCounts maps batch size to the number of sessions of that
+	// size.
+	SizeCounts map[int]int64
+}
+
+// MeanSize is the mean number of misses per batched session.
+func (s BatchStats) MeanSize() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.BatchedMisses) / float64(s.Batches)
+}
+
+// missTask is one classified cloud miss parked for coalescing.
+type missTask struct {
+	t task
+	// done is closed once the miss has been applied and its response
+	// delivered; the owning worker waits on it before serving the same
+	// user's next request, preserving per-user submission order.
+	done chan struct{}
+}
+
+// dispatchMsg is one message on a dispatcher's queue: a miss to
+// coalesce, or — when miss is nil — a flush demand. The single queue
+// keeps misses and flushes FIFO, so a flush acknowledgment guarantees
+// every miss enqueued before it has been applied.
+type dispatchMsg struct {
+	miss *missTask
+	ack  chan struct{}
+}
+
+// dispatcher drains a miss queue into batched radio sessions. One
+// dispatcher serves either a single shard or (FleetWide) all of them;
+// it models one uplink, so its sessions are serialized.
+type dispatcher struct {
+	f    *Fleet
+	ch   chan dispatchMsg
+	done chan struct{}
+}
+
+func newDispatcher(f *Fleet, depth int) *dispatcher {
+	d := &dispatcher{
+		f:    f,
+		ch:   make(chan dispatchMsg, depth),
+		done: make(chan struct{}),
+	}
+	go d.run()
+	return d
+}
+
+// submit parks one classified miss for coalescing.
+func (d *dispatcher) submit(mt *missTask) { d.ch <- dispatchMsg{miss: mt} }
+
+// flush demands that every miss enqueued so far be dispatched without
+// further lingering. It does not wait for the batch to be applied; the
+// caller waits on the relevant missTask.done instead.
+func (d *dispatcher) flush() { d.ch <- dispatchMsg{} }
+
+// flushWait flushes and blocks until every previously enqueued miss
+// has been applied (the Drain barrier path).
+func (d *dispatcher) flushWait() {
+	ack := make(chan struct{})
+	d.ch <- dispatchMsg{ack: ack}
+	<-ack
+}
+
+// close stops the dispatcher after it has drained its queue. Callers
+// must guarantee no further submits (the fleet closes dispatchers only
+// after every worker has exited).
+func (d *dispatcher) close() {
+	close(d.ch)
+	<-d.done
+}
+
+// run is the dispatcher loop: collect misses until the batch is full
+// or the linger window expires, then fire the session.
+func (d *dispatcher) run() {
+	defer close(d.done)
+	opts := d.f.cfg.Batch
+	var batch []*missTask
+	var timer *time.Timer
+	var timeout <-chan time.Time
+	stopTimer := func() {
+		if timer != nil {
+			timer.Stop()
+			timer, timeout = nil, nil
+		}
+	}
+	fire := func() {
+		stopTimer()
+		if len(batch) > 0 {
+			d.execute(batch)
+			batch = nil
+		}
+	}
+	for {
+		if len(batch) == 0 {
+			msg, ok := <-d.ch
+			if !ok {
+				return
+			}
+			if msg.miss == nil {
+				if msg.ack != nil {
+					close(msg.ack)
+				}
+				continue
+			}
+			batch = append(batch, msg.miss)
+			if len(batch) >= opts.MaxBatch {
+				fire()
+				continue
+			}
+			timer = time.NewTimer(opts.Linger)
+			timeout = timer.C
+			continue
+		}
+		select {
+		case msg, ok := <-d.ch:
+			if !ok {
+				fire()
+				return
+			}
+			if msg.miss == nil {
+				fire()
+				if msg.ack != nil {
+					close(msg.ack)
+				}
+				continue
+			}
+			batch = append(batch, msg.miss)
+			if len(batch) >= opts.MaxBatch {
+				fire()
+			}
+		case <-timeout:
+			timer, timeout = nil, nil
+			fire()
+		}
+	}
+}
+
+// execute fires one batched session: a single engine visit resolves
+// every query, a single radio session (one wake-up, one handshake, one
+// tail) carries the exchanges, and the misses are applied to their
+// shards in submission order.
+func (d *dispatcher) execute(batch []*missTask) {
+	f := d.f
+	queries := make([]string, len(batch))
+	for i, mt := range batch {
+		queries[i] = mt.t.req.Query
+	}
+	resps, found := f.cfg.Engine.SearchBatch(queries)
+	items := make([]radio.Exchange, len(batch))
+	for i := range batch {
+		items[i] = radio.Exchange{
+			ReqBytes:  pocketsearch.QueryRequestBytes,
+			RespBytes: pocketsearch.MissPageBytes(resps[i]),
+		}
+	}
+	bt := radio.BatchExchange(f.cfg.Radio, items)
+	f.recordBatch(bt)
+	for i, mt := range batch {
+		resp := f.shards[mt.t.shard].applyBatchedMiss(mt.t.req, resps[i], found[i], bt, i)
+		f.finish(resp, mt.t)
+		close(mt.done)
+	}
+}
+
+// recordBatch books one batched session into the fleet's batch stats.
+func (f *Fleet) recordBatch(bt radio.BatchTransfer) {
+	f.batchMu.Lock()
+	defer f.batchMu.Unlock()
+	s := &f.batchStats
+	s.Batches++
+	s.BatchedMisses += int64(bt.Size())
+	if !bt.WasWarm {
+		s.Wakeups++
+	}
+	if bt.Size() > s.MaxBatch {
+		s.MaxBatch = bt.Size()
+	}
+	if s.SizeCounts == nil {
+		s.SizeCounts = make(map[int]int64)
+	}
+	s.SizeCounts[bt.Size()]++
+}
+
+// BatchStats returns a snapshot of miss-coalescing activity.
+func (f *Fleet) BatchStats() BatchStats {
+	f.batchMu.Lock()
+	defer f.batchMu.Unlock()
+	s := f.batchStats
+	s.SizeCounts = make(map[int]int64, len(f.batchStats.SizeCounts))
+	for k, v := range f.batchStats.SizeCounts {
+		s.SizeCounts[k] = v
+	}
+	return s
+}

@@ -24,6 +24,18 @@
 //     by the Section 7 cloudlet manager (internal/cloudletos): each
 //     shard registers its users' personal records as one cloudlet, and
 //     Reclaim evicts the lowest-utility records across the whole fleet.
+//   - With Config.Batch enabled, cloud misses are coalesced: workers
+//     classify a request under the shard lock and, if it must go to the
+//     cloud, park it with a dispatcher goroutine instead of paying a
+//     full radio round trip inline. The dispatcher collects concurrent
+//     misses (up to MaxBatch, or until the Linger window expires) and
+//     fires them as one radio session — one wake-up, one handshake and
+//     one tail, amortized across the members (the paper's Section 5
+//     energy argument). Determinism is preserved: at most one miss per
+//     user is ever in flight, and a worker flushes and waits before
+//     serving the same user's next request, so per-user hit/miss
+//     outcomes are byte-identical to the unbatched path for the same
+//     seed.
 //
 // Request routing mirrors the paper's two-component cache at fleet
 // scale: personal component first, then the shared community replica,
@@ -96,6 +108,18 @@ type Response struct {
 	// the modeled user-perceived latency and is deterministic given the
 	// workload seed.
 	Outcome pocketsearch.Outcome
+	// BatchSize is the number of misses that shared this request's
+	// radio session: ≥ 1 on a coalesced cloud miss, 0 for hits and for
+	// misses served with batching disabled.
+	BatchSize int
+	// EnergyJ is the modeled energy attributed to this request in
+	// joules: device base power over the modeled response time plus
+	// RadioJ. RadioJ is the radio-only share — active time of the
+	// exchange (a batched miss carries 1/n of the session overhead)
+	// plus the session tail, attributed to the exchange that opened the
+	// session.
+	EnergyJ float64
+	RadioJ  float64
 	// Wall is the measured wall-clock latency from submission to
 	// completion, including queue wait (not deterministic).
 	Wall time.Duration
@@ -148,6 +172,10 @@ type Config struct {
 	// registered with the cloudlet manager and divided evenly among
 	// shards. Zero selects DefaultTotalPersonalBytes.
 	TotalPersonalBytes int64
+	// Batch configures cloud-miss coalescing: concurrent misses share
+	// one radio session (one wake-up, one handshake, one tail) instead
+	// of paying a full round trip each. The zero value disables it.
+	Batch BatchOptions
 	// Observer, when non-nil, receives every response (completed or
 	// shed). It must be safe for concurrent use.
 	Observer Observer
@@ -172,6 +200,7 @@ func (c Config) withDefaults() Config {
 	if c.TotalPersonalBytes <= 0 {
 		c.TotalPersonalBytes = DefaultTotalPersonalBytes
 	}
+	c.Batch = c.Batch.withDefaults()
 	return c
 }
 
@@ -192,6 +221,10 @@ type Fleet struct {
 	queues  []chan task
 	wg      sync.WaitGroup
 	manager *cloudletos.Manager
+	// dispatchers coalesce cloud misses into batched radio sessions:
+	// one per shard, or a single fleet-wide one (Batch.FleetWide).
+	// Empty when batching is disabled.
+	dispatchers []*dispatcher
 
 	// mu guards closed against concurrent Submit/Do/Close.
 	mu     sync.RWMutex
@@ -201,6 +234,9 @@ type Fleet struct {
 	shed     atomic.Int64
 	errors   atomic.Int64
 	bySource [numSources]atomic.Int64
+
+	batchMu    sync.Mutex
+	batchStats BatchStats
 }
 
 // New builds the shards (community replicas are preloaded in
@@ -245,6 +281,15 @@ func New(cfg Config) (*Fleet, error) {
 	}
 	f.manager = mgr
 
+	if cfg.Batch.Enabled {
+		n := cfg.Shards
+		if cfg.Batch.FleetWide {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			f.dispatchers = append(f.dispatchers, newDispatcher(f, cfg.QueueDepth))
+		}
+	}
 	for w := range f.queues {
 		f.queues[w] = make(chan task, cfg.QueueDepth)
 		f.wg.Add(1)
@@ -263,6 +308,11 @@ func (f *Fleet) NumWorkers() int { return len(f.queues) }
 // personal state.
 func (f *Fleet) Manager() *cloudletos.Manager { return f.manager }
 
+// Observer returns the configured response observer (nil when none was
+// installed). Load generators use it to check they are actually wired
+// to the fleet they measure.
+func (f *Fleet) Observer() Observer { return f.cfg.Observer }
+
 // shardOf maps a user to their home shard.
 func (f *Fleet) shardOf(uid searchlog.UserID) int {
 	return int(itemKey(uid, 0x517CC1B727220A95) % uint64(len(f.shards)))
@@ -273,22 +323,83 @@ func (f *Fleet) worker(id int) {
 	defer f.wg.Done()
 	for t := range f.queues[id] {
 		if t.barrier != nil {
+			f.flushDispatchers(id)
 			t.barrier <- struct{}{}
 			continue
 		}
-		resp := f.shards[t.shard].serve(t.req)
-		resp.Wall = time.Since(t.enqueued)
-		f.served.Add(1)
-		f.bySource[resp.Source].Add(1)
-		if resp.Err != nil {
-			f.errors.Add(1)
+		if len(f.dispatchers) == 0 {
+			f.finish(f.shards[t.shard].serve(t.req), t)
+			continue
 		}
-		if obs := f.cfg.Observer; obs != nil {
-			obs.Observe(resp)
+		f.serveBatched(t)
+	}
+}
+
+// serveBatched routes one task with miss coalescing on: local hits are
+// served inline; a classified cloud miss is parked with the shard's
+// dispatcher, which completes it asynchronously. If the user already
+// has a miss in flight the worker flushes and waits for it first, so
+// each user's requests are still applied in submission order — the
+// determinism guarantee batching must not break.
+func (f *Fleet) serveBatched(t task) {
+	sh := f.shards[t.shard]
+	for {
+		resp, miss, waitFor := sh.routeBatched(t)
+		if waitFor != nil {
+			f.dispatcherOf(t.shard).flush()
+			<-waitFor.done
+			continue
 		}
-		if t.reply != nil {
-			t.reply <- resp
+		if miss != nil {
+			f.dispatcherOf(t.shard).submit(miss)
+			return
 		}
+		f.finish(resp, t)
+		return
+	}
+}
+
+// finish completes one task: it stamps wall latency, books the
+// fleet-wide counters, and delivers the response to the observer and
+// any waiting caller. Called from workers (inline serves) and from
+// dispatchers (batched misses).
+func (f *Fleet) finish(resp Response, t task) {
+	resp.Wall = time.Since(t.enqueued)
+	f.served.Add(1)
+	f.bySource[resp.Source].Add(1)
+	if resp.Err != nil {
+		f.errors.Add(1)
+	}
+	if obs := f.cfg.Observer; obs != nil {
+		obs.Observe(resp)
+	}
+	if t.reply != nil {
+		t.reply <- resp
+	}
+}
+
+// dispatcherOf returns the dispatcher coalescing the shard's misses.
+func (f *Fleet) dispatcherOf(shard int) *dispatcher {
+	if f.cfg.Batch.FleetWide {
+		return f.dispatchers[0]
+	}
+	return f.dispatchers[shard]
+}
+
+// flushDispatchers forces out every miss this worker has parked, and
+// waits until they are applied — the Drain barrier must not ack while
+// misses are still lingering. Worker id owns shards s with
+// s mod W == id, hence exactly those shards' dispatchers.
+func (f *Fleet) flushDispatchers(id int) {
+	if len(f.dispatchers) == 0 {
+		return
+	}
+	if f.cfg.Batch.FleetWide {
+		f.dispatchers[0].flushWait()
+		return
+	}
+	for s := id; s < len(f.shards); s += len(f.queues) {
+		f.dispatchers[s].flushWait()
 	}
 }
 
@@ -377,6 +488,9 @@ func (f *Fleet) Close() {
 	}
 	f.mu.Unlock()
 	f.wg.Wait()
+	for _, d := range f.dispatchers {
+		d.close()
+	}
 }
 
 // Stats is a snapshot of fleet-wide serving counters.

@@ -63,6 +63,12 @@ type shard struct {
 	// keys routes cloudletos eviction keys back to their owner.
 	keys          map[uint64]evictRef
 	personalBytes int64
+	// pendingMiss marks users with a cloud miss parked in a batch
+	// dispatcher (at most one per user: the owning worker blocks on it
+	// before serving the user's next request, so per-user submission
+	// order — and therefore every per-user outcome — is identical to
+	// the unbatched path).
+	pendingMiss map[searchlog.UserID]*missTask
 }
 
 // itemKey derives the stable eviction key of a (user, result) personal
@@ -100,6 +106,7 @@ func newShard(id int, eng *engine.Engine, content cachegen.Content, opts pockets
 		community:    community,
 		users:        make(map[searchlog.UserID]*userState),
 		keys:         make(map[uint64]evictRef),
+		pendingMiss:  make(map[searchlog.UserID]*missTask),
 	}, nil
 }
 
@@ -128,7 +135,84 @@ func (sh *shard) serve(req Request) Response {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 
-	resp := Response{Req: req}
+	st, err := sh.user(req.User)
+	if err != nil {
+		return Response{Req: req, Err: err}
+	}
+	qh := hash64.Sum(req.Query)
+	ch := hash64.Sum(req.Click)
+	return sh.serveLocked(st, req, qh, ch, sh.tierOf(st, qh, ch))
+}
+
+// tierOf classifies which tier will serve the pair. Caller holds mu.
+func (sh *shard) tierOf(st *userState, qh, ch uint64) Source {
+	switch {
+	case st.cache.ContainsPair(qh, ch):
+		return SourcePersonal
+	case sh.community.ContainsPair(qh, ch):
+		return SourceCommunity
+	default:
+		return SourceCloud
+	}
+}
+
+// serveLocked serves one request against its classified tier; the
+// cloud tier pays an unbatched radio round trip on the user's own
+// link. Caller holds mu.
+func (sh *shard) serveLocked(st *userState, req Request, qh, ch uint64, tier Source) Response {
+	resp := Response{Req: req, Source: tier}
+	switch tier {
+	case SourcePersonal:
+		resp.Outcome, resp.Err = st.cache.Query(req.Query, req.Click)
+	case SourceCommunity:
+		resp.Outcome, resp.Err = sh.community.Query(req.Query, req.Click)
+	default:
+		before := st.cache.DB().LogicalBytes()
+		resp.Outcome, resp.Err = st.cache.Query(req.Query, req.Click)
+		sh.recordExpansion(st, req.User, qh, ch, before)
+	}
+	sh.accountLocked(st, &resp)
+	return resp
+}
+
+// routeBatched classifies one task for the miss-coalescing path.
+// Exactly one of the returns is meaningful: a completed response (a
+// local hit, or an error), a newly parked miss the caller must hand to
+// a dispatcher, or the user's in-flight miss the caller must wait on
+// before retrying — the ordering guard that keeps per-user outcomes
+// byte-identical to the unbatched path.
+func (sh *shard) routeBatched(t task) (resp Response, miss, waitFor *missTask) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	if prev := sh.pendingMiss[t.req.User]; prev != nil {
+		return Response{}, nil, prev
+	}
+	st, err := sh.user(t.req.User)
+	if err != nil {
+		return Response{Req: t.req, Err: err}, nil, nil
+	}
+	qh := hash64.Sum(t.req.Query)
+	ch := hash64.Sum(t.req.Click)
+	tier := sh.tierOf(st, qh, ch)
+	if tier != SourceCloud {
+		return sh.serveLocked(st, t.req, qh, ch, tier), nil, nil
+	}
+	mt := &missTask{t: t, done: make(chan struct{})}
+	sh.pendingMiss[t.req.User] = mt
+	return Response{}, mt, nil
+}
+
+// applyBatchedMiss applies member i of a batched radio session to its
+// user: the engine response was fetched by the batch's single engine
+// visit, and the exchange costs are the member's slice of the shared
+// session. It clears the user's pending-miss marker.
+func (sh *shard) applyBatchedMiss(req Request, eresp engine.SearchResponse, found bool, bt radio.BatchTransfer, i int) Response {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	resp := Response{Req: req, Source: SourceCloud, BatchSize: bt.Size()}
+	delete(sh.pendingMiss, req.User)
 	st, err := sh.user(req.User)
 	if err != nil {
 		resp.Err = err
@@ -136,34 +220,47 @@ func (sh *shard) serve(req Request) Response {
 	}
 	qh := hash64.Sum(req.Query)
 	ch := hash64.Sum(req.Click)
+	before := st.cache.DB().LogicalBytes()
+	resp.Outcome = st.cache.ApplyBatchedMiss(req.Query, req.Click, eresp, found, bt.ItemLatency(i), bt.ItemShare(i))
+	sh.recordExpansion(st, req.User, qh, ch, before)
+	st.served++
+	resp.RadioJ = bt.ItemRadioEnergy(sh.link, i)
+	resp.EnergyJ = st.cache.Device().Config().BasePower*resp.Outcome.ResponseTime().Seconds() + resp.RadioJ
+	return resp
+}
 
-	switch {
-	case st.cache.ContainsPair(qh, ch):
-		resp.Source = SourcePersonal
-		resp.Outcome, resp.Err = st.cache.Query(req.Query, req.Click)
-	case sh.community.ContainsPair(qh, ch):
-		resp.Source = SourceCommunity
-		resp.Outcome, resp.Err = sh.community.Query(req.Query, req.Click)
-	default:
-		resp.Source = SourceCloud
-		before := st.cache.DB().LogicalBytes()
-		resp.Outcome, resp.Err = st.cache.Query(req.Query, req.Click)
-		if delta := st.cache.DB().LogicalBytes() - before; delta > 0 {
-			ref := evictRef{user: req.User, queryHash: qh, resultHash: ch, bytes: delta}
-			key := itemKey(req.User, ch)
-			st.refs[key] = ref
-			sh.keys[key] = ref
-			st.bytes += delta
-			sh.personalBytes += delta
-			sh.enforceUserBudget(st)
-		}
+// recordExpansion books the personal-flash delta a served miss left
+// behind and enforces the per-user budget. Caller holds mu.
+func (sh *shard) recordExpansion(st *userState, uid searchlog.UserID, qh, ch uint64, before int64) {
+	if delta := st.cache.DB().LogicalBytes() - before; delta > 0 {
+		ref := evictRef{user: uid, queryHash: qh, resultHash: ch, bytes: delta}
+		key := itemKey(uid, ch)
+		st.refs[key] = ref
+		sh.keys[key] = ref
+		st.bytes += delta
+		sh.personalBytes += delta
+		sh.enforceUserBudget(st)
 	}
+}
 
+// accountLocked applies the per-user serving counters and the modeled
+// energy attribution: base power over the response time, plus — for an
+// unbatched cloud miss — the radio-active energy of its exchange and,
+// when the exchange opened a session (paid the wake-up), the session's
+// eventual tail. Caller holds mu.
+func (sh *shard) accountLocked(st *userState, resp *Response) {
 	st.served++
 	if resp.Outcome.Hit {
 		st.hits++
 	}
-	return resp
+	resp.EnergyJ = st.cache.Device().Config().BasePower * resp.Outcome.ResponseTime().Seconds()
+	if resp.Source == SourceCloud && resp.Err == nil {
+		resp.RadioJ = sh.link.ActiveEnergy(resp.Outcome.Radio.RadioActive)
+		if !resp.Outcome.Radio.WasWarm {
+			resp.RadioJ += sh.link.TailEnergy()
+		}
+		resp.EnergyJ += resp.RadioJ
+	}
 }
 
 // utilityOf is the eviction utility of a personal record: the best

@@ -18,6 +18,18 @@
 // on-device response time, which is deterministic given the workload
 // seed — plus throughput, hit-, miss- and shed-rates, emitted as a
 // machine-readable Report.
+//
+// Reports also account modeled energy: total and per-query joules
+// (device base power plus radio), radio-only joules per cloud miss,
+// and — when the fleet coalesces misses (fleet.BatchOptions) — the
+// batched-session counters (batches, batched misses, radio wake-ups,
+// batch-size histogram) needed to quantify how much session overhead
+// batching amortized. Serving counters (served/shed/errors and the
+// per-tier hit counts) are taken from before/after deltas of the
+// fleet's own Stats, so they are authoritative even if the collector
+// observes only part of the traffic; the latency histograms and energy
+// sums require the collector to be installed as the fleet's Observer,
+// and the runners refuse to start when no observer is wired at all.
 package loadgen
 
 import (
@@ -25,6 +37,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -34,21 +47,35 @@ import (
 	"pocketcloudlets/internal/workload"
 )
 
-// Collector aggregates fleet responses into histograms and counters.
-// Install it as the fleet's Observer (fleet.Config.Observer) before
-// running a load phase. Observe is safe for concurrent use.
-type Collector struct {
-	mu       sync.Mutex
+// counters is the lock-free aggregate a Collector accumulates.
+type counters struct {
 	wall     Histogram
 	model    Histogram
 	shed     uint64
 	errors   uint64
 	bySource map[fleet.Source]uint64
+	// Modeled energy sums over observed non-error responses: total,
+	// radio-only, and radio-only restricted to cloud misses.
+	energyJ    float64
+	radioJ     float64
+	missRadioJ float64
+	// wakeups counts cold radio wake-ups paid by unbatched misses;
+	// batched sessions' wake-ups are in fleet.BatchStats.
+	wakeups       uint64
+	batchedMisses uint64
+}
+
+// Collector aggregates fleet responses into histograms and counters.
+// Install it as the fleet's Observer (fleet.Config.Observer) before
+// running a load phase. Observe is safe for concurrent use.
+type Collector struct {
+	mu sync.Mutex
+	c  counters
 }
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
-	return &Collector{bySource: make(map[fleet.Source]uint64)}
+	return &Collector{c: counters{bySource: make(map[fleet.Source]uint64)}}
 }
 
 // Observe implements fleet.Observer.
@@ -56,38 +83,45 @@ func (c *Collector) Observe(r fleet.Response) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if r.Shed {
-		c.shed++
+		c.c.shed++
 		return
 	}
 	if r.Err != nil {
-		c.errors++
+		c.c.errors++
 		return
 	}
-	c.wall.Observe(r.Wall)
-	c.model.Observe(r.Outcome.ResponseTime())
-	c.bySource[r.Source]++
+	c.c.wall.Observe(r.Wall)
+	c.c.model.Observe(r.Outcome.ResponseTime())
+	c.c.bySource[r.Source]++
+	c.c.energyJ += r.EnergyJ
+	c.c.radioJ += r.RadioJ
+	if r.Source == fleet.SourceCloud {
+		c.c.missRadioJ += r.RadioJ
+		if r.BatchSize > 0 {
+			c.c.batchedMisses++
+		} else if !r.Outcome.Radio.WasWarm {
+			c.c.wakeups++
+		}
+	}
 }
 
 // Reset clears the collector for a fresh load phase.
 func (c *Collector) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.wall = Histogram{}
-	c.model = Histogram{}
-	c.shed = 0
-	c.errors = 0
-	c.bySource = make(map[fleet.Source]uint64)
+	c.c = counters{bySource: make(map[fleet.Source]uint64)}
 }
 
 // snapshot copies the collector state.
-func (c *Collector) snapshot() (wall, model Histogram, shed, errs uint64, bySource map[fleet.Source]uint64) {
+func (c *Collector) snapshot() counters {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	bySource = make(map[fleet.Source]uint64, len(c.bySource))
-	for k, v := range c.bySource {
-		bySource[k] = v
+	s := c.c
+	s.bySource = make(map[fleet.Source]uint64, len(c.c.bySource))
+	for k, v := range c.c.bySource {
+		s.bySource[k] = v
 	}
-	return c.wall, c.model, c.shed, c.errors, bySource
+	return s
 }
 
 // Report is the machine-readable result of one load phase. Counters
@@ -131,6 +165,28 @@ type Report struct {
 	// wait; Model is the modeled on-device response time.
 	Wall  LatencySummary `json:"wall_latency"`
 	Model LatencySummary `json:"model_latency"`
+
+	// EnergyJ is the total modeled energy over observed responses
+	// (device base power over modeled response time, plus radio);
+	// EnergyPerQueryJ divides it by observed responses.
+	EnergyJ         float64 `json:"energy_j"`
+	EnergyPerQueryJ float64 `json:"energy_per_query_j"`
+	// RadioEnergyJ is the radio-only share; RadioEnergyPerMissJ divides
+	// the cloud misses' radio energy by the miss count — the headline
+	// number miss batching drives down.
+	RadioEnergyJ        float64 `json:"radio_energy_j"`
+	RadioEnergyPerMissJ float64 `json:"radio_energy_per_miss_j"`
+	// RadioWakeups counts cold radio wake-ups paid during the run: one
+	// per session-opening unbatched miss plus one per batched session.
+	RadioWakeups uint64 `json:"radio_wakeups"`
+
+	// Batches and BatchedMisses count coalesced radio sessions and the
+	// misses they carried (zero when batching is disabled); MeanBatchSize
+	// is misses per session, and BatchSizes the per-size session counts.
+	Batches       int64            `json:"batches,omitempty"`
+	BatchedMisses int64            `json:"batched_misses,omitempty"`
+	MeanBatchSize float64          `json:"mean_batch_size,omitempty"`
+	BatchSizes    map[string]int64 `json:"batch_sizes,omitempty"`
 
 	// PersonalBytes is the fleet's personal flash footprint after the
 	// run; ResidentUsers the number of materialized personal states.
@@ -179,23 +235,34 @@ func (r Report) String() string {
 		ms(r.Wall.P50NS), ms(r.Wall.P90NS), ms(r.Wall.P99NS), ms(r.Wall.P999NS), ms(r.Wall.MaxNS))
 	fmt.Fprintf(&b, "  model latency p50 %s  p90 %s  p99 %s  p99.9 %s  max %s\n",
 		ms(r.Model.P50NS), ms(r.Model.P90NS), ms(r.Model.P99NS), ms(r.Model.P999NS), ms(r.Model.MaxNS))
+	if r.EnergyJ > 0 {
+		fmt.Fprintf(&b, "  energy %.1f J (%.3f J/query, radio %.1f J, %.3f J/miss radio, %d wake-ups)\n",
+			r.EnergyJ, r.EnergyPerQueryJ, r.RadioEnergyJ, r.RadioEnergyPerMissJ, r.RadioWakeups)
+	}
+	if r.Batches > 0 {
+		fmt.Fprintf(&b, "  batching: %d misses in %d sessions (mean size %.2f)\n",
+			r.BatchedMisses, r.Batches, r.MeanBatchSize)
+	}
 	fmt.Fprintf(&b, "  personal flash %d bytes across %d resident users\n", r.PersonalBytes, r.ResidentUsers)
 	return b.String()
 }
 
-// fill populates the shared report fields from the collector and the
-// fleet's counters.
-func fill(r *Report, f *fleet.Fleet, col *Collector, elapsed time.Duration) {
-	wall, model, shed, errs, bySource := col.snapshot()
+// fill populates the shared report fields. Serving counters come from
+// the fleet's own Stats as before/after deltas — authoritative no
+// matter how the observer is wired — while latency histograms and
+// energy sums come from the collector.
+func fill(r *Report, f *fleet.Fleet, col *Collector, before fleet.Stats, beforeBatch fleet.BatchStats, elapsed time.Duration) {
+	cnt := col.snapshot()
+	st := f.Stats()
 	r.Shards = f.NumShards()
 	r.Workers = f.NumWorkers()
-	r.Shed = shed
-	r.Errors = errs
-	r.PersonalHits = bySource[fleet.SourcePersonal]
-	r.CommunityHits = bySource[fleet.SourceCommunity]
-	r.CloudMisses = bySource[fleet.SourceCloud]
-	r.Served = r.PersonalHits + r.CommunityHits + r.CloudMisses
-	r.Requests = r.Served + r.Shed + r.Errors
+	r.Served = uint64(st.Served - before.Served)
+	r.Shed = uint64(st.Shed - before.Shed)
+	r.Errors = uint64(st.Errors - before.Errors)
+	r.PersonalHits = uint64(st.PersonalHits - before.PersonalHits)
+	r.CommunityHits = uint64(st.CommunityHits - before.CommunityHits)
+	r.CloudMisses = uint64(st.CloudMisses - before.CloudMisses)
+	r.Requests = r.Served + r.Shed
 	if r.Served > 0 {
 		r.HitRate = float64(r.PersonalHits+r.CommunityHits) / float64(r.Served)
 	}
@@ -206,9 +273,32 @@ func fill(r *Report, f *fleet.Fleet, col *Collector, elapsed time.Duration) {
 	if elapsed > 0 {
 		r.ServedQPS = float64(r.Served) / elapsed.Seconds()
 	}
-	r.Wall = wall.Summary()
-	r.Model = model.Summary()
-	st := f.Stats()
+	r.Wall = cnt.wall.Summary()
+	r.Model = cnt.model.Summary()
+
+	r.EnergyJ = cnt.energyJ
+	r.RadioEnergyJ = cnt.radioJ
+	observed := cnt.bySource[fleet.SourcePersonal] + cnt.bySource[fleet.SourceCommunity] + cnt.bySource[fleet.SourceCloud]
+	if observed > 0 {
+		r.EnergyPerQueryJ = cnt.energyJ / float64(observed)
+	}
+	if misses := cnt.bySource[fleet.SourceCloud]; misses > 0 {
+		r.RadioEnergyPerMissJ = cnt.missRadioJ / float64(misses)
+	}
+	bs := f.BatchStats()
+	r.Batches = bs.Batches - beforeBatch.Batches
+	r.BatchedMisses = bs.BatchedMisses - beforeBatch.BatchedMisses
+	r.RadioWakeups = cnt.wakeups + uint64(bs.Wakeups-beforeBatch.Wakeups)
+	if r.Batches > 0 {
+		r.MeanBatchSize = float64(r.BatchedMisses) / float64(r.Batches)
+		r.BatchSizes = make(map[string]int64)
+		for size, n := range bs.SizeCounts {
+			if d := n - beforeBatch.SizeCounts[size]; d > 0 {
+				r.BatchSizes[strconv.Itoa(size)] = d
+			}
+		}
+	}
+
 	r.PersonalBytes = st.PersonalBytes
 	r.ResidentUsers = st.Users
 }
@@ -251,6 +341,9 @@ func RunOpen(f *fleet.Fleet, col *Collector, g *workload.Generator, cfg OpenConf
 	if len(tape) == 0 {
 		return Report{}, fmt.Errorf("loadgen: month %d log is empty", cfg.Month)
 	}
+	if f.Observer() == nil {
+		return Report{}, fmt.Errorf("loadgen: fleet has no Observer; set fleet.Config.Observer to the collector or latencies and energy go unrecorded")
+	}
 	u := g.Config().Universe
 
 	// The whole Poisson schedule is drawn up front so the arrival
@@ -268,6 +361,7 @@ func RunOpen(f *fleet.Fleet, col *Collector, g *workload.Generator, cfg OpenConf
 	}
 
 	col.Reset()
+	before, beforeBatch := f.Stats(), f.BatchStats()
 	var maxLag time.Duration
 	start := time.Now()
 	for i, due := range schedule {
@@ -294,7 +388,7 @@ func RunOpen(f *fleet.Fleet, col *Collector, g *workload.Generator, cfg OpenConf
 		OfferedQPS:       cfg.QPS,
 		MaxScheduleLagNS: int64(maxLag),
 	}
-	fill(&r, f, col, elapsed)
+	fill(&r, f, col, before, beforeBatch, elapsed)
 	return r, nil
 }
 
@@ -337,9 +431,13 @@ func RunClosed(f *fleet.Fleet, col *Collector, g *workload.Generator, cfg Closed
 	if weeks <= 0 {
 		weeks = 5
 	}
+	if f.Observer() == nil {
+		return Report{}, fmt.Errorf("loadgen: fleet has no Observer; set fleet.Config.Observer to the collector or latencies and energy go unrecorded")
+	}
 	u := g.Config().Universe
 
 	col.Reset()
+	before, beforeBatch := f.Stats(), f.BatchStats()
 	outcomes := make([]replay.UserOutcome, cfg.Users)
 	var deadline time.Time
 	if cfg.Duration > 0 {
@@ -384,7 +482,7 @@ func RunClosed(f *fleet.Fleet, col *Collector, g *workload.Generator, cfg Closed
 		Users:    cfg.Users,
 		Outcomes: outcomes,
 	}
-	fill(&r, f, col, elapsed)
+	fill(&r, f, col, before, beforeBatch, elapsed)
 
 	classSum := make(map[string]float64)
 	classN := make(map[string]int)

@@ -199,9 +199,9 @@ func TestOpenLoopSchedule(t *testing.T) {
 	if r1.Requests == 0 {
 		t.Fatal("no arrivals scheduled")
 	}
-	if r1.Served+r1.Shed+r1.Errors != r1.Requests {
-		t.Errorf("served %d + shed %d + errors %d != requests %d",
-			r1.Served, r1.Shed, r1.Errors, r1.Requests)
+	// Errors are counted within Served (the request completed, badly).
+	if r1.Served+r1.Shed != r1.Requests {
+		t.Errorf("served %d + shed %d != requests %d", r1.Served, r1.Shed, r1.Requests)
 	}
 	if r1.Mode != "open" || r1.OfferedQPS != cfg.QPS || r1.ServedQPS <= 0 {
 		t.Errorf("report inconsistent: %+v", r1)
@@ -254,15 +254,124 @@ func TestCollectorObserve(t *testing.T) {
 	col := NewCollector()
 	col.Observe(fleet.Response{Shed: true})
 	col.Observe(fleet.Response{Err: errors.New("boom")})
-	col.Observe(fleet.Response{Source: fleet.SourceCommunity, Wall: time.Millisecond})
-	wall, _, shed, errs, bySource := col.snapshot()
-	if shed != 1 || errs != 1 || wall.Count() != 1 || bySource[fleet.SourceCommunity] != 1 {
-		t.Errorf("collector state wrong: shed=%d errs=%d wall=%d", shed, errs, wall.Count())
+	col.Observe(fleet.Response{Source: fleet.SourceCommunity, Wall: time.Millisecond, EnergyJ: 0.5})
+	col.Observe(fleet.Response{Source: fleet.SourceCloud, Wall: time.Millisecond, EnergyJ: 2, RadioJ: 1.5})
+	col.Observe(fleet.Response{Source: fleet.SourceCloud, Wall: time.Millisecond, EnergyJ: 1, RadioJ: 0.5, BatchSize: 4})
+	s := col.snapshot()
+	if s.shed != 1 || s.errors != 1 || s.wall.Count() != 3 || s.bySource[fleet.SourceCommunity] != 1 {
+		t.Errorf("collector state wrong: %+v", s)
+	}
+	if s.energyJ != 3.5 || s.radioJ != 2 || s.missRadioJ != 2 {
+		t.Errorf("energy sums wrong: energy=%g radio=%g missRadio=%g", s.energyJ, s.radioJ, s.missRadioJ)
+	}
+	// The unbatched cold miss pays a wake-up; the batched one's is
+	// booked against its session in fleet.BatchStats.
+	if s.wakeups != 1 || s.batchedMisses != 1 {
+		t.Errorf("wakeups=%d batchedMisses=%d, want 1 and 1", s.wakeups, s.batchedMisses)
 	}
 	col.Reset()
-	wall, _, shed, errs, _ = col.snapshot()
-	if shed != 0 || errs != 0 || wall.Count() != 0 {
+	s = col.snapshot()
+	if s.shed != 0 || s.errors != 0 || s.wall.Count() != 0 || s.energyJ != 0 {
 		t.Error("Reset did not clear the collector")
+	}
+}
+
+// TestRunRequiresObserver is the regression for silently unmeasured
+// runs: a fleet with no Observer wired would previously report empty
+// histograms as if nothing happened; now the runners refuse it.
+func TestRunRequiresObserver(t *testing.T) {
+	g := smallGen(t, 16)
+	content := smallContent(t, g)
+	col := NewCollector()
+	f, err := fleet.New(fleet.Config{
+		Engine:  engine.New(g.Config().Universe),
+		Content: content,
+		Shards:  2,
+		Workers: 2,
+		// Observer deliberately left nil.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	if _, err := RunOpen(f, col, g, OpenConfig{QPS: 10, Duration: 10 * time.Millisecond}); err == nil {
+		t.Error("RunOpen against an observer-less fleet should fail")
+	}
+	if _, err := RunClosed(f, col, g, ClosedConfig{Users: 4}); err == nil {
+		t.Error("RunClosed against an observer-less fleet should fail")
+	}
+}
+
+// TestBatchedReport runs a closed loop over a coalescing fleet and
+// checks the report's energy and batching fields are populated,
+// consistent, and serialized.
+func TestBatchedReport(t *testing.T) {
+	g := smallGen(t, 64)
+	content := smallContent(t, g)
+	col := NewCollector()
+	f, err := fleet.New(fleet.Config{
+		Engine:     engine.New(g.Config().Universe),
+		Content:    content,
+		Shards:     2,
+		Workers:    2,
+		QueueDepth: 4096,
+		Batch:      fleet.BatchOptions{Enabled: true, Linger: time.Millisecond},
+		Observer:   col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+
+	r, err := RunClosed(f, col, g, ClosedConfig{Users: 40, Month: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CloudMisses == 0 {
+		t.Fatal("no cloud misses; nothing to batch")
+	}
+	if r.EnergyJ <= 0 || r.EnergyPerQueryJ <= 0 || r.RadioEnergyJ <= 0 || r.RadioEnergyPerMissJ <= 0 {
+		t.Errorf("energy fields unpopulated: %+v", r)
+	}
+	if r.EnergyJ < r.RadioEnergyJ {
+		t.Errorf("total energy %.3f J below radio-only %.3f J", r.EnergyJ, r.RadioEnergyJ)
+	}
+	if r.Batches <= 0 || r.BatchedMisses != int64(r.CloudMisses) {
+		t.Errorf("batching fields inconsistent with %d misses: batches=%d batched=%d",
+			r.CloudMisses, r.Batches, r.BatchedMisses)
+	}
+	if r.MeanBatchSize < 1 {
+		t.Errorf("mean batch size %.2f < 1", r.MeanBatchSize)
+	}
+	if r.RadioWakeups != uint64(r.Batches) {
+		t.Errorf("radio wakeups %d, want one per batch (%d); dispatcher sessions start cold",
+			r.RadioWakeups, r.Batches)
+	}
+	var sized int64
+	for _, n := range r.BatchSizes {
+		sized += n
+	}
+	if sized != r.Batches {
+		t.Errorf("batch size histogram sums to %d, want %d", sized, r.Batches)
+	}
+
+	raw, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"energy_j", "energy_per_query_j", "radio_energy_j",
+		"radio_energy_per_miss_j", "radio_wakeups", "batches", "batched_misses",
+		"mean_batch_size", "batch_sizes"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("JSON report missing %q", key)
+		}
+	}
+	if r.String() == "" {
+		t.Error("human-readable summary is empty")
 	}
 }
 

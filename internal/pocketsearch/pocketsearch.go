@@ -31,6 +31,7 @@ import (
 	"pocketcloudlets/internal/engine"
 	"pocketcloudlets/internal/hash64"
 	"pocketcloudlets/internal/hashtable"
+	"pocketcloudlets/internal/radio"
 	"pocketcloudlets/internal/resultdb"
 	"pocketcloudlets/internal/suggest"
 )
@@ -306,6 +307,10 @@ type Outcome struct {
 	Render  time.Duration
 	Misc    time.Duration
 	Network time.Duration
+	// Radio is the modeled radio exchange of a miss (zero value on a
+	// hit): the fleet layer reads it to attribute radio energy per
+	// request.
+	Radio radio.Transfer
 }
 
 // ResponseTime is the end-to-end user response time of the query.
@@ -398,9 +403,9 @@ func (c *Cache) Suggest(queryText string) []engine.Result {
 // community volumes in the auto-completion ranking.
 const suggestPersonalBoost = 1000
 
-// resultsPageBytes is the nominal size of the rendered search results
+// ResultsPageBytes is the nominal size of the rendered search results
 // page: ~100 KB whether assembled locally or downloaded (Table 2).
-const resultsPageBytes = 100_000
+const ResultsPageBytes = 100_000
 
 // Query serves one search interaction: the user submits queryText and
 // clicks the result with clickURL. It returns the serving outcome and
@@ -448,7 +453,7 @@ func (c *Cache) Query(queryText, clickURL string) (Outcome, error) {
 			out.Results = append(out.Results, res)
 		}
 		c.dev.FlashBusy(out.Fetch)
-		out.Render = c.dev.Render(resultsPageBytes)
+		out.Render = c.dev.Render(ResultsPageBytes)
 		out.Misc = c.dev.Misc()
 		if !c.opts.DisablePersonalization {
 			c.personalizeClick(qh, ch)
@@ -466,12 +471,10 @@ func (c *Cache) Query(queryText, clickURL string) (Outcome, error) {
 	c.bump(func(s *Stats) { s.Misses++ })
 	c.lastQueryText = queryText
 	resp, found := c.eng.Search(queryText)
-	pageBytes := resp.PageBytes
-	if pageBytes == 0 {
-		pageBytes = resultsPageBytes
-	}
-	tr := c.dev.NetworkRequest(queryRequestBytes, pageBytes)
+	pageBytes := MissPageBytes(resp)
+	tr := c.dev.NetworkRequest(QueryRequestBytes, pageBytes)
 	out.Network = tr.Total()
+	out.Radio = tr
 	out.Render = c.dev.Render(pageBytes)
 	out.Misc = c.dev.Misc()
 	if found {
@@ -484,8 +487,56 @@ func (c *Cache) Query(queryText, clickURL string) (Outcome, error) {
 	return out, nil
 }
 
-// queryRequestBytes is the size of the HTTP search request.
-const queryRequestBytes = 800
+// MissPageBytes returns the result-page size a miss for resp ships
+// over the radio: the engine's page size, or the nominal ~100 KB page
+// when the engine had no results (the device still downloads an empty
+// results page).
+func MissPageBytes(resp engine.SearchResponse) int {
+	if resp.PageBytes > 0 {
+		return resp.PageBytes
+	}
+	return ResultsPageBytes
+}
+
+// ApplyBatchedMiss serves a query already classified as a cache miss
+// whose cloud exchange was coalesced with other misses: resp and found
+// carry the engine response fetched by the batched engine visit, wait
+// is the modeled latency until this item's response landed (the shared
+// wake-up and handshake plus every payload through this item), and
+// share is the radio-active time attributed to the item
+// (radio.BatchTransfer.ItemShare). The device pays the same lookup,
+// render, misc and expansion costs as Query's miss path, so hit/miss
+// accounting and cache state evolve byte-identically whether or not
+// misses coalesce — only the network term and radio energy differ.
+func (c *Cache) ApplyBatchedMiss(queryText, clickURL string, resp engine.SearchResponse, found bool, wait, share time.Duration) Outcome {
+	c.bump(func(s *Stats) { s.Queries++; s.Misses++ })
+	qh := hash64.Sum(queryText)
+	ch := hash64.Sum(clickURL)
+
+	var out Outcome
+	out.Lookup = LookupCost
+	c.dev.Busy(LookupCost, "lookup")
+
+	c.lastQueryText = queryText
+	c.dev.NetworkBatchShare(wait, share)
+	out.Network = wait
+	out.Radio = radio.Transfer{RadioActive: share}
+	out.Render = c.dev.Render(MissPageBytes(resp))
+	out.Misc = c.dev.Misc()
+	if found {
+		out.Results = resp.Results
+	}
+
+	if !c.opts.DisablePersonalization && clickURL != "" {
+		c.expand(qh, ch, clickURL, resp, found)
+	}
+	return out
+}
+
+// QueryRequestBytes is the size of the HTTP search request — exported
+// alongside ResultsPageBytes so the fleet's miss dispatcher can model
+// the batched radio exchange itself.
+const QueryRequestBytes = 800
 
 // expand implements the personalization component's cache expansion:
 // after a miss, the (query, clicked result) pair enters the cache with

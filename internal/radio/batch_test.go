@@ -1,0 +1,170 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func exchanges(n int) []Exchange {
+	items := make([]Exchange, n)
+	for i := range items {
+		items[i] = Exchange{ReqBytes: 800, RespBytes: 100_000}
+	}
+	return items
+}
+
+// TestBatchExchangeAmortizesOverhead checks the core batching
+// invariants: one wake-up and one handshake for the whole session,
+// payloads serialized in order, and per-item shares that sum back to
+// the session exactly.
+func TestBatchExchangeAmortizesOverhead(t *testing.T) {
+	for _, p := range Technologies() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			const n = 8
+			b := BatchExchange(p, exchanges(n))
+			if b.Size() != n {
+				t.Fatalf("Size = %d, want %d", b.Size(), n)
+			}
+			if b.WasWarm {
+				t.Error("dispatcher sessions must start cold")
+			}
+			if b.Wakeup != p.WakeupLatency {
+				t.Errorf("Wakeup = %v, want %v", b.Wakeup, p.WakeupLatency)
+			}
+			wantHS := time.Duration(p.HandshakeRTTs) * p.RTT
+			if b.Handshake != wantHS {
+				t.Errorf("Handshake = %v, want %v", b.Handshake, wantHS)
+			}
+			if b.Total() != b.Overhead()+b.TotalPayload() {
+				t.Errorf("Total %v != Overhead %v + TotalPayload %v", b.Total(), b.Overhead(), b.TotalPayload())
+			}
+
+			// Item latencies are monotone: item i waits for payloads 0..i.
+			prev := time.Duration(0)
+			for i := 0; i < n; i++ {
+				lat := b.ItemLatency(i)
+				if lat <= prev {
+					t.Errorf("ItemLatency(%d) = %v not beyond ItemLatency(%d) = %v", i, lat, i-1, prev)
+				}
+				prev = lat
+			}
+			if b.ItemLatency(n-1) != b.Total() {
+				t.Errorf("last item latency %v != session total %v", b.ItemLatency(n-1), b.Total())
+			}
+
+			// Shares partition the session's active time (up to integer
+			// nanosecond division of the overhead).
+			var shares time.Duration
+			for i := 0; i < n; i++ {
+				shares += b.ItemShare(i)
+			}
+			if diff := b.Total() - shares; diff < 0 || diff > n {
+				t.Errorf("shares sum %v vs session %v (diff %v)", shares, b.Total(), diff)
+			}
+
+			// Item energies partition the session energy, tail included.
+			var itemJ float64
+			for i := 0; i < n; i++ {
+				itemJ += b.ItemRadioEnergy(p, i)
+			}
+			if sess := b.SessionRadioEnergy(p); math.Abs(itemJ-sess) > 1e-9*sess {
+				t.Errorf("item energies sum %.9f J, session %.9f J", itemJ, sess)
+			}
+
+			// The whole point: a batch member costs measurably less radio
+			// energy than the same exchange in its own cold session.
+			solo := BatchExchange(p, exchanges(1))
+			soloJ := solo.SessionRadioEnergy(p)
+			memberJ := b.ItemRadioEnergy(p, 0)
+			if memberJ >= soloJ {
+				t.Errorf("batched member %.3f J not below solo miss %.3f J", memberJ, soloJ)
+			}
+			if memberJ > 0.5*soloJ {
+				t.Errorf("batched member %.3f J saved less than half of solo %.3f J; overhead should dominate", memberJ, soloJ)
+			}
+		})
+	}
+}
+
+// TestBatchExchangeSingleItemMatchesRequest checks a batch of one costs
+// exactly what a cold unbatched request costs.
+func TestBatchExchangeSingleItemMatchesRequest(t *testing.T) {
+	p := ThreeG()
+	b := BatchExchange(p, exchanges(1))
+	tr := NewLink(p).Request(800, 100_000)
+	if b.Total() != tr.Total() {
+		t.Errorf("batch-of-one latency %v != cold request %v", b.Total(), tr.Total())
+	}
+	if got, want := b.ItemShare(0), tr.RadioActive; got != want {
+		t.Errorf("batch-of-one share %v != cold request active %v", got, want)
+	}
+	wantJ := p.ActiveEnergy(tr.RadioActive) + p.TailEnergy()
+	if got := b.ItemRadioEnergy(p, 0); math.Abs(got-wantJ) > 1e-12 {
+		t.Errorf("batch-of-one energy %.9f J != cold request %.9f J", got, wantJ)
+	}
+}
+
+// TestRequestBatchLinkState checks the stateful batch call drives the
+// link state machine like any transfer: cold pays the wake-up, a
+// session inside the previous tail starts warm, and the clock advances
+// by the session total.
+func TestRequestBatchLinkState(t *testing.T) {
+	p := ThreeG()
+	l := NewLink(p)
+	b1 := l.RequestBatch(exchanges(4))
+	if b1.WasWarm || b1.Wakeup != p.WakeupLatency {
+		t.Errorf("first session should be cold: %+v", b1)
+	}
+	if l.Wakeups() != 1 {
+		t.Errorf("wakeups = %d, want 1", l.Wakeups())
+	}
+	if l.Now() != b1.Total() {
+		t.Errorf("clock %v, want %v", l.Now(), b1.Total())
+	}
+	if l.State() != Tail {
+		t.Errorf("state %v after session, want Tail", l.State())
+	}
+	// Within the tail: warm session, no second wake-up.
+	b2 := l.RequestBatch(exchanges(2))
+	if !b2.WasWarm || b2.Wakeup != 0 {
+		t.Errorf("session in tail should be warm: %+v", b2)
+	}
+	if l.Wakeups() != 1 {
+		t.Errorf("wakeups = %d after warm session, want 1", l.Wakeups())
+	}
+	// Past the tail: cold again.
+	l.Advance(p.TailDuration + time.Second)
+	b3 := l.RequestBatch(exchanges(1))
+	if b3.WasWarm {
+		t.Error("session after tail expiry should be cold")
+	}
+	if l.Wakeups() != 2 {
+		t.Errorf("wakeups = %d, want 2", l.Wakeups())
+	}
+}
+
+// TestJoinBatch checks a member link books exactly its attributed share
+// and is left tailing, without claiming the session's wake-up.
+func TestJoinBatch(t *testing.T) {
+	p := ThreeG()
+	l := NewLink(p)
+	wait, share := 3*time.Second, 900*time.Millisecond
+	l.JoinBatch(wait, share)
+	if got, want := l.RadioEnergy(), p.ActiveEnergy(share); math.Abs(got-want) > 1e-12 {
+		t.Errorf("energy %.9f J, want %.9f J", got, want)
+	}
+	if l.ActiveTime() != share {
+		t.Errorf("active time %v, want %v", l.ActiveTime(), share)
+	}
+	if l.Now() != wait {
+		t.Errorf("clock %v, want %v", l.Now(), wait)
+	}
+	if l.Wakeups() != 0 {
+		t.Errorf("wakeups = %d; the shared uplink owns the wake-up", l.Wakeups())
+	}
+	if l.State() != Tail {
+		t.Errorf("state %v, want Tail", l.State())
+	}
+}

@@ -134,6 +134,20 @@ func WiFi() Params {
 // Technologies returns every built-in link parameter set.
 func Technologies() []Params { return []Params{ThreeG(), EDGE(), WiFi()} }
 
+// ActiveEnergy returns the radio energy of holding the link in the
+// Active state for d.
+func (p Params) ActiveEnergy(d time.Duration) float64 {
+	return p.ExtraActivePower * d.Seconds()
+}
+
+// TailEnergy returns the energy of one full post-transfer tail — the
+// cost every radio session eventually pays once, however many
+// exchanges it carried. Together with the wakeup this is the session
+// overhead the paper's batching argument amortizes.
+func (p Params) TailEnergy() float64 {
+	return p.ExtraTailPower * p.TailDuration.Seconds()
+}
+
 // Transfer is the modeled outcome of one request/response exchange.
 type Transfer struct {
 	// Wakeup is the promotion latency paid (zero if the link was warm).
@@ -244,3 +258,147 @@ func (l *Link) Advance(d time.Duration) {
 
 // Reset returns the link to Idle at model time zero with counters cleared.
 func (l *Link) Reset() { *l = Link{params: l.params} }
+
+// Exchange is one request/response size pair of a batched transfer.
+type Exchange struct {
+	ReqBytes  int
+	RespBytes int
+}
+
+// BatchTransfer is the modeled outcome of a coalesced exchange: n
+// request/response pairs sharing one radio session. The wake-up and
+// the connection handshake are paid once for the whole batch, then the
+// payloads are serialized over the link in batch order, so item i's
+// response lands only after every earlier item's payload. The
+// post-transfer tail is likewise entered once. This is the paper's
+// amortization argument made explicit: for small transfers nearly all
+// of the radio time — and therefore energy — is session overhead, and
+// overhead divided by n vanishes as batches grow.
+type BatchTransfer struct {
+	// Wakeup is the promotion latency paid once (zero if the session
+	// started warm).
+	Wakeup time.Duration
+	// Handshake is the connection-establishment time, paid once.
+	Handshake time.Duration
+	// Payloads holds each item's upload-plus-download time, in batch
+	// order.
+	Payloads []time.Duration
+	// WasWarm reports whether the session skipped the wakeup.
+	WasWarm bool
+}
+
+// Size returns the number of items in the batch.
+func (b BatchTransfer) Size() int { return len(b.Payloads) }
+
+// Overhead is the per-session latency shared by every item: the
+// wake-up plus the handshake.
+func (b BatchTransfer) Overhead() time.Duration { return b.Wakeup + b.Handshake }
+
+// TotalPayload is the serialized transfer time of all items.
+func (b BatchTransfer) TotalPayload() time.Duration {
+	var sum time.Duration
+	for _, p := range b.Payloads {
+		sum += p
+	}
+	return sum
+}
+
+// Total is the end-to-end latency of the whole session.
+func (b BatchTransfer) Total() time.Duration { return b.Overhead() + b.TotalPayload() }
+
+// ItemLatency is the modeled latency until item i's response has
+// landed: the shared overhead plus every payload through item i.
+func (b BatchTransfer) ItemLatency(i int) time.Duration {
+	lat := b.Overhead()
+	for j := 0; j <= i && j < len(b.Payloads); j++ {
+		lat += b.Payloads[j]
+	}
+	return lat
+}
+
+// ItemShare is the radio-active time attributed to item i: its own
+// payload plus an equal 1/n share of the session overhead. The shares
+// sum to the session's total active time.
+func (b BatchTransfer) ItemShare(i int) time.Duration {
+	if len(b.Payloads) == 0 || i < 0 || i >= len(b.Payloads) {
+		return 0
+	}
+	return b.Overhead()/time.Duration(len(b.Payloads)) + b.Payloads[i]
+}
+
+// SessionRadioEnergy is the radio energy of the whole session under p,
+// including the attributed post-transfer tail.
+func (b BatchTransfer) SessionRadioEnergy(p Params) float64 {
+	return p.ActiveEnergy(b.Total()) + p.TailEnergy()
+}
+
+// ItemRadioEnergy is the radio energy attributed to item i under p:
+// active power over the item's share plus 1/n of the tail.
+func (b BatchTransfer) ItemRadioEnergy(p Params, i int) float64 {
+	if len(b.Payloads) == 0 {
+		return 0
+	}
+	return p.ActiveEnergy(b.ItemShare(i)) + p.TailEnergy()/float64(len(b.Payloads))
+}
+
+// BatchExchange models a coalesced exchange under p without a live
+// link: the session starts cold (it always pays the wake-up). This is
+// the form the fleet's miss dispatcher uses — its shared uplink sleeps
+// between linger windows, so every session starts from Idle.
+func BatchExchange(p Params, items []Exchange) BatchTransfer {
+	b := BatchTransfer{
+		Wakeup:    p.WakeupLatency,
+		Handshake: time.Duration(p.HandshakeRTTs) * p.RTT,
+		Payloads:  make([]time.Duration, len(items)),
+	}
+	for i, it := range items {
+		b.Payloads[i] = transferTime(it.ReqBytes, p.UplinkBps) + transferTime(it.RespBytes, p.DownlinkBps)
+	}
+	return b
+}
+
+// RequestBatch models a coalesced exchange on this link: n
+// request/response pairs in one radio session, paying the wake-up (if
+// the link is idle), the handshake and the tail once. The clock
+// advances by the session total and the link is left in Tail — the
+// single-device analogue of the fleet's miss coalescing (a phone
+// flushing several deferred misses in one session).
+func (l *Link) RequestBatch(items []Exchange) BatchTransfer {
+	b := BatchTransfer{
+		Handshake: time.Duration(l.params.HandshakeRTTs) * l.params.RTT,
+		Payloads:  make([]time.Duration, len(items)),
+	}
+	for i, it := range items {
+		b.Payloads[i] = transferTime(it.ReqBytes, l.params.UplinkBps) + transferTime(it.RespBytes, l.params.DownlinkBps)
+	}
+	if l.State() == Idle {
+		b.Wakeup = l.params.WakeupLatency
+		l.wakeups++
+	} else {
+		b.WasWarm = true
+	}
+	active := b.Total()
+	l.energy += l.params.ExtraActivePower * active.Seconds()
+	l.activeTime += active
+	l.now += active
+	l.tailEnds = l.now + l.params.TailDuration
+	return b
+}
+
+// JoinBatch accounts this link's membership in a batched exchange
+// whose session ran on a shared uplink: the device waited wait of
+// model time for its response and is attributed share of the session's
+// radio-active time. The link is left in its post-transfer tail. The
+// session's wake-up is owned by the uplink, so this link's own wakeup
+// counter does not move.
+func (l *Link) JoinBatch(wait, share time.Duration) {
+	if share > 0 {
+		l.energy += l.params.ExtraActivePower * share.Seconds()
+		l.activeTime += share
+	}
+	if wait < 0 {
+		wait = 0
+	}
+	l.now += wait
+	l.tailEnds = l.now + l.params.TailDuration
+}

@@ -112,6 +112,11 @@ type (
 	FleetResponse = fleet.Response
 	// FleetStats is a fleet-wide counter snapshot.
 	FleetStats = fleet.Stats
+	// FleetBatchOptions configure cloud-miss coalescing into shared
+	// radio sessions.
+	FleetBatchOptions = fleet.BatchOptions
+	// FleetBatchStats summarize miss-coalescing activity.
+	FleetBatchStats = fleet.BatchStats
 	// RadioParams are the link parameters of a radio technology.
 	RadioParams = radio.Params
 	// LoadCollector aggregates fleet responses into latency histograms.

@@ -32,4 +32,9 @@ go test ./...
 echo "== go test -race -short ./... =="
 go test -race -short ./...
 
+echo "== bench smoke: FleetServe =="
+# One iteration of each fleet serving benchmark (batched and unbatched)
+# so a regression that breaks the benchmark fixtures fails the gate.
+go test -bench FleetServe -benchtime 1x -run '^$' .
+
 echo "all checks passed"
