@@ -12,11 +12,26 @@
 //
 // Miss batching (-batch) coalesces concurrent cloud misses into shared
 // radio sessions — one wake-up, one handshake, one tail per batch —
-// capped at -batchmax misses after a -batchlinger collection window,
+// capped at -batchmax misses after a -batchlinger collection window
+// (sized adaptively from the miss arrival rate with -batchadaptive),
 // per shard by default or fleet-wide with -batchwide. The report's
 // energy figures (energy_per_query_j, radio_energy_per_miss_j,
 // radio_wakeups) quantify the savings; per-user hit/miss outcomes are
 // unchanged for the same seed.
+//
+// Fault injection (-faults) turns on the deterministic connectivity
+// fault model on the cloud-miss path: -loss drops each radio attempt
+// with the given probability, -engineerr injects transient cloud
+// errors, and -outage declares dead zones in model time ("6s/30s" =
+// down the first 6s of every 30s; "10s-20s,40s-45s" = absolute
+// windows). Failed misses retry up to -retries attempts with capped
+// exponential backoff, then degrade: a stale answer from the personal
+// or community cache, or an explicit "results unavailable" page. The
+// report's answered_rate, degraded, unavailable, retries, exhausted
+// and breaker_opens fields quantify availability under the scenario.
+// Fault counters are seed-deterministic except when -batch is combined
+// with -outage: outage exposure follows each user's model clock, which
+// batch composition (wall-clock timing) legitimately shifts.
 //
 // Example (the acceptance run):
 //
@@ -53,6 +68,14 @@ func main() {
 		batchMax    = flag.Int("batchmax", 0, "max misses per batched radio session; 0 = default 16")
 		batchLinger = flag.Duration("batchlinger", 0, "how long a dispatcher holds an open batch for more misses; 0 = default 200µs")
 		batchWide   = flag.Bool("batchwide", false, "pool misses fleet-wide into one dispatcher instead of one per shard")
+		adaptive    = flag.Bool("batchadaptive", false, "size the batch linger window from the observed miss arrival rate")
+		faultsOn    = flag.Bool("faults", false, "enable the deterministic connectivity-fault model")
+		loss        = flag.Float64("loss", 0, "per-attempt probability a radio exchange is dropped (with -faults)")
+		engineErr   = flag.Float64("engineerr", 0, "per-attempt probability of a transient cloud engine error (with -faults)")
+		outage      = flag.String("outage", "", `outage spec (with -faults): "6s/30s" duty cycle or "10s-20s,40s-45s" windows`)
+		retries     = flag.Int("retries", 0, "max radio attempts per cloud miss; 0 = default 4")
+		faultSeed   = flag.Int64("faultseed", 0, "fault-model seed; 0 reuses -seed")
+		check       = flag.Bool("check", false, "verify report invariants after the run and exit non-zero on violation")
 		jsonOut     = flag.Bool("json", false, "emit the report as JSON only")
 	)
 	flag.Parse()
@@ -104,6 +127,24 @@ func main() {
 	progress("community content: %d pairs covering %.0f%% of volume\n",
 		len(content.Triplets), 100*content.CoveredShare)
 
+	var faultOpts pocketcloudlets.FaultOptions
+	if *faultsOn {
+		faultOpts.Enabled = true
+		faultOpts.Seed = *faultSeed
+		if faultOpts.Seed == 0 {
+			faultOpts.Seed = *seed
+		}
+		faultOpts.LossProb = *loss
+		faultOpts.EngineErrProb = *engineErr
+		if *outage != "" {
+			every, down, windows, err := pocketcloudlets.ParseOutageSpec(*outage)
+			if err != nil {
+				fail(err)
+			}
+			faultOpts.OutageEvery, faultOpts.OutageFor, faultOpts.Windows = every, down, windows
+		}
+	}
+
 	col := pocketcloudlets.NewLoadCollector()
 	f, err := sim.NewFleet(content, pocketcloudlets.FleetConfig{
 		Shards:             *shards,
@@ -113,19 +154,22 @@ func main() {
 		PerUserBytes:       *userBudget,
 		TotalPersonalBytes: *fleetBut,
 		Batch: pocketcloudlets.FleetBatchOptions{
-			Enabled:   *batch,
-			MaxBatch:  *batchMax,
-			Linger:    *batchLinger,
-			FleetWide: *batchWide,
+			Enabled:        *batch,
+			MaxBatch:       *batchMax,
+			Linger:         *batchLinger,
+			FleetWide:      *batchWide,
+			AdaptiveLinger: *adaptive,
 		},
+		Faults:   faultOpts,
+		Retry:    pocketcloudlets.RetryPolicy{MaxAttempts: *retries},
 		Observer: col,
 	})
 	if err != nil {
 		fail(err)
 	}
 	defer f.Close()
-	progress("fleet up: %d shards, %d workers, queue depth %d, radio %s, batching %v\n",
-		f.NumShards(), f.NumWorkers(), *queue, tech, *batch)
+	progress("fleet up: %d shards, %d workers, queue depth %d, radio %s, batching %v, faults %v\n",
+		f.NumShards(), f.NumWorkers(), *queue, tech, *batch, *faultsOn)
 
 	var report pocketcloudlets.LoadReport
 	switch *mode {
@@ -148,12 +192,45 @@ func main() {
 	}
 
 	if *jsonOut {
-		raw, err := report.JSON()
-		if err != nil {
-			fail(err)
+		raw, jerr := report.JSON()
+		if jerr != nil {
+			fail(jerr)
 		}
 		fmt.Println(string(raw))
-		return
+	} else {
+		fmt.Print(report.String())
 	}
-	fmt.Print(report.String())
+	if *check {
+		if problems := checkReport(report, *faultsOn); len(problems) > 0 {
+			for _, p := range problems {
+				fmt.Fprintf(os.Stderr, "check failed: %s\n", p)
+			}
+			os.Exit(1)
+		}
+		progress("checks passed\n")
+	}
+}
+
+// checkReport verifies the report's accounting invariants: every
+// submission is booked exactly once, every served request came from
+// exactly one tier, and the fault counters are silent when fault
+// injection is off.
+func checkReport(r pocketcloudlets.LoadReport, faultsOn bool) []string {
+	var problems []string
+	if r.Errors != 0 {
+		problems = append(problems, fmt.Sprintf("errors: %d", r.Errors))
+	}
+	if r.Requests != r.Served+r.Shed+r.Canceled {
+		problems = append(problems, fmt.Sprintf("requests %d != served %d + shed %d + canceled %d",
+			r.Requests, r.Served, r.Shed, r.Canceled))
+	}
+	tiers := r.PersonalHits + r.CommunityHits + r.CloudMisses + r.Degraded + r.Unavailable
+	if tiers+r.Errors != r.Served {
+		problems = append(problems, fmt.Sprintf("tier counts %d + errors %d != served %d", tiers, r.Errors, r.Served))
+	}
+	if !faultsOn && r.Degraded+r.Unavailable+uint64(r.Retries)+uint64(r.Exhausted)+uint64(r.BreakerOpens) != 0 {
+		problems = append(problems, fmt.Sprintf("fault counters nonzero with faults off: degraded %d unavailable %d retries %d exhausted %d breaker %d",
+			r.Degraded, r.Unavailable, r.Retries, r.Exhausted, r.BreakerOpens))
+	}
+	return problems
 }

@@ -180,6 +180,20 @@ func (d *Device) NetworkRequest(reqBytes, respBytes int) radio.Transfer {
 	return tr
 }
 
+// NetworkFailedRequest models one radio exchange attempt the network
+// dropped (an outage, a lost packet, a transient server error): the
+// radio pays its full session overhead — wake-up when idle, plus the
+// handshake — and the user stares at a spinner for all of it, but no
+// payload ever arrives. The model clock and energy advance exactly as
+// a successful exchange's overhead would.
+func (d *Device) NetworkFailedRequest() radio.Transfer {
+	tr := d.link.FailedRequest()
+	d.record(tr.Total(), d.link.Params().ExtraActivePower, "radio-failed")
+	d.baseEnergy += d.cfg.BasePower * tr.Total().Seconds()
+	d.clock += tr.Total()
+	return tr
+}
+
 // NetworkBatchShare charges this device's membership in a coalesced
 // radio exchange (radio.BatchTransfer) computed on a shared uplink:
 // the device waits wait of model time at base power (screen on,

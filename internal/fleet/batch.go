@@ -32,6 +32,15 @@ type BatchOptions struct {
 	// the default is one dispatcher (one uplink session at a time) per
 	// shard.
 	FleetWide bool
+	// AdaptiveLinger sizes the linger window from the observed miss
+	// arrival rate instead of using the fixed Linger: under dense
+	// arrivals the window is just long enough to collect a full batch
+	// (inter-arrival gap × (MaxBatch−1), capped at Linger); under
+	// sparse arrivals — when the next miss is not expected within any
+	// linger — it shrinks to Linger/8, so a lone miss is not held
+	// hostage to a window nothing will join. Wall-clock only; modeled
+	// outcomes are unaffected.
+	AdaptiveLinger bool
 }
 
 // DefaultMaxBatch is the default cap on misses per radio session.
@@ -77,6 +86,9 @@ func (s BatchStats) MeanSize() float64 {
 // missTask is one classified cloud miss parked for coalescing.
 type missTask struct {
 	t task
+	// mc is the miss's fault plan, computed at classification time
+	// under the shard lock (zero value when fault injection is off).
+	mc missCtx
 	// done is closed once the miss has been applied and its response
 	// delivered; the owning worker waits on it before serving the same
 	// user's next request, preserving per-user submission order.
@@ -99,6 +111,10 @@ type dispatcher struct {
 	f    *Fleet
 	ch   chan dispatchMsg
 	done chan struct{}
+	// lc adapts the linger window to the observed miss arrival rate;
+	// nil unless BatchOptions.AdaptiveLinger. Only the dispatcher
+	// goroutine touches it.
+	lc *lingerControl
 }
 
 func newDispatcher(f *Fleet, depth int) *dispatcher {
@@ -106,9 +122,79 @@ func newDispatcher(f *Fleet, depth int) *dispatcher {
 		f:    f,
 		ch:   make(chan dispatchMsg, depth),
 		done: make(chan struct{}),
+		lc:   newLingerControl(f.cfg.Batch),
 	}
 	go d.run()
 	return d
+}
+
+// lingerControl sizes the dispatcher's linger window from an EWMA of
+// the miss inter-arrival gap. See BatchOptions.AdaptiveLinger.
+type lingerControl struct {
+	// max is the configured Linger — the ceiling of the adaptive
+	// window; batch is MaxBatch.
+	max   time.Duration
+	batch int
+	ewma  time.Duration
+	last  time.Time
+}
+
+func newLingerControl(o BatchOptions) *lingerControl {
+	if !o.AdaptiveLinger {
+		return nil
+	}
+	return &lingerControl{max: o.Linger, batch: o.MaxBatch}
+}
+
+// observe books one miss arrival into the inter-arrival EWMA. Gaps are
+// clamped at 2×max so one long idle stretch reads as "sparse" without
+// poisoning the average forever. Nil-safe.
+func (lc *lingerControl) observe(now time.Time) {
+	if lc == nil {
+		return
+	}
+	if !lc.last.IsZero() {
+		gap := now.Sub(lc.last)
+		if gap > 2*lc.max {
+			gap = 2 * lc.max
+		}
+		lc.ewma = (3*lc.ewma + gap) / 4
+	}
+	lc.last = now
+}
+
+// window returns the linger window to hold the current batch open:
+// with no signal yet, the full configured linger; under sparse
+// arrivals (expected gap at or beyond the ceiling) the floor; else the
+// time a full batch needs to assemble at the observed rate, clamped to
+// [max/8, max].
+func (lc *lingerControl) window() time.Duration {
+	floor := lc.max / 8
+	if floor <= 0 {
+		floor = 1
+	}
+	switch {
+	case lc.ewma <= 0:
+		return lc.max
+	case lc.ewma >= lc.max:
+		return floor
+	}
+	w := lc.ewma * time.Duration(lc.batch-1)
+	if w < floor {
+		w = floor
+	}
+	if w > lc.max {
+		w = lc.max
+	}
+	return w
+}
+
+// lingerWindow is the duration the run loop arms its batch timer with.
+func (d *dispatcher) lingerWindow() time.Duration {
+	if d.lc != nil {
+		return d.lc.window()
+	}
+	return d.f.cfg.Batch.Linger
 }
 
 // submit parks one classified miss for coalescing.
@@ -168,12 +254,13 @@ func (d *dispatcher) run() {
 				}
 				continue
 			}
+			d.lc.observe(time.Now())
 			batch = append(batch, msg.miss)
 			if len(batch) >= opts.MaxBatch {
 				fire()
 				continue
 			}
-			timer = time.NewTimer(opts.Linger)
+			timer = time.NewTimer(d.lingerWindow())
 			timeout = timer.C
 			continue
 		}
@@ -190,6 +277,7 @@ func (d *dispatcher) run() {
 				}
 				continue
 			}
+			d.lc.observe(time.Now())
 			batch = append(batch, msg.miss)
 			if len(batch) >= opts.MaxBatch {
 				fire()
@@ -207,6 +295,10 @@ func (d *dispatcher) run() {
 // shards in submission order.
 func (d *dispatcher) execute(batch []*missTask) {
 	f := d.f
+	if f.inj != nil {
+		d.executeFaulted(batch)
+		return
+	}
 	queries := make([]string, len(batch))
 	for i, mt := range batch {
 		queries[i] = mt.t.req.Query
@@ -223,6 +315,69 @@ func (d *dispatcher) execute(batch []*missTask) {
 	f.recordBatch(bt)
 	for i, mt := range batch {
 		resp := f.shards[mt.t.shard].applyBatchedMiss(mt.t.req, resps[i], found[i], bt, i)
+		f.finish(resp, mt.t)
+		close(mt.done)
+	}
+}
+
+// executeFaulted fires one batched session under fault injection.
+// Each member carries its own precomputed fault plan (missCtx): only
+// members whose plan succeeded ride the shared radio session — a
+// member the network dropped never produced an exchange — and members
+// with no survivors open no session at all. Failed attempts are
+// replayed on each member's own device when the miss is applied, so
+// per-user outcomes stay independent of batch composition.
+func (d *dispatcher) executeFaulted(batch []*missTask) {
+	f := d.f
+	// Book the retry counters, drive each shard's breaker, and take one
+	// wall pause for the worst member's planned failure wait (members
+	// failed concurrently; their pauses overlap, not stack).
+	var maxWait time.Duration
+	pace := false
+	for _, mt := range batch {
+		pl := mt.mc.plan
+		f.retries.Add(int64(pl.Attempts - 1))
+		if !pl.Success {
+			f.exhausted.Add(1)
+		}
+		sh := f.shards[mt.t.shard]
+		if pl.Failures() > 0 && sh.brk.pace() {
+			pace = true
+		}
+		sh.brk.record(pl.Success)
+		if pl.FailedWait > maxWait {
+			maxWait = pl.FailedWait
+		}
+	}
+	if pace {
+		if dur := f.cfg.Retry.WallPause(maxWait); dur > 0 {
+			time.Sleep(dur)
+		}
+	}
+	queries := make([]string, len(batch))
+	for i, mt := range batch {
+		queries[i] = mt.t.req.Query
+	}
+	resps, found := f.cfg.Engine.SearchBatch(queries)
+	slot := make([]int, len(batch))
+	var items []radio.Exchange
+	for i, mt := range batch {
+		slot[i] = -1
+		if mt.mc.plan.Success {
+			slot[i] = len(items)
+			items = append(items, radio.Exchange{
+				ReqBytes:  pocketsearch.QueryRequestBytes,
+				RespBytes: pocketsearch.MissPageBytes(resps[i]),
+			})
+		}
+	}
+	var bt radio.BatchTransfer
+	if len(items) > 0 {
+		bt = radio.BatchExchange(f.cfg.Radio, items)
+		f.recordBatch(bt)
+	}
+	for i, mt := range batch {
+		resp := f.shards[mt.t.shard].applyFaultedBatched(mt.t.req, resps[i], found[i], bt, slot[i], mt.mc)
 		f.finish(resp, mt.t)
 		close(mt.done)
 	}

@@ -1,0 +1,343 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"pocketcloudlets/internal/device"
+	"pocketcloudlets/internal/engine"
+	"pocketcloudlets/internal/faults"
+	"pocketcloudlets/internal/hash64"
+	"pocketcloudlets/internal/pocketsearch"
+	"pocketcloudlets/internal/radio"
+	"pocketcloudlets/internal/searchlog"
+)
+
+// Default circuit-breaker constants.
+const (
+	DefaultBreakerThreshold = 8
+	DefaultBreakerCooldown  = 64
+)
+
+// BreakerOptions configure the per-shard circuit breaker. The breaker
+// only governs the *wall-clock* retry pacing (faults.RetryPolicy's
+// WallPause): when a shard's link looks persistently dead — Threshold
+// consecutive misses planned to exhaustion — the breaker opens and the
+// next Cooldown misses skip their real pause, so a load test against a
+// dead zone degrades fast instead of serializing behind sleeps. It
+// never touches modeled outcomes, which stay byte-deterministic.
+type BreakerOptions struct {
+	// Threshold is the consecutive planned-failure count that opens the
+	// breaker. Zero selects DefaultBreakerThreshold; negative disables
+	// the breaker entirely.
+	Threshold int
+	// Cooldown is how many misses skip pacing while open before a
+	// half-open probe is paced again (a probe that fails restarts the
+	// cooldown; one that succeeds closes the breaker). Zero selects
+	// DefaultBreakerCooldown.
+	Cooldown int
+}
+
+func (o BreakerOptions) withDefaults() BreakerOptions {
+	if o.Threshold == 0 {
+		o.Threshold = DefaultBreakerThreshold
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = DefaultBreakerCooldown
+	}
+	return o
+}
+
+// breaker is one shard's circuit breaker. All methods are nil-safe: a
+// nil breaker is permanently closed (always paces, never opens), which
+// is how Threshold < 0 and fault-free fleets run.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  int
+	fails     int // consecutive planned failures while closed
+	skipped   int // misses that skipped pacing since the breaker opened
+	open      bool
+	opens     int64
+}
+
+func newBreaker(o BreakerOptions) *breaker {
+	if o.Threshold < 0 {
+		return nil
+	}
+	return &breaker{threshold: o.Threshold, cooldown: o.Cooldown}
+}
+
+// pace reports whether this miss should take its real retry pause.
+// Closed: always. Open: skip for the cooldown, then pace one half-open
+// probe whose outcome (record) decides what happens next.
+func (b *breaker) pace() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	if b.skipped < b.cooldown {
+		b.skipped++
+		return false
+	}
+	return true
+}
+
+// record books one miss's planned outcome into the breaker state.
+func (b *breaker) record(success bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if success {
+		b.open, b.fails, b.skipped = false, 0, 0
+		return
+	}
+	if b.open {
+		if b.skipped >= b.cooldown {
+			// The half-open probe failed: restart the cooldown.
+			b.skipped = 0
+		}
+		return
+	}
+	b.fails++
+	if b.fails >= b.threshold {
+		b.open, b.skipped = true, 0
+		b.opens++
+	}
+}
+
+// openCount returns the closed→open transitions so far.
+func (b *breaker) openCount() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}
+
+// missCtx carries a cloud-classified miss's fault plan from
+// classification to execution. The plan is computed under the shard
+// lock against the user's model clock and stays valid until the miss
+// is applied: at most one miss per user is in flight (pendingMiss), so
+// nothing advances the user's device in between.
+type missCtx struct {
+	qh, ch uint64
+	plan   faults.Plan
+}
+
+// planCtxLocked plans one cloud miss's whole attempt/backoff ladder.
+// Caller holds mu. The per-user miss sequence number feeds the pure
+// fault hashes so repeats of a query draw fresh outcomes, and — being
+// incremented in per-user submission order — is identical between the
+// batched and unbatched paths.
+func (sh *shard) planCtxLocked(st *userState, uid searchlog.UserID, qh, ch uint64) missCtx {
+	st.missSeq++
+	dev := st.cache.Device()
+	warm := dev.Link().State() != radio.Idle
+	return missCtx{
+		qh: qh, ch: ch,
+		plan: faults.PlanMiss(sh.inj, sh.retry, sh.link, dev.Now(), warm, uint64(uid), qh, st.missSeq),
+	}
+}
+
+// classifyFaulted routes one request on the fault-injected unbatched
+// path: local tiers are served inline (faults only touch the radio);
+// a cloud miss comes back as a plan for the caller to pace and then
+// complete. miss reports which return is meaningful.
+func (sh *shard) classifyFaulted(req Request) (resp Response, mc missCtx, miss bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, err := sh.user(req.User)
+	if err != nil {
+		return Response{Req: req, Err: err}, missCtx{}, false
+	}
+	qh := hash64.Sum(req.Query)
+	ch := hash64.Sum(req.Click)
+	tier := sh.tierOf(st, qh, ch)
+	if tier != SourceCloud {
+		return sh.serveLocked(st, req, qh, ch, tier), missCtx{}, false
+	}
+	return Response{}, sh.planCtxLocked(st, req.User, qh, ch), true
+}
+
+// replayFailedAttempts charges a plan's failed attempts and backoffs
+// against the user's own device, exactly as the analytic plan priced
+// them: each failure pays the radio session overhead (wake-up when the
+// link is idle, plus the handshake) for nothing, each backoff is local
+// wait. It returns how many failed attempts opened a session cold —
+// each of those sessions eventually pays a full tail.
+func replayFailedAttempts(dev *device.Device, pl faults.Plan) (cold int) {
+	for i := 0; i < pl.Failures(); i++ {
+		tr := dev.NetworkFailedRequest()
+		if !tr.WasWarm {
+			cold++
+		}
+		if i < len(pl.Backoffs) {
+			dev.Busy(pl.Backoffs[i], "backoff")
+		}
+	}
+	return cold
+}
+
+// completeFaultedMiss executes a planned cloud miss on the unbatched
+// path: the failures are replayed on the user's device, then either
+// the final successful exchange runs (the ordinary miss path, with the
+// failure costs folded into the outcome) or the miss degrades down the
+// ladder.
+func (sh *shard) completeFaultedMiss(req Request, mc missCtx) Response {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, err := sh.user(req.User)
+	if err != nil {
+		return Response{Req: req, Err: err}
+	}
+	cold := replayFailedAttempts(st.cache.Device(), mc.plan)
+	if !mc.plan.Success {
+		return sh.degradeLocked(st, req, mc, cold)
+	}
+	resp := Response{Req: req, Source: SourceCloud, Attempts: mc.plan.Attempts}
+	before := st.cache.DB().LogicalBytes()
+	resp.Outcome, resp.Err = st.cache.Query(req.Query, req.Click)
+	resp.Outcome.Network += mc.plan.FailedWait
+	sh.recordExpansion(st, req.User, mc.qh, mc.ch, before)
+	st.served++
+	if resp.Outcome.Hit {
+		st.hits++
+	}
+	resp.EnergyJ = st.cache.Device().Config().BasePower * resp.Outcome.ResponseTime().Seconds()
+	if resp.Err == nil {
+		resp.RadioJ = sh.link.ActiveEnergy(resp.Outcome.Radio.RadioActive + mc.plan.FailedActive)
+		if !resp.Outcome.Radio.WasWarm {
+			cold++
+		}
+		resp.RadioJ += float64(cold) * sh.link.TailEnergy()
+		resp.EnergyJ += resp.RadioJ
+	}
+	return resp
+}
+
+// degradeLocked serves a miss whose retry ladder exhausted, walking the
+// degradation rungs: a stale answer from the user's personal component,
+// a stale answer from the community replica, or the explicit locally
+// rendered "results unavailable" page. The failed attempts' wait and
+// radio-active time ride along in the outcome — an unreachable cloud
+// is slow *and* costs energy before the fallback even starts. Caller
+// holds mu; cold is the count of cold sessions the replay opened.
+func (sh *shard) degradeLocked(st *userState, req Request, mc missCtx, cold int) Response {
+	resp := Response{Req: req, Attempts: mc.plan.Attempts}
+	dev := st.cache.Device()
+	out := pocketsearch.Outcome{
+		Network: mc.plan.FailedWait,
+		Radio:   radio.Transfer{RadioActive: mc.plan.FailedActive, Failed: true},
+	}
+	graft := func(stale pocketsearch.Outcome) {
+		out.Lookup, out.Fetch, out.Render, out.Misc = stale.Lookup, stale.Fetch, stale.Render, stale.Misc
+		out.Results = stale.Results
+	}
+	switch {
+	case st.cache.ContainsQuery(mc.qh):
+		stale, _ := st.cache.ServeStale(req.Query)
+		graft(stale)
+		resp.Source = SourceDegraded
+	case sh.community.ContainsQuery(mc.qh):
+		stale, _ := sh.community.ServeStale(req.Query)
+		graft(stale)
+		resp.Source = SourceDegraded
+	default:
+		out.Lookup = pocketsearch.LookupCost
+		dev.Busy(pocketsearch.LookupCost, "lookup")
+		out.Render = dev.Render(pocketsearch.UnavailablePageBytes)
+		out.Misc = dev.Misc()
+		resp.Source = SourceUnavailable
+	}
+	resp.Outcome = out
+	st.served++
+	resp.RadioJ = sh.link.ActiveEnergy(mc.plan.FailedActive) + float64(cold)*sh.link.TailEnergy()
+	resp.EnergyJ = dev.Config().BasePower*out.ResponseTime().Seconds() + resp.RadioJ
+	return resp
+}
+
+// applyFaultedBatched applies member slot of a batched session under
+// fault injection. A member whose plan failed never produced an
+// exchange — slot is -1, bt does not include it — and degrades after
+// its failures are replayed; a successful member takes its slice of
+// the shared session like any batched miss, plus its own failure
+// costs. Clears the user's pending-miss marker either way.
+func (sh *shard) applyFaultedBatched(req Request, eresp engine.SearchResponse, found bool, bt radio.BatchTransfer, slot int, mc missCtx) Response {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.pendingMiss, req.User)
+	st, err := sh.user(req.User)
+	if err != nil {
+		return Response{Req: req, Err: err}
+	}
+	cold := replayFailedAttempts(st.cache.Device(), mc.plan)
+	if !mc.plan.Success {
+		return sh.degradeLocked(st, req, mc, cold)
+	}
+	resp := Response{Req: req, Source: SourceCloud, BatchSize: bt.Size(), Attempts: mc.plan.Attempts}
+	before := st.cache.DB().LogicalBytes()
+	resp.Outcome = st.cache.ApplyBatchedMiss(req.Query, req.Click, eresp, found, bt.ItemLatency(slot), bt.ItemShare(slot))
+	resp.Outcome.Network += mc.plan.FailedWait
+	sh.recordExpansion(st, req.User, mc.qh, mc.ch, before)
+	st.served++
+	resp.RadioJ = bt.ItemRadioEnergy(sh.link, slot) +
+		sh.link.ActiveEnergy(mc.plan.FailedActive) +
+		float64(cold)*sh.link.TailEnergy()
+	resp.EnergyJ = st.cache.Device().Config().BasePower*resp.Outcome.ResponseTime().Seconds() + resp.RadioJ
+	return resp
+}
+
+// serveFaulted runs one task on the fault-injected unbatched path:
+// classify and plan under the shard lock, pace the wall clock for the
+// planned failures (unless the shard's breaker is open), then execute
+// the plan against the model.
+func (f *Fleet) serveFaulted(t task) {
+	sh := f.shards[t.shard]
+	resp, mc, miss := sh.classifyFaulted(t.req)
+	if !miss {
+		f.finish(resp, t)
+		return
+	}
+	pace := sh.brk.pace()
+	sh.brk.record(mc.plan.Success)
+	if pace && !f.pauseWall(mc.plan, t.ctx) {
+		f.cancelTask(t)
+		return
+	}
+	f.retries.Add(int64(mc.plan.Attempts - 1))
+	if !mc.plan.Success {
+		f.exhausted.Add(1)
+	}
+	f.finish(sh.completeFaultedMiss(t.req, mc), t)
+}
+
+// pauseWall takes the real pause the retry policy prices for a plan's
+// modeled failure wait. It reports false when ctx was done first — the
+// caller abandoned the request mid-pause.
+func (f *Fleet) pauseWall(pl faults.Plan, ctx context.Context) bool {
+	d := f.cfg.Retry.WallPause(pl.FailedWait)
+	if d <= 0 {
+		return true
+	}
+	if ctx == nil {
+		time.Sleep(d)
+		return true
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,441 @@
+package fleet
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"pocketcloudlets/internal/faults"
+	"pocketcloudlets/internal/searchlog"
+	"pocketcloudlets/internal/workload"
+)
+
+// forever is the end of a permanent outage window.
+const forever = time.Duration(1) << 60
+
+// faultTrace is one user's per-request outcome sequence under fault
+// injection — the unit of the fault-determinism guarantee.
+type faultTrace struct {
+	hits     []bool
+	sources  []Source
+	attempts []int
+}
+
+// runFaultTraces drives every user's month-1 tape through the fleet
+// closed-loop (each user from its own goroutine, waiting for each
+// response) and returns the per-user traces.
+func runFaultTraces(t *testing.T, f *Fleet, g *workload.Generator, users []workload.UserProfile) map[searchlog.UserID]*faultTrace {
+	t.Helper()
+	traces := make(map[searchlog.UserID]*faultTrace, len(users))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, up := range users {
+		wg.Add(1)
+		go func(up workload.UserProfile) {
+			defer wg.Done()
+			tr := &faultTrace{}
+			for _, req := range requestsFor(g, up, 1) {
+				resp := f.Do(req)
+				if resp.Shed || resp.Err != nil {
+					t.Errorf("user %d request failed: %+v", up.ID, resp)
+					return
+				}
+				tr.hits = append(tr.hits, resp.Hit())
+				tr.sources = append(tr.sources, resp.Source)
+				tr.attempts = append(tr.attempts, resp.Attempts)
+			}
+			mu.Lock()
+			traces[up.ID] = tr
+			mu.Unlock()
+		}(up)
+	}
+	wg.Wait()
+	return traces
+}
+
+// missBeyondContent returns a request the engine can answer that is a
+// guaranteed cloud miss on a fresh fleet: its (query, click) pair sits
+// just past the community content's selected triplet prefix.
+func missBeyondContent(t *testing.T, g *workload.Generator, contentLen int, uid searchlog.UserID) Request {
+	t.Helper()
+	tbl := searchlog.ExtractTriplets(g.MonthLog(0).Entries)
+	if contentLen >= len(tbl.Triplets) {
+		t.Fatal("community content swallowed the whole triplet table")
+	}
+	u := g.Config().Universe
+	pair := tbl.Triplets[contentLen].Pair
+	return Request{
+		User:  uid,
+		Query: u.QueryText(u.QueryOf(pair)),
+		Click: u.ResultURL(u.ResultOf(pair)),
+	}
+}
+
+// TestFaultStatsDeterministicConcurrent is the fault-determinism
+// regression (run under -race by scripts/check.sh): two closed-loop
+// concurrent runs with the same fault seed, scenario and workload must
+// produce byte-identical fleet counters — including the retry,
+// exhausted and degradation counters — and identical per-user
+// hit/source/attempt sequences. Real wall pauses are disabled and the
+// breaker is off, so nothing about goroutine scheduling can leak into
+// the model.
+func TestFaultStatsDeterministicConcurrent(t *testing.T) {
+	g := smallGen(t, 32)
+	content := smallContent(t, g)
+	users := g.Users()[:24]
+
+	run := func() (map[searchlog.UserID]*faultTrace, Stats) {
+		f := newTestFleet(t, g, content, func(cfg *Config) {
+			cfg.QueueDepth = 4096
+			cfg.Faults = faults.Options{
+				Enabled:       true,
+				Seed:          5,
+				LossProb:      0.35,
+				EngineErrProb: 0.15,
+				OutageEvery:   30 * time.Second,
+				OutageFor:     6 * time.Second,
+			}
+			cfg.Retry = faults.RetryPolicy{MaxAttempts: 3, WallPauseScale: -1}
+			cfg.Breaker = BreakerOptions{Threshold: -1}
+		})
+		return runFaultTraces(t, f, g, users), f.Stats()
+	}
+
+	tr1, s1 := run()
+	tr2, s2 := run()
+	if s1 != s2 {
+		t.Errorf("fleet counters diverge across identical faulted runs:\n  run 1: %+v\n  run 2: %+v", s1, s2)
+	}
+	if !reflect.DeepEqual(tr1, tr2) {
+		t.Error("per-user outcome traces diverge across identical faulted runs")
+	}
+	// The scenario must actually bite, or the test proves nothing.
+	if s1.Retries == 0 {
+		t.Error("no retries recorded; loss scenario did not bite")
+	}
+	if s1.Exhausted == 0 || s1.Degraded+s1.Unavailable == 0 {
+		t.Errorf("no degradation recorded (exhausted %d, degraded %d, unavailable %d)",
+			s1.Exhausted, s1.Degraded, s1.Unavailable)
+	}
+	if s1.Degraded+s1.Unavailable != s1.Exhausted {
+		t.Errorf("every exhausted miss must degrade: exhausted %d, degraded %d + unavailable %d",
+			s1.Exhausted, s1.Degraded, s1.Unavailable)
+	}
+	if rate := s1.AnsweredRate(); rate <= 0 || rate >= 1 {
+		t.Errorf("AnsweredRate = %v, want in (0, 1) under this scenario", rate)
+	}
+}
+
+// TestFaultStatsDeterministicSequential covers the breaker-enabled
+// configuration: pacing decisions depend on cross-user arrival order,
+// so the counter-determinism guarantee holds for a sequential driver.
+// A permanent outage exhausts every cloud-tier miss, the breaker must
+// open, and no miss may ever complete against the cloud.
+func TestFaultStatsDeterministicSequential(t *testing.T) {
+	g := smallGen(t, 16)
+	content := smallContent(t, g)
+	users := g.Users()[:6]
+
+	run := func() Stats {
+		f := newTestFleet(t, g, content, func(cfg *Config) {
+			cfg.Shards = 1
+			cfg.Workers = 1
+			cfg.QueueDepth = 4096
+			cfg.Faults = faults.Options{
+				Enabled: true,
+				Windows: []faults.Window{{Start: 0, End: forever}},
+			}
+			cfg.Retry = faults.RetryPolicy{MaxAttempts: 2, WallPauseScale: -1}
+			cfg.Breaker = BreakerOptions{Threshold: 3, Cooldown: 4}
+		})
+		for _, up := range users {
+			for _, req := range requestsFor(g, up, 1) {
+				if resp := f.Do(req); resp.Shed || resp.Err != nil {
+					t.Fatalf("user %d request failed: %+v", up.ID, resp)
+				}
+			}
+		}
+		return f.Stats()
+	}
+
+	s1 := run()
+	s2 := run()
+	if s1 != s2 {
+		t.Errorf("fleet counters diverge across identical sequential runs:\n  run 1: %+v\n  run 2: %+v", s1, s2)
+	}
+	if s1.BreakerOpens == 0 {
+		t.Error("breaker never opened against a permanent outage")
+	}
+	if s1.CloudMisses != 0 {
+		t.Errorf("%d cloud misses completed through a permanent outage", s1.CloudMisses)
+	}
+	if s1.Degraded+s1.Unavailable == 0 || s1.Degraded+s1.Unavailable != s1.Exhausted {
+		t.Errorf("degradation accounting off: exhausted %d, degraded %d, unavailable %d",
+			s1.Exhausted, s1.Degraded, s1.Unavailable)
+	}
+}
+
+// TestInertFaultsMatchDisabled is the zero-cost-when-off guarantee
+// from the other side: an *enabled* fault model with no failure source
+// configured must route every request through the faulted serve path
+// and still produce responses byte-identical to a fleet with the model
+// disabled — same outcomes, same energy, same counters. Attempts is
+// the one deliberate exception (the faulted path books its single
+// successful attempt; the disabled path books none).
+func TestInertFaultsMatchDisabled(t *testing.T) {
+	g := smallGen(t, 16)
+	content := smallContent(t, g)
+	users := g.Users()[:12]
+
+	run := func(opts faults.Options) (map[searchlog.UserID][]Response, Stats) {
+		f := newTestFleet(t, g, content, func(cfg *Config) {
+			cfg.QueueDepth = 4096
+			cfg.Faults = opts
+		})
+		resps := make(map[searchlog.UserID][]Response, len(users))
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for _, up := range users {
+			wg.Add(1)
+			go func(up workload.UserProfile) {
+				defer wg.Done()
+				var rs []Response
+				for _, req := range requestsFor(g, up, 1) {
+					resp := f.Do(req)
+					if resp.Shed || resp.Err != nil {
+						t.Errorf("user %d request failed: %+v", up.ID, resp)
+						return
+					}
+					resp.Attempts = 0 // the one permitted model difference
+					resp.Wall = 0     // real wall-clock latency, not modeled
+					rs = append(rs, resp)
+				}
+				mu.Lock()
+				resps[up.ID] = rs
+				mu.Unlock()
+			}(up)
+		}
+		wg.Wait()
+		return resps, f.Stats()
+	}
+
+	plain, plainStats := run(faults.Options{})
+	inert, inertStats := run(faults.Options{Enabled: true})
+	if plainStats != inertStats {
+		t.Errorf("fleet counters diverge:\n  disabled: %+v\n  inert:    %+v", plainStats, inertStats)
+	}
+	if !reflect.DeepEqual(plain, inert) {
+		for uid, p := range plain {
+			in := inert[uid]
+			for i := range p {
+				if i >= len(in) || !reflect.DeepEqual(p[i], in[i]) {
+					t.Fatalf("user %d request %d diverges:\n  disabled: %+v\n  inert:    %+v", uid, i, p[i], in[i])
+				}
+			}
+		}
+		t.Fatal("responses diverge between disabled and inert fault model")
+	}
+}
+
+// TestDegradationLadder walks the three rungs end to end against a
+// crafted outage: a cloud miss that succeeds before the dead zone
+// seeds the personal cache, then every later miss degrades — stale
+// from the personal component, stale from the community replica, or
+// the explicit unavailable page — with the failed attempts' costs
+// riding along in the outcome.
+func TestDegradationLadder(t *testing.T) {
+	g := smallGen(t, 16)
+	content := smallContent(t, g)
+	uid := g.Users()[0].ID
+
+	f := newTestFleet(t, g, content, func(cfg *Config) {
+		cfg.Shards = 1
+		cfg.Workers = 1
+		cfg.Faults = faults.Options{
+			Enabled: true,
+			// The radio works for the first model second, then never again.
+			Windows: []faults.Window{{Start: time.Second, End: forever}},
+		}
+		cfg.Retry = faults.RetryPolicy{MaxAttempts: 2, WallPauseScale: -1}
+		cfg.Breaker = BreakerOptions{Threshold: -1}
+	})
+
+	// Rung 0: before the outage a cloud miss completes normally and
+	// seeds the personal cache (a 3G miss advances the user's model
+	// clock well past the window start).
+	seed := missBeyondContent(t, g, len(content.Triplets), uid)
+	resp := f.Do(seed)
+	if resp.Err != nil || resp.Source != SourceCloud {
+		t.Fatalf("seeding miss = %+v, want a successful cloud miss", resp)
+	}
+
+	// Rung 1: same query, unknown click — a cloud miss again, but now
+	// inside the outage. The personal component has the query cached
+	// and serves it stale.
+	resp = f.Do(Request{User: uid, Query: seed.Query, Click: "http://ladder.test/unknown-click"})
+	if resp.Source != SourceDegraded {
+		t.Fatalf("personal rung = %+v, want SourceDegraded", resp)
+	}
+	if resp.Attempts != 2 || !resp.Outcome.Radio.Failed {
+		t.Errorf("degraded response must carry its failed attempts: attempts %d, radio %+v",
+			resp.Attempts, resp.Outcome.Radio)
+	}
+	if len(resp.Outcome.Results) == 0 || resp.Outcome.Network == 0 {
+		t.Errorf("stale personal serve should return results and the failed wait: %+v", resp.Outcome)
+	}
+	if st := f.CommunityStats(); st.Stale != 0 {
+		t.Errorf("personal rung must not touch the community replica, got %d community stale serves", st.Stale)
+	}
+
+	// Rung 2: a query the user never issued but the community caches.
+	u := g.Config().Universe
+	var commQuery string
+	for _, tr := range content.Triplets {
+		if q := u.QueryText(u.QueryOf(tr.Pair)); q != seed.Query {
+			commQuery = q
+			break
+		}
+	}
+	if commQuery == "" {
+		t.Fatal("no community query distinct from the seed query")
+	}
+	resp = f.Do(Request{User: uid, Query: commQuery, Click: "http://ladder.test/unknown-click"})
+	if resp.Source != SourceDegraded || len(resp.Outcome.Results) == 0 {
+		t.Fatalf("community rung = %+v, want a degraded serve with results", resp)
+	}
+	if st := f.CommunityStats(); st.Stale != 1 {
+		t.Errorf("community replica should have served exactly one stale answer, got %d", st.Stale)
+	}
+
+	// Rung 3: a query nobody caches — the explicit unavailable page.
+	resp = f.Do(Request{User: uid, Query: "ladder query nobody ever cached", Click: "http://ladder.test/x"})
+	if resp.Source != SourceUnavailable {
+		t.Fatalf("bottom rung = %+v, want SourceUnavailable", resp)
+	}
+	if len(resp.Outcome.Results) != 0 || resp.Outcome.Render == 0 {
+		t.Errorf("unavailable page must render locally with no results: %+v", resp.Outcome)
+	}
+
+	s := f.Stats()
+	if s.CloudMisses != 1 || s.Degraded != 2 || s.Unavailable != 1 || s.Exhausted != 3 || s.Retries != 3 {
+		t.Errorf("ladder counters off: %+v", s)
+	}
+	if want := 3.0 / 4.0; s.AnsweredRate() != want {
+		t.Errorf("AnsweredRate = %v, want %v", s.AnsweredRate(), want)
+	}
+}
+
+// TestDoContextCancel covers caller cancellation: a context that dies
+// while the worker paces a retry ladder — and one that is dead on
+// arrival — must both come back Canceled, counted exactly once, with
+// Served+Shed+Canceled summing to the submissions.
+func TestDoContextCancel(t *testing.T) {
+	g := smallGen(t, 16)
+	content := smallContent(t, g)
+	uid := g.Users()[0].ID
+
+	f := newTestFleet(t, g, content, func(cfg *Config) {
+		cfg.Shards = 1
+		cfg.Workers = 1
+		cfg.Faults = faults.Options{Enabled: true, LossProb: 1}
+		cfg.Retry = faults.RetryPolicy{
+			MaxAttempts:    4,
+			WallPauseScale: 1,
+			MaxWallPause:   100 * time.Millisecond,
+		}
+		cfg.Breaker = BreakerOptions{Threshold: -1}
+	})
+
+	// Canceled mid-pause: every attempt is lost, so the worker takes a
+	// real 100ms pause; the 5ms context wins.
+	miss := missBeyondContent(t, g, len(content.Triplets), uid)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	resp := f.DoContext(ctx, miss)
+	if !resp.Canceled || resp.Source != SourceCanceled {
+		t.Fatalf("mid-pause cancel = %+v, want Canceled", resp)
+	}
+
+	// Dead on arrival: never enqueued, still counted exactly once.
+	dead, kill := context.WithCancel(context.Background())
+	kill()
+	resp = f.DoContext(dead, miss)
+	if !resp.Canceled || resp.Source != SourceCanceled {
+		t.Fatalf("pre-canceled context = %+v, want Canceled", resp)
+	}
+
+	// A background context takes the zero-overhead path and serves
+	// normally from a local tier.
+	u := g.Config().Universe
+	pair := content.Triplets[0].Pair
+	resp = f.DoContext(context.Background(), Request{
+		User:  uid,
+		Query: u.QueryText(u.QueryOf(pair)),
+		Click: u.ResultURL(u.ResultOf(pair)),
+	})
+	if resp.Canceled || resp.Source != SourceCommunity {
+		t.Fatalf("community hit under background context = %+v", resp)
+	}
+
+	// Exactly-once accounting across all three submissions.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := f.Stats()
+		if s.Served+s.Shed+s.Canceled == 3 {
+			if s.Canceled != 2 || s.Served != 1 || s.Shed != 0 {
+				t.Fatalf("cancel accounting off: %+v", s)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("submissions never fully booked: %+v", s)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFaultedBatchedMatchesUnbatched extends the batching determinism
+// guarantee to the fault-injected path: with clock-free fault sources
+// (loss and engine errors — outages depend on model clocks, which
+// batching legitimately shifts) every user's per-request outcome,
+// attempt count and every fleet counter must be identical whether
+// misses are coalesced — here with the adaptive linger window — or
+// serviced one by one.
+func TestFaultedBatchedMatchesUnbatched(t *testing.T) {
+	g := smallGen(t, 32)
+	content := smallContent(t, g)
+	users := g.Users()[:24]
+
+	run := func(batch BatchOptions) (map[searchlog.UserID]*faultTrace, Stats) {
+		f := newTestFleet(t, g, content, func(cfg *Config) {
+			cfg.Shards = 1
+			cfg.Workers = 1
+			cfg.QueueDepth = 4096
+			cfg.Batch = batch
+			cfg.Faults = faults.Options{
+				Enabled:       true,
+				Seed:          9,
+				LossProb:      0.4,
+				EngineErrProb: 0.2,
+			}
+			cfg.Retry = faults.RetryPolicy{MaxAttempts: 3, WallPauseScale: -1}
+			cfg.Breaker = BreakerOptions{Threshold: -1}
+		})
+		return runFaultTraces(t, f, g, users), f.Stats()
+	}
+
+	plain, plainStats := run(BatchOptions{})
+	coal, coalStats := run(BatchOptions{Enabled: true, Linger: time.Millisecond, AdaptiveLinger: true})
+
+	if plainStats != coalStats {
+		t.Errorf("fleet counters diverge:\n  unbatched: %+v\n  batched:   %+v", plainStats, coalStats)
+	}
+	if !reflect.DeepEqual(plain, coal) {
+		t.Error("per-user outcome traces diverge between faulted batched and unbatched runs")
+	}
+	if plainStats.Retries == 0 || plainStats.Exhausted == 0 {
+		t.Errorf("scenario did not bite: %+v", plainStats)
+	}
+}

@@ -44,6 +44,7 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -54,6 +55,7 @@ import (
 	"pocketcloudlets/internal/cachegen"
 	"pocketcloudlets/internal/cloudletos"
 	"pocketcloudlets/internal/engine"
+	"pocketcloudlets/internal/faults"
 	"pocketcloudlets/internal/pocketsearch"
 	"pocketcloudlets/internal/radio"
 	"pocketcloudlets/internal/searchlog"
@@ -71,6 +73,20 @@ const (
 	SourceCommunity
 	// SourceCloud marks a miss served by the cloud engine over the radio.
 	SourceCloud
+	// SourceDegraded marks a stale answer served from cached state (the
+	// user's personal component or the community replica) after the
+	// cloud proved unreachable — the middle rungs of the degradation
+	// ladder. The answer is not a hit: the clicked result was not known
+	// to be cached.
+	SourceDegraded
+	// SourceUnavailable marks the explicit degraded response: the cloud
+	// was unreachable and no tier held anything for the query, so the
+	// device rendered a small local "results unavailable" page instead
+	// of erroring.
+	SourceUnavailable
+	// SourceCanceled marks a request abandoned by its caller's context
+	// before a response was delivered.
+	SourceCanceled
 	numSources
 )
 
@@ -85,6 +101,12 @@ func (s Source) String() string {
 		return "community"
 	case SourceCloud:
 		return "cloud"
+	case SourceDegraded:
+		return "degraded"
+	case SourceUnavailable:
+		return "unavailable"
+	case SourceCanceled:
+		return "canceled"
 	default:
 		return fmt.Sprintf("Source(%d)", int(s))
 	}
@@ -124,6 +146,15 @@ type Response struct {
 	// completion, including queue wait (not deterministic).
 	Wall time.Duration
 	Err  error
+	// Canceled reports that the caller's context was done before a
+	// response was delivered (Source is SourceCanceled); all other
+	// fields except Req are zero.
+	Canceled bool
+	// Attempts is the number of modeled radio attempts a cloud-path
+	// request made under the fault model (1 means the first exchange
+	// got through). Zero for local serves and whenever fault injection
+	// is disabled — the fault layer must be invisible when off.
+	Attempts int
 }
 
 // Hit reports whether the request was served from on-device state.
@@ -176,6 +207,21 @@ type Config struct {
 	// one radio session (one wake-up, one handshake, one tail) instead
 	// of paying a full round trip each. The zero value disables it.
 	Batch BatchOptions
+	// Faults configures the deterministic connectivity-fault model
+	// (internal/faults): outage windows, per-attempt loss and transient
+	// engine errors on the cloud-miss path. The zero value disables
+	// fault injection entirely — the serve path is then byte-identical
+	// to a fleet built without the fault layer.
+	Faults faults.Options
+	// Retry governs how a faulted cloud miss retries: capped
+	// exponential backoff in model time with a deadline, plus the
+	// wall-clock pacing that makes retries cost real serving time.
+	// Ignored unless Faults.Enabled; zero fields take the defaults.
+	Retry faults.RetryPolicy
+	// Breaker configures the per-shard circuit breaker that stops
+	// wall-clock retry pacing against a persistently dead link. It
+	// never alters modeled outcomes. Ignored unless Faults.Enabled.
+	Breaker BreakerOptions
 	// Observer, when non-nil, receives every response (completed or
 	// shed). It must be safe for concurrent use.
 	Observer Observer
@@ -201,6 +247,8 @@ func (c Config) withDefaults() Config {
 		c.TotalPersonalBytes = DefaultTotalPersonalBytes
 	}
 	c.Batch = c.Batch.withDefaults()
+	c.Retry = c.Retry.WithDefaults()
+	c.Breaker = c.Breaker.withDefaults()
 	return c
 }
 
@@ -212,6 +260,13 @@ type task struct {
 	enqueued time.Time
 	reply    chan Response
 	barrier  chan struct{}
+	// ctx, when non-nil, lets the caller abandon the request
+	// (DoContext). claimed arbitrates the race between the canceling
+	// caller and the serving worker: whoever flips it first books the
+	// request, so it is counted exactly once — as Canceled or as
+	// Served — and Served+Shed+Canceled always sums to the submissions.
+	ctx     context.Context
+	claimed *atomic.Bool
 }
 
 // Fleet is a running serving layer.
@@ -226,6 +281,11 @@ type Fleet struct {
 	// Empty when batching is disabled.
 	dispatchers []*dispatcher
 
+	// inj is the connectivity-fault injector; nil when fault injection
+	// is disabled, which every fault branch checks first so the layer
+	// is provably zero-cost when off.
+	inj *faults.Injector
+
 	// mu guards closed against concurrent Submit/Do/Close.
 	mu     sync.RWMutex
 	closed bool
@@ -233,7 +293,13 @@ type Fleet struct {
 	served   atomic.Int64
 	shed     atomic.Int64
 	errors   atomic.Int64
-	bySource [numSources]atomic.Int64
+	canceled atomic.Int64
+	// retries counts radio attempts beyond each completed miss's first;
+	// exhausted counts misses that ran out of attempts and fell to the
+	// degradation ladder.
+	retries   atomic.Int64
+	exhausted atomic.Int64
+	bySource  [numSources]atomic.Int64
 
 	batchMu    sync.Mutex
 	batchStats BatchStats
@@ -252,6 +318,9 @@ func New(cfg Config) (*Fleet, error) {
 		shards: make([]*shard, cfg.Shards),
 		queues: make([]chan task, cfg.Workers),
 	}
+	if cfg.Faults.Enabled {
+		f.inj = faults.New(cfg.Faults)
+	}
 
 	var build sync.WaitGroup
 	errs := make([]error, cfg.Shards)
@@ -259,7 +328,7 @@ func New(cfg Config) (*Fleet, error) {
 		build.Add(1)
 		go func(i int) {
 			defer build.Done()
-			f.shards[i], errs[i] = newShard(i, cfg.Engine, cfg.Content, cfg.Options, cfg.Radio, cfg.PerUserBytes)
+			f.shards[i], errs[i] = newShard(i, cfg, f.inj)
 		}(i)
 	}
 	build.Wait()
@@ -327,7 +396,15 @@ func (f *Fleet) worker(id int) {
 			t.barrier <- struct{}{}
 			continue
 		}
+		if t.ctx != nil && t.ctx.Err() != nil {
+			f.cancelTask(t)
+			continue
+		}
 		if len(f.dispatchers) == 0 {
+			if f.inj != nil {
+				f.serveFaulted(t)
+				continue
+			}
 			f.finish(f.shards[t.shard].serve(t.req), t)
 			continue
 		}
@@ -364,6 +441,11 @@ func (f *Fleet) serveBatched(t task) {
 // any waiting caller. Called from workers (inline serves) and from
 // dispatchers (batched misses).
 func (f *Fleet) finish(resp Response, t task) {
+	if t.claimed != nil && !t.claimed.CompareAndSwap(false, true) {
+		// The caller's context won the race and already booked the
+		// request as canceled; drop the late response.
+		return
+	}
 	resp.Wall = time.Since(t.enqueued)
 	f.served.Add(1)
 	f.bySource[resp.Source].Add(1)
@@ -441,16 +523,72 @@ func (f *Fleet) Submit(req Request) bool {
 // path (the simulated user waits for their results page). A request
 // shed by backpressure returns immediately with Shed set.
 func (f *Fleet) Do(req Request) Response {
+	return f.DoContext(context.Background(), req)
+}
+
+// DoContext is Do with caller cancellation: when ctx is done before a
+// response is delivered the call returns a Canceled response
+// (Source SourceCanceled) and the request is counted exactly once —
+// Served+Shed+Canceled always sums to submissions. A context that can
+// never be canceled (context.Background) adds no overhead over Do.
+func (f *Fleet) DoContext(ctx context.Context, req Request) Response {
 	t := task{
 		req:      req,
 		shard:    f.shardOf(req.User),
 		enqueued: time.Now(),
 		reply:    make(chan Response, 1),
 	}
+	if ctx != nil && ctx.Done() != nil {
+		t.ctx = ctx
+		t.claimed = new(atomic.Bool)
+	}
+	if t.ctx != nil && t.ctx.Err() != nil {
+		t.claimed.Store(true)
+		return f.recordCanceled(req)
+	}
 	if !f.enqueue(t) {
 		return Response{Req: req, Shed: true, Source: SourceShed}
 	}
-	return <-t.reply
+	if t.ctx == nil {
+		return <-t.reply
+	}
+	select {
+	case resp := <-t.reply:
+		return resp
+	case <-t.ctx.Done():
+		if t.claimed.CompareAndSwap(false, true) {
+			return f.recordCanceled(t.req)
+		}
+		// The worker claimed it first; its response is (or will be)
+		// in the buffered reply channel.
+		return <-t.reply
+	}
+}
+
+// recordCanceled books one abandoned request and returns the Canceled
+// response delivered for it.
+func (f *Fleet) recordCanceled(req Request) Response {
+	f.canceled.Add(1)
+	f.bySource[SourceCanceled].Add(1)
+	resp := Response{Req: req, Canceled: true, Source: SourceCanceled}
+	if obs := f.cfg.Observer; obs != nil {
+		obs.Observe(resp)
+	}
+	return resp
+}
+
+// cancelTask abandons a queued task whose caller's context is already
+// done. If the caller has not yet claimed the request the worker books
+// it as canceled here; either way the caller's reply channel is fed so
+// DoContext never blocks.
+func (f *Fleet) cancelTask(t task) {
+	if t.claimed != nil && !t.claimed.CompareAndSwap(false, true) {
+		return // caller already booked it
+	}
+	resp := f.recordCanceled(t.req)
+	if t.reply != nil {
+		t.reply <- resp
+	}
 }
 
 // Drain blocks until every request submitted before the call has been
@@ -501,6 +639,23 @@ type Stats struct {
 	// PersonalHits + CommunityHits are local serves; CloudMisses paid
 	// the radio round trip.
 	PersonalHits, CommunityHits, CloudMisses int64
+	// Degraded counts requests answered with a stale cached page after
+	// the cloud proved unreachable; Unavailable counts requests that
+	// fell all the way to the explicit "results unavailable" page. Both
+	// are included in Served. Zero when fault injection is off.
+	Degraded, Unavailable int64
+	// Canceled counts requests abandoned by their caller's context
+	// before a response was delivered. Not included in Served;
+	// Served+Shed+Canceled sums to the completed submissions.
+	Canceled int64
+	// Retries counts modeled radio attempts beyond each completed cloud
+	// miss's first; Exhausted counts misses that ran out of attempts and
+	// fell to the degradation ladder. Zero when fault injection is off.
+	Retries, Exhausted int64
+	// BreakerOpens counts closed→open transitions across the per-shard
+	// circuit breakers (wall-clock pacing only; model outcomes are
+	// unaffected).
+	BreakerOpens int64
 	// Users is the number of resident users (personal states).
 	Users int
 	// PersonalBytes is the personal flash footprint across all users.
@@ -525,6 +680,17 @@ func (s Stats) ShedRate() float64 {
 	return float64(s.Shed) / float64(total)
 }
 
+// AnsweredRate is the fraction of served requests that got real
+// results — anything but the explicit "results unavailable" page. The
+// availability headline under fault injection: 1.0 means every
+// completed request was answered from some tier, fresh or stale.
+func (s Stats) AnsweredRate() float64 {
+	if s.Served == 0 {
+		return 0
+	}
+	return float64(s.Served-s.Unavailable) / float64(s.Served)
+}
+
 // Stats returns a fleet-wide snapshot. The per-shard walk takes each
 // shard lock briefly; counters are atomics.
 func (f *Fleet) Stats() Stats {
@@ -535,8 +701,14 @@ func (f *Fleet) Stats() Stats {
 		PersonalHits:  f.bySource[SourcePersonal].Load(),
 		CommunityHits: f.bySource[SourceCommunity].Load(),
 		CloudMisses:   f.bySource[SourceCloud].Load(),
+		Degraded:      f.bySource[SourceDegraded].Load(),
+		Unavailable:   f.bySource[SourceUnavailable].Load(),
+		Canceled:      f.canceled.Load(),
+		Retries:       f.retries.Load(),
+		Exhausted:     f.exhausted.Load(),
 	}
 	for _, sh := range f.shards {
+		s.BreakerOpens += sh.brk.openCount()
 		sh.mu.Lock()
 		s.Users += len(sh.users)
 		s.PersonalBytes += sh.personalBytes
@@ -587,6 +759,7 @@ func (f *Fleet) CommunityStats() pocketsearch.Stats {
 		agg.Hits += st.Hits
 		agg.Misses += st.Misses
 		agg.Expansions += st.Expansions
+		agg.Stale += st.Stale
 	}
 	return agg
 }

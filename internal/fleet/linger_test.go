@@ -1,0 +1,50 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLingerControl pins the adaptive linger policy: no signal holds
+// the configured window, dense miss arrivals size the window to fill a
+// batch, and sparse arrivals shrink it to the floor so rare misses are
+// not held hostage to an empty batch.
+func TestLingerControl(t *testing.T) {
+	opts := BatchOptions{AdaptiveLinger: true, Linger: 800 * time.Microsecond, MaxBatch: 16}
+
+	if lc := newLingerControl(BatchOptions{Linger: opts.Linger, MaxBatch: opts.MaxBatch}); lc != nil {
+		t.Fatal("lingerControl allocated without AdaptiveLinger")
+	}
+	var nilLC *lingerControl
+	nilLC.observe(time.Unix(0, 0)) // nil-safe
+
+	lc := newLingerControl(opts)
+	if w := lc.window(); w != opts.Linger {
+		t.Errorf("window with no signal = %v, want the configured %v", w, opts.Linger)
+	}
+
+	// Dense arrivals: 10µs gaps. The window should contract toward the
+	// time a full batch needs to assemble — well under the ceiling,
+	// never under the floor.
+	now := time.Unix(0, 0)
+	for i := 0; i < 64; i++ {
+		now = now.Add(10 * time.Microsecond)
+		lc.observe(now)
+	}
+	dense := lc.window()
+	floor := opts.Linger / 8
+	if dense >= opts.Linger || dense < floor {
+		t.Errorf("dense window = %v, want in [%v, %v)", dense, floor, opts.Linger)
+	}
+
+	// Sparse arrivals: gaps far beyond the ceiling. The EWMA saturates
+	// (gaps are clamped at 2× the ceiling) and the window collapses to
+	// the floor.
+	for i := 0; i < 64; i++ {
+		now = now.Add(5 * time.Millisecond)
+		lc.observe(now)
+	}
+	if w := lc.window(); w != floor {
+		t.Errorf("sparse window = %v, want the floor %v", w, floor)
+	}
+}

@@ -5,10 +5,10 @@ import (
 	"sort"
 	"sync"
 
-	"pocketcloudlets/internal/cachegen"
 	"pocketcloudlets/internal/cloudletos"
 	"pocketcloudlets/internal/device"
 	"pocketcloudlets/internal/engine"
+	"pocketcloudlets/internal/faults"
 	"pocketcloudlets/internal/flashsim"
 	"pocketcloudlets/internal/hash64"
 	"pocketcloudlets/internal/pocketsearch"
@@ -27,6 +27,11 @@ type userState struct {
 	bytes  int64
 	served int64
 	hits   int64
+	// missSeq numbers this user's cloud-classified misses in submission
+	// order; it keys the pure fault hashes (internal/faults), so it must
+	// be identical between the batched and unbatched paths — both bump
+	// it at classification time, under the pending-miss ordering guard.
+	missSeq uint64
 	// refs indexes the user's personal records by eviction key, so the
 	// budget enforcer can find this user's lowest-utility items without
 	// scanning the whole shard.
@@ -56,6 +61,13 @@ type shard struct {
 	// expansion that crossed the cap, evicting that user's
 	// lowest-utility records first.
 	perUserBytes int64
+	// inj is the fleet's fault injector (nil when fault injection is
+	// off); retry is the resolved retry policy and brk the shard's
+	// circuit breaker (nil unless faults are on and the breaker is
+	// enabled).
+	inj   *faults.Injector
+	retry faults.RetryPolicy
+	brk   *breaker
 
 	mu        sync.Mutex
 	community *pocketsearch.Cache
@@ -86,28 +98,34 @@ func itemKey(uid searchlog.UserID, resultHash uint64) uint64 {
 // newShard builds one shard: a community cache replica preloaded with
 // the shared content (provisioned overnight, so its model clock is
 // reset afterwards) and an empty user map.
-func newShard(id int, eng *engine.Engine, content cachegen.Content, opts pocketsearch.Options, link radio.Params, perUserBytes int64) (*shard, error) {
-	commOpts := opts
+func newShard(id int, cfg Config, inj *faults.Injector) (*shard, error) {
+	commOpts := cfg.Options
 	// The community replica is shared by every user of the shard, so
 	// it must never absorb one user's personalization.
 	commOpts.DisablePersonalization = true
-	dev := device.New(device.Config{}, link, flashsim.Params{})
-	community, err := pocketsearch.Build(dev, eng, content, commOpts)
+	dev := device.New(device.Config{}, cfg.Radio, flashsim.Params{})
+	community, err := pocketsearch.Build(dev, cfg.Engine, cfg.Content, commOpts)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: shard %d community build: %w", id, err)
 	}
 	dev.Reset()
-	return &shard{
+	sh := &shard{
 		id:           id,
-		eng:          eng,
-		opts:         opts,
-		link:         link,
-		perUserBytes: perUserBytes,
+		eng:          cfg.Engine,
+		opts:         cfg.Options,
+		link:         cfg.Radio,
+		perUserBytes: cfg.PerUserBytes,
+		inj:          inj,
+		retry:        cfg.Retry,
 		community:    community,
 		users:        make(map[searchlog.UserID]*userState),
 		keys:         make(map[uint64]evictRef),
 		pendingMiss:  make(map[searchlog.UserID]*missTask),
-	}, nil
+	}
+	if inj != nil {
+		sh.brk = newBreaker(cfg.Breaker)
+	}
+	return sh, nil
 }
 
 // user returns (lazily creating) the per-user state. Caller holds mu.
@@ -199,6 +217,14 @@ func (sh *shard) routeBatched(t task) (resp Response, miss, waitFor *missTask) {
 		return sh.serveLocked(st, t.req, qh, ch, tier), nil, nil
 	}
 	mt := &missTask{t: t, done: make(chan struct{})}
+	if sh.inj != nil {
+		// Plan the miss's whole fault ladder now, against the user's
+		// current model clock: the clock cannot move before the miss is
+		// applied (pendingMiss blocks the user's next request), so the
+		// plan — and with it every per-user outcome — is independent of
+		// how the dispatcher later composes batches.
+		mt.mc = sh.planCtxLocked(st, t.req.User, qh, ch)
+	}
 	sh.pendingMiss[t.req.User] = mt
 	return Response{}, mt, nil
 }

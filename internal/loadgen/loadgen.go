@@ -53,6 +53,7 @@ type counters struct {
 	model    Histogram
 	shed     uint64
 	errors   uint64
+	canceled uint64
 	bySource map[fleet.Source]uint64
 	// Modeled energy sums over observed non-error responses: total,
 	// radio-only, and radio-only restricted to cloud misses.
@@ -82,6 +83,10 @@ func NewCollector() *Collector {
 func (c *Collector) Observe(r fleet.Response) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if r.Canceled {
+		c.c.canceled++
+		return
+	}
 	if r.Shed {
 		c.c.shed++
 		return
@@ -142,6 +147,21 @@ type Report struct {
 	PersonalHits  uint64 `json:"personal_hits"`
 	CommunityHits uint64 `json:"community_hits"`
 	CloudMisses   uint64 `json:"cloud_misses"`
+
+	// Degraded and Unavailable are the fault model's fallback serves
+	// (stale cached answers and explicit "unavailable" pages); Canceled
+	// counts requests abandoned by their caller's context. Retries,
+	// Exhausted and BreakerOpens quantify the retry machinery. All zero
+	// when fault injection is off.
+	Degraded     uint64 `json:"degraded,omitempty"`
+	Unavailable  uint64 `json:"unavailable,omitempty"`
+	Canceled     uint64 `json:"canceled,omitempty"`
+	Retries      int64  `json:"retries,omitempty"`
+	Exhausted    int64  `json:"exhausted,omitempty"`
+	BreakerOpens int64  `json:"breaker_opens,omitempty"`
+	// AnsweredRate is the fraction of served requests that got real
+	// results, fresh or stale — the availability headline under faults.
+	AnsweredRate float64 `json:"answered_rate"`
 
 	HitRate float64 `json:"hit_rate"`
 	// MeanUserHitRate averages per-user hit rates — the paper's
@@ -214,6 +234,13 @@ func (r Report) String() string {
 	fmt.Fprintf(&b, "  served %d  shed %d (%.2f%%)  errors %d\n", r.Served, r.Shed, 100*r.ShedRate, r.Errors)
 	fmt.Fprintf(&b, "  hit rate %.1f%% (personal %d, community %d, cloud misses %d)\n",
 		100*r.HitRate, r.PersonalHits, r.CommunityHits, r.CloudMisses)
+	if r.Degraded+r.Unavailable > 0 || r.Retries > 0 || r.Exhausted > 0 {
+		fmt.Fprintf(&b, "  faults: answered %.1f%% (degraded %d, unavailable %d, retries %d, exhausted %d, breaker opens %d)\n",
+			100*r.AnsweredRate, r.Degraded, r.Unavailable, r.Retries, r.Exhausted, r.BreakerOpens)
+	}
+	if r.Canceled > 0 {
+		fmt.Fprintf(&b, "  canceled %d\n", r.Canceled)
+	}
 	if r.MeanUserHitRate > 0 {
 		fmt.Fprintf(&b, "  mean per-user hit rate %.1f%%", 100*r.MeanUserHitRate)
 		if len(r.ClassHitRate) > 0 {
@@ -262,9 +289,16 @@ func fill(r *Report, f *fleet.Fleet, col *Collector, before fleet.Stats, beforeB
 	r.PersonalHits = uint64(st.PersonalHits - before.PersonalHits)
 	r.CommunityHits = uint64(st.CommunityHits - before.CommunityHits)
 	r.CloudMisses = uint64(st.CloudMisses - before.CloudMisses)
-	r.Requests = r.Served + r.Shed
+	r.Degraded = uint64(st.Degraded - before.Degraded)
+	r.Unavailable = uint64(st.Unavailable - before.Unavailable)
+	r.Canceled = uint64(st.Canceled - before.Canceled)
+	r.Retries = st.Retries - before.Retries
+	r.Exhausted = st.Exhausted - before.Exhausted
+	r.BreakerOpens = st.BreakerOpens - before.BreakerOpens
+	r.Requests = r.Served + r.Shed + r.Canceled
 	if r.Served > 0 {
 		r.HitRate = float64(r.PersonalHits+r.CommunityHits) / float64(r.Served)
+		r.AnsweredRate = float64(r.Served-r.Unavailable) / float64(r.Served)
 	}
 	if r.Requests > 0 {
 		r.ShedRate = float64(r.Shed) / float64(r.Requests)
@@ -278,7 +312,8 @@ func fill(r *Report, f *fleet.Fleet, col *Collector, before fleet.Stats, beforeB
 
 	r.EnergyJ = cnt.energyJ
 	r.RadioEnergyJ = cnt.radioJ
-	observed := cnt.bySource[fleet.SourcePersonal] + cnt.bySource[fleet.SourceCommunity] + cnt.bySource[fleet.SourceCloud]
+	observed := cnt.bySource[fleet.SourcePersonal] + cnt.bySource[fleet.SourceCommunity] + cnt.bySource[fleet.SourceCloud] +
+		cnt.bySource[fleet.SourceDegraded] + cnt.bySource[fleet.SourceUnavailable]
 	if observed > 0 {
 		r.EnergyPerQueryJ = cnt.energyJ / float64(observed)
 	}

@@ -118,6 +118,10 @@ type Stats struct {
 	Hits       int
 	Misses     int
 	Expansions int // pairs added by the personalization component
+	// Stale counts degraded serves: queries answered from cached
+	// results while the cloud was unreachable (ServeStale). They are
+	// not hits — the clicked result was not among the cached ones.
+	Stale int
 }
 
 // HitRate returns the fraction of queries served locally.
@@ -343,6 +347,56 @@ func (c *Cache) ContainsPair(queryHash, resultHash uint64) bool {
 		}
 	}
 	return false
+}
+
+// ContainsQuery reports whether the cache holds any results for the
+// query, regardless of which result the user will click — the
+// criterion of the fleet's degradation ladder (a stale answer beats no
+// answer when the cloud is unreachable). No model cost is charged.
+func (c *Cache) ContainsQuery(queryHash uint64) bool {
+	return c.table.Contains(queryHash)
+}
+
+// UnavailablePageBytes is the size of the explicit degraded response —
+// the small locally rendered "results unavailable, retry later" page
+// served when every rung of the degradation ladder is exhausted.
+const UnavailablePageBytes = 2_000
+
+// ServeStale serves whatever the cache holds for the query as a
+// degraded answer while the cloud is unreachable: the top-ranked
+// cached records are fetched and rendered exactly like a hit, but the
+// interaction is NOT a hit (the clicked result is not known to be
+// among the cached ones) and no personalization is applied — the cache
+// must not learn from an answer the user did not choose. It reports
+// false, charging nothing, when the query has no cached results.
+func (c *Cache) ServeStale(queryText string) (Outcome, bool) {
+	refs := c.table.Lookup(hash64.Sum(queryText))
+	if len(refs) == 0 {
+		return Outcome{}, false
+	}
+	c.bump(func(s *Stats) { s.Queries++; s.Stale++ })
+
+	var out Outcome
+	out.Lookup = LookupCost
+	c.dev.Busy(LookupCost, "lookup")
+	shown := c.opts.ResultsShown
+	if shown > len(refs) {
+		shown = len(refs)
+	}
+	for _, r := range refs[:shown] {
+		rec, lat, err := c.db.Get(r.ResultHash)
+		if err != nil {
+			continue
+		}
+		out.Fetch += lat
+		if res, perr := engine.ParseRecord(rec); perr == nil {
+			out.Results = append(out.Results, res)
+		}
+	}
+	c.dev.FlashBusy(out.Fetch)
+	out.Render = c.dev.Render(ResultsPageBytes)
+	out.Misc = c.dev.Misc()
+	return out, true
 }
 
 // EvictResult removes every cached (query, result) pair referencing

@@ -1,0 +1,103 @@
+package radio
+
+import (
+	"testing"
+	"time"
+)
+
+// TestEmptyBatchIsFree is the regression test for the empty-batch
+// path: a batch with no items must cost nothing — no wake-up, no
+// handshake, no tail — and a live link must be left untouched.
+func TestEmptyBatchIsFree(t *testing.T) {
+	for _, p := range Technologies() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			isZero := func(b BatchTransfer) bool {
+				return b.Size() == 0 && b.Total() == 0 && b.Wakeup == 0 && b.Handshake == 0 && !b.WasWarm
+			}
+			if b := BatchExchange(p, nil); !isZero(b) {
+				t.Errorf("BatchExchange(nil) = %+v, want zero BatchTransfer", b)
+			}
+			if b := BatchExchange(p, []Exchange{}); !isZero(b) {
+				t.Errorf("BatchExchange(empty) = %+v, want zero BatchTransfer", b)
+			}
+
+			l := NewLink(p)
+			if b := l.RequestBatch(nil); !isZero(b) {
+				t.Errorf("RequestBatch(nil) = %+v, want zero BatchTransfer", b)
+			}
+			if l.Now() != 0 || l.RadioEnergy() != 0 || l.Wakeups() != 0 || l.State() != Idle {
+				t.Errorf("empty RequestBatch mutated the link: now=%v energy=%g wakeups=%d state=%v",
+					l.Now(), l.RadioEnergy(), l.Wakeups(), l.State())
+			}
+		})
+	}
+}
+
+// TestFailedRequestPaysOverheadOnly verifies the failed-attempt model:
+// full session overhead (wake-up when idle, plus the handshake), no
+// payload, link promoted into its tail.
+func TestFailedRequestPaysOverheadOnly(t *testing.T) {
+	p := ThreeG()
+	l := NewLink(p)
+
+	tr := l.FailedRequest()
+	if !tr.Failed {
+		t.Error("transfer must be marked Failed")
+	}
+	if tr.WasWarm {
+		t.Error("first attempt on an idle link must be cold")
+	}
+	if tr.Wakeup != p.WakeupLatency {
+		t.Errorf("Wakeup = %v, want %v", tr.Wakeup, p.WakeupLatency)
+	}
+	wantHS := time.Duration(p.HandshakeRTTs) * p.RTT
+	if tr.Handshake != wantHS || tr.Payload != 0 {
+		t.Errorf("Handshake = %v Payload = %v, want %v and 0", tr.Handshake, tr.Payload, wantHS)
+	}
+	if tr.Total() != FailedAttemptCost(p, false) {
+		t.Errorf("Total = %v, want FailedAttemptCost %v", tr.Total(), FailedAttemptCost(p, false))
+	}
+	if l.Wakeups() != 1 {
+		t.Errorf("Wakeups = %d, want 1", l.Wakeups())
+	}
+	if l.State() != Tail {
+		t.Errorf("failed attempt should leave the link in its tail, got %v", l.State())
+	}
+
+	// A second immediate attempt finds the link warm: handshake only.
+	tr2 := l.FailedRequest()
+	if !tr2.WasWarm || tr2.Wakeup != 0 {
+		t.Errorf("warm failed attempt = %+v, want no wake-up", tr2)
+	}
+	if tr2.Total() != FailedAttemptCost(p, true) {
+		t.Errorf("warm Total = %v, want %v", tr2.Total(), FailedAttemptCost(p, true))
+	}
+	if l.Wakeups() != 1 {
+		t.Errorf("warm attempt must not add a wake-up, got %d", l.Wakeups())
+	}
+}
+
+// TestExchangeCostMatchesLiveLink verifies the analytic exchange model
+// mirrors Link.Request exactly, warm and cold.
+func TestExchangeCostMatchesLiveLink(t *testing.T) {
+	for _, p := range Technologies() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			const req, resp = 800, 100_000
+
+			cold := ExchangeCost(p, req, resp, false)
+			l := NewLink(p)
+			live := l.Request(req, resp)
+			if cold != live {
+				t.Errorf("cold ExchangeCost = %+v, live Request = %+v", cold, live)
+			}
+
+			warm := ExchangeCost(p, req, resp, true)
+			live2 := l.Request(req, resp) // link still in its tail
+			if warm != live2 {
+				t.Errorf("warm ExchangeCost = %+v, live Request = %+v", warm, live2)
+			}
+		})
+	}
+}

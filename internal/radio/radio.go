@@ -161,6 +161,10 @@ type Transfer struct {
 	RadioActive time.Duration
 	// WasWarm reports whether the link skipped the wakeup.
 	WasWarm bool
+	// Failed reports that the exchange attempt carried no payload: the
+	// network dropped it (or the far end errored) after the radio had
+	// already paid the session overhead.
+	Failed bool
 }
 
 // Total is the end-to-end network latency of the exchange.
@@ -214,6 +218,37 @@ func transferTime(bytes int, bps float64) time.Duration {
 	return time.Duration(float64(bytes) / bps * float64(time.Second))
 }
 
+// FailedAttemptCost is the modeled duration of one failed exchange
+// attempt under p: the wake-up (when the link starts cold) plus the
+// handshake round trips. No payload moves, but the radio was fully
+// active for all of it — the fault model's "you pay for the radio even
+// when the network drops you".
+func FailedAttemptCost(p Params, warm bool) time.Duration {
+	d := time.Duration(p.HandshakeRTTs) * p.RTT
+	if !warm {
+		d += p.WakeupLatency
+	}
+	return d
+}
+
+// ExchangeCost models one request/response exchange under p without a
+// live link, with the link's warmth supplied by the caller. The
+// arithmetic mirrors Link.Request exactly, so a transfer planned
+// analytically (internal/faults) matches what a live link would have
+// charged.
+func ExchangeCost(p Params, reqBytes, respBytes int, warm bool) Transfer {
+	t := Transfer{
+		Handshake: time.Duration(p.HandshakeRTTs) * p.RTT,
+		Payload:   transferTime(reqBytes, p.UplinkBps) + transferTime(respBytes, p.DownlinkBps),
+		WasWarm:   warm,
+	}
+	if !warm {
+		t.Wakeup = p.WakeupLatency
+	}
+	t.RadioActive = t.Wakeup + t.Handshake + t.Payload
+	return t
+}
+
 // Request models sending reqBytes upstream and receiving respBytes
 // downstream at the current model time, advancing the clock by the
 // exchange's total latency and accounting the radio energy.
@@ -229,6 +264,31 @@ func (l *Link) Request(reqBytes, respBytes int) Transfer {
 		t.WasWarm = true
 	}
 	t.RadioActive = t.Wakeup + t.Handshake + t.Payload
+	l.energy += l.params.ExtraActivePower * t.RadioActive.Seconds()
+	l.activeTime += t.RadioActive
+	l.now += t.Total()
+	l.tailEnds = l.now + l.params.TailDuration
+	return t
+}
+
+// FailedRequest models an exchange attempt the network dropped: the
+// link pays the full session overhead — the wake-up when it was idle,
+// plus the handshake — with nothing to show for it, and is left in its
+// post-attempt tail (the radio was promoted; it demotes on its own).
+// The clock and energy advance exactly as Request's overhead would;
+// only the payload never flows.
+func (l *Link) FailedRequest() Transfer {
+	t := Transfer{
+		Handshake: time.Duration(l.params.HandshakeRTTs) * l.params.RTT,
+		Failed:    true,
+	}
+	if l.State() == Idle {
+		t.Wakeup = l.params.WakeupLatency
+		l.wakeups++
+	} else {
+		t.WasWarm = true
+	}
+	t.RadioActive = t.Wakeup + t.Handshake
 	l.energy += l.params.ExtraActivePower * t.RadioActive.Seconds()
 	l.activeTime += t.RadioActive
 	l.now += t.Total()
@@ -344,8 +404,13 @@ func (b BatchTransfer) ItemRadioEnergy(p Params, i int) float64 {
 // BatchExchange models a coalesced exchange under p without a live
 // link: the session starts cold (it always pays the wake-up). This is
 // the form the fleet's miss dispatcher uses — its shared uplink sleeps
-// between linger windows, so every session starts from Idle.
+// between linger windows, so every session starts from Idle. An empty
+// batch is a no-op: no session is opened and the zero BatchTransfer is
+// returned (no wake-up is charged for nothing).
 func BatchExchange(p Params, items []Exchange) BatchTransfer {
+	if len(items) == 0 {
+		return BatchTransfer{}
+	}
 	b := BatchTransfer{
 		Wakeup:    p.WakeupLatency,
 		Handshake: time.Duration(p.HandshakeRTTs) * p.RTT,
@@ -362,8 +427,13 @@ func BatchExchange(p Params, items []Exchange) BatchTransfer {
 // the link is idle), the handshake and the tail once. The clock
 // advances by the session total and the link is left in Tail — the
 // single-device analogue of the fleet's miss coalescing (a phone
-// flushing several deferred misses in one session).
+// flushing several deferred misses in one session). An empty batch is
+// a no-op: the link state, clock and counters are untouched and the
+// zero BatchTransfer is returned.
 func (l *Link) RequestBatch(items []Exchange) BatchTransfer {
+	if len(items) == 0 {
+		return BatchTransfer{}
+	}
 	b := BatchTransfer{
 		Handshake: time.Duration(l.params.HandshakeRTTs) * l.params.RTT,
 		Payloads:  make([]time.Duration, len(items)),

@@ -29,12 +29,14 @@ package pocketcloudlets
 
 import (
 	"fmt"
+	"time"
 
 	"pocketcloudlets/internal/adlet"
 	"pocketcloudlets/internal/cachegen"
 	"pocketcloudlets/internal/cloudletos"
 	"pocketcloudlets/internal/device"
 	"pocketcloudlets/internal/engine"
+	"pocketcloudlets/internal/faults"
 	"pocketcloudlets/internal/flashsim"
 	"pocketcloudlets/internal/fleet"
 	"pocketcloudlets/internal/loadgen"
@@ -117,6 +119,16 @@ type (
 	FleetBatchOptions = fleet.BatchOptions
 	// FleetBatchStats summarize miss-coalescing activity.
 	FleetBatchStats = fleet.BatchStats
+	// FaultOptions configure the deterministic connectivity-fault model
+	// (outage windows, per-attempt loss, transient engine errors).
+	FaultOptions = faults.Options
+	// FaultWindow is one absolute outage interval in model time.
+	FaultWindow = faults.Window
+	// RetryPolicy governs retrying of faulted cloud misses.
+	RetryPolicy = faults.RetryPolicy
+	// FleetBreakerOptions configure the fleet's per-shard circuit
+	// breaker (wall-clock retry pacing only).
+	FleetBreakerOptions = fleet.BreakerOptions
 	// RadioParams are the link parameters of a radio technology.
 	RadioParams = radio.Params
 	// LoadCollector aggregates fleet responses into latency histograms.
@@ -275,6 +287,13 @@ func (s *Simulation) NewFleet(content Content, cfg FleetConfig) (*Fleet, error) 
 // NewLoadCollector creates an empty load-test collector; install it as
 // FleetConfig.Observer before running a load phase.
 func NewLoadCollector() *LoadCollector { return loadgen.NewCollector() }
+
+// ParseOutageSpec parses the -outage command-line syntax into fault
+// options fields: "6s/30s" is a periodic duty cycle (down the first 6s
+// of every 30s of model time), "10s-20s,40s-45s" absolute windows.
+func ParseOutageSpec(spec string) (every, down time.Duration, windows []FaultWindow, err error) {
+	return faults.ParseOutageSpec(spec)
+}
 
 // RunOpenLoad replays the community month log against a fleet as an
 // open-loop Poisson arrival process and reports latency percentiles,

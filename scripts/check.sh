@@ -32,6 +32,16 @@ go test ./...
 echo "== go test -race -short ./... =="
 go test -race -short ./...
 
+echo "== fault-injection smoke: loadtest -faults -check =="
+# A short closed-loop run under loss + a periodic outage with batching
+# and the adaptive linger window, with the report invariants verified
+# by the binary itself (-check): no panics, no errors, every submission
+# booked exactly once, every served request attributed to exactly one
+# tier (including the degraded ones).
+go run ./cmd/loadtest -mode closed -users 100 -duration 0 -seed 3 \
+    -faults -loss 0.3 -outage 6s/30s -retries 3 \
+    -batch -batchadaptive -check -json > /dev/null
+
 echo "== bench smoke: FleetServe =="
 # One iteration of each fleet serving benchmark (batched and unbatched)
 # so a regression that breaks the benchmark fixtures fails the gate.
