@@ -10,6 +10,15 @@
 //     -duration 0 each user replays exactly one month, which makes the
 //     run's counters fully deterministic given -seed.
 //
+// Routing is pluggable (-placement): "modulo" is the legacy static
+// uid-hash mod shards mapping; "ring" is consistent hashing over
+// -vnodes virtual nodes per shard, which keeps a live resize cheap.
+// -resize-to N reshards the fleet to N shards -resize-at into the run
+// while it keeps serving: movers' personal caches are migrated with
+// them (unless -resize-drop discards them — the remap-and-cold-start
+// baseline), and the report's resizes/migrated_*/held_requests fields
+// quantify the migration work.
+//
 // Miss batching (-batch) coalesces concurrent cloud misses into shared
 // radio sessions — one wake-up, one handshake, one tail per batch —
 // capped at -batchmax misses after a -batchlinger collection window
@@ -49,52 +58,248 @@ import (
 	"pocketcloudlets/internal/engine"
 )
 
+// runFlags is the parsed command line. Keeping it a plain struct lets
+// validate run (and be tested) before any of the expensive ecosystem
+// build starts, so a bad invocation fails in microseconds with a usage
+// message instead of minutes later with a panic from deep inside the
+// stack.
+type runFlags struct {
+	mode        string
+	users       int
+	qps         float64
+	duration    time.Duration
+	shards      int
+	workers     int
+	queue       int
+	seed        int64
+	share       float64
+	month       int
+	radio       string
+	userBudget  int64
+	fleetBudget int64
+
+	placementName string
+	vnodes        int
+	resizeTo      int
+	resizeAt      time.Duration
+	resizeDrop    bool
+
+	batch         bool
+	batchMax      int
+	batchLinger   time.Duration
+	batchWide     bool
+	batchAdaptive bool
+
+	faults    bool
+	loss      float64
+	engineErr float64
+	outage    string
+	retries   int
+	faultSeed int64
+
+	check   bool
+	jsonOut bool
+}
+
+func (rf *runFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&rf.mode, "mode", "open", "load protocol: open (Poisson at -qps) or closed (-users concurrent users)")
+	fs.IntVar(&rf.users, "users", 4000, "simulated user population (and closed-loop concurrency)")
+	fs.Float64Var(&rf.qps, "qps", 2000, "open-loop target arrival rate")
+	fs.DurationVar(&rf.duration, "duration", 5*time.Second, "run length; 0 in closed mode replays exactly one month")
+	fs.IntVar(&rf.shards, "shards", 8, "user shards (community cache replicas)")
+	fs.IntVar(&rf.workers, "workers", 0, "worker pool size; 0 selects min(shards, GOMAXPROCS)")
+	fs.IntVar(&rf.queue, "queue", 1024, "per-worker queue depth before shedding")
+	fs.Int64Var(&rf.seed, "seed", 1, "simulation and arrival-schedule seed")
+	fs.Float64Var(&rf.share, "share", 0.55, "community cache cumulative-volume share")
+	fs.IntVar(&rf.month, "month", 1, "month to replay (content is built from the preceding month)")
+	fs.StringVar(&rf.radio, "radio", "3g", "radio technology: 3g, edge, wifi")
+	fs.Int64Var(&rf.userBudget, "userbudget", 0, "per-user personal flash cap in bytes; 0 = unlimited")
+	fs.Int64Var(&rf.fleetBudget, "fleetbudget", 0, "fleet-wide personal flash budget in bytes; 0 = default 2.5 GB")
+	fs.StringVar(&rf.placementName, "placement", "modulo", "user→shard routing: modulo (legacy static) or ring (consistent hashing)")
+	fs.IntVar(&rf.vnodes, "vnodes", 0, "virtual nodes per shard on the ring (with -placement ring); 0 = default 64")
+	fs.IntVar(&rf.resizeTo, "resize-to", 0, "live-reshard the fleet to this many shards during the run; 0 = no resize")
+	fs.DurationVar(&rf.resizeAt, "resize-at", time.Second, "when after the run starts to trigger the -resize-to resize")
+	fs.BoolVar(&rf.resizeDrop, "resize-drop", false, "discard movers' personal state on resize instead of migrating it (cold-start baseline)")
+	fs.BoolVar(&rf.batch, "batch", false, "coalesce concurrent cloud misses into batched radio sessions")
+	fs.IntVar(&rf.batchMax, "batchmax", 0, "max misses per batched radio session; 0 = default 16")
+	fs.DurationVar(&rf.batchLinger, "batchlinger", 0, "how long a dispatcher holds an open batch for more misses; 0 = default 200µs")
+	fs.BoolVar(&rf.batchWide, "batchwide", false, "pool misses fleet-wide into one dispatcher instead of one per shard")
+	fs.BoolVar(&rf.batchAdaptive, "batchadaptive", false, "size the batch linger window from the observed miss arrival rate")
+	fs.BoolVar(&rf.faults, "faults", false, "enable the deterministic connectivity-fault model")
+	fs.Float64Var(&rf.loss, "loss", 0, "per-attempt probability a radio exchange is dropped (with -faults)")
+	fs.Float64Var(&rf.engineErr, "engineerr", 0, "per-attempt probability of a transient cloud engine error (with -faults)")
+	fs.StringVar(&rf.outage, "outage", "", `outage spec (with -faults): "6s/30s" duty cycle or "10s-20s,40s-45s" windows`)
+	fs.IntVar(&rf.retries, "retries", 0, "max radio attempts per cloud miss (with -faults); 0 = default 4")
+	fs.Int64Var(&rf.faultSeed, "faultseed", 0, "fault-model seed (with -faults); 0 reuses -seed")
+	fs.BoolVar(&rf.check, "check", false, "verify report invariants after the run and exit non-zero on violation")
+	fs.BoolVar(&rf.jsonOut, "json", false, "emit the report as JSON only")
+}
+
+// validate returns every problem with the flag combination, or nil
+// when the invocation is runnable.
+func (rf *runFlags) validate() []string {
+	var problems []string
+	bad := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	switch rf.mode {
+	case "open":
+		if rf.qps <= 0 {
+			bad("-qps must be positive in open mode, got %g", rf.qps)
+		}
+		if rf.duration <= 0 {
+			bad("-duration must be positive in open mode, got %v", rf.duration)
+		}
+	case "closed":
+		if rf.duration < 0 {
+			bad("-duration must be non-negative, got %v", rf.duration)
+		}
+	default:
+		bad("unknown -mode %q (want open or closed)", rf.mode)
+	}
+	if rf.users <= 0 {
+		bad("-users must be positive, got %d", rf.users)
+	}
+	if rf.shards <= 0 {
+		bad("-shards must be positive, got %d", rf.shards)
+	}
+	if rf.workers < 0 {
+		bad("-workers must be non-negative, got %d", rf.workers)
+	}
+	if rf.queue <= 0 {
+		bad("-queue must be positive, got %d", rf.queue)
+	}
+	if rf.share <= 0 || rf.share > 1 {
+		bad("-share must be in (0, 1], got %g", rf.share)
+	}
+	if rf.month < 1 {
+		bad("-month must be at least 1 (content is built from the preceding month), got %d", rf.month)
+	}
+	switch strings.ToLower(rf.radio) {
+	case "3g", "edge", "wifi":
+	default:
+		bad("unknown -radio %q (want 3g, edge or wifi)", rf.radio)
+	}
+	if rf.userBudget < 0 {
+		bad("-userbudget must be non-negative, got %d", rf.userBudget)
+	}
+	if rf.fleetBudget < 0 {
+		bad("-fleetbudget must be non-negative, got %d", rf.fleetBudget)
+	}
+
+	switch rf.placementName {
+	case "modulo", "ring":
+	default:
+		bad("unknown -placement %q (want modulo or ring)", rf.placementName)
+	}
+	if rf.vnodes < 0 {
+		bad("-vnodes must be non-negative, got %d", rf.vnodes)
+	}
+	if rf.vnodes > 0 && rf.placementName != "ring" {
+		bad("-vnodes only applies to -placement ring")
+	}
+	if rf.resizeTo < 0 {
+		bad("-resize-to must be non-negative, got %d", rf.resizeTo)
+	}
+	if rf.resizeAt < 0 {
+		bad("-resize-at must be non-negative, got %v", rf.resizeAt)
+	}
+	if rf.resizeDrop && rf.resizeTo == 0 {
+		bad("-resize-drop requires -resize-to")
+	}
+
+	if !rf.batch {
+		if rf.batchMax != 0 {
+			bad("-batchmax requires -batch")
+		}
+		if rf.batchLinger != 0 {
+			bad("-batchlinger requires -batch")
+		}
+		if rf.batchWide {
+			bad("-batchwide requires -batch")
+		}
+		if rf.batchAdaptive {
+			bad("-batchadaptive requires -batch")
+		}
+	} else {
+		if rf.batchMax < 0 {
+			bad("-batchmax must be non-negative, got %d", rf.batchMax)
+		}
+		if rf.batchLinger < 0 {
+			bad("-batchlinger must be non-negative, got %v", rf.batchLinger)
+		}
+	}
+
+	if !rf.faults {
+		if rf.loss != 0 {
+			bad("-loss requires -faults")
+		}
+		if rf.engineErr != 0 {
+			bad("-engineerr requires -faults")
+		}
+		if rf.outage != "" {
+			bad("-outage requires -faults")
+		}
+		if rf.retries != 0 {
+			bad("-retries requires -faults")
+		}
+		if rf.faultSeed != 0 {
+			bad("-faultseed requires -faults")
+		}
+	} else {
+		if rf.loss < 0 || rf.loss >= 1 {
+			bad("-loss must be in [0, 1), got %g", rf.loss)
+		}
+		if rf.engineErr < 0 || rf.engineErr >= 1 {
+			bad("-engineerr must be in [0, 1), got %g", rf.engineErr)
+		}
+		if rf.retries < 0 {
+			bad("-retries must be non-negative, got %d", rf.retries)
+		}
+		if rf.outage != "" {
+			if _, _, _, err := pocketcloudlets.ParseOutageSpec(rf.outage); err != nil {
+				bad("bad -outage: %v", err)
+			}
+		}
+	}
+	return problems
+}
+
+// placement resolves the -placement/-vnodes flags; nil selects the
+// fleet's default (modulo), keeping the legacy mapping byte-identical.
+func (rf *runFlags) placement() (pocketcloudlets.Placement, error) {
+	if rf.placementName == "ring" {
+		return pocketcloudlets.NewRingPlacement(rf.shards, rf.vnodes)
+	}
+	return nil, nil
+}
+
 func main() {
-	var (
-		mode        = flag.String("mode", "open", "load protocol: open (Poisson at -qps) or closed (-users concurrent users)")
-		users       = flag.Int("users", 4000, "simulated user population (and closed-loop concurrency)")
-		qps         = flag.Float64("qps", 2000, "open-loop target arrival rate")
-		duration    = flag.Duration("duration", 5*time.Second, "run length; 0 in closed mode replays exactly one month")
-		shards      = flag.Int("shards", 8, "user shards (community cache replicas)")
-		workers     = flag.Int("workers", 0, "worker pool size; 0 selects min(shards, GOMAXPROCS)")
-		queue       = flag.Int("queue", 1024, "per-worker queue depth before shedding")
-		seed        = flag.Int64("seed", 1, "simulation and arrival-schedule seed")
-		share       = flag.Float64("share", 0.55, "community cache cumulative-volume share")
-		month       = flag.Int("month", 1, "month to replay (content is built from the preceding month)")
-		radioName   = flag.String("radio", "3g", "radio technology: 3g, edge, wifi")
-		userBudget  = flag.Int64("userbudget", 0, "per-user personal flash cap in bytes; 0 = unlimited")
-		fleetBut    = flag.Int64("fleetbudget", 0, "fleet-wide personal flash budget in bytes; 0 = default 2.5 GB")
-		batch       = flag.Bool("batch", false, "coalesce concurrent cloud misses into batched radio sessions")
-		batchMax    = flag.Int("batchmax", 0, "max misses per batched radio session; 0 = default 16")
-		batchLinger = flag.Duration("batchlinger", 0, "how long a dispatcher holds an open batch for more misses; 0 = default 200µs")
-		batchWide   = flag.Bool("batchwide", false, "pool misses fleet-wide into one dispatcher instead of one per shard")
-		adaptive    = flag.Bool("batchadaptive", false, "size the batch linger window from the observed miss arrival rate")
-		faultsOn    = flag.Bool("faults", false, "enable the deterministic connectivity-fault model")
-		loss        = flag.Float64("loss", 0, "per-attempt probability a radio exchange is dropped (with -faults)")
-		engineErr   = flag.Float64("engineerr", 0, "per-attempt probability of a transient cloud engine error (with -faults)")
-		outage      = flag.String("outage", "", `outage spec (with -faults): "6s/30s" duty cycle or "10s-20s,40s-45s" windows`)
-		retries     = flag.Int("retries", 0, "max radio attempts per cloud miss; 0 = default 4")
-		faultSeed   = flag.Int64("faultseed", 0, "fault-model seed; 0 reuses -seed")
-		check       = flag.Bool("check", false, "verify report invariants after the run and exit non-zero on violation")
-		jsonOut     = flag.Bool("json", false, "emit the report as JSON only")
-	)
+	var rf runFlags
+	rf.register(flag.CommandLine)
 	flag.Parse()
 
+	if problems := rf.validate(); len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintf(os.Stderr, "loadtest: %s\n", p)
+		}
+		fmt.Fprintln(os.Stderr, "run with -h for usage")
+		os.Exit(2)
+	}
+
 	var tech pocketcloudlets.RadioTech
-	switch strings.ToLower(*radioName) {
-	case "3g":
-		tech = pocketcloudlets.Radio3G
+	switch strings.ToLower(rf.radio) {
 	case "edge":
 		tech = pocketcloudlets.RadioEDGE
 	case "wifi":
 		tech = pocketcloudlets.RadioWiFi
 	default:
-		fmt.Fprintf(os.Stderr, "unknown radio %q\n", *radioName)
-		os.Exit(2)
+		tech = pocketcloudlets.Radio3G
 	}
 
 	progress := func(format string, args ...any) {
-		if !*jsonOut {
+		if !rf.jsonOut {
 			fmt.Fprintf(os.Stderr, format, args...)
 		}
 	}
@@ -103,7 +308,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	progress("building ecosystem: %d users, seed %d...\n", *users, *seed)
+	progress("building ecosystem: %d users, seed %d...\n", rf.users, rf.seed)
 	ucfg := engine.Config{
 		NavPairs:    24000,
 		NonNavPairs: 120000,
@@ -115,12 +320,12 @@ func main() {
 		},
 	}
 	sim, err := pocketcloudlets.NewSimulation(pocketcloudlets.SimConfig{
-		Seed: *seed, Users: *users, UniverseConfig: &ucfg,
+		Seed: rf.seed, Users: rf.users, UniverseConfig: &ucfg,
 	})
 	if err != nil {
 		fail(err)
 	}
-	content, err := sim.CommunityContent(*month-1, *share)
+	content, err := sim.CommunityContent(rf.month-1, rf.share)
 	if err != nil {
 		fail(err)
 	}
@@ -128,16 +333,16 @@ func main() {
 		len(content.Triplets), 100*content.CoveredShare)
 
 	var faultOpts pocketcloudlets.FaultOptions
-	if *faultsOn {
+	if rf.faults {
 		faultOpts.Enabled = true
-		faultOpts.Seed = *faultSeed
+		faultOpts.Seed = rf.faultSeed
 		if faultOpts.Seed == 0 {
-			faultOpts.Seed = *seed
+			faultOpts.Seed = rf.seed
 		}
-		faultOpts.LossProb = *loss
-		faultOpts.EngineErrProb = *engineErr
-		if *outage != "" {
-			every, down, windows, err := pocketcloudlets.ParseOutageSpec(*outage)
+		faultOpts.LossProb = rf.loss
+		faultOpts.EngineErrProb = rf.engineErr
+		if rf.outage != "" {
+			every, down, windows, err := pocketcloudlets.ParseOutageSpec(rf.outage)
 			if err != nil {
 				fail(err)
 			}
@@ -145,53 +350,62 @@ func main() {
 		}
 	}
 
+	place, err := rf.placement()
+	if err != nil {
+		fail(err)
+	}
+
 	col := pocketcloudlets.NewLoadCollector()
 	f, err := sim.NewFleet(content, pocketcloudlets.FleetConfig{
-		Shards:             *shards,
-		Workers:            *workers,
-		QueueDepth:         *queue,
+		Shards:             rf.shards,
+		Workers:            rf.workers,
+		QueueDepth:         rf.queue,
 		Radio:              tech.Params(),
-		PerUserBytes:       *userBudget,
-		TotalPersonalBytes: *fleetBut,
+		PerUserBytes:       rf.userBudget,
+		TotalPersonalBytes: rf.fleetBudget,
+		Placement:          place,
 		Batch: pocketcloudlets.FleetBatchOptions{
-			Enabled:        *batch,
-			MaxBatch:       *batchMax,
-			Linger:         *batchLinger,
-			FleetWide:      *batchWide,
-			AdaptiveLinger: *adaptive,
+			Enabled:        rf.batch,
+			MaxBatch:       rf.batchMax,
+			Linger:         rf.batchLinger,
+			FleetWide:      rf.batchWide,
+			AdaptiveLinger: rf.batchAdaptive,
 		},
 		Faults:   faultOpts,
-		Retry:    pocketcloudlets.RetryPolicy{MaxAttempts: *retries},
+		Retry:    pocketcloudlets.RetryPolicy{MaxAttempts: rf.retries},
 		Observer: col,
 	})
 	if err != nil {
 		fail(err)
 	}
 	defer f.Close()
-	progress("fleet up: %d shards, %d workers, queue depth %d, radio %s, batching %v, faults %v\n",
-		f.NumShards(), f.NumWorkers(), *queue, tech, *batch, *faultsOn)
+	progress("fleet up: %d shards (%s placement), %d workers, queue depth %d, radio %s, batching %v, faults %v\n",
+		f.NumShards(), f.PlacementName(), f.NumWorkers(), rf.queue, tech, rf.batch, rf.faults)
+	if rf.resizeTo > 0 {
+		progress("will live-resize to %d shards %v into the run (drop state: %v)\n",
+			rf.resizeTo, rf.resizeAt, rf.resizeDrop)
+	}
 
 	var report pocketcloudlets.LoadReport
-	switch *mode {
+	switch rf.mode {
 	case "open":
-		progress("open loop: %.0f QPS for %v...\n", *qps, *duration)
+		progress("open loop: %.0f QPS for %v...\n", rf.qps, rf.duration)
 		report, err = sim.RunOpenLoad(f, col, pocketcloudlets.OpenLoadConfig{
-			QPS: *qps, Duration: *duration, Month: *month, Seed: *seed,
+			QPS: rf.qps, Duration: rf.duration, Month: rf.month, Seed: rf.seed,
+			ResizeTo: rf.resizeTo, ResizeAt: rf.resizeAt, ResizeDrop: rf.resizeDrop,
 		})
 	case "closed":
-		progress("closed loop: %d concurrent users...\n", *users)
+		progress("closed loop: %d concurrent users...\n", rf.users)
 		report, err = sim.RunClosedLoad(f, col, pocketcloudlets.ClosedLoadConfig{
-			Users: *users, Month: *month, Duration: *duration, Seed: *seed,
+			Users: rf.users, Month: rf.month, Duration: rf.duration, Seed: rf.seed,
+			ResizeTo: rf.resizeTo, ResizeAt: rf.resizeAt, ResizeDrop: rf.resizeDrop,
 		})
-	default:
-		fmt.Fprintf(os.Stderr, "unknown mode %q (want open or closed)\n", *mode)
-		os.Exit(2)
 	}
 	if err != nil {
 		fail(err)
 	}
 
-	if *jsonOut {
+	if rf.jsonOut {
 		raw, jerr := report.JSON()
 		if jerr != nil {
 			fail(jerr)
@@ -200,8 +414,8 @@ func main() {
 	} else {
 		fmt.Print(report.String())
 	}
-	if *check {
-		if problems := checkReport(report, *faultsOn); len(problems) > 0 {
+	if rf.check {
+		if problems := checkReport(report, rf.faults); len(problems) > 0 {
 			for _, p := range problems {
 				fmt.Fprintf(os.Stderr, "check failed: %s\n", p)
 			}
@@ -231,6 +445,15 @@ func checkReport(r pocketcloudlets.LoadReport, faultsOn bool) []string {
 	if !faultsOn && r.Degraded+r.Unavailable+uint64(r.Retries)+uint64(r.Exhausted)+uint64(r.BreakerOpens) != 0 {
 		problems = append(problems, fmt.Sprintf("fault counters nonzero with faults off: degraded %d unavailable %d retries %d exhausted %d breaker %d",
 			r.Degraded, r.Unavailable, r.Retries, r.Exhausted, r.BreakerOpens))
+	}
+	var shardServed, shardShed uint64
+	for _, so := range r.ShardOccupancy {
+		shardServed += uint64(so.Served)
+		shardShed += uint64(so.Shed)
+	}
+	if len(r.ShardOccupancy) > 0 && (shardServed != r.Served || shardShed != r.Shed) {
+		problems = append(problems, fmt.Sprintf("shard occupancy sums %d served / %d shed, report says %d / %d",
+			shardServed, shardShed, r.Served, r.Shed))
 	}
 	return problems
 }

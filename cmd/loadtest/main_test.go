@@ -1,0 +1,116 @@
+package main
+
+import (
+	"flag"
+	"strings"
+	"testing"
+	"time"
+)
+
+// parse runs the real flag definitions over a command line, so tests
+// exercise exactly what main sees.
+func parse(t *testing.T, args ...string) *runFlags {
+	t.Helper()
+	var rf runFlags
+	fs := flag.NewFlagSet("loadtest", flag.ContinueOnError)
+	rf.register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return &rf
+}
+
+func TestValidateDefaultsAreRunnable(t *testing.T) {
+	if problems := parse(t).validate(); len(problems) != 0 {
+		t.Errorf("default flags should validate: %v", problems)
+	}
+}
+
+func TestValidateCatchesBadFlags(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string // substring of the expected problem
+	}{
+		{[]string{"-shards", "0"}, "-shards"},
+		{[]string{"-shards", "-3"}, "-shards"},
+		{[]string{"-workers", "-1"}, "-workers"},
+		{[]string{"-users", "0"}, "-users"},
+		{[]string{"-queue", "0"}, "-queue"},
+		{[]string{"-qps", "0"}, "-qps"},
+		{[]string{"-mode", "open", "-duration", "0"}, "-duration"},
+		{[]string{"-mode", "sideways"}, "-mode"},
+		{[]string{"-share", "1.5"}, "-share"},
+		{[]string{"-share", "0"}, "-share"},
+		{[]string{"-month", "0"}, "-month"},
+		{[]string{"-radio", "5g"}, "-radio"},
+		{[]string{"-userbudget", "-1"}, "-userbudget"},
+		{[]string{"-batchmax", "4"}, "-batchmax requires -batch"},
+		{[]string{"-batchlinger", "1ms"}, "-batchlinger requires -batch"},
+		{[]string{"-batchwide"}, "-batchwide requires -batch"},
+		{[]string{"-batchadaptive"}, "-batchadaptive requires -batch"},
+		{[]string{"-batch", "-batchmax", "-2"}, "-batchmax"},
+		{[]string{"-loss", "0.5"}, "-loss requires -faults"},
+		{[]string{"-engineerr", "0.1"}, "-engineerr requires -faults"},
+		{[]string{"-outage", "6s/30s"}, "-outage requires -faults"},
+		{[]string{"-retries", "3"}, "-retries requires -faults"},
+		{[]string{"-faultseed", "7"}, "-faultseed requires -faults"},
+		{[]string{"-faults", "-loss", "1.5"}, "-loss"},
+		{[]string{"-faults", "-outage", "gibberish"}, "-outage"},
+		{[]string{"-placement", "rendezvous"}, "-placement"},
+		{[]string{"-vnodes", "-1"}, "-vnodes"},
+		{[]string{"-vnodes", "32"}, "-vnodes only applies"},
+		{[]string{"-resize-to", "-2"}, "-resize-to"},
+		{[]string{"-resize-at", "-1s"}, "-resize-at"},
+		{[]string{"-resize-drop"}, "-resize-drop requires -resize-to"},
+	}
+	for _, tc := range cases {
+		problems := parse(t, tc.args...).validate()
+		found := false
+		for _, p := range problems {
+			if strings.Contains(p, tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("args %v: problems %v do not mention %q", tc.args, problems, tc.want)
+		}
+	}
+}
+
+func TestValidateAcceptsRealInvocations(t *testing.T) {
+	cases := [][]string{
+		{"-mode", "closed", "-users", "100", "-duration", "0", "-seed", "3",
+			"-faults", "-loss", "0.3", "-outage", "6s/30s", "-retries", "3",
+			"-batch", "-batchadaptive", "-check", "-json"},
+		{"-placement", "ring", "-vnodes", "128", "-resize-to", "12", "-resize-at", "2s"},
+		{"-placement", "ring", "-resize-to", "12", "-resize-drop"},
+		{"-mode", "closed", "-duration", "0"},
+	}
+	for _, args := range cases {
+		if problems := parse(t, args...).validate(); len(problems) != 0 {
+			t.Errorf("args %v should validate, got %v", args, problems)
+		}
+	}
+}
+
+func TestPlacementResolution(t *testing.T) {
+	rf := parse(t, "-placement", "ring", "-shards", "8", "-vnodes", "16")
+	p, err := rf.placement()
+	if err != nil || p == nil {
+		t.Fatalf("ring placement: %v, %v", p, err)
+	}
+	if p.Name() != "ring" || p.Shards() != 8 {
+		t.Errorf("got %s/%d", p.Name(), p.Shards())
+	}
+	rf = parse(t)
+	if p, err := rf.placement(); err != nil || p != nil {
+		t.Errorf("modulo must resolve to nil (fleet default), got %v, %v", p, err)
+	}
+}
+
+func TestResizeFlagDefaults(t *testing.T) {
+	rf := parse(t)
+	if rf.resizeTo != 0 || rf.resizeAt != time.Second || rf.resizeDrop {
+		t.Errorf("resize defaults changed: %+v", rf)
+	}
+}

@@ -19,6 +19,7 @@ package cloudletos
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Item describes one cached item for management purposes.
@@ -64,12 +65,17 @@ type registration struct {
 }
 
 // Manager is the device-side coordinator for all pocket cloudlets.
+// All methods are safe for concurrent use: registration, quota changes
+// and reclaims may race with the cloudlets' own serving paths (the
+// fleet resizes shards while serving).
 type Manager struct {
 	// totalFlash is the flash budget available to all cloudlets
 	// together; the rest of the device's storage belongs to the user.
 	totalFlash int64
-	regs       map[string]*registration
-	order      []string // registration order for deterministic walks
+
+	mu    sync.Mutex
+	regs  map[string]*registration
+	order []string // registration order for deterministic walks
 }
 
 // NewManager creates a manager with the given total cloudlet flash
@@ -94,17 +100,15 @@ func (m *Manager) Register(c Cloudlet, q Quota) error {
 	if name == "" {
 		return fmt.Errorf("cloudletos: cloudlet must have a name")
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if _, dup := m.regs[name]; dup {
 		return fmt.Errorf("cloudletos: cloudlet %q already registered", name)
 	}
 	if q.FlashBytes <= 0 {
 		return fmt.Errorf("cloudletos: quota for %q must be positive", name)
 	}
-	var committed int64
-	for _, r := range m.regs {
-		committed += r.quota.FlashBytes
-	}
-	if committed+q.FlashBytes > m.totalFlash {
+	if committed := m.committedLocked(""); committed+q.FlashBytes > m.totalFlash {
 		return fmt.Errorf("cloudletos: quota %d for %q exceeds remaining budget %d",
 			q.FlashBytes, name, m.totalFlash-committed)
 	}
@@ -113,8 +117,68 @@ func (m *Manager) Register(c Cloudlet, q Quota) error {
 	return nil
 }
 
+// committedLocked sums the registered quotas, excluding the named
+// cloudlet (empty name excludes nothing). Caller holds mu.
+func (m *Manager) committedLocked(excluding string) int64 {
+	var committed int64
+	for name, r := range m.regs {
+		if name != excluding {
+			committed += r.quota.FlashBytes
+		}
+	}
+	return committed
+}
+
+// SetQuota changes a registered cloudlet's allowance; the new total
+// across all cloudlets must stay within the global budget. Shrinking a
+// quota below current usage is allowed — the overage is surfaced by
+// OverQuota and reclaimed by the next Reclaim, exactly as for a
+// cloudlet that grew past its allowance.
+func (m *Manager) SetQuota(name string, q Quota) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.regs[name]
+	if !ok {
+		return fmt.Errorf("cloudletos: unknown cloudlet %q", name)
+	}
+	if q.FlashBytes <= 0 {
+		return fmt.Errorf("cloudletos: quota for %q must be positive", name)
+	}
+	if committed := m.committedLocked(name); committed+q.FlashBytes > m.totalFlash {
+		return fmt.Errorf("cloudletos: quota %d for %q exceeds remaining budget %d",
+			q.FlashBytes, name, m.totalFlash-committed)
+	}
+	r.quota = q
+	return nil
+}
+
+// Unregister removes a cloudlet, releasing its quota and revoking both
+// the grants it held and the grants naming it as a reader. The
+// cloudlet's cached items are not touched — retiring storage is the
+// owner's business.
+func (m *Manager) Unregister(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.regs[name]; !ok {
+		return fmt.Errorf("cloudletos: unknown cloudlet %q", name)
+	}
+	delete(m.regs, name)
+	for i, n := range m.order {
+		if n == name {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	for _, r := range m.regs {
+		delete(r.readers, name)
+	}
+	return nil
+}
+
 // Quota returns a cloudlet's quota.
 func (m *Manager) Quota(name string) (Quota, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	r, ok := m.regs[name]
 	if !ok {
 		return Quota{}, false
@@ -124,6 +188,12 @@ func (m *Manager) Quota(name string) (Quota, bool) {
 
 // Usage returns the cloudlet's current flash usage.
 func (m *Manager) Usage(name string) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.usageLocked(name)
+}
+
+func (m *Manager) usageLocked(name string) (int64, error) {
 	r, ok := m.regs[name]
 	if !ok {
 		return 0, fmt.Errorf("cloudletos: unknown cloudlet %q", name)
@@ -138,7 +208,9 @@ func (m *Manager) Usage(name string) (int64, error) {
 // OverQuota reports how many bytes the cloudlet exceeds its quota by
 // (zero when within quota).
 func (m *Manager) OverQuota(name string) (int64, error) {
-	used, err := m.Usage(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	used, err := m.usageLocked(name)
 	if err != nil {
 		return 0, err
 	}
@@ -151,6 +223,8 @@ func (m *Manager) OverQuota(name string) (int64, error) {
 
 // Grant allows reader to read owner's cached items.
 func (m *Manager) Grant(owner, reader string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	r, ok := m.regs[owner]
 	if !ok {
 		return fmt.Errorf("cloudletos: unknown cloudlet %q", owner)
@@ -164,6 +238,8 @@ func (m *Manager) Grant(owner, reader string) error {
 
 // Revoke removes a previously granted access.
 func (m *Manager) Revoke(owner, reader string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if r, ok := m.regs[owner]; ok {
 		delete(r.readers, reader)
 	}
@@ -181,6 +257,8 @@ func (e *ErrPermission) Error() string {
 // items; anything else requires a Grant (the paper's example: a map
 // cloudlet must not read a user's bank search history).
 func (m *Manager) ReadFrom(reader, owner string, key uint64) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	r, ok := m.regs[owner]
 	if !ok {
 		return nil, fmt.Errorf("cloudletos: unknown cloudlet %q", owner)
@@ -211,6 +289,8 @@ func (m *Manager) Reclaim(want int64, coordinate bool) int64 {
 	if want <= 0 {
 		return 0
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	var cands []evictionCandidate
 	for _, name := range m.order {
 		for _, it := range m.regs[name].cloudlet.Items() {
@@ -275,5 +355,7 @@ func (m *Manager) Reclaim(want int64, coordinate bool) int64 {
 
 // Cloudlets returns the registered cloudlet names in registration order.
 func (m *Manager) Cloudlets() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	return append([]string(nil), m.order...)
 }

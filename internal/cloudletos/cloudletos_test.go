@@ -264,3 +264,83 @@ func TestReclaimDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestSetQuota(t *testing.T) {
+	m, _ := NewManager(10_000)
+	store := sharedStore()
+	a := newKV(t, "a", store)
+	b := newKV(t, "b", store)
+	if err := m.Register(a, Quota{FlashBytes: 6000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register(b, Quota{FlashBytes: 4000}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Growing "a" past the global budget must fail while "b" holds 4000.
+	if err := m.SetQuota("a", Quota{FlashBytes: 7000}); err == nil {
+		t.Error("quota growth past global budget should fail")
+	}
+	// Shrink "b", then the same growth fits.
+	if err := m.SetQuota("b", Quota{FlashBytes: 3000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetQuota("a", Quota{FlashBytes: 7000}); err != nil {
+		t.Fatal(err)
+	}
+	if q, _ := m.Quota("a"); q.FlashBytes != 7000 {
+		t.Errorf("quota = %d, want 7000", q.FlashBytes)
+	}
+	if err := m.SetQuota("a", Quota{FlashBytes: 0}); err == nil {
+		t.Error("zero quota should fail")
+	}
+	if err := m.SetQuota("nope", Quota{FlashBytes: 1}); err == nil {
+		t.Error("unknown cloudlet should fail")
+	}
+
+	// Shrinking below current usage is allowed; the overage surfaces
+	// through OverQuota rather than failing the call.
+	a.Put(1, 0, 0.5, make([]byte, 5000))
+	if err := m.SetQuota("a", Quota{FlashBytes: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	if over, _ := m.OverQuota("a"); over <= 0 {
+		t.Error("shrinking below usage should surface as over-quota")
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	m, _ := NewManager(10_000)
+	store := sharedStore()
+	a := newKV(t, "a", store)
+	b := newKV(t, "b", store)
+	m.Register(a, Quota{FlashBytes: 6000})
+	m.Register(b, Quota{FlashBytes: 4000})
+	if err := m.Grant("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	a.Put(1, 0, 0.5, []byte("kept"))
+
+	if err := m.Unregister("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unregister("b"); err == nil {
+		t.Error("double unregister should fail")
+	}
+	if got := m.Cloudlets(); len(got) != 1 || got[0] != "a" {
+		t.Errorf("cloudlets = %v", got)
+	}
+	// b's reader grant on a is revoked with it.
+	if _, err := m.ReadFrom("b", "a", 1); err == nil {
+		t.Error("unregistered reader should lose access")
+	}
+	// The freed quota is available again.
+	c := newKV(t, "c", store)
+	if err := m.Register(c, Quota{FlashBytes: 4000}); err != nil {
+		t.Errorf("freed quota should be reusable: %v", err)
+	}
+	// The unregistered cloudlet's storage is untouched.
+	if data, _, ok := a.Get(1); !ok || string(data) != "kept" {
+		t.Error("unregister must not touch stored items")
+	}
+}

@@ -235,6 +235,19 @@ func (d *Device) Misc() time.Duration {
 	return d.cfg.MiscPerQuery
 }
 
+// SyncClock advances the model clock to t without charging energy (a
+// no-op when the clock is already at or past t). State migration hands
+// a user's records to a fresh device whose clock must not run behind
+// the state it inherited — the user was not holding this device on
+// during the transfer, so no busy time is billed; the radio link still
+// observes the gap so its tail/idle state stays consistent.
+func (d *Device) SyncClock(t time.Duration) {
+	if gap := t - d.clock; gap > 0 {
+		d.link.Advance(gap)
+		d.clock = t
+	}
+}
+
 // Reset returns the device to model time zero with energy and trace
 // cleared. Flash contents are preserved; the radio link is reset.
 func (d *Device) Reset() {

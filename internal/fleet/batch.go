@@ -313,8 +313,9 @@ func (d *dispatcher) execute(batch []*missTask) {
 	}
 	bt := radio.BatchExchange(f.cfg.Radio, items)
 	f.recordBatch(bt)
+	shards := f.topo.Load().shards
 	for i, mt := range batch {
-		resp := f.shards[mt.t.shard].applyBatchedMiss(mt.t.req, resps[i], found[i], bt, i)
+		resp := shards[mt.t.shard].applyBatchedMiss(mt.t.req, resps[i], found[i], bt, i)
 		f.finish(resp, mt.t)
 		close(mt.done)
 	}
@@ -334,13 +335,14 @@ func (d *dispatcher) executeFaulted(batch []*missTask) {
 	// failed concurrently; their pauses overlap, not stack).
 	var maxWait time.Duration
 	pace := false
+	shards := f.topo.Load().shards
 	for _, mt := range batch {
 		pl := mt.mc.plan
 		f.retries.Add(int64(pl.Attempts - 1))
 		if !pl.Success {
 			f.exhausted.Add(1)
 		}
-		sh := f.shards[mt.t.shard]
+		sh := shards[mt.t.shard]
 		if pl.Failures() > 0 && sh.brk.pace() {
 			pace = true
 		}
@@ -377,7 +379,7 @@ func (d *dispatcher) executeFaulted(batch []*missTask) {
 		f.recordBatch(bt)
 	}
 	for i, mt := range batch {
-		resp := f.shards[mt.t.shard].applyFaultedBatched(mt.t.req, resps[i], found[i], bt, slot[i], mt.mc)
+		resp := shards[mt.t.shard].applyFaultedBatched(mt.t.req, resps[i], found[i], bt, slot[i], mt.mc)
 		f.finish(resp, mt.t)
 		close(mt.done)
 	}

@@ -301,7 +301,7 @@ func (sh *shard) applyFaultedBatched(req Request, eresp engine.SearchResponse, f
 // planned failures (unless the shard's breaker is open), then execute
 // the plan against the model.
 func (f *Fleet) serveFaulted(t task) {
-	sh := f.shards[t.shard]
+	sh := f.topo.Load().shards[t.shard]
 	resp, mc, miss := sh.classifyFaulted(t.req)
 	if !miss {
 		f.finish(resp, t)

@@ -56,6 +56,7 @@ import (
 	"pocketcloudlets/internal/cloudletos"
 	"pocketcloudlets/internal/engine"
 	"pocketcloudlets/internal/faults"
+	"pocketcloudlets/internal/placement"
 	"pocketcloudlets/internal/pocketsearch"
 	"pocketcloudlets/internal/radio"
 	"pocketcloudlets/internal/searchlog"
@@ -182,6 +183,13 @@ type Config struct {
 	Content cachegen.Content
 	// Shards is the number of user shards. Zero selects 8.
 	Shards int
+	// Placement is the user→shard routing policy. Nil selects the
+	// legacy static modulo mapping over Shards, byte-identical to the
+	// historical fleet routing. A consistent-hash ring
+	// (placement.NewRing) makes live resharding cheap: Fleet.Resize
+	// then remaps — and migrates — only ~|Δn|/n of the population.
+	// When set, Placement.Shards() must agree with Shards.
+	Placement placement.Placement
 	// Workers is the worker-pool size. Zero selects
 	// min(Shards, GOMAXPROCS); values above Shards are clamped (a
 	// shard is owned by exactly one worker).
@@ -260,6 +268,10 @@ type task struct {
 	enqueued time.Time
 	reply    chan Response
 	barrier  chan struct{}
+	// held marks a task replayed from a migration hold queue; it must
+	// not be held again (its hold entry is, by construction, present
+	// while it is being replayed).
+	held bool
 	// ctx, when non-nil, lets the caller abandon the request
 	// (DoContext). claimed arbitrates the race between the canceling
 	// caller and the serving worker: whoever flips it first books the
@@ -271,24 +283,50 @@ type task struct {
 
 // Fleet is a running serving layer.
 type Fleet struct {
-	cfg     Config
-	shards  []*shard
-	queues  []chan task
-	wg      sync.WaitGroup
+	cfg    Config
+	queues []chan task
+	wg     sync.WaitGroup
+
+	// topo is the physical serving view — shards plus the dispatchers
+	// coalescing their cloud misses — published atomically so workers
+	// route lock-free while Resize grows or shrinks it.
+	topo atomic.Pointer[topology]
+	// route is the logical user→shard mapping, also lock-free for
+	// readers; during a live resize it carries both the old and the new
+	// placement and flips users over one source shard at a time (see
+	// migrate.go).
+	route atomic.Pointer[routeTable]
+
 	manager *cloudletos.Manager
-	// dispatchers coalesce cloud misses into batched radio sessions:
-	// one per shard, or a single fleet-wide one (Batch.FleetWide).
-	// Empty when batching is disabled.
-	dispatchers []*dispatcher
 
 	// inj is the connectivity-fault injector; nil when fault injection
 	// is disabled, which every fault branch checks first so the layer
 	// is provably zero-cost when off.
 	inj *faults.Injector
 
-	// mu guards closed against concurrent Submit/Do/Close.
+	// mu guards closed against concurrent Submit/Do/Close, and — held
+	// exclusively — fences route publications: enqueue computes a
+	// task's shard under the read lock, so a storeRoute caller knows no
+	// task routed by the previous table is still on its way into a
+	// queue.
 	mu     sync.RWMutex
 	closed bool
+
+	// resizeMu serializes Resize against itself and Close.
+	resizeMu sync.Mutex
+	// migrating is nonzero while a resize epoch may hold tasks;
+	// holdEntries counts live hold queues. Both zero is the fast path
+	// that keeps the serve path free of migration work outside a
+	// resize.
+	migrating   atomic.Int64
+	holdEntries atomic.Int64
+	// Cumulative migration counters (see MigrationStats).
+	migResizes   atomic.Int64
+	migMoved     atomic.Int64
+	migBytes     atomic.Int64
+	migTransfer  atomic.Int64
+	migDropped   atomic.Int64
+	heldRequests atomic.Int64
 
 	served   atomic.Int64
 	shed     atomic.Int64
@@ -313,29 +351,27 @@ func New(cfg Config) (*Fleet, error) {
 		return nil, fmt.Errorf("fleet: engine is required")
 	}
 	cfg = cfg.withDefaults()
+	if cfg.Placement == nil {
+		p, err := placement.NewModulo(cfg.Shards)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Placement = p
+	} else if cfg.Placement.Shards() != cfg.Shards {
+		return nil, fmt.Errorf("fleet: placement routes over %d shards, config has %d",
+			cfg.Placement.Shards(), cfg.Shards)
+	}
 	f := &Fleet{
 		cfg:    cfg,
-		shards: make([]*shard, cfg.Shards),
 		queues: make([]chan task, cfg.Workers),
 	}
 	if cfg.Faults.Enabled {
 		f.inj = faults.New(cfg.Faults)
 	}
 
-	var build sync.WaitGroup
-	errs := make([]error, cfg.Shards)
-	for i := range f.shards {
-		build.Add(1)
-		go func(i int) {
-			defer build.Done()
-			f.shards[i], errs[i] = newShard(i, cfg, f.inj)
-		}(i)
-	}
-	build.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	shards, err := buildShards(cfg, f.inj, 0, cfg.Shards)
+	if err != nil {
+		return nil, err
 	}
 
 	mgr, err := cloudletos.NewManager(cfg.TotalPersonalBytes)
@@ -343,22 +379,25 @@ func New(cfg Config) (*Fleet, error) {
 		return nil, err
 	}
 	quota := cloudletos.Quota{FlashBytes: cfg.TotalPersonalBytes / int64(cfg.Shards)}
-	for _, sh := range f.shards {
+	for _, sh := range shards {
 		if err := mgr.Register(sh, quota); err != nil {
 			return nil, err
 		}
 	}
 	f.manager = mgr
 
+	var dispatchers []*dispatcher
 	if cfg.Batch.Enabled {
 		n := cfg.Shards
 		if cfg.Batch.FleetWide {
 			n = 1
 		}
 		for i := 0; i < n; i++ {
-			f.dispatchers = append(f.dispatchers, newDispatcher(f, cfg.QueueDepth))
+			dispatchers = append(dispatchers, newDispatcher(f, cfg.QueueDepth))
 		}
 	}
+	f.topo.Store(&topology{shards: shards, dispatchers: dispatchers})
+	f.route.Store(&routeTable{place: cfg.Placement, from: -1})
 	for w := range f.queues {
 		f.queues[w] = make(chan task, cfg.QueueDepth)
 		f.wg.Add(1)
@@ -367,8 +406,34 @@ func New(cfg Config) (*Fleet, error) {
 	return f, nil
 }
 
-// NumShards returns the shard count.
-func (f *Fleet) NumShards() int { return len(f.shards) }
+// buildShards constructs shards [lo, hi) in parallel (community
+// replicas preload the shared content, the expensive part).
+func buildShards(cfg Config, inj *faults.Injector, lo, hi int) ([]*shard, error) {
+	shards := make([]*shard, hi-lo)
+	errs := make([]error, hi-lo)
+	var build sync.WaitGroup
+	for i := range shards {
+		build.Add(1)
+		go func(i int) {
+			defer build.Done()
+			shards[i], errs[i] = newShard(lo+i, cfg, inj)
+		}(i)
+	}
+	build.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return shards, nil
+}
+
+// NumShards returns the logical shard count — the target placement's
+// during a live resize.
+func (f *Fleet) NumShards() int { return f.route.Load().place.Shards() }
+
+// PlacementName identifies the routing policy in use.
+func (f *Fleet) PlacementName() string { return f.route.Load().place.Name() }
 
 // NumWorkers returns the worker-pool size.
 func (f *Fleet) NumWorkers() int { return len(f.queues) }
@@ -382,9 +447,9 @@ func (f *Fleet) Manager() *cloudletos.Manager { return f.manager }
 // to the fleet they measure.
 func (f *Fleet) Observer() Observer { return f.cfg.Observer }
 
-// shardOf maps a user to their home shard.
+// shardOf maps a user to their home shard under the current route.
 func (f *Fleet) shardOf(uid searchlog.UserID) int {
-	return int(itemKey(uid, 0x517CC1B727220A95) % uint64(len(f.shards)))
+	return f.route.Load().shardOf(placement.UserKey(uint64(uid)))
 }
 
 // worker drains one queue, serving each task against its shard.
@@ -396,20 +461,30 @@ func (f *Fleet) worker(id int) {
 			t.barrier <- struct{}{}
 			continue
 		}
-		if t.ctx != nil && t.ctx.Err() != nil {
-			f.cancelTask(t)
-			continue
-		}
-		if len(f.dispatchers) == 0 {
-			if f.inj != nil {
-				f.serveFaulted(t)
-				continue
-			}
-			f.finish(f.shards[t.shard].serve(t.req), t)
-			continue
-		}
-		f.serveBatched(t)
+		f.process(t)
 	}
+}
+
+// process serves one request task — from a worker loop, or from the
+// migration drainer replaying held tasks.
+func (f *Fleet) process(t task) {
+	if t.ctx != nil && t.ctx.Err() != nil {
+		f.cancelTask(t)
+		return
+	}
+	if f.maybeHold(t) {
+		return
+	}
+	tp := f.topo.Load()
+	if len(tp.dispatchers) == 0 {
+		if f.inj != nil {
+			f.serveFaulted(t)
+			return
+		}
+		f.finish(tp.shards[t.shard].serve(t.req), t)
+		return
+	}
+	f.serveBatched(t)
 }
 
 // serveBatched routes one task with miss coalescing on: local hits are
@@ -419,7 +494,7 @@ func (f *Fleet) worker(id int) {
 // each user's requests are still applied in submission order — the
 // determinism guarantee batching must not break.
 func (f *Fleet) serveBatched(t task) {
-	sh := f.shards[t.shard]
+	sh := f.topo.Load().shards[t.shard]
 	for {
 		resp, miss, waitFor := sh.routeBatched(t)
 		if waitFor != nil {
@@ -448,6 +523,7 @@ func (f *Fleet) finish(resp Response, t task) {
 	}
 	resp.Wall = time.Since(t.enqueued)
 	f.served.Add(1)
+	f.topo.Load().shards[t.shard].served.Add(1)
 	f.bySource[resp.Source].Add(1)
 	if resp.Err != nil {
 		f.errors.Add(1)
@@ -462,10 +538,11 @@ func (f *Fleet) finish(resp Response, t task) {
 
 // dispatcherOf returns the dispatcher coalescing the shard's misses.
 func (f *Fleet) dispatcherOf(shard int) *dispatcher {
+	tp := f.topo.Load()
 	if f.cfg.Batch.FleetWide {
-		return f.dispatchers[0]
+		return tp.dispatchers[0]
 	}
-	return f.dispatchers[shard]
+	return tp.dispatchers[shard]
 }
 
 // flushDispatchers forces out every miss this worker has parked, and
@@ -473,39 +550,45 @@ func (f *Fleet) dispatcherOf(shard int) *dispatcher {
 // misses are still lingering. Worker id owns shards s with
 // s mod W == id, hence exactly those shards' dispatchers.
 func (f *Fleet) flushDispatchers(id int) {
-	if len(f.dispatchers) == 0 {
+	tp := f.topo.Load()
+	if len(tp.dispatchers) == 0 {
 		return
 	}
 	if f.cfg.Batch.FleetWide {
-		f.dispatchers[0].flushWait()
+		tp.dispatchers[0].flushWait()
 		return
 	}
-	for s := id; s < len(f.shards); s += len(f.queues) {
-		f.dispatchers[s].flushWait()
+	for s := id; s < len(tp.shards); s += len(f.queues) {
+		tp.dispatchers[s].flushWait()
 	}
 }
 
 // enqueue routes a task to the owning worker's queue without blocking.
 // It reports false — and records the shed — when the queue is full or
-// the fleet is closed.
+// the fleet is closed. The task's shard is computed here, under the
+// read lock, so a concurrent route publication (storeRoute holds the
+// write lock) can fence out every task still routed by the old table
+// before it starts an epoch barrier.
 func (f *Fleet) enqueue(t task) bool {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
+	t.shard = f.shardOf(t.req.User)
 	if f.closed {
-		f.recordShed(t.req)
+		f.recordShed(t.req, t.shard)
 		return false
 	}
 	select {
 	case f.queues[t.shard%len(f.queues)] <- t:
 		return true
 	default:
-		f.recordShed(t.req)
+		f.recordShed(t.req, t.shard)
 		return false
 	}
 }
 
-func (f *Fleet) recordShed(req Request) {
+func (f *Fleet) recordShed(req Request, shard int) {
 	f.shed.Add(1)
+	f.topo.Load().shards[shard].shed.Add(1)
 	f.bySource[SourceShed].Add(1)
 	if obs := f.cfg.Observer; obs != nil {
 		obs.Observe(Response{Req: req, Shed: true, Source: SourceShed})
@@ -516,7 +599,7 @@ func (f *Fleet) recordShed(req Request) {
 // outcome reaches the Observer. It reports false when the request was
 // shed by backpressure.
 func (f *Fleet) Submit(req Request) bool {
-	return f.enqueue(task{req: req, shard: f.shardOf(req.User), enqueued: time.Now()})
+	return f.enqueue(task{req: req, enqueued: time.Now()})
 }
 
 // Do serves a request and blocks for its response — the closed-loop
@@ -534,7 +617,6 @@ func (f *Fleet) Do(req Request) Response {
 func (f *Fleet) DoContext(ctx context.Context, req Request) Response {
 	t := task{
 		req:      req,
-		shard:    f.shardOf(req.User),
 		enqueued: time.Now(),
 		reply:    make(chan Response, 1),
 	}
@@ -613,8 +695,10 @@ func (f *Fleet) Drain() {
 }
 
 // Close drains and stops the worker pool. Requests submitted after
-// Close are shed.
+// Close are shed. Close waits out any in-flight Resize.
 func (f *Fleet) Close() {
+	f.resizeMu.Lock()
+	defer f.resizeMu.Unlock()
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()
@@ -626,7 +710,7 @@ func (f *Fleet) Close() {
 	}
 	f.mu.Unlock()
 	f.wg.Wait()
-	for _, d := range f.dispatchers {
+	for _, d := range f.topo.Load().dispatchers {
 		d.close()
 	}
 }
@@ -707,7 +791,7 @@ func (f *Fleet) Stats() Stats {
 		Retries:       f.retries.Load(),
 		Exhausted:     f.exhausted.Load(),
 	}
-	for _, sh := range f.shards {
+	for _, sh := range f.topo.Load().shards {
 		s.BreakerOpens += sh.brk.openCount()
 		sh.mu.Lock()
 		s.Users += len(sh.users)
@@ -727,7 +811,7 @@ func (f *Fleet) MeanUserHitRate() float64 {
 		rate float64
 	}
 	var rates []userRate
-	for _, sh := range f.shards {
+	for _, sh := range f.topo.Load().shards {
 		sh.mu.Lock()
 		for uid, st := range sh.users {
 			if st.served > 0 {
@@ -753,7 +837,7 @@ func (f *Fleet) MeanUserHitRate() float64 {
 // serving (the pocketsearch.Cache.Stats concurrency guarantee).
 func (f *Fleet) CommunityStats() pocketsearch.Stats {
 	var agg pocketsearch.Stats
-	for _, sh := range f.shards {
+	for _, sh := range f.topo.Load().shards {
 		st := sh.community.Stats()
 		agg.Queries += st.Queries
 		agg.Hits += st.Hits

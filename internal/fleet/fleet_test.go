@@ -390,7 +390,7 @@ func TestPerUserBudget(t *testing.T) {
 	if st.PersonalBytes > int64(len(users))*budget {
 		t.Errorf("personal bytes %d exceed %d users × %d budget", st.PersonalBytes, len(users), budget)
 	}
-	for _, sh := range f.shards {
+	for _, sh := range f.topo.Load().shards {
 		sh.mu.Lock()
 		for uid, ust := range sh.users {
 			if ust.bytes > budget {

@@ -1,0 +1,321 @@
+package fleet
+
+import (
+	"sync"
+	"testing"
+
+	"pocketcloudlets/internal/placement"
+	"pocketcloudlets/internal/searchlog"
+	"pocketcloudlets/internal/workload"
+)
+
+// TestUserKeyMatchesLegacyRouting pins the placement key to the exact
+// value the fleet's pre-placement routing hashed: if these diverge, the
+// default modulo placement silently stops being byte-identical to the
+// historical mapping.
+func TestUserKeyMatchesLegacyRouting(t *testing.T) {
+	for uid := uint64(0); uid < 4096; uid++ {
+		legacy := itemKey(searchlog.UserID(uid), 0x517CC1B727220A95)
+		if got := placement.UserKey(uid); got != legacy {
+			t.Fatalf("UserKey(%d) = %#x, legacy itemKey = %#x", uid, got, legacy)
+		}
+	}
+}
+
+// newRingFleet builds a test fleet routed by a consistent-hash ring.
+func newRingFleet(t testing.TB, g *workload.Generator, mutate func(*Config)) *Fleet {
+	t.Helper()
+	content := smallContent(t, g)
+	return newTestFleet(t, g, content, func(cfg *Config) {
+		ring, err := placement.NewRing(cfg.Shards, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Placement = ring
+		if mutate != nil {
+			mutate(cfg)
+		}
+	})
+}
+
+// tapesFor materializes month tapes for the first n users.
+func tapesFor(g *workload.Generator, n, month int) map[searchlog.UserID][]Request {
+	tapes := make(map[searchlog.UserID][]Request, n)
+	for _, up := range g.Users()[:n] {
+		tapes[up.ID] = requestsFor(g, up, month)
+	}
+	return tapes
+}
+
+// serveTapes serves each user's stream in order, returning the tier
+// each request was served from.
+func serveTapes(t testing.TB, f *Fleet, tapes map[searchlog.UserID][]Request) map[searchlog.UserID][]Source {
+	t.Helper()
+	out := make(map[searchlog.UserID][]Source, len(tapes))
+	for uid, tape := range tapes {
+		for _, req := range tape {
+			resp := f.Do(req)
+			if resp.Shed || resp.Err != nil {
+				t.Fatalf("user %d request failed: %+v", uid, resp)
+			}
+			out[uid] = append(out[uid], resp.Source)
+		}
+	}
+	return out
+}
+
+// TestResizeEquivalence is the migration acceptance test: serving a
+// warm-up round, live-resizing 4→6, then replaying the same tape must
+// produce per-request tiers identical to a fleet that never resized —
+// migrated users keep hitting their migrated personal caches, with no
+// cold-miss spike.
+func TestResizeEquivalence(t *testing.T) {
+	g := smallGen(t, 64)
+	tapes := tapesFor(g, 24, 1)
+
+	control := newRingFleet(t, g, nil)
+	serveTapes(t, control, tapes)
+	want := serveTapes(t, control, tapes)
+
+	resized := newRingFleet(t, g, nil)
+	serveTapes(t, resized, tapes)
+	st, err := resized.Resize(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MovedUsers == 0 {
+		t.Fatal("ring 4→6 resize moved no users; test exercises nothing")
+	}
+	if st.DroppedUsers != 0 {
+		t.Fatalf("resize dropped %d users' state", st.DroppedUsers)
+	}
+	got := serveTapes(t, resized, tapes)
+
+	for uid, tiers := range want {
+		for i, tier := range tiers {
+			if got[uid][i] != tier {
+				t.Fatalf("user %d request %d served from %v after resize, %v without",
+					uid, i, got[uid][i], tier)
+			}
+		}
+	}
+	if c, r := control.Stats(), resized.Stats(); c.PersonalHits != r.PersonalHits ||
+		c.CommunityHits != r.CommunityHits || c.CloudMisses != r.CloudMisses {
+		t.Errorf("tier totals diverged: control %+v resized %+v", c, r)
+	}
+}
+
+// TestResizeMigratesWarmBytes: a grow re-homes users together with
+// their personal flash — fleet-wide personal bytes and user counts are
+// conserved, and the re-homed share lands on the new shards.
+func TestResizeMigratesWarmBytes(t *testing.T) {
+	g := smallGen(t, 64)
+	tapes := tapesFor(g, 24, 1)
+	f := newRingFleet(t, g, nil)
+	serveTapes(t, f, tapes)
+
+	before := f.Stats()
+	st, err := f.Resize(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := f.Stats()
+	if after.Users != before.Users || after.PersonalBytes != before.PersonalBytes {
+		t.Errorf("resize lost state: users %d→%d, personal bytes %d→%d",
+			before.Users, after.Users, before.PersonalBytes, after.PersonalBytes)
+	}
+	if st.MovedBytes == 0 || st.TransferBytes < st.MovedBytes {
+		t.Errorf("implausible transfer accounting: %+v", st)
+	}
+	var newShardUsers int
+	for _, sl := range f.ShardLoads() {
+		if sl.Shard >= 4 {
+			newShardUsers += sl.Users
+		}
+	}
+	if newShardUsers == 0 {
+		t.Error("no users landed on the grown shards")
+	}
+	if f.NumShards() != 6 || f.PlacementName() != "ring" {
+		t.Errorf("fleet reports %d shards / %q placement", f.NumShards(), f.PlacementName())
+	}
+}
+
+// TestResizeDropStateBaseline: the remap-everything baseline cold-starts
+// every mover — their personal bytes are gone and a previously personal
+// repeat goes back to the cloud or community.
+func TestResizeDropStateBaseline(t *testing.T) {
+	g := smallGen(t, 64)
+	tapes := tapesFor(g, 24, 1)
+
+	control := newRingFleet(t, g, nil)
+	serveTapes(t, control, tapes)
+	want := serveTapes(t, control, tapes)
+
+	f := newRingFleet(t, g, nil)
+	serveTapes(t, f, tapes)
+	before := f.Stats()
+	st, err := f.ResizeWith(6, ResizeOptions{DropState: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MovedUsers == 0 || st.DroppedUsers != st.MovedUsers {
+		t.Fatalf("drop baseline should drop every mover: %+v", st)
+	}
+	after := f.Stats()
+	if after.PersonalBytes >= before.PersonalBytes {
+		t.Errorf("dropped state but personal bytes held at %d (was %d)",
+			after.PersonalBytes, before.PersonalBytes)
+	}
+	got := serveTapes(t, f, tapes)
+	downgraded := 0
+	for uid, tiers := range want {
+		for i, tier := range tiers {
+			if tier == SourcePersonal && got[uid][i] != SourcePersonal {
+				downgraded++
+			}
+		}
+	}
+	if downgraded == 0 {
+		t.Error("cold-restart baseline lost no personal hits; nothing was measured")
+	}
+}
+
+// TestResizeShrink: 6→4 drains the retired shards completely and keeps
+// serving correct; growing back re-spreads users again.
+func TestResizeShrink(t *testing.T) {
+	g := smallGen(t, 64)
+	tapes := tapesFor(g, 24, 1)
+	f := newRingFleet(t, g, func(cfg *Config) {
+		cfg.Shards = 6
+		ring, err := placement.NewRing(6, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Placement = ring
+	})
+	serveTapes(t, f, tapes)
+	before := f.Stats()
+
+	if _, err := f.Resize(4); err != nil {
+		t.Fatal(err)
+	}
+	after := f.Stats()
+	if after.Users != before.Users || after.PersonalBytes != before.PersonalBytes {
+		t.Errorf("shrink lost state: users %d→%d, bytes %d→%d",
+			before.Users, after.Users, before.PersonalBytes, after.PersonalBytes)
+	}
+	if loads := f.ShardLoads(); len(loads) != 4 {
+		t.Fatalf("topology holds %d shards after shrink to 4", len(loads))
+	}
+	if got := f.Manager().Cloudlets(); len(got) != 4 {
+		t.Errorf("manager still tracks %d cloudlets after shrink", len(got))
+	}
+	serveTapes(t, f, tapes) // must still serve without panics or sheds
+
+	if _, err := f.Resize(6); err != nil {
+		t.Fatal(err)
+	}
+	if loads := f.ShardLoads(); len(loads) != 6 {
+		t.Errorf("topology holds %d shards after regrow", len(loads))
+	}
+}
+
+// TestResizeWhileServing resharpens the tentpole claim under -race:
+// clients hammer the fleet while it grows and shrinks, and every
+// submission is booked exactly once (Served+Shed+Canceled), with no
+// request lost in a hold queue.
+func TestResizeWhileServing(t *testing.T) {
+	g := smallGen(t, 48)
+	f := newRingFleet(t, g, func(cfg *Config) {
+		cfg.QueueDepth = 4096
+	})
+
+	users := g.Users()[:48]
+	const clients = 4
+	var submitted [clients]int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; i < len(users); i += clients {
+				for _, req := range requestsFor(g, users[i], 1) {
+					f.Do(req)
+					submitted[c]++
+				}
+			}
+		}(c)
+	}
+	for _, n := range []int{6, 3, 5} {
+		if _, err := f.Resize(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	f.Drain()
+
+	var total int64
+	for _, n := range submitted {
+		total += n
+	}
+	s := f.Stats()
+	if s.Served+s.Shed+s.Canceled != total {
+		t.Errorf("accounting broke across live resizes: served %d + shed %d + canceled %d != submitted %d",
+			s.Served, s.Shed, s.Canceled, total)
+	}
+	if mig := f.MigrationStats(); mig.Resizes != 3 {
+		t.Errorf("MigrationStats.Resizes = %d, want 3", mig.Resizes)
+	}
+}
+
+// TestShardLoadsAccounting: per-shard served counters sum to the fleet
+// total, so the skew report in loadgen adds up.
+func TestShardLoadsAccounting(t *testing.T) {
+	g := smallGen(t, 64)
+	tapes := tapesFor(g, 16, 1)
+	f := newTestFleet(t, g, smallContent(t, g), nil)
+	serveTapes(t, f, tapes)
+
+	var served, shed int64
+	for _, sl := range f.ShardLoads() {
+		served += sl.Served
+		shed += sl.Shed
+	}
+	s := f.Stats()
+	if served != s.Served || shed != s.Shed {
+		t.Errorf("shard loads sum to %d served / %d shed, fleet counted %d / %d",
+			served, shed, s.Served, s.Shed)
+	}
+}
+
+// TestResizeValidation covers the error and no-op paths.
+func TestResizeValidation(t *testing.T) {
+	g := smallGen(t, 16)
+	f := newTestFleet(t, g, smallContent(t, g), nil)
+
+	if _, err := f.Resize(0); err == nil {
+		t.Error("Resize(0) should fail")
+	}
+	st, err := f.Resize(4)
+	if err != nil || st.Epochs != 0 || st.MovedUsers != 0 {
+		t.Errorf("same-size resize should be a no-op: %+v, %v", st, err)
+	}
+	if _, err := New(Config{Engine: f.cfg.Engine, Content: f.cfg.Content, Shards: 4,
+		Placement: mustRing(t, 8)}); err == nil {
+		t.Error("placement/shard mismatch should fail New")
+	}
+	f.Close()
+	if _, err := f.Resize(6); err == nil {
+		t.Error("resize after Close should fail")
+	}
+}
+
+func mustRing(t *testing.T, n int) placement.Placement {
+	t.Helper()
+	r, err := placement.NewRing(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}

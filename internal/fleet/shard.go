@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"pocketcloudlets/internal/cloudletos"
 	"pocketcloudlets/internal/device"
@@ -14,6 +16,7 @@ import (
 	"pocketcloudlets/internal/pocketsearch"
 	"pocketcloudlets/internal/radio"
 	"pocketcloudlets/internal/searchlog"
+	"pocketcloudlets/internal/updater"
 )
 
 // userState is the per-user slice of a shard: the user's personal
@@ -69,6 +72,12 @@ type shard struct {
 	retry faults.RetryPolicy
 	brk   *breaker
 
+	// served and shed are this shard's occupancy counters, bumped
+	// lock-free on the completion paths so shard skew is observable
+	// without touching mu.
+	served atomic.Int64
+	shed   atomic.Int64
+
 	mu        sync.Mutex
 	community *pocketsearch.Cache
 	users     map[searchlog.UserID]*userState
@@ -81,6 +90,12 @@ type shard struct {
 	// order — and therefore every per-user outcome — is identical to
 	// the unbatched path).
 	pendingMiss map[searchlog.UserID]*missTask
+	// holds parks requests for users caught mid-migration: their old
+	// home shard has flipped but their state has not landed here yet.
+	// Each queue is drained in FIFO order once the user's migration
+	// epoch completes (see migrate.go), preserving per-user submission
+	// order across the move.
+	holds map[searchlog.UserID]*holdQueue
 }
 
 // itemKey derives the stable eviction key of a (user, result) personal
@@ -121,6 +136,7 @@ func newShard(id int, cfg Config, inj *faults.Injector) (*shard, error) {
 		users:        make(map[searchlog.UserID]*userState),
 		keys:         make(map[uint64]evictRef),
 		pendingMiss:  make(map[searchlog.UserID]*missTask),
+		holds:        make(map[searchlog.UserID]*holdQueue),
 	}
 	if inj != nil {
 		sh.brk = newBreaker(cfg.Breaker)
@@ -400,4 +416,90 @@ func (sh *shard) Read(key uint64) ([]byte, bool) {
 		return nil, false
 	}
 	return rec, true
+}
+
+// --- state migration: a user's personal component is packaged through
+// the updater's wire format (the same bytes the overnight cycle would
+// ship) so resharding reuses a tested serialization instead of
+// inventing one.
+
+// userExport is one user's personal state in transit between shards.
+type userExport struct {
+	update updater.Update
+	bytes  int64
+	served int64
+	hits   int64
+	// missSeq keys the pure fault hashes; it must survive the move or
+	// per-user fault outcomes would diverge after a resize.
+	missSeq uint64
+	refs    map[uint64]evictRef
+	// clock is the source device's model time; the destination device
+	// syncs forward to it so the user's clock never runs backwards.
+	clock time.Duration
+}
+
+// exportUser removes a user's personal state from the shard and
+// returns it packaged for import. ok is false when the user is not
+// resident. When the export itself fails (err non-nil) the state has
+// still been removed — the caller cold-starts the user at the
+// destination and books the drop.
+func (sh *shard) exportUser(uid searchlog.UserID) (ex userExport, ok bool, err error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, resident := sh.users[uid]
+	if !resident {
+		return userExport{}, false, nil
+	}
+	delete(sh.users, uid)
+	for key := range st.refs {
+		delete(sh.keys, key)
+	}
+	sh.personalBytes -= st.bytes
+	upd, err := updater.ExportState(st.cache)
+	if err != nil {
+		return userExport{}, true, err
+	}
+	return userExport{
+		update:  upd,
+		bytes:   st.bytes,
+		served:  st.served,
+		hits:    st.hits,
+		missSeq: st.missSeq,
+		refs:    st.refs,
+		clock:   st.cache.Device().Now(),
+	}, true, nil
+}
+
+// importUser installs an exported user on this shard: a fresh device
+// and cache are built, the export is applied through the normal update
+// path, the eviction index is rebuilt, and the per-user budget is
+// re-enforced under this shard's cap. The device clock syncs forward
+// to the exported clock (import happens off-device; no energy is
+// charged beyond the modeled patch flash time).
+func (sh *shard) importUser(uid searchlog.UserID, ex userExport) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, exists := sh.users[uid]; exists {
+		return fmt.Errorf("fleet: user %d already resident on shard %d", uid, sh.id)
+	}
+	st, err := sh.user(uid)
+	if err != nil {
+		return err
+	}
+	if _, err := updater.Apply(st.cache, ex.update); err != nil {
+		delete(sh.users, uid)
+		return err
+	}
+	st.cache.Device().SyncClock(ex.clock)
+	st.served = ex.served
+	st.hits = ex.hits
+	st.missSeq = ex.missSeq
+	st.bytes = st.cache.DB().LogicalBytes()
+	sh.personalBytes += st.bytes
+	for key, ref := range ex.refs {
+		st.refs[key] = ref
+		sh.keys[key] = ref
+	}
+	sh.enforceUserBudget(st)
+	return nil
 }

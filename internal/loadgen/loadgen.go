@@ -213,9 +213,37 @@ type Report struct {
 	PersonalBytes int64 `json:"personal_bytes"`
 	ResidentUsers int   `json:"resident_users"`
 
+	// Placement names the routing policy ("modulo" or "ring").
+	Placement string `json:"placement,omitempty"`
+	// ShardOccupancy is the end-of-run snapshot of per-shard serving
+	// and residency — the skew view a fleet-wide aggregate hides. The
+	// counters are cumulative over the fleet's lifetime, which equals
+	// the run for the freshly built fleets the CLI drives.
+	ShardOccupancy []ShardOccupancy `json:"shard_occupancy,omitempty"`
+	// ShardSkew is max/mean served across shards; 1.0 is perfectly even.
+	ShardSkew float64 `json:"shard_skew,omitempty"`
+
+	// Migration counters for live resizes performed during the run
+	// (OpenConfig/ClosedConfig ResizeTo); all zero when no resize ran.
+	Resizes                int64 `json:"resizes,omitempty"`
+	MigratedUsers          int64 `json:"migrated_users,omitempty"`
+	MigratedBytes          int64 `json:"migrated_bytes,omitempty"`
+	MigrationTransferBytes int64 `json:"migration_transfer_bytes,omitempty"`
+	DroppedUsers           int64 `json:"dropped_users,omitempty"`
+	HeldRequests           int64 `json:"held_requests,omitempty"`
+
 	// Outcomes carries per-user accounting for further analysis
 	// (closed loop only; not serialized).
 	Outcomes []replay.UserOutcome `json:"-"`
+}
+
+// ShardOccupancy is one shard's row in Report.ShardOccupancy.
+type ShardOccupancy struct {
+	Shard         int   `json:"shard"`
+	Served        int64 `json:"served"`
+	Shed          int64 `json:"shed,omitempty"`
+	Users         int   `json:"users"`
+	PersonalBytes int64 `json:"personal_bytes"`
 }
 
 // JSON renders the report as indented JSON.
@@ -271,6 +299,17 @@ func (r Report) String() string {
 			r.BatchedMisses, r.Batches, r.MeanBatchSize)
 	}
 	fmt.Fprintf(&b, "  personal flash %d bytes across %d resident users\n", r.PersonalBytes, r.ResidentUsers)
+	if len(r.ShardOccupancy) > 0 {
+		fmt.Fprintf(&b, "  shards (%s): skew %.2f;", r.Placement, r.ShardSkew)
+		for _, so := range r.ShardOccupancy {
+			fmt.Fprintf(&b, " [%d] %d srv/%d usr", so.Shard, so.Served, so.Users)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	if r.Resizes > 0 {
+		fmt.Fprintf(&b, "  resizes: %d (moved %d users / %d bytes, shipped %d bytes, dropped %d, held %d requests)\n",
+			r.Resizes, r.MigratedUsers, r.MigratedBytes, r.MigrationTransferBytes, r.DroppedUsers, r.HeldRequests)
+	}
 	return b.String()
 }
 
@@ -278,7 +317,7 @@ func (r Report) String() string {
 // the fleet's own Stats as before/after deltas — authoritative no
 // matter how the observer is wired — while latency histograms and
 // energy sums come from the collector.
-func fill(r *Report, f *fleet.Fleet, col *Collector, before fleet.Stats, beforeBatch fleet.BatchStats, elapsed time.Duration) {
+func fill(r *Report, f *fleet.Fleet, col *Collector, before fleet.Stats, beforeBatch fleet.BatchStats, beforeMig fleet.MigrationStats, elapsed time.Duration) {
 	cnt := col.snapshot()
 	st := f.Stats()
 	r.Shards = f.NumShards()
@@ -336,6 +375,35 @@ func fill(r *Report, f *fleet.Fleet, col *Collector, before fleet.Stats, beforeB
 
 	r.PersonalBytes = st.PersonalBytes
 	r.ResidentUsers = st.Users
+
+	r.Placement = f.PlacementName()
+	loads := f.ShardLoads()
+	r.ShardOccupancy = make([]ShardOccupancy, len(loads))
+	var servedSum, servedMax int64
+	for i, sl := range loads {
+		r.ShardOccupancy[i] = ShardOccupancy{
+			Shard:         sl.Shard,
+			Served:        sl.Served,
+			Shed:          sl.Shed,
+			Users:         sl.Users,
+			PersonalBytes: sl.PersonalBytes,
+		}
+		servedSum += sl.Served
+		if sl.Served > servedMax {
+			servedMax = sl.Served
+		}
+	}
+	if servedSum > 0 {
+		r.ShardSkew = float64(servedMax) * float64(len(loads)) / float64(servedSum)
+	}
+
+	mig := f.MigrationStats()
+	r.Resizes = mig.Resizes - beforeMig.Resizes
+	r.MigratedUsers = mig.MovedUsers - beforeMig.MovedUsers
+	r.MigratedBytes = mig.MovedBytes - beforeMig.MovedBytes
+	r.MigrationTransferBytes = mig.TransferBytes - beforeMig.TransferBytes
+	r.DroppedUsers = mig.DroppedUsers - beforeMig.DroppedUsers
+	r.HeldRequests = mig.HeldRequests - beforeMig.HeldRequests
 }
 
 // OpenConfig parameterizes an open-loop run.
@@ -352,6 +420,36 @@ type OpenConfig struct {
 	Seed int64
 	// MaxRequests caps the schedule length. Zero selects 10 million.
 	MaxRequests int
+	// ResizeTo, when positive, live-resizes the fleet to that many
+	// shards ResizeAt into the run (immediately when ResizeAt is zero).
+	// A resize the run finishes before firing is run just after serving
+	// completes, so its counters are always measured.
+	ResizeTo int
+	// ResizeAt delays the resize from the start of the run.
+	ResizeAt time.Duration
+	// ResizeDrop discards movers' personal state instead of migrating
+	// it — the remap-and-cold-start baseline.
+	ResizeDrop bool
+}
+
+// scheduleResize arms the mid-run live resize. The returned finish
+// func stops the timer, guarantees the resize ran exactly once, and
+// reports its error.
+func scheduleResize(f *fleet.Fleet, to int, at time.Duration, drop bool) func() error {
+	if to <= 0 {
+		return func() error { return nil }
+	}
+	var (
+		once sync.Once
+		err  error
+	)
+	run := func() { _, err = f.ResizeWith(to, fleet.ResizeOptions{DropState: drop}) }
+	timer := time.AfterFunc(at, func() { once.Do(run) })
+	return func() error {
+		timer.Stop()
+		once.Do(run)
+		return err
+	}
 }
 
 // RunOpen replays the community month log against the fleet as an
@@ -396,7 +494,8 @@ func RunOpen(f *fleet.Fleet, col *Collector, g *workload.Generator, cfg OpenConf
 	}
 
 	col.Reset()
-	before, beforeBatch := f.Stats(), f.BatchStats()
+	before, beforeBatch, beforeMig := f.Stats(), f.BatchStats(), f.MigrationStats()
+	finishResize := scheduleResize(f, cfg.ResizeTo, cfg.ResizeAt, cfg.ResizeDrop)
 	var maxLag time.Duration
 	start := time.Now()
 	for i, due := range schedule {
@@ -414,6 +513,9 @@ func RunOpen(f *fleet.Fleet, col *Collector, g *workload.Generator, cfg OpenConf
 		})
 	}
 	f.Drain()
+	if err := finishResize(); err != nil {
+		return Report{}, fmt.Errorf("loadgen: resize: %w", err)
+	}
 	elapsed := time.Since(start)
 
 	r := Report{
@@ -423,7 +525,7 @@ func RunOpen(f *fleet.Fleet, col *Collector, g *workload.Generator, cfg OpenConf
 		OfferedQPS:       cfg.QPS,
 		MaxScheduleLagNS: int64(maxLag),
 	}
-	fill(&r, f, col, before, beforeBatch, elapsed)
+	fill(&r, f, col, before, beforeBatch, beforeMig, elapsed)
 	return r, nil
 }
 
@@ -447,6 +549,16 @@ type ClosedConfig struct {
 	// Seed is recorded in the report (closed-loop arrivals are fully
 	// determined by the generator's own seed).
 	Seed int64
+	// ResizeTo, when positive, live-resizes the fleet to that many
+	// shards ResizeAt into the run (immediately when ResizeAt is zero).
+	// A resize the run finishes before firing is run just after serving
+	// completes, so its counters are always measured.
+	ResizeTo int
+	// ResizeAt delays the resize from the start of the run.
+	ResizeAt time.Duration
+	// ResizeDrop discards movers' personal state instead of migrating
+	// it — the remap-and-cold-start baseline.
+	ResizeDrop bool
 }
 
 // RunClosed drives the fleet with K concurrent simulated users, each
@@ -472,7 +584,8 @@ func RunClosed(f *fleet.Fleet, col *Collector, g *workload.Generator, cfg Closed
 	u := g.Config().Universe
 
 	col.Reset()
-	before, beforeBatch := f.Stats(), f.BatchStats()
+	before, beforeBatch, beforeMig := f.Stats(), f.BatchStats(), f.MigrationStats()
+	finishResize := scheduleResize(f, cfg.ResizeTo, cfg.ResizeAt, cfg.ResizeDrop)
 	outcomes := make([]replay.UserOutcome, cfg.Users)
 	var deadline time.Time
 	if cfg.Duration > 0 {
@@ -509,6 +622,9 @@ func RunClosed(f *fleet.Fleet, col *Collector, g *workload.Generator, cfg Closed
 		}(i)
 	}
 	wg.Wait()
+	if err := finishResize(); err != nil {
+		return Report{}, fmt.Errorf("loadgen: resize: %w", err)
+	}
 	elapsed := time.Since(start)
 
 	r := Report{
@@ -517,7 +633,7 @@ func RunClosed(f *fleet.Fleet, col *Collector, g *workload.Generator, cfg Closed
 		Users:    cfg.Users,
 		Outcomes: outcomes,
 	}
-	fill(&r, f, col, before, beforeBatch, elapsed)
+	fill(&r, f, col, before, beforeBatch, beforeMig, elapsed)
 
 	classSum := make(map[string]float64)
 	classN := make(map[string]int)

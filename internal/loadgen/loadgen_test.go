@@ -10,6 +10,7 @@ import (
 	"pocketcloudlets/internal/cachegen"
 	"pocketcloudlets/internal/engine"
 	"pocketcloudlets/internal/fleet"
+	"pocketcloudlets/internal/placement"
 	"pocketcloudlets/internal/replay"
 	"pocketcloudlets/internal/searchlog"
 	"pocketcloudlets/internal/workload"
@@ -387,5 +388,91 @@ func TestTape(t *testing.T) {
 		if req.User != up.ID || req.Query == "" || req.Click == "" {
 			t.Fatalf("tape entry %d malformed: %+v", i, req)
 		}
+	}
+}
+
+// TestReportShardOccupancyAndResize drives a ring-routed fleet through
+// a mid-run live resize and checks the report's occupancy and migration
+// accounting adds up.
+func TestReportShardOccupancyAndResize(t *testing.T) {
+	g := smallGen(t, 64)
+	ring, err := placement.NewRing(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	f, err := fleet.New(fleet.Config{
+		Engine:     engine.New(g.Config().Universe),
+		Content:    smallContent(t, g),
+		Shards:     4,
+		Workers:    2,
+		QueueDepth: 4096,
+		Observer:   col,
+		Placement:  ring,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+
+	r, err := RunClosed(f, col, g, ClosedConfig{
+		Users: 48, Month: 1,
+		ResizeTo: 6, ResizeAt: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Placement != "ring" {
+		t.Errorf("placement = %q, want ring", r.Placement)
+	}
+	if len(r.ShardOccupancy) != 6 {
+		t.Fatalf("occupancy has %d shards, want 6 after resize", len(r.ShardOccupancy))
+	}
+	var served uint64
+	for _, so := range r.ShardOccupancy {
+		served += uint64(so.Served)
+	}
+	if served != r.Served {
+		t.Errorf("occupancy sums to %d served, report says %d", served, r.Served)
+	}
+	if r.ShardSkew < 1 {
+		t.Errorf("shard skew %v < 1 is impossible", r.ShardSkew)
+	}
+	if r.Resizes != 1 || r.MigratedUsers == 0 || r.MigratedBytes == 0 {
+		t.Errorf("migration counters missing: %+v", r)
+	}
+	if r.DroppedUsers != 0 {
+		t.Errorf("migrating resize dropped %d users", r.DroppedUsers)
+	}
+
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"placement", "shard_occupancy", "shard_skew", "resizes", "migrated_users"} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("JSON report missing %q", key)
+		}
+	}
+}
+
+// TestScheduleResizeAlwaysRuns: a resize the run beats to the punch is
+// still executed before the report, so counters are never silently zero.
+func TestScheduleResizeAlwaysRuns(t *testing.T) {
+	g := smallGen(t, 16)
+	f, col := newRig(t, g, smallContent(t, g))
+	r, err := RunClosed(f, col, g, ClosedConfig{
+		Users: 8, Month: 1, MaxQueriesPerUser: 2,
+		ResizeTo: 6, ResizeAt: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Resizes != 1 || f.NumShards() != 6 {
+		t.Errorf("deferred resize did not run: resizes %d, shards %d", r.Resizes, f.NumShards())
 	}
 }

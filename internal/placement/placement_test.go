@@ -1,0 +1,164 @@
+package placement
+
+import "testing"
+
+// keys draws n distinct user keys the way the fleet does: UserKey over
+// sequential user IDs. Distribution and stability claims must hold on
+// this population, not on idealized uniform numbers.
+func keys(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = UserKey(uint64(i))
+	}
+	return out
+}
+
+func TestUserKeyScatters(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for _, k := range keys(10000) {
+		if seen[k] {
+			t.Fatalf("duplicate user key %#x", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewModulo(0); err == nil {
+		t.Error("NewModulo(0) should fail")
+	}
+	if _, err := NewRing(0, 8); err == nil {
+		t.Error("NewRing(0, 8) should fail")
+	}
+	r, err := NewRing(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VirtualNodes() != DefaultVirtualNodes {
+		t.Errorf("vnodes = %d, want default %d", r.VirtualNodes(), DefaultVirtualNodes)
+	}
+}
+
+func TestNamesAndShards(t *testing.T) {
+	m, _ := NewModulo(8)
+	r, _ := NewRing(8, 32)
+	if m.Name() != "modulo" || m.Shards() != 8 {
+		t.Errorf("modulo identity: %q/%d", m.Name(), m.Shards())
+	}
+	if r.Name() != "ring" || r.Shards() != 8 {
+		t.Errorf("ring identity: %q/%d", r.Name(), r.Shards())
+	}
+}
+
+// TestDistribution checks per-shard user counts stay within tolerance
+// for both placements: modulo is near-perfect over splitmix-finalized
+// keys; the ring's virtual nodes keep every shard within a constant
+// factor of the mean.
+func TestDistribution(t *testing.T) {
+	const n = 8
+	pop := keys(100_000)
+	mean := float64(len(pop)) / n
+
+	check := func(name string, p Placement, lo, hi float64) {
+		counts := make([]int, n)
+		for _, k := range pop {
+			s := p.ShardOf(k)
+			if s < 0 || s >= n {
+				t.Fatalf("%s: shard %d out of range", name, s)
+			}
+			counts[s]++
+		}
+		for s, c := range counts {
+			if f := float64(c) / mean; f < lo || f > hi {
+				t.Errorf("%s: shard %d holds %.2fx the mean (want [%.2f, %.2f]); counts %v",
+					name, s, f, lo, hi, counts)
+			}
+		}
+	}
+
+	m, _ := NewModulo(n)
+	r, _ := NewRing(n, DefaultVirtualNodes)
+	check("modulo", m, 0.9, 1.1)
+	check("ring", r, 0.5, 1.6)
+}
+
+// movedShare is the fraction of keys that map differently under the
+// two placements.
+func movedShare(a, b Placement, pop []uint64) float64 {
+	moved := 0
+	for _, k := range pop {
+		if a.ShardOf(k) != b.ShardOf(k) {
+			moved++
+		}
+	}
+	return float64(moved) / float64(len(pop))
+}
+
+// TestRingResizeStability is the consistent-hashing contract: growing
+// 8→12 remaps about (12−8)/12 of keys — never the wholesale reshuffle
+// modulo pays — and every mover lands on one of the new shards.
+func TestRingResizeStability(t *testing.T) {
+	pop := keys(200_000)
+	r8, _ := NewRing(8, DefaultVirtualNodes)
+	r12 := r8.Resize(12)
+
+	if share := movedShare(r8, r12, pop); share < 0.15 || share > 0.55 {
+		t.Errorf("ring 8→12 moved %.1f%% of keys, want near 33%%", 100*share)
+	}
+	for _, k := range pop {
+		before, after := r8.ShardOf(k), r12.ShardOf(k)
+		if before != after && after < 8 {
+			t.Fatalf("key %#x moved between surviving shards %d→%d on grow", k, before, after)
+		}
+	}
+}
+
+// TestRingShrinkStability: shrinking 12→8 moves only the keys stranded
+// on removed shards; keys homed on survivors stay put.
+func TestRingShrinkStability(t *testing.T) {
+	pop := keys(200_000)
+	r12, _ := NewRing(12, DefaultVirtualNodes)
+	r8 := r12.Resize(8)
+
+	for _, k := range pop {
+		before, after := r12.ShardOf(k), r8.ShardOf(k)
+		if before < 8 && before != after {
+			t.Fatalf("key %#x moved off surviving shard %d→%d on shrink", k, before, after)
+		}
+		if before >= 8 && after >= 8 {
+			t.Fatalf("key %#x still routed to removed shard %d", k, after)
+		}
+	}
+}
+
+// TestModuloResizeRemapsNearlyAll documents the baseline the ring
+// exists to beat: a modulo resize remaps most of the population —
+// 8→9 moves ~8/9 of keys, 8→12 exactly 2/3 (keys keep their shard
+// only when the residues coincide mod lcm(old, new)).
+func TestModuloResizeRemapsNearlyAll(t *testing.T) {
+	pop := keys(100_000)
+	m8, _ := NewModulo(8)
+	if share := movedShare(m8, m8.Resize(9), pop); share < 0.85 {
+		t.Errorf("modulo 8→9 moved only %.1f%% of keys; expected ~8/9", 100*share)
+	}
+	if share := movedShare(m8, m8.Resize(12), pop); share < 0.60 {
+		t.Errorf("modulo 8→12 moved only %.1f%% of keys; expected ~2/3", 100*share)
+	}
+}
+
+// TestRingDeterminism: the ring is a pure value — same parameters,
+// same mapping, and a same-size resize is an identity.
+func TestRingDeterminism(t *testing.T) {
+	pop := keys(20_000)
+	a, _ := NewRing(8, 32)
+	b, _ := NewRing(8, 32)
+	same := a.Resize(8)
+	for _, k := range pop {
+		if a.ShardOf(k) != b.ShardOf(k) {
+			t.Fatalf("two identical rings disagree on key %#x", k)
+		}
+		if a.ShardOf(k) != same.ShardOf(k) {
+			t.Fatalf("same-size resize moved key %#x", k)
+		}
+	}
+}

@@ -215,6 +215,18 @@ func (c *Cache) Preload(content cachegen.Content) error {
 // when synchronizing with the server, Section 5.4).
 func (c *Cache) Table() *hashtable.Table { return c.table }
 
+// QueryTexts returns a copy of the cache's query-hash → string map:
+// the phone-side vocabulary the update cycle (and shard-to-shard state
+// migration) ships so the receiving cache can rebuild its
+// auto-completion index.
+func (c *Cache) QueryTexts() map[uint64]string {
+	out := make(map[uint64]string, len(c.queryText))
+	for qh, q := range c.queryText {
+		out[qh] = q
+	}
+	return out
+}
+
 // ReplaceTable installs a new hash table, completing the Section 5.4
 // update cycle on the phone side. queryTexts carries the string form
 // of the queries the server shipped, so the auto-completion index can

@@ -123,6 +123,47 @@ func BuildUpdate(phone *hashtable.Table, fresh cachegen.Content, u *engine.Unive
 	return upd, nil
 }
 
+// ExportState snapshots a cache's full state as an Update — the same
+// wire format the overnight cycle ships, reused by fleet resharding to
+// move a user's personal component between shards. The table travels
+// through its wire encoding (which sizes TableBytes and is also a deep
+// copy preserving per-pair Accessed bits); every record the table
+// references is read out of the result database, and Queries carries
+// the auto-completion vocabulary. Applying the export to an empty
+// cache reproduces the source cache's hit/miss behavior exactly.
+func ExportState(c *pocketsearch.Cache) (Update, error) {
+	var buf bytes.Buffer
+	if err := c.Table().Encode(&buf); err != nil {
+		return Update{}, err
+	}
+	table, err := hashtable.Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return Update{}, err
+	}
+	upd := Update{
+		Table:      table,
+		Records:    make(map[uint64][]byte),
+		Queries:    c.QueryTexts(),
+		TableBytes: int64(buf.Len()),
+	}
+	db := c.DB()
+	for _, p := range table.Pairs() {
+		if _, ok := upd.Records[p.ResultHash]; ok {
+			continue
+		}
+		rec, _, err := db.Get(p.ResultHash)
+		if err != nil {
+			// The record is gone from flash; the pair cannot survive the
+			// move.
+			table.RemoveResult(p.ResultHash)
+			continue
+		}
+		upd.Records[p.ResultHash] = rec
+		upd.RecordBytes += int64(len(rec))
+	}
+	return upd, nil
+}
+
 // Apply installs an update on a PocketSearch cache: the hash table is
 // replaced and every database file whose record set changed is
 // rewritten as a patch. It returns the modeled flash latency of

@@ -246,3 +246,79 @@ func TestApplyRejectsEmptyUpdate(t *testing.T) {
 		t.Error("update without table should fail")
 	}
 }
+
+func TestExportStateRoundTrip(t *testing.T) {
+	u := testUniverse(t)
+	initial := contentFromPairs(u, []searchlog.PairID{u.NavPair(0), u.NavPair(6)}, []int{10, 8})
+	src := newCache(t, u, initial)
+
+	// Touch pair 0 and learn a brand-new personal pair 12 so the export
+	// carries both preloaded and runtime-acquired state.
+	q0, r0 := u.QueryText(u.QueryOf(u.NavPair(0))), u.ResultURL(u.ResultOf(u.NavPair(0)))
+	if out, err := src.Query(q0, r0); err != nil || !out.Hit {
+		t.Fatalf("warm-up hit failed: %v %v", out, err)
+	}
+	q12, r12 := u.QueryText(u.QueryOf(u.NavPair(12))), u.ResultURL(u.ResultOf(u.NavPair(12)))
+	if _, err := src.Query(q12, r12); err != nil {
+		t.Fatal(err)
+	}
+
+	upd, err := ExportState(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upd.TableBytes <= 0 || upd.RecordBytes <= 0 {
+		t.Fatalf("export carries no bytes: %+v", upd)
+	}
+
+	dst := newCache(t, u, cachegen.Content{})
+	if _, err := Apply(dst, upd); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every pair resident at the source resolves identically at the
+	// destination, including the learned one.
+	for _, pair := range []searchlog.PairID{u.NavPair(0), u.NavPair(6), u.NavPair(12)} {
+		q := u.QueryText(u.QueryOf(pair))
+		r := u.ResultURL(u.ResultOf(pair))
+		want, err := src.Query(q, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := dst.Query(q, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Hit != want.Hit {
+			t.Errorf("pair %d: dst hit = %v, src hit = %v", pair, got.Hit, want.Hit)
+		}
+	}
+	if src.DB().LogicalBytes() != dst.DB().LogicalBytes() {
+		t.Errorf("logical bytes diverged: src %d, dst %d", src.DB().LogicalBytes(), dst.DB().LogicalBytes())
+	}
+}
+
+func TestExportStateMutationIsolated(t *testing.T) {
+	// The export must be a deep copy: applying it elsewhere and then
+	// mutating the destination must not disturb the source table.
+	u := testUniverse(t)
+	initial := contentFromPairs(u, []searchlog.PairID{u.NavPair(0)}, []int{10})
+	src := newCache(t, u, initial)
+	before := src.Table().NumEntries()
+
+	upd, err := ExportState(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := newCache(t, u, cachegen.Content{})
+	if _, err := Apply(dst, upd); err != nil {
+		t.Fatal(err)
+	}
+	q12, r12 := u.QueryText(u.QueryOf(u.NavPair(12))), u.ResultURL(u.ResultOf(u.NavPair(12)))
+	if _, err := dst.Query(q12, r12); err != nil {
+		t.Fatal(err)
+	}
+	if src.Table().NumEntries() != before {
+		t.Errorf("source table mutated through export: len %d, want %d", src.Table().NumEntries(), before)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"pocketcloudlets/internal/fleet"
 	"pocketcloudlets/internal/loadgen"
 	"pocketcloudlets/internal/maplet"
+	"pocketcloudlets/internal/placement"
 	"pocketcloudlets/internal/pocketsearch"
 	"pocketcloudlets/internal/pocketweb"
 	"pocketcloudlets/internal/radio"
@@ -129,6 +130,17 @@ type (
 	// FleetBreakerOptions configure the fleet's per-shard circuit
 	// breaker (wall-clock retry pacing only).
 	FleetBreakerOptions = fleet.BreakerOptions
+	// Placement maps users to fleet shards (FleetConfig.Placement);
+	// implementations are NewModuloPlacement and NewRingPlacement.
+	Placement = placement.Placement
+	// FleetResizeOptions tune a live Fleet.ResizeWith call.
+	FleetResizeOptions = fleet.ResizeOptions
+	// FleetResizeStats report one live resize's migration work.
+	FleetResizeStats = fleet.ResizeStats
+	// FleetMigrationStats are a fleet's cumulative migration counters.
+	FleetMigrationStats = fleet.MigrationStats
+	// FleetShardLoad is one shard's occupancy snapshot.
+	FleetShardLoad = fleet.ShardLoad
 	// RadioParams are the link parameters of a radio technology.
 	RadioParams = radio.Params
 	// LoadCollector aggregates fleet responses into latency histograms.
@@ -287,6 +299,20 @@ func (s *Simulation) NewFleet(content Content, cfg FleetConfig) (*Fleet, error) 
 // NewLoadCollector creates an empty load-test collector; install it as
 // FleetConfig.Observer before running a load phase.
 func NewLoadCollector() *LoadCollector { return loadgen.NewCollector() }
+
+// NewModuloPlacement is the legacy static user→shard mapping
+// (uid-hash mod shards) — the fleet's default when FleetConfig leaves
+// Placement nil. A resize under modulo re-homes almost every user.
+func NewModuloPlacement(shards int) (Placement, error) {
+	return placement.NewModulo(shards)
+}
+
+// NewRingPlacement is consistent-hash routing over virtual nodes:
+// resizing from n shards re-homes only ~1/n of users, which keeps a
+// live Fleet.Resize cheap. vnodes <= 0 selects the default (64).
+func NewRingPlacement(shards, vnodes int) (Placement, error) {
+	return placement.NewRing(shards, vnodes)
+}
 
 // ParseOutageSpec parses the -outage command-line syntax into fault
 // options fields: "6s/30s" is a periodic duty cycle (down the first 6s
