@@ -2,13 +2,22 @@
 // load and reports latency percentiles, throughput, hit rate and shed
 // rate. Two protocols are supported:
 //
-//   - open (default): requests arrive as a Poisson process at -qps,
-//     replayed from the community month log for -duration. Overload
-//     shows up as queue sheds and wall-latency inflation.
+//   - open (default): requests arrive on a model-timestamped schedule
+//     at mean rate -qps for -duration. -arrivals selects the process:
+//     poisson (homogeneous, the default), diurnal (a sinusoidal day
+//     curve with -diurnal-peak peak/trough ratio that offers exactly
+//     the same total arrivals as poisson for the same seed), or
+//     peruser (independent per-user renewal processes weighted by
+//     workload class, each replaying that user's own stream). Overload
+//     shows up as queue sheds and wall-latency inflation; the report's
+//     offered_curve and peak_trough_served_ratio localize it in time.
 //   - closed: every user of the -users population replays their own
 //     month stream concurrently, waiting for each response. With
 //     -duration 0 each user replays exactly one month, which makes the
-//     run's counters fully deterministic given -seed.
+//     run's counters fully deterministic given -seed. -pace S makes
+//     each user think for S x their modeled response time between
+//     requests (wall-clock only; per-user outcomes are byte-identical
+//     to the unpaced run).
 //
 // Routing is pluggable (-placement): "modulo" is the legacy static
 // uid-hash mod shards mapping; "ring" is consistent hashing over
@@ -67,6 +76,9 @@ type runFlags struct {
 	mode        string
 	users       int
 	qps         float64
+	arrivals    string
+	diurnalPeak float64
+	pace        float64
 	duration    time.Duration
 	shards      int
 	workers     int
@@ -104,7 +116,10 @@ type runFlags struct {
 func (rf *runFlags) register(fs *flag.FlagSet) {
 	fs.StringVar(&rf.mode, "mode", "open", "load protocol: open (Poisson at -qps) or closed (-users concurrent users)")
 	fs.IntVar(&rf.users, "users", 4000, "simulated user population (and closed-loop concurrency)")
-	fs.Float64Var(&rf.qps, "qps", 2000, "open-loop target arrival rate")
+	fs.Float64Var(&rf.qps, "qps", 2000, "open-loop target mean arrival rate")
+	fs.StringVar(&rf.arrivals, "arrivals", "poisson", "open-loop arrival process: poisson, diurnal or peruser")
+	fs.Float64Var(&rf.diurnalPeak, "diurnal-peak", 0, "diurnal peak/trough rate ratio (with -arrivals diurnal); 0 = default 4")
+	fs.Float64Var(&rf.pace, "pace", 0, "closed-loop think-time scale: sleep this fraction of each modeled response time between a user's requests; 0 = unpaced")
 	fs.DurationVar(&rf.duration, "duration", 5*time.Second, "run length; 0 in closed mode replays exactly one month")
 	fs.IntVar(&rf.shards, "shards", 8, "user shards (community cache replicas)")
 	fs.IntVar(&rf.workers, "workers", 0, "worker pool size; 0 selects min(shards, GOMAXPROCS)")
@@ -151,12 +166,32 @@ func (rf *runFlags) validate() []string {
 		if rf.duration <= 0 {
 			bad("-duration must be positive in open mode, got %v", rf.duration)
 		}
+		if rf.pace != 0 {
+			bad("-pace only applies to closed mode")
+		}
 	case "closed":
 		if rf.duration < 0 {
 			bad("-duration must be non-negative, got %v", rf.duration)
 		}
+		if rf.arrivals != "poisson" {
+			bad("-arrivals only applies to open mode")
+		}
+		if rf.pace < 0 {
+			bad("-pace must be non-negative, got %g", rf.pace)
+		}
 	default:
 		bad("unknown -mode %q (want open or closed)", rf.mode)
+	}
+	if _, err := pocketcloudlets.ParseArrivalKind(rf.arrivals); err != nil {
+		bad("bad -arrivals: %v", err)
+	}
+	if rf.diurnalPeak != 0 {
+		if rf.arrivals != "diurnal" {
+			bad("-diurnal-peak requires -arrivals diurnal")
+		}
+		if rf.diurnalPeak < 1 {
+			bad("-diurnal-peak must be at least 1, got %g", rf.diurnalPeak)
+		}
 	}
 	if rf.users <= 0 {
 		bad("-users must be positive, got %d", rf.users)
@@ -389,15 +424,25 @@ func main() {
 	var report pocketcloudlets.LoadReport
 	switch rf.mode {
 	case "open":
-		progress("open loop: %.0f QPS for %v...\n", rf.qps, rf.duration)
+		kind, kerr := pocketcloudlets.ParseArrivalKind(rf.arrivals)
+		if kerr != nil {
+			fail(kerr)
+		}
+		progress("open loop: %.0f mean QPS (%s arrivals) for %v...\n", rf.qps, kind, rf.duration)
 		report, err = sim.RunOpenLoad(f, col, pocketcloudlets.OpenLoadConfig{
 			QPS: rf.qps, Duration: rf.duration, Month: rf.month, Seed: rf.seed,
+			Arrivals: kind, DiurnalPeak: rf.diurnalPeak,
 			ResizeTo: rf.resizeTo, ResizeAt: rf.resizeAt, ResizeDrop: rf.resizeDrop,
 		})
 	case "closed":
-		progress("closed loop: %d concurrent users...\n", rf.users)
+		if rf.pace > 0 {
+			progress("closed loop: %d concurrent users, paced at %gx model time...\n", rf.users, rf.pace)
+		} else {
+			progress("closed loop: %d concurrent users...\n", rf.users)
+		}
 		report, err = sim.RunClosedLoad(f, col, pocketcloudlets.ClosedLoadConfig{
 			Users: rf.users, Month: rf.month, Duration: rf.duration, Seed: rf.seed,
+			Pace:     pocketcloudlets.Pacer{Scale: rf.pace},
 			ResizeTo: rf.resizeTo, ResizeAt: rf.resizeAt, ResizeDrop: rf.resizeDrop,
 		})
 	}

@@ -62,6 +62,12 @@ func TestValidateCatchesBadFlags(t *testing.T) {
 		{[]string{"-resize-to", "-2"}, "-resize-to"},
 		{[]string{"-resize-at", "-1s"}, "-resize-at"},
 		{[]string{"-resize-drop"}, "-resize-drop requires -resize-to"},
+		{[]string{"-arrivals", "weekly"}, "-arrivals"},
+		{[]string{"-mode", "closed", "-arrivals", "diurnal"}, "-arrivals only applies"},
+		{[]string{"-diurnal-peak", "4"}, "-diurnal-peak requires -arrivals diurnal"},
+		{[]string{"-arrivals", "diurnal", "-diurnal-peak", "0.5"}, "-diurnal-peak"},
+		{[]string{"-pace", "0.01"}, "-pace only applies"},
+		{[]string{"-mode", "closed", "-pace", "-1"}, "-pace"},
 	}
 	for _, tc := range cases {
 		problems := parse(t, tc.args...).validate()
@@ -85,6 +91,9 @@ func TestValidateAcceptsRealInvocations(t *testing.T) {
 		{"-placement", "ring", "-vnodes", "128", "-resize-to", "12", "-resize-at", "2s"},
 		{"-placement", "ring", "-resize-to", "12", "-resize-drop"},
 		{"-mode", "closed", "-duration", "0"},
+		{"-arrivals", "diurnal", "-diurnal-peak", "4"},
+		{"-arrivals", "peruser"},
+		{"-mode", "closed", "-duration", "0", "-pace", "0.001"},
 	}
 	for _, args := range cases {
 		if problems := parse(t, args...).validate(); len(problems) != 0 {

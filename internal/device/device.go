@@ -235,12 +235,20 @@ func (d *Device) Misc() time.Duration {
 	return d.cfg.MiscPerQuery
 }
 
-// SyncClock advances the model clock to t without charging energy (a
-// no-op when the clock is already at or past t). State migration hands
-// a user's records to a fresh device whose clock must not run behind
-// the state it inherited — the user was not holding this device on
-// during the transfer, so no busy time is billed; the radio link still
-// observes the gap so its tail/idle state stays consistent.
+// SyncClock advances the model clock to t without charging energy.
+//
+// Monotonic contract: the clock never rewinds. A t at or before the
+// current clock is a clamp — a guaranteed no-op, not an error — so a
+// caller replaying a historical timestamp (a migration import racing a
+// fresher serve) can never move model time backwards; internal/modeltime
+// builds UserClock.SyncForward on this guarantee and is the only
+// package outside this one that may call SyncClock (enforced by test).
+//
+// State migration hands a user's records to a fresh device whose clock
+// must not run behind the state it inherited — the user was not
+// holding this device on during the transfer, so no busy time is
+// billed; the radio link still observes the gap so its tail/idle state
+// stays consistent.
 func (d *Device) SyncClock(t time.Duration) {
 	if gap := t - d.clock; gap > 0 {
 		d.link.Advance(gap)

@@ -178,3 +178,34 @@ func TestTierStrings(t *testing.T) {
 		t.Error("placements should stringify distinctly")
 	}
 }
+
+func TestSyncClockNeverRewinds(t *testing.T) {
+	d := newTestDevice()
+	d.Busy(5*time.Second, "work")
+	before := d.Now()
+	energy := d.TotalEnergy()
+	base := energy - d.Link().RadioEnergy()
+
+	// A stale timestamp — at or before the current clock — must clamp:
+	// no rewind, no energy, no link movement.
+	for _, stale := range []time.Duration{0, time.Second, before} {
+		d.SyncClock(stale)
+		if d.Now() != before {
+			t.Fatalf("SyncClock(%v) rewound the clock from %v to %v", stale, before, d.Now())
+		}
+	}
+	if d.TotalEnergy() != energy {
+		t.Errorf("clamped SyncClock charged energy: %v -> %v", energy, d.TotalEnergy())
+	}
+
+	// A forward sync advances the clock exactly. No busy time is billed
+	// (the user was not holding the device on), though the radio link
+	// observes the gap, so only base energy is pinned here.
+	d.SyncClock(9 * time.Second)
+	if d.Now() != 9*time.Second {
+		t.Errorf("SyncClock(9s) left clock at %v", d.Now())
+	}
+	if got := d.TotalEnergy() - d.Link().RadioEnergy(); got != base {
+		t.Errorf("forward SyncClock billed busy energy: base %v -> %v", base, got)
+	}
+}

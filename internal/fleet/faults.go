@@ -140,11 +140,10 @@ type missCtx struct {
 // batched and unbatched paths.
 func (sh *shard) planCtxLocked(st *userState, uid searchlog.UserID, qh, ch uint64) missCtx {
 	st.missSeq++
-	dev := st.cache.Device()
-	warm := dev.Link().State() != radio.Idle
+	warm := st.cache.Device().Link().State() != radio.Idle
 	return missCtx{
 		qh: qh, ch: ch,
-		plan: faults.PlanMiss(sh.inj, sh.retry, sh.link, dev.Now(), warm, uint64(uid), qh, st.missSeq),
+		plan: faults.PlanMiss(sh.inj, sh.retry, sh.link, st.clock.Now(), warm, uint64(uid), qh, st.missSeq),
 	}
 }
 
@@ -212,6 +211,7 @@ func (sh *shard) completeFaultedMiss(req Request, mc missCtx) Response {
 	if resp.Outcome.Hit {
 		st.hits++
 	}
+	st.clock.Observe()
 	resp.EnergyJ = st.cache.Device().Config().BasePower * resp.Outcome.ResponseTime().Seconds()
 	if resp.Err == nil {
 		resp.RadioJ = sh.link.ActiveEnergy(resp.Outcome.Radio.RadioActive + mc.plan.FailedActive)
@@ -260,6 +260,7 @@ func (sh *shard) degradeLocked(st *userState, req Request, mc missCtx, cold int)
 	}
 	resp.Outcome = out
 	st.served++
+	st.clock.Observe()
 	resp.RadioJ = sh.link.ActiveEnergy(mc.plan.FailedActive) + float64(cold)*sh.link.TailEnergy()
 	resp.EnergyJ = dev.Config().BasePower*out.ResponseTime().Seconds() + resp.RadioJ
 	return resp
@@ -289,6 +290,7 @@ func (sh *shard) applyFaultedBatched(req Request, eresp engine.SearchResponse, f
 	resp.Outcome.Network += mc.plan.FailedWait
 	sh.recordExpansion(st, req.User, mc.qh, mc.ch, before)
 	st.served++
+	st.clock.Observe()
 	resp.RadioJ = bt.ItemRadioEnergy(sh.link, slot) +
 		sh.link.ActiveEnergy(mc.plan.FailedActive) +
 		float64(cold)*sh.link.TailEnergy()

@@ -56,6 +56,7 @@ import (
 	"pocketcloudlets/internal/cloudletos"
 	"pocketcloudlets/internal/engine"
 	"pocketcloudlets/internal/faults"
+	"pocketcloudlets/internal/modeltime"
 	"pocketcloudlets/internal/placement"
 	"pocketcloudlets/internal/pocketsearch"
 	"pocketcloudlets/internal/radio"
@@ -299,6 +300,11 @@ type Fleet struct {
 
 	manager *cloudletos.Manager
 
+	// tl is the fleet-wide model timeline: every user clock and
+	// community replica clock is registered on it, so the model-time
+	// makespan of everything served is one atomic read away.
+	tl *modeltime.Timeline
+
 	// inj is the connectivity-fault injector; nil when fault injection
 	// is disabled, which every fault branch checks first so the layer
 	// is provably zero-cost when off.
@@ -364,12 +370,13 @@ func New(cfg Config) (*Fleet, error) {
 	f := &Fleet{
 		cfg:    cfg,
 		queues: make([]chan task, cfg.Workers),
+		tl:     modeltime.NewTimeline(),
 	}
 	if cfg.Faults.Enabled {
 		f.inj = faults.New(cfg.Faults)
 	}
 
-	shards, err := buildShards(cfg, f.inj, 0, cfg.Shards)
+	shards, err := buildShards(cfg, f.inj, f.tl, 0, cfg.Shards)
 	if err != nil {
 		return nil, err
 	}
@@ -408,7 +415,7 @@ func New(cfg Config) (*Fleet, error) {
 
 // buildShards constructs shards [lo, hi) in parallel (community
 // replicas preload the shared content, the expensive part).
-func buildShards(cfg Config, inj *faults.Injector, lo, hi int) ([]*shard, error) {
+func buildShards(cfg Config, inj *faults.Injector, tl *modeltime.Timeline, lo, hi int) ([]*shard, error) {
 	shards := make([]*shard, hi-lo)
 	errs := make([]error, hi-lo)
 	var build sync.WaitGroup
@@ -416,7 +423,7 @@ func buildShards(cfg Config, inj *faults.Injector, lo, hi int) ([]*shard, error)
 		build.Add(1)
 		go func(i int) {
 			defer build.Done()
-			shards[i], errs[i] = newShard(lo+i, cfg, inj)
+			shards[i], errs[i] = newShard(lo+i, cfg, inj, tl)
 		}(i)
 	}
 	build.Wait()
@@ -441,6 +448,13 @@ func (f *Fleet) NumWorkers() int { return len(f.queues) }
 // Manager exposes the Section 7 storage manager governing the fleet's
 // personal state.
 func (f *Fleet) Manager() *cloudletos.Manager { return f.manager }
+
+// ModelMakespan returns the fleet-wide model-time makespan: the
+// furthest any model clock (user device or community replica) has
+// advanced serving this fleet's requests. Deterministic for a
+// deterministic workload — the timeline folds clocks with a
+// commutative max, so worker interleaving cannot change it.
+func (f *Fleet) ModelMakespan() time.Duration { return f.tl.Makespan() }
 
 // Observer returns the configured response observer (nil when none was
 // installed). Load generators use it to check they are actually wired

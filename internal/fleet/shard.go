@@ -13,6 +13,7 @@ import (
 	"pocketcloudlets/internal/faults"
 	"pocketcloudlets/internal/flashsim"
 	"pocketcloudlets/internal/hash64"
+	"pocketcloudlets/internal/modeltime"
 	"pocketcloudlets/internal/pocketsearch"
 	"pocketcloudlets/internal/radio"
 	"pocketcloudlets/internal/searchlog"
@@ -25,6 +26,12 @@ import (
 // shard, so the personal cache starts empty and stays small.
 type userState struct {
 	cache *pocketsearch.Cache
+	// clock is the user's virtual model clock: the modeltime view over
+	// the user's simulated device, registered on the fleet timeline.
+	// Every model-time read, migration sync and makespan observation
+	// goes through it — serving code never touches the device clock
+	// directly. Guarded by the shard lock like the rest of the state.
+	clock *modeltime.UserClock
 	// bytes is the user's personal flash footprint (logical result-db
 	// bytes), maintained incrementally from expansion/eviction deltas.
 	bytes  int64
@@ -71,6 +78,11 @@ type shard struct {
 	inj   *faults.Injector
 	retry faults.RetryPolicy
 	brk   *breaker
+	// tl is the fleet-wide model timeline every resident user's clock
+	// registers on; commClock is the community replica's own clock view
+	// (community hits advance the replica's device, not the user's).
+	tl        *modeltime.Timeline
+	commClock *modeltime.UserClock
 
 	// served and shed are this shard's occupancy counters, bumped
 	// lock-free on the completion paths so shard skew is observable
@@ -113,7 +125,7 @@ func itemKey(uid searchlog.UserID, resultHash uint64) uint64 {
 // newShard builds one shard: a community cache replica preloaded with
 // the shared content (provisioned overnight, so its model clock is
 // reset afterwards) and an empty user map.
-func newShard(id int, cfg Config, inj *faults.Injector) (*shard, error) {
+func newShard(id int, cfg Config, inj *faults.Injector, tl *modeltime.Timeline) (*shard, error) {
 	commOpts := cfg.Options
 	// The community replica is shared by every user of the shard, so
 	// it must never absorb one user's personalization.
@@ -132,6 +144,8 @@ func newShard(id int, cfg Config, inj *faults.Injector) (*shard, error) {
 		perUserBytes: cfg.PerUserBytes,
 		inj:          inj,
 		retry:        cfg.Retry,
+		tl:           tl,
+		commClock:    tl.UserClock(dev),
 		community:    community,
 		users:        make(map[searchlog.UserID]*userState),
 		keys:         make(map[uint64]evictRef),
@@ -154,7 +168,7 @@ func (sh *shard) user(uid searchlog.UserID) (*userState, error) {
 	if err != nil {
 		return nil, err
 	}
-	st := &userState{cache: cache, refs: make(map[uint64]evictRef)}
+	st := &userState{cache: cache, clock: sh.tl.UserClock(dev), refs: make(map[uint64]evictRef)}
 	sh.users[uid] = st
 	return st, nil
 }
@@ -266,6 +280,7 @@ func (sh *shard) applyBatchedMiss(req Request, eresp engine.SearchResponse, foun
 	resp.Outcome = st.cache.ApplyBatchedMiss(req.Query, req.Click, eresp, found, bt.ItemLatency(i), bt.ItemShare(i))
 	sh.recordExpansion(st, req.User, qh, ch, before)
 	st.served++
+	st.clock.Observe()
 	resp.RadioJ = bt.ItemRadioEnergy(sh.link, i)
 	resp.EnergyJ = st.cache.Device().Config().BasePower*resp.Outcome.ResponseTime().Seconds() + resp.RadioJ
 	return resp
@@ -302,6 +317,11 @@ func (sh *shard) accountLocked(st *userState, resp *Response) {
 			resp.RadioJ += sh.link.TailEnergy()
 		}
 		resp.EnergyJ += resp.RadioJ
+	}
+	st.clock.Observe()
+	if resp.Source == SourceCommunity {
+		// A community hit advanced the replica's device, not the user's.
+		sh.commClock.Observe()
 	}
 }
 
@@ -466,7 +486,7 @@ func (sh *shard) exportUser(uid searchlog.UserID) (ex userExport, ok bool, err e
 		hits:    st.hits,
 		missSeq: st.missSeq,
 		refs:    st.refs,
-		clock:   st.cache.Device().Now(),
+		clock:   st.clock.Now(),
 	}, true, nil
 }
 
@@ -490,7 +510,7 @@ func (sh *shard) importUser(uid searchlog.UserID, ex userExport) error {
 		delete(sh.users, uid)
 		return err
 	}
-	st.cache.Device().SyncClock(ex.clock)
+	st.clock.SyncForward(ex.clock)
 	st.served = ex.served
 	st.hits = ex.hits
 	st.missSeq = ex.missSeq

@@ -2,16 +2,21 @@
 // load and measures it, the way the milvus-benchmark and ReqBench
 // style harnesses measure a serving system:
 //
-//   - Open loop: requests arrive as a Poisson process at a target QPS,
-//     replayed from the community's merged month log, regardless of
-//     how fast the fleet keeps up — overload shows up as queue sheds
-//     and wall-latency inflation, never as a silently slowed-down
-//     generator.
+//   - Open loop: requests arrive on a model-timestamped schedule drawn
+//     from internal/modeltime — homogeneous Poisson at a target QPS, a
+//     diurnal rate curve with the same total arrivals, or per-user
+//     renewal processes weighted by workload class — replayed against
+//     the fleet regardless of how fast it keeps up: overload shows up
+//     as queue sheds and wall-latency inflation, never as a silently
+//     slowed-down generator.
 //   - Closed loop: K concurrent simulated users each replay their own
 //     workload stream (internal/workload cursor) and wait for each
 //     response before issuing the next query, reusing the replay
 //     harness's per-user outcome accounting so fleet hit rates are
-//     directly comparable with the paper's Figure 17 numbers.
+//     directly comparable with the paper's Figure 17 numbers. With a
+//     Pacer configured the user also "thinks" for their modeled
+//     response time (wall-compressed), which changes concurrency and
+//     wall timing but — by construction — no per-user outcome.
 //
 // Both record per-request latency into log-bucketed histograms — the
 // measured wall latency including queue wait, and the modeled
@@ -35,7 +40,7 @@ package loadgen
 import (
 	"encoding/json"
 	"fmt"
-	"math/rand"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -43,6 +48,7 @@ import (
 	"time"
 
 	"pocketcloudlets/internal/fleet"
+	"pocketcloudlets/internal/modeltime"
 	"pocketcloudlets/internal/replay"
 	"pocketcloudlets/internal/workload"
 )
@@ -173,13 +179,35 @@ type Report struct {
 	ShedRate     float64            `json:"shed_rate"`
 
 	ElapsedNS int64 `json:"elapsed_ns"`
-	// OfferedQPS is the generator's target arrival rate (open loop).
+	// OfferedQPS is the generator's target mean arrival rate (open loop).
 	OfferedQPS float64 `json:"offered_qps"`
 	// ServedQPS is completed requests per wall-clock second.
 	ServedQPS float64 `json:"served_qps"`
 	// MaxScheduleLagNS is how far the open-loop generator fell behind
-	// its Poisson schedule at worst (a saturated generator, not fleet).
+	// its arrival schedule at worst (a saturated generator, not fleet).
 	MaxScheduleLagNS int64 `json:"max_schedule_lag_ns,omitempty"`
+
+	// Arrivals names the open-loop arrival process ("poisson",
+	// "diurnal" or "peruser"); DiurnalPeak is the configured diurnal
+	// peak/trough rate ratio (diurnal runs only).
+	Arrivals    string  `json:"arrivals,omitempty"`
+	DiurnalPeak float64 `json:"diurnal_peak,omitempty"`
+	// OfferedCurve is the measured per-bucket arrival view of an
+	// open-loop run: what the generator offered, what backpressure shed,
+	// and the resulting rates — the curve that makes a diurnal overload
+	// visible where run-wide aggregates hide it.
+	OfferedCurve []RateBucket `json:"offered_curve,omitempty"`
+	// PeakTroughServedRatio is max/min served QPS across the offered
+	// curve's buckets (buckets that offered nothing are skipped) — the
+	// measured counterpart of the configured DiurnalPeak.
+	PeakTroughServedRatio float64 `json:"peak_trough_served_ratio,omitempty"`
+	// ModelMakespanNS is the fleet-wide model-time makespan after the
+	// run: the furthest any model clock advanced serving its requests.
+	ModelMakespanNS int64 `json:"model_makespan_ns,omitempty"`
+	// Paced and PaceScale record closed-loop think-time pacing. Pacing
+	// is wall-only; it never changes per-user outcomes.
+	Paced     bool    `json:"paced,omitempty"`
+	PaceScale float64 `json:"pace_scale,omitempty"`
 
 	// Wall is measured submit-to-completion latency including queue
 	// wait; Model is the modeled on-device response time.
@@ -246,6 +274,20 @@ type ShardOccupancy struct {
 	PersonalBytes int64 `json:"personal_bytes"`
 }
 
+// RateBucket is one time slice of an open-loop run's offered curve.
+// Offered counts arrivals scheduled into the bucket; Shed is how many
+// of them backpressure rejected; the QPS fields divide by the bucket's
+// width. Bucketing is by scheduled arrival time, so the curve is
+// deterministic given the spec even when the generator lags.
+type RateBucket struct {
+	StartNS    int64   `json:"start_ns"`
+	EndNS      int64   `json:"end_ns"`
+	Offered    uint64  `json:"offered"`
+	Shed       uint64  `json:"shed,omitempty"`
+	OfferedQPS float64 `json:"offered_qps"`
+	ServedQPS  float64 `json:"served_qps"`
+}
+
 // JSON renders the report as indented JSON.
 func (r Report) JSON() ([]byte, error) {
 	return json.MarshalIndent(r, "", "  ")
@@ -259,6 +301,22 @@ func (r Report) String() string {
 		fmt.Fprintf(&b, ", %.0f offered", r.OfferedQPS)
 	}
 	fmt.Fprintf(&b, ")\n")
+	if r.Arrivals != "" && r.Arrivals != "poisson" {
+		fmt.Fprintf(&b, "  arrivals: %s", r.Arrivals)
+		if r.DiurnalPeak > 0 {
+			fmt.Fprintf(&b, " (peak/trough %.1f:1 configured", r.DiurnalPeak)
+			if r.PeakTroughServedRatio > 0 {
+				fmt.Fprintf(&b, ", %.1f:1 served", r.PeakTroughServedRatio)
+			}
+			fmt.Fprintf(&b, ")")
+		} else if r.PeakTroughServedRatio > 0 {
+			fmt.Fprintf(&b, " (peak/trough %.1f:1 served)", r.PeakTroughServedRatio)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	if r.Paced {
+		fmt.Fprintf(&b, "  paced: think time at %.3gx modeled response time\n", r.PaceScale)
+	}
 	fmt.Fprintf(&b, "  served %d  shed %d (%.2f%%)  errors %d\n", r.Served, r.Shed, 100*r.ShedRate, r.Errors)
 	fmt.Fprintf(&b, "  hit rate %.1f%% (personal %d, community %d, cloud misses %d)\n",
 		100*r.HitRate, r.PersonalHits, r.CommunityHits, r.CloudMisses)
@@ -290,6 +348,9 @@ func (r Report) String() string {
 		ms(r.Wall.P50NS), ms(r.Wall.P90NS), ms(r.Wall.P99NS), ms(r.Wall.P999NS), ms(r.Wall.MaxNS))
 	fmt.Fprintf(&b, "  model latency p50 %s  p90 %s  p99 %s  p99.9 %s  max %s\n",
 		ms(r.Model.P50NS), ms(r.Model.P90NS), ms(r.Model.P99NS), ms(r.Model.P999NS), ms(r.Model.MaxNS))
+	if r.ModelMakespanNS > 0 {
+		fmt.Fprintf(&b, "  model makespan %v\n", time.Duration(r.ModelMakespanNS).Round(time.Microsecond))
+	}
 	if r.EnergyJ > 0 {
 		fmt.Fprintf(&b, "  energy %.1f J (%.3f J/query, radio %.1f J, %.3f J/miss radio, %d wake-ups)\n",
 			r.EnergyJ, r.EnergyPerQueryJ, r.RadioEnergyJ, r.RadioEnergyPerMissJ, r.RadioWakeups)
@@ -346,6 +407,7 @@ func fill(r *Report, f *fleet.Fleet, col *Collector, before fleet.Stats, beforeB
 	if elapsed > 0 {
 		r.ServedQPS = float64(r.Served) / elapsed.Seconds()
 	}
+	r.ModelMakespanNS = int64(f.ModelMakespan())
 	r.Wall = cnt.wall.Summary()
 	r.Model = cnt.model.Summary()
 
@@ -408,7 +470,7 @@ func fill(r *Report, f *fleet.Fleet, col *Collector, before fleet.Stats, beforeB
 
 // OpenConfig parameterizes an open-loop run.
 type OpenConfig struct {
-	// QPS is the target Poisson arrival rate.
+	// QPS is the target mean arrival rate.
 	QPS float64
 	// Duration bounds the arrival schedule; the schedule (and so the
 	// request count) is deterministic given Seed, QPS and Duration.
@@ -416,8 +478,20 @@ type OpenConfig struct {
 	// Month selects which month's community log is replayed as the
 	// request tape. The tape wraps if the schedule outruns it.
 	Month int
-	// Seed drives the Poisson schedule.
+	// Seed drives the arrival schedule.
 	Seed int64
+	// Arrivals selects the arrival process (modeltime.Kind). The zero
+	// value is the classic homogeneous Poisson process; Diurnal warps
+	// the same arrivals onto a day curve (same total, same tape order);
+	// PerUser gives every user an independent renewal process weighted
+	// by their workload class, replaying each user's own stream.
+	Arrivals modeltime.Kind
+	// DiurnalPeak is the diurnal peak/trough rate ratio; zero selects
+	// modeltime.DefaultPeakTrough. Diurnal runs only.
+	DiurnalPeak float64
+	// DiurnalPeriod is the diurnal curve's period; zero spans the run
+	// with a single day. Diurnal runs only.
+	DiurnalPeriod time.Duration
 	// MaxRequests caps the schedule length. Zero selects 10 million.
 	MaxRequests int
 	// ResizeTo, when positive, live-resizes the fleet to that many
@@ -452,19 +526,39 @@ func scheduleResize(f *fleet.Fleet, to int, at time.Duration, drop bool) func() 
 	}
 }
 
-// RunOpen replays the community month log against the fleet as an
-// open-loop Poisson arrival process. col must be installed as the
-// fleet's Observer; it is reset at the start of the run. The call
-// returns after every scheduled request has been served or shed.
+// classWeight is one user's relative arrival rate for PerUser
+// schedules: the geometric mean of the class's monthly-volume bracket,
+// so a High user arrives ~10x as often as a Low user — the Table 6
+// volume skew expressed as an arrival process.
+func classWeight(spec workload.ClassSpec) float64 {
+	return math.Sqrt(float64(spec.MinMonthly) * float64(spec.MaxMonthly))
+}
+
+// perUserWeights maps every profile to its class weight.
+func perUserWeights(g *workload.Generator) []float64 {
+	byClass := make(map[workload.Class]float64)
+	for _, spec := range g.Classes() {
+		byClass[spec.Class] = classWeight(spec)
+	}
+	profiles := g.Users()
+	w := make([]float64, len(profiles))
+	for i, up := range profiles {
+		w[i] = byClass[up.Class]
+	}
+	return w
+}
+
+// curveBuckets is the offered-curve resolution of an open-loop report.
+const curveBuckets = 20
+
+// RunOpen replays workload queries against the fleet as an open-loop
+// arrival process drawn from modeltime (Poisson, diurnal or per-user;
+// see OpenConfig.Arrivals). col must be installed as the fleet's
+// Observer; it is reset at the start of the run. The call returns
+// after every scheduled request has been served or shed.
 func RunOpen(f *fleet.Fleet, col *Collector, g *workload.Generator, cfg OpenConfig) (Report, error) {
 	if f == nil || col == nil || g == nil {
 		return Report{}, fmt.Errorf("loadgen: fleet, collector and generator are required")
-	}
-	if cfg.QPS <= 0 {
-		return Report{}, fmt.Errorf("loadgen: QPS must be positive, got %g", cfg.QPS)
-	}
-	if cfg.Duration <= 0 {
-		return Report{}, fmt.Errorf("loadgen: Duration must be positive, got %v", cfg.Duration)
 	}
 	maxReq := cfg.MaxRequests
 	if maxReq <= 0 {
@@ -478,39 +572,73 @@ func RunOpen(f *fleet.Fleet, col *Collector, g *workload.Generator, cfg OpenConf
 		return Report{}, fmt.Errorf("loadgen: fleet has no Observer; set fleet.Config.Observer to the collector or latencies and energy go unrecorded")
 	}
 	u := g.Config().Universe
+	profiles := g.Users()
 
-	// The whole Poisson schedule is drawn up front so the arrival
-	// count is a pure function of (Seed, QPS, Duration) — an open-loop
-	// generator must not let fleet backpressure slow the arrivals.
-	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x09E2_7C15))
-	var schedule []time.Duration
-	var at time.Duration
-	for len(schedule) < maxReq {
-		at += time.Duration(rng.ExpFloat64() / cfg.QPS * float64(time.Second))
-		if at > cfg.Duration {
-			break
-		}
-		schedule = append(schedule, at)
+	// The whole schedule is drawn up front so the arrival count is a
+	// pure function of the spec — an open-loop generator must not let
+	// fleet backpressure slow the arrivals.
+	spec := modeltime.Spec{
+		Kind:       cfg.Arrivals,
+		QPS:        cfg.QPS,
+		Horizon:    cfg.Duration,
+		Seed:       cfg.Seed,
+		Max:        maxReq,
+		PeakTrough: cfg.DiurnalPeak,
+		Period:     cfg.DiurnalPeriod,
+	}
+	var cursors []*workload.Cursor
+	if cfg.Arrivals == modeltime.PerUser {
+		spec.Weights = perUserWeights(g)
+		cursors = make([]*workload.Cursor, len(profiles))
+	}
+	schedule, err := modeltime.Schedule(spec)
+	if err != nil {
+		return Report{}, fmt.Errorf("loadgen: %w", err)
 	}
 
 	col.Reset()
 	before, beforeBatch, beforeMig := f.Stats(), f.BatchStats(), f.MigrationStats()
 	finishResize := scheduleResize(f, cfg.ResizeTo, cfg.ResizeAt, cfg.ResizeDrop)
+	offered := make([]uint64, curveBuckets)
+	shedPerBucket := make([]uint64, curveBuckets)
 	var maxLag time.Duration
 	start := time.Now()
-	for i, due := range schedule {
+	for i, a := range schedule {
 		now := time.Since(start)
-		if wait := due - now; wait > 0 {
+		if wait := a.At - now; wait > 0 {
 			time.Sleep(wait)
 		} else if lag := -wait; lag > maxLag {
 			maxLag = lag
 		}
-		e := tape[i%len(tape)]
-		f.Submit(fleet.Request{
-			User:  e.User,
-			Query: u.QueryText(u.QueryOf(e.Pair)),
-			Click: u.ResultURL(u.ResultOf(e.Pair)),
-		})
+		var req fleet.Request
+		if a.User >= 0 {
+			// Per-user arrival: the user replays their own stream, so
+			// skewed arrival rates meet matching per-user content.
+			if cursors[a.User] == nil {
+				cursors[a.User] = g.Cursor(profiles[a.User], cfg.Month)
+			}
+			e, _ := cursors[a.User].Next()
+			req = fleet.Request{
+				User:  profiles[a.User].ID,
+				Query: u.QueryText(u.QueryOf(e.Pair)),
+				Click: u.ResultURL(u.ResultOf(e.Pair)),
+			}
+		} else {
+			e := tape[i%len(tape)]
+			req = fleet.Request{
+				User:  e.User,
+				Query: u.QueryText(u.QueryOf(e.Pair)),
+				Click: u.ResultURL(u.ResultOf(e.Pair)),
+			}
+		}
+		b := int(int64(a.At) * curveBuckets / int64(cfg.Duration))
+		if b >= curveBuckets {
+			b = curveBuckets - 1
+		}
+		offered[b]++
+		if !f.Submit(req) {
+			shedPerBucket[b]++
+		}
 	}
 	f.Drain()
 	if err := finishResize(); err != nil {
@@ -521,12 +649,54 @@ func RunOpen(f *fleet.Fleet, col *Collector, g *workload.Generator, cfg OpenConf
 	r := Report{
 		Mode:             "open",
 		Seed:             cfg.Seed,
-		Users:            len(g.Users()),
+		Users:            len(profiles),
 		OfferedQPS:       cfg.QPS,
 		MaxScheduleLagNS: int64(maxLag),
+		Arrivals:         cfg.Arrivals.String(),
 	}
+	if cfg.Arrivals == modeltime.Diurnal {
+		r.DiurnalPeak = cfg.DiurnalPeak
+		if r.DiurnalPeak == 0 {
+			r.DiurnalPeak = modeltime.DefaultPeakTrough
+		}
+	}
+	r.OfferedCurve, r.PeakTroughServedRatio = offeredCurve(cfg.Duration, offered, shedPerBucket)
 	fill(&r, f, col, before, beforeBatch, beforeMig, elapsed)
 	return r, nil
+}
+
+// offeredCurve folds the per-bucket arrival counters into the report's
+// curve and the measured peak/trough served-QPS ratio (buckets that
+// offered nothing are skipped; the ratio is zero when no bucket served).
+func offeredCurve(horizon time.Duration, offered, shed []uint64) ([]RateBucket, float64) {
+	width := horizon / time.Duration(len(offered))
+	secs := width.Seconds()
+	curve := make([]RateBucket, len(offered))
+	peak, trough := 0.0, math.Inf(1)
+	for b := range offered {
+		served := float64(offered[b]-shed[b]) / secs
+		curve[b] = RateBucket{
+			StartNS:    int64(width) * int64(b),
+			EndNS:      int64(width) * int64(b+1),
+			Offered:    offered[b],
+			Shed:       shed[b],
+			OfferedQPS: float64(offered[b]) / secs,
+			ServedQPS:  served,
+		}
+		if offered[b] == 0 {
+			continue
+		}
+		if served > peak {
+			peak = served
+		}
+		if served < trough {
+			trough = served
+		}
+	}
+	if trough <= 0 || math.IsInf(trough, 1) {
+		return curve, 0
+	}
+	return curve, peak / trough
 }
 
 // ClosedConfig parameterizes a closed-loop run.
@@ -549,6 +719,14 @@ type ClosedConfig struct {
 	// Seed is recorded in the report (closed-loop arrivals are fully
 	// determined by the generator's own seed).
 	Seed int64
+	// Pace, when enabled, makes each user "think" for their modeled
+	// response time (wall-compressed by Pace.Scale) before issuing the
+	// next query. Pacing is wall-clock only — it inserts real sleeps
+	// between a user's own requests and never touches model state — so
+	// per-user outcomes are byte-identical to an unpaced run on the
+	// same tape. The zero value is the unpaced as-fast-as-possible
+	// protocol.
+	Pace modeltime.Pacer
 	// ResizeTo, when positive, live-resizes the fleet to that many
 	// shards ResizeAt into the run (immediately when ResizeAt is zero).
 	// A resize the run finishes before firing is run just after serving
@@ -617,6 +795,9 @@ func RunClosed(f *fleet.Fleet, col *Collector, g *workload.Generator, cfg Closed
 					continue
 				}
 				uo.Record(e.At, u.Navigational(e.Pair), resp.Outcome)
+				if d := cfg.Pace.Pause(resp.Outcome.ResponseTime()); d > 0 {
+					time.Sleep(d)
+				}
 			}
 			outcomes[i] = uo
 		}(i)
@@ -632,6 +813,10 @@ func RunClosed(f *fleet.Fleet, col *Collector, g *workload.Generator, cfg Closed
 		Seed:     cfg.Seed,
 		Users:    cfg.Users,
 		Outcomes: outcomes,
+	}
+	if cfg.Pace.Enabled() {
+		r.Paced = true
+		r.PaceScale = cfg.Pace.Scale
 	}
 	fill(&r, f, col, before, beforeBatch, beforeMig, elapsed)
 

@@ -4,12 +4,14 @@ import (
 	"encoding/json"
 	"errors"
 	"math"
+	"reflect"
 	"testing"
 	"time"
 
 	"pocketcloudlets/internal/cachegen"
 	"pocketcloudlets/internal/engine"
 	"pocketcloudlets/internal/fleet"
+	"pocketcloudlets/internal/modeltime"
 	"pocketcloudlets/internal/placement"
 	"pocketcloudlets/internal/replay"
 	"pocketcloudlets/internal/searchlog"
@@ -474,5 +476,125 @@ func TestScheduleResizeAlwaysRuns(t *testing.T) {
 	}
 	if r.Resizes != 1 || f.NumShards() != 6 {
 		t.Errorf("deferred resize did not run: resizes %d, shards %d", r.Resizes, f.NumShards())
+	}
+}
+
+// TestPacedClosedLoopByteIdentical is the think-time acceptance: pacing
+// is wall-clock only, so a paced run's per-user outcomes — and every
+// deterministic counter — are byte-identical to the unpaced run on the
+// same tape.
+func TestPacedClosedLoopByteIdentical(t *testing.T) {
+	g := smallGen(t, 120)
+	content := smallContent(t, g)
+
+	run := func(pace modeltime.Pacer) Report {
+		f, col := newRig(t, g, content)
+		r, err := RunClosed(f, col, g, ClosedConfig{Users: 120, Month: 1, Seed: 4, Pace: pace})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	unpaced := run(modeltime.Pacer{})
+	paced := run(modeltime.Pacer{Scale: 1e-4, MaxPause: time.Millisecond})
+
+	if unpaced.Shed != 0 || paced.Shed != 0 {
+		t.Fatalf("closed loop shed requests (%d, %d); identity undefined", unpaced.Shed, paced.Shed)
+	}
+	if unpaced.Paced || !paced.Paced || paced.PaceScale != 1e-4 {
+		t.Errorf("pacing not reported: unpaced=%v paced=%v scale=%v", unpaced.Paced, paced.Paced, paced.PaceScale)
+	}
+	if unpaced.Requests != paced.Requests || unpaced.Served != paced.Served ||
+		unpaced.PersonalHits != paced.PersonalHits || unpaced.CommunityHits != paced.CommunityHits ||
+		unpaced.CloudMisses != paced.CloudMisses {
+		t.Errorf("counters diverge under pacing:\n  unpaced %+v\n  paced   %+v", unpaced, paced)
+	}
+	if unpaced.Model != paced.Model {
+		t.Errorf("model latency summaries diverge:\n  %+v\n  %+v", unpaced.Model, paced.Model)
+	}
+	if unpaced.ModelMakespanNS != paced.ModelMakespanNS {
+		t.Errorf("model makespan diverges: %d vs %d", unpaced.ModelMakespanNS, paced.ModelMakespanNS)
+	}
+	if !reflect.DeepEqual(unpaced.Outcomes, paced.Outcomes) {
+		t.Error("per-user outcomes diverge under pacing; pacing must be wall-only")
+	}
+}
+
+// TestDiurnalOpenLoopMatchesFlatArrivals is the diurnal acceptance: at
+// the same mean QPS a diurnal run offers exactly the flat run's total
+// arrivals, while the measured served-QPS curve concentrates at the
+// mid-run peak.
+func TestDiurnalOpenLoopMatchesFlatArrivals(t *testing.T) {
+	g := smallGen(t, 64)
+	content := smallContent(t, g)
+	base := OpenConfig{QPS: 2000, Duration: 500 * time.Millisecond, Month: 1, Seed: 11}
+
+	run := func(cfg OpenConfig) Report {
+		f, col := newRig(t, g, content)
+		r, err := RunOpen(f, col, g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	flat := run(base)
+	diCfg := base
+	diCfg.Arrivals = modeltime.Diurnal
+	diCfg.DiurnalPeak = 4
+	di := run(diCfg)
+
+	if di.Requests != flat.Requests {
+		t.Errorf("diurnal offered %d arrivals, flat %d; same mean QPS must offer the same total", di.Requests, flat.Requests)
+	}
+	if di.Arrivals != "diurnal" || di.DiurnalPeak != 4 || flat.Arrivals != "poisson" {
+		t.Errorf("arrival process not reported: %q/%g and %q", di.Arrivals, di.DiurnalPeak, flat.Arrivals)
+	}
+	var offeredSum uint64
+	for _, b := range di.OfferedCurve {
+		offeredSum += b.Offered
+	}
+	if offeredSum != di.Requests {
+		t.Errorf("offered curve sums to %d, want %d", offeredSum, di.Requests)
+	}
+	if di.PeakTroughServedRatio < 2 {
+		t.Errorf("diurnal peak/trough served ratio = %.2f, want ≥ 2 with a 4:1 curve", di.PeakTroughServedRatio)
+	}
+	if flat.PeakTroughServedRatio >= di.PeakTroughServedRatio {
+		t.Errorf("flat ratio %.2f not below diurnal ratio %.2f; the curve is not concentrating load",
+			flat.PeakTroughServedRatio, di.PeakTroughServedRatio)
+	}
+	if di.ModelMakespanNS <= 0 {
+		t.Error("open-loop report has no model makespan")
+	}
+}
+
+// TestPerUserOpenLoop exercises the per-user renewal arrivals: the
+// schedule is deterministic and each arrival replays the arriving
+// user's own stream.
+func TestPerUserOpenLoop(t *testing.T) {
+	g := smallGen(t, 64)
+	content := smallContent(t, g)
+	cfg := OpenConfig{QPS: 1500, Duration: 300 * time.Millisecond, Month: 1, Seed: 3, Arrivals: modeltime.PerUser}
+
+	run := func() Report {
+		f, col := newRig(t, g, content)
+		r, err := RunOpen(f, col, g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r1, r2 := run(), run()
+	if r1.Requests == 0 {
+		t.Fatal("no per-user arrivals scheduled")
+	}
+	if r1.Shed != 0 || r2.Shed != 0 {
+		t.Fatalf("per-user open loop shed requests (%d, %d)", r1.Shed, r2.Shed)
+	}
+	if r1.Requests != r2.Requests || r1.Model != r2.Model {
+		t.Errorf("per-user runs not deterministic:\n  %+v\n  %+v", r1.Model, r2.Model)
+	}
+	if r1.Arrivals != "peruser" {
+		t.Errorf("arrivals reported as %q, want peruser", r1.Arrivals)
 	}
 }

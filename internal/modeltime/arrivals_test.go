@@ -1,0 +1,184 @@
+package modeltime
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestParseKind(t *testing.T) {
+	for s, want := range map[string]Kind{"poisson": Poisson, "diurnal": Diurnal, "peruser": PerUser} {
+		got, err := ParseKind(s)
+		if err != nil || got != want {
+			t.Errorf("ParseKind(%q) = %v, %v", s, got, err)
+		}
+		if got.String() != s {
+			t.Errorf("%v.String() = %q, want %q", got, got.String(), s)
+		}
+	}
+	if _, err := ParseKind("weekly"); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	base := Spec{Kind: Poisson, QPS: 100, Horizon: time.Second, Max: 1000}
+	bad := []Spec{
+		{Kind: Poisson, QPS: 0, Horizon: time.Second, Max: 10},
+		{Kind: Poisson, QPS: 10, Horizon: 0, Max: 10},
+		{Kind: Poisson, QPS: 10, Horizon: time.Second, Max: 0},
+		{Kind: Diurnal, QPS: 10, Horizon: time.Second, Max: 10, PeakTrough: 0.5},
+		{Kind: PerUser, QPS: 10, Horizon: time.Second, Max: 10},
+		{Kind: PerUser, QPS: 10, Horizon: time.Second, Max: 10, Weights: []float64{0, 0}},
+		{Kind: PerUser, QPS: 10, Horizon: time.Second, Max: 10, Weights: []float64{1, -2}},
+		{Kind: Kind(42), QPS: 10, Horizon: time.Second, Max: 10},
+	}
+	if _, err := Schedule(base); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	for i, s := range bad {
+		if _, err := Schedule(s); err == nil {
+			t.Errorf("bad spec %d accepted: %+v", i, s)
+		}
+	}
+}
+
+// TestPoissonMatchesLegacySchedule pins the Poisson kind to the exact
+// schedule the load generator drew before the modeltime layer existed:
+// same seed salt, same draw loop, byte-identical times.
+func TestPoissonMatchesLegacySchedule(t *testing.T) {
+	const seed, qps = int64(11), 5000.0
+	horizon := 200 * time.Millisecond
+
+	rng := rand.New(rand.NewSource(seed ^ 0x09E2_7C15))
+	var legacy []time.Duration
+	var at time.Duration
+	for len(legacy) < 10_000_000 {
+		at += time.Duration(rng.ExpFloat64() / qps * float64(time.Second))
+		if at > horizon {
+			break
+		}
+		legacy = append(legacy, at)
+	}
+
+	got, err := Schedule(Spec{Kind: Poisson, QPS: qps, Horizon: horizon, Seed: seed, Max: 10_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(legacy) {
+		t.Fatalf("schedule length %d, legacy %d", len(got), len(legacy))
+	}
+	for i := range got {
+		if got[i].At != legacy[i] || got[i].User != -1 {
+			t.Fatalf("arrival %d = %+v, legacy at %v", i, got[i], legacy[i])
+		}
+	}
+}
+
+// TestDiurnalPreservesArrivals is the tentpole equivalence: for the
+// same (seed, QPS, horizon) a diurnal schedule contains exactly as
+// many arrivals as the flat Poisson schedule — the warp only moves
+// them in time — and the warped times stay sorted within the horizon.
+func TestDiurnalPreservesArrivals(t *testing.T) {
+	for _, horizon := range []time.Duration{199 * time.Millisecond, time.Second, 2500 * time.Millisecond} {
+		flat, err := Schedule(Spec{Kind: Poisson, QPS: 3000, Horizon: horizon, Seed: 5, Max: 1 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		warped, err := Schedule(Spec{Kind: Diurnal, QPS: 3000, Horizon: horizon, Seed: 5, Max: 1 << 20, PeakTrough: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(flat) != len(warped) {
+			t.Fatalf("horizon %v: diurnal %d arrivals, poisson %d", horizon, len(warped), len(flat))
+		}
+		for i, a := range warped {
+			if a.At < 0 || a.At > horizon {
+				t.Fatalf("arrival %d at %v outside [0, %v]", i, a.At, horizon)
+			}
+			if i > 0 && a.At < warped[i-1].At {
+				t.Fatalf("arrival %d at %v before predecessor %v", i, a.At, warped[i-1].At)
+			}
+		}
+	}
+}
+
+// TestDiurnalConcentratesAtPeak checks the warp actually moves mass to
+// the mid-period peak: with a 4:1 curve the middle half of the horizon
+// must hold well over half the arrivals.
+func TestDiurnalConcentratesAtPeak(t *testing.T) {
+	horizon := time.Second
+	sched, err := Schedule(Spec{Kind: Diurnal, QPS: 20000, Horizon: horizon, Seed: 2, Max: 1 << 20, PeakTrough: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mid int
+	for _, a := range sched {
+		if a.At >= horizon/4 && a.At < 3*horizon/4 {
+			mid++
+		}
+	}
+	share := float64(mid) / float64(len(sched))
+	// Analytically the middle half of 1 - a·cos(2πt/P) with a = 0.6
+	// carries 50% + a/π ≈ 69% of the mass (a flat curve carries 50%).
+	if share < 0.65 {
+		t.Errorf("middle-half share = %.3f, want ≈ 0.69 (curve not concentrating)", share)
+	}
+	// And the analytic rate curve peaks mid-period at (1+a)·mean.
+	spec := Spec{Kind: Diurnal, QPS: 100, Horizon: horizon, PeakTrough: 4}
+	peak, trough := spec.RateAt(horizon/2), spec.RateAt(0)
+	if ratio := peak / trough; ratio < 3.9 || ratio > 4.1 {
+		t.Errorf("analytic peak/trough = %.2f, want ~4", ratio)
+	}
+}
+
+func TestPerUserDeterministicAndWeighted(t *testing.T) {
+	spec := Spec{
+		Kind: PerUser, QPS: 4000, Horizon: time.Second, Seed: 9, Max: 1 << 20,
+		Weights: []float64{10, 1, 0, 10},
+	}
+	s1, err := Schedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Schedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1) != len(s2) {
+		t.Fatalf("lengths differ: %d vs %d", len(s1), len(s2))
+	}
+	counts := make([]int, len(spec.Weights))
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("arrival %d differs: %+v vs %+v", i, s1[i], s2[i])
+		}
+		if i > 0 && (s1[i].At < s1[i-1].At || (s1[i].At == s1[i-1].At && s1[i].User < s1[i-1].User)) {
+			t.Fatalf("merge order violated at %d: %+v after %+v", i, s1[i], s1[i-1])
+		}
+		counts[s1[i].User]++
+	}
+	if counts[2] != 0 {
+		t.Errorf("zero-weight user arrived %d times", counts[2])
+	}
+	if counts[0] < 5*counts[1] || counts[3] < 5*counts[1] {
+		t.Errorf("10:1 weights not reflected in counts: %v", counts)
+	}
+	total := counts[0] + counts[1] + counts[3]
+	if total < 3000 || total > 5000 {
+		t.Errorf("total arrivals %d far from QPS·horizon = 4000", total)
+	}
+}
+
+func TestPerUserMaxCap(t *testing.T) {
+	sched, err := Schedule(Spec{
+		Kind: PerUser, QPS: 50000, Horizon: time.Second, Seed: 1, Max: 100,
+		Weights: []float64{1, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) != 100 {
+		t.Errorf("capped schedule has %d arrivals, want 100", len(sched))
+	}
+}

@@ -1,0 +1,165 @@
+package modeltime
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeDev is a minimal DeviceClock with the device package's monotonic
+// clamp semantics.
+type fakeDev struct {
+	clock time.Duration
+}
+
+func (d *fakeDev) Now() time.Duration { return d.clock }
+func (d *fakeDev) SyncClock(t time.Duration) {
+	if t > d.clock {
+		d.clock = t
+	}
+}
+
+func TestTimelineMakespanIsMax(t *testing.T) {
+	tl := NewTimeline()
+	if tl.Makespan() != 0 {
+		t.Fatalf("fresh timeline makespan = %v, want 0", tl.Makespan())
+	}
+	tl.Observe(3 * time.Second)
+	tl.Observe(time.Second) // lower observation must not regress
+	tl.Observe(2 * time.Second)
+	if got := tl.Makespan(); got != 3*time.Second {
+		t.Errorf("makespan = %v, want 3s", got)
+	}
+}
+
+func TestTimelineConcurrentObserve(t *testing.T) {
+	tl := NewTimeline()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= 1000; i++ {
+				tl.Observe(time.Duration(w*1000+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := tl.Makespan(), 8000*time.Microsecond; got != want {
+		t.Errorf("makespan = %v, want %v", got, want)
+	}
+}
+
+func TestNilTimelineIsSafe(t *testing.T) {
+	var tl *Timeline
+	tl.Observe(time.Second)
+	if tl.Makespan() != 0 {
+		t.Error("nil timeline should read zero")
+	}
+}
+
+func TestUserClockSyncForwardIsMonotonic(t *testing.T) {
+	tl := NewTimeline()
+	dev := &fakeDev{clock: 5 * time.Second}
+	c := tl.UserClock(dev)
+	if c.Now() != 5*time.Second {
+		t.Fatalf("Now = %v, want 5s", c.Now())
+	}
+	c.SyncForward(2 * time.Second) // must clamp, not rewind
+	if c.Now() != 5*time.Second {
+		t.Errorf("SyncForward rewound the clock to %v", c.Now())
+	}
+	c.SyncForward(9 * time.Second)
+	if c.Now() != 9*time.Second {
+		t.Errorf("SyncForward to 9s left clock at %v", c.Now())
+	}
+	if tl.Makespan() != 9*time.Second {
+		t.Errorf("timeline makespan = %v, want 9s", tl.Makespan())
+	}
+}
+
+func TestUserClockObservePublishes(t *testing.T) {
+	tl := NewTimeline()
+	dev := &fakeDev{}
+	c := tl.UserClock(dev)
+	dev.clock = 7 * time.Second // the device advanced itself (serving)
+	if tl.Makespan() != 0 {
+		t.Fatal("makespan moved before Observe")
+	}
+	c.Observe()
+	if tl.Makespan() != 7*time.Second {
+		t.Errorf("makespan = %v, want 7s", tl.Makespan())
+	}
+}
+
+func TestPacer(t *testing.T) {
+	var off Pacer
+	if off.Enabled() || off.Pause(time.Second) != 0 {
+		t.Error("zero pacer must be disabled")
+	}
+	p := Pacer{Scale: 0.001}
+	if !p.Enabled() {
+		t.Error("scaled pacer should be enabled")
+	}
+	if got := p.Pause(time.Second); got != time.Millisecond {
+		t.Errorf("Pause(1s) = %v, want 1ms", got)
+	}
+	if got := p.Pause(10 * time.Minute); got != DefaultMaxPause {
+		t.Errorf("uncapped pause = %v, want default cap %v", got, DefaultMaxPause)
+	}
+	p.MaxPause = 2 * time.Millisecond
+	if got := p.Pause(time.Minute); got != 2*time.Millisecond {
+		t.Errorf("capped pause = %v, want 2ms", got)
+	}
+	if p.Pause(-time.Second) != 0 {
+		t.Error("negative model time must not pause")
+	}
+}
+
+// TestSyncClockCallersAreConfined is the acceptance guard for the
+// model-time refactor: internal/modeltime is the only package outside
+// internal/device (and the facade's documentation-free test trees)
+// that may construct or advance model clocks, so device.SyncClock must
+// have no callers anywhere else in the source tree.
+func TestSyncClockCallersAreConfined(t *testing.T) {
+	root := filepath.Join("..", "..")
+	allowed := map[string]bool{
+		filepath.Join("internal", "device"):    true,
+		filepath.Join("internal", "modeltime"): true,
+	}
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			if info.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if !strings.Contains(string(raw), ".SyncClock(") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		if !allowed[filepath.Dir(rel)] {
+			t.Errorf("%s calls SyncClock; model clocks may only be advanced via internal/modeltime", rel)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -3,6 +3,8 @@ package workload
 import (
 	"fmt"
 	"hash/fnv"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -382,5 +384,55 @@ func TestCursorMatchesUserStream(t *testing.T) {
 	}
 	if cur.Month() != 3 {
 		t.Errorf("cursor month = %d, want 3", cur.Month())
+	}
+}
+
+// TestCursorDeterministicAcrossInterleavings is the model-time
+// prerequisite: each user's cursor must yield the same entry sequence
+// no matter how the consuming goroutines are scheduled, because both
+// the closed loop and the per-user open-loop arrivals replay one
+// cursor per user concurrently. Each goroutine interleaves with the
+// others freely (a yield between Next calls shakes the schedule) and
+// the result must still match a serial walk. Run under -race this also
+// proves distinct cursors share no mutable state.
+func TestCursorDeterministicAcrossInterleavings(t *testing.T) {
+	const users, perUser = 24, 60
+	g := defaultGen(t, users)
+	profiles := g.Users()[:users]
+
+	// Serial reference: one cursor per user, walked alone.
+	want := make([][]searchlog.Entry, users)
+	for i, up := range profiles {
+		cur := g.Cursor(up, 1)
+		for n := 0; n < perUser; n++ {
+			e, _ := cur.Next()
+			want[i] = append(want[i], e)
+		}
+	}
+
+	for trial := 0; trial < 3; trial++ {
+		got := make([][]searchlog.Entry, users)
+		var wg sync.WaitGroup
+		for i, up := range profiles {
+			wg.Add(1)
+			go func(i int, up UserProfile) {
+				defer wg.Done()
+				cur := g.Cursor(up, 1)
+				for n := 0; n < perUser; n++ {
+					e, _ := cur.Next()
+					got[i] = append(got[i], e)
+					runtime.Gosched() // shake the goroutine schedule
+				}
+			}(i, up)
+		}
+		wg.Wait()
+		for i := range want {
+			for n := range want[i] {
+				if got[i][n] != want[i][n] {
+					t.Fatalf("trial %d: user %d entry %d = %+v, serial walk got %+v",
+						trial, i, n, got[i][n], want[i][n])
+				}
+			}
+		}
 	}
 }

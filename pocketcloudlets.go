@@ -41,6 +41,7 @@ import (
 	"pocketcloudlets/internal/fleet"
 	"pocketcloudlets/internal/loadgen"
 	"pocketcloudlets/internal/maplet"
+	"pocketcloudlets/internal/modeltime"
 	"pocketcloudlets/internal/placement"
 	"pocketcloudlets/internal/pocketsearch"
 	"pocketcloudlets/internal/pocketweb"
@@ -151,7 +152,28 @@ type (
 	OpenLoadConfig = loadgen.OpenConfig
 	// ClosedLoadConfig parameterizes a closed-loop (K users) load run.
 	ClosedLoadConfig = loadgen.ClosedConfig
+	// ArrivalKind selects an open-loop arrival process: poisson,
+	// diurnal (a day-curve warp of the same arrivals) or peruser
+	// (per-user renewal processes weighted by workload class).
+	ArrivalKind = modeltime.Kind
+	// Pacer converts modeled response time into the wall think-time a
+	// paced closed-loop user takes between requests.
+	Pacer = modeltime.Pacer
+	// ModelTimeline is the fleet-wide model timeline (high-water mark
+	// over every model clock).
+	ModelTimeline = modeltime.Timeline
 )
+
+// Re-exported arrival kinds.
+const (
+	ArrivalsPoisson = modeltime.Poisson
+	ArrivalsDiurnal = modeltime.Diurnal
+	ArrivalsPerUser = modeltime.PerUser
+)
+
+// ParseArrivalKind parses the -arrivals command-line syntax
+// ("poisson", "diurnal" or "peruser").
+func ParseArrivalKind(s string) (ArrivalKind, error) { return modeltime.ParseKind(s) }
 
 // RadioTech selects a radio technology for a simulated phone.
 type RadioTech int
@@ -321,9 +343,10 @@ func ParseOutageSpec(spec string) (every, down time.Duration, windows []FaultWin
 	return faults.ParseOutageSpec(spec)
 }
 
-// RunOpenLoad replays the community month log against a fleet as an
-// open-loop Poisson arrival process and reports latency percentiles,
-// throughput, hit- and shed-rates.
+// RunOpenLoad replays workload queries against a fleet as an open-loop
+// arrival process (Poisson by default; OpenLoadConfig.Arrivals selects
+// diurnal or per-user) and reports latency percentiles, throughput,
+// hit- and shed-rates and the offered-rate curve.
 func (s *Simulation) RunOpenLoad(f *Fleet, col *LoadCollector, cfg OpenLoadConfig) (LoadReport, error) {
 	return loadgen.RunOpen(f, col, s.Generator, cfg)
 }

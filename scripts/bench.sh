@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs the fleet serving benchmarks (BenchmarkFleetServe* in the root
+# package) and writes a machine-readable snapshot to BENCH_<date>.json
+# so successive runs can be diffed for regressions.
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCHTIME=3s scripts/bench.sh     # longer, steadier numbers
+#
+# The default BENCHTIME of 1x keeps the script cheap enough for CI,
+# where it runs non-gating (see .github/workflows/ci.yml); locally,
+# raise it for numbers worth comparing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1x}"
+OUT="${1:-BENCH_$(date -u +%Y%m%d).json}"
+
+raw=$(go test -bench FleetServe -benchtime "$BENCHTIME" -run '^$' .)
+echo "$raw"
+
+{
+    echo '{'
+    echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    echo "  \"benchtime\": \"$BENCHTIME\","
+    echo "  \"go\": \"$(go env GOVERSION)\","
+    echo '  "benchmarks": ['
+    echo "$raw" | awk '
+        /^Benchmark/ {
+            name = $1; iters = $2; metrics = "";
+            for (i = 3; i + 1 <= NF; i += 2) {
+                if (metrics != "") metrics = metrics ", ";
+                metrics = metrics "\"" $(i + 1) "\": " $i;
+            }
+            line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"metrics\": {%s}}", name, iters, metrics);
+            if (out != "") out = out ",\n";
+            out = out line;
+        }
+        END { print out }
+    '
+    echo '  ]'
+    echo '}'
+} > "$OUT"
+
+echo "wrote $OUT"

@@ -37,10 +37,17 @@ echo "== fault-injection smoke: loadtest -faults -check =="
 # and the adaptive linger window, with the report invariants verified
 # by the binary itself (-check): no panics, no errors, every submission
 # booked exactly once, every served request attributed to exactly one
-# tier (including the degraded ones).
+# tier (including the degraded ones). When CHECK_ARTIFACT_DIR is set
+# (CI does this) the JSON report is kept there instead of discarded,
+# so the workflow can upload it as an artifact.
+smoke_out=/dev/null
+if [ -n "${CHECK_ARTIFACT_DIR:-}" ]; then
+    mkdir -p "$CHECK_ARTIFACT_DIR"
+    smoke_out="$CHECK_ARTIFACT_DIR/loadtest-faults.json"
+fi
 go run ./cmd/loadtest -mode closed -users 100 -duration 0 -seed 3 \
     -faults -loss 0.3 -outage 6s/30s -retries 3 \
-    -batch -batchadaptive -check -json > /dev/null
+    -batch -batchadaptive -check -json > "$smoke_out"
 
 echo "== bench smoke: FleetServe =="
 # One iteration of each fleet serving benchmark (batched and unbatched)
