@@ -51,6 +51,18 @@
 // with -outage: outage exposure follows each user's model clock, which
 // batch composition (wall-clock timing) legitimately shifts.
 //
+// -scenario <file|preset> replaces the workload flags with a
+// declarative JSON scenario (internal/scenario): multiple client
+// classes with their own arrival processes, device tiers and fault
+// profiles, compiled onto the same fleet and generators, with the
+// report broken down per SLO class. Built-in presets: commuter,
+// flash-crowd, regional-outage, mixed-fleet. Only -users and -seed may
+// override a scenario (population and seed scaling); every other
+// workload flag conflicts. Flag-only runs are themselves compiled as a
+// single-class scenario tagged "default", so both paths exercise one
+// code path and a flag run's per-user outcomes are byte-identical to
+// the equivalent scenario.
+//
 // Example (the acceptance run):
 //
 //	loadtest -users 10000 -duration 5s -seed 1
@@ -60,11 +72,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"pocketcloudlets"
-	"pocketcloudlets/internal/engine"
+	"pocketcloudlets/internal/scenario"
 )
 
 // runFlags is the parsed command line. Keeping it a plain struct lets
@@ -109,8 +122,15 @@ type runFlags struct {
 	retries   int
 	faultSeed int64
 
+	scenarioRef string
+
 	check   bool
 	jsonOut bool
+
+	// setFlags records which flags the command line set explicitly
+	// (see noteSet); validate uses it to reject workload flags that
+	// conflict with -scenario.
+	setFlags map[string]bool
 }
 
 func (rf *runFlags) register(fs *flag.FlagSet) {
@@ -146,8 +166,23 @@ func (rf *runFlags) register(fs *flag.FlagSet) {
 	fs.StringVar(&rf.outage, "outage", "", `outage spec (with -faults): "6s/30s" duty cycle or "10s-20s,40s-45s" windows`)
 	fs.IntVar(&rf.retries, "retries", 0, "max radio attempts per cloud miss (with -faults); 0 = default 4")
 	fs.Int64Var(&rf.faultSeed, "faultseed", 0, "fault-model seed (with -faults); 0 reuses -seed")
+	fs.StringVar(&rf.scenarioRef, "scenario", "", "run a declarative scenario: a JSON file path or a preset (commuter, flash-crowd, regional-outage, mixed-fleet)")
 	fs.BoolVar(&rf.check, "check", false, "verify report invariants after the run and exit non-zero on violation")
 	fs.BoolVar(&rf.jsonOut, "json", false, "emit the report as JSON only")
+}
+
+// noteSet records which flags the command line set explicitly, so
+// validate can tell "-mode open" from the default. Call it right
+// after fs.Parse.
+func (rf *runFlags) noteSet(fs *flag.FlagSet) {
+	rf.setFlags = map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { rf.setFlags[f.Name] = true })
+}
+
+// scenarioCompatible are the flags that still apply when -scenario
+// owns the workload shape: population/seed scaling and output control.
+var scenarioCompatible = map[string]bool{
+	"scenario": true, "users": true, "seed": true, "json": true, "check": true,
 }
 
 // validate returns every problem with the flag combination, or nil
@@ -156,6 +191,23 @@ func (rf *runFlags) validate() []string {
 	var problems []string
 	bad := func(format string, args ...any) {
 		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	if rf.scenarioRef != "" {
+		var conflicts []string
+		for name := range rf.setFlags {
+			if !scenarioCompatible[name] {
+				conflicts = append(conflicts, name)
+			}
+		}
+		sort.Strings(conflicts)
+		for _, name := range conflicts {
+			bad("-%s conflicts with -scenario (the scenario owns the workload shape; only -users, -seed, -json and -check compose)", name)
+		}
+		if rf.setFlags["users"] && rf.users <= 0 {
+			bad("-users must be positive, got %d", rf.users)
+		}
+		return problems
 	}
 
 	switch rf.mode {
@@ -310,10 +362,70 @@ func (rf *runFlags) placement() (pocketcloudlets.Placement, error) {
 	return nil, nil
 }
 
+// toSpec lowers the legacy flag surface onto a single-class scenario
+// spec, so the flag path and the -scenario path run through one
+// compiler. The implicit class is tagged "default", which also gives
+// flag runs a per-class report row; per-user outcomes are
+// byte-identical to the pre-scenario flag path.
+func (rf *runFlags) toSpec() *scenario.Spec {
+	spec := &scenario.Spec{
+		Version:        scenario.Version,
+		Mode:           rf.mode,
+		Users:          rf.users,
+		Seed:           rf.seed,
+		Month:          rf.month,
+		Duration:       scenario.Duration(rf.duration),
+		CommunityShare: rf.share,
+		Fleet: scenario.FleetSpec{
+			Shards:           rf.shards,
+			Workers:          rf.workers,
+			Queue:            rf.queue,
+			Radio:            strings.ToLower(rf.radio),
+			Placement:        rf.placementName,
+			VNodes:           rf.vnodes,
+			UserBudgetBytes:  rf.userBudget,
+			FleetBudgetBytes: rf.fleetBudget,
+			Batch: scenario.BatchSpec{
+				Enabled:   rf.batch,
+				Max:       rf.batchMax,
+				Linger:    scenario.Duration(rf.batchLinger),
+				FleetWide: rf.batchWide,
+				Adaptive:  rf.batchAdaptive,
+			},
+		},
+	}
+	cls := scenario.ClassSpec{Name: "default", Share: 1}
+	switch rf.mode {
+	case "open":
+		spec.QPS = rf.qps
+		cls.Arrival = &scenario.ArrivalSpec{
+			Process:      rf.arrivals,
+			RateFraction: 1,
+			PeakTrough:   rf.diurnalPeak,
+		}
+	case "closed":
+		if rf.pace > 0 {
+			cls.Think = &scenario.ThinkSpec{Scale: rf.pace}
+		}
+	}
+	if rf.faults {
+		spec.Faults = &scenario.FaultSpec{
+			Loss:      rf.loss,
+			EngineErr: rf.engineErr,
+			Outage:    rf.outage,
+			Retries:   rf.retries,
+			Seed:      rf.faultSeed,
+		}
+	}
+	spec.Classes = []scenario.ClassSpec{cls}
+	return spec
+}
+
 func main() {
 	var rf runFlags
 	rf.register(flag.CommandLine)
 	flag.Parse()
+	rf.noteSet(flag.CommandLine)
 
 	if problems := rf.validate(); len(problems) > 0 {
 		for _, p := range problems {
@@ -321,16 +433,6 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, "run with -h for usage")
 		os.Exit(2)
-	}
-
-	var tech pocketcloudlets.RadioTech
-	switch strings.ToLower(rf.radio) {
-	case "edge":
-		tech = pocketcloudlets.RadioEDGE
-	case "wifi":
-		tech = pocketcloudlets.RadioWiFi
-	default:
-		tech = pocketcloudlets.Radio3G
 	}
 
 	progress := func(format string, args ...any) {
@@ -343,109 +445,78 @@ func main() {
 		os.Exit(1)
 	}
 
-	progress("building ecosystem: %d users, seed %d...\n", rf.users, rf.seed)
-	ucfg := engine.Config{
-		NavPairs:    24000,
-		NonNavPairs: 120000,
-		NonNavSegments: []engine.Segment{
-			{Queries: 100, ResultsPerQuery: 6},
-			{Queries: 400, ResultsPerQuery: 4},
-			{Queries: 1500, ResultsPerQuery: 3},
-			{Queries: 8000, ResultsPerQuery: 2},
-		},
+	// Both paths — flags and -scenario — compile to the same scenario
+	// spec and run through the same machinery.
+	var (
+		spec   *scenario.Spec
+		source string
+		err    error
+	)
+	if rf.scenarioRef != "" {
+		spec, source, err = scenario.Load(rf.scenarioRef)
+		if err != nil {
+			fail(err)
+		}
+		if rf.setFlags["users"] {
+			spec.Users = rf.users
+		}
+		if rf.setFlags["seed"] {
+			spec.Seed = rf.seed
+		}
+	} else {
+		spec = rf.toSpec()
 	}
+	comp, err := scenario.Compile(spec, source)
+	if err != nil {
+		fail(err)
+	}
+	// The live-resize knobs ride outside the spec: they describe an
+	// operation performed on the fleet during the run, not the workload.
+	comp.Open.ResizeTo, comp.Open.ResizeAt, comp.Open.ResizeDrop = rf.resizeTo, rf.resizeAt, rf.resizeDrop
+	comp.Closed.ResizeTo, comp.Closed.ResizeAt, comp.Closed.ResizeDrop = rf.resizeTo, rf.resizeAt, rf.resizeDrop
+
+	progress("building ecosystem: %d users, seed %d...\n", spec.Users, spec.Seed)
+	ucfg := scenario.UniverseConfig()
 	sim, err := pocketcloudlets.NewSimulation(pocketcloudlets.SimConfig{
-		Seed: rf.seed, Users: rf.users, UniverseConfig: &ucfg,
+		Seed: spec.Seed, Users: spec.Users, UniverseConfig: &ucfg,
 	})
 	if err != nil {
 		fail(err)
 	}
-	content, err := sim.CommunityContent(rf.month-1, rf.share)
+	content, err := sim.CommunityContent(spec.Month-1, spec.CommunityShare)
 	if err != nil {
 		fail(err)
 	}
 	progress("community content: %d pairs covering %.0f%% of volume\n",
 		len(content.Triplets), 100*content.CoveredShare)
 
-	var faultOpts pocketcloudlets.FaultOptions
-	if rf.faults {
-		faultOpts.Enabled = true
-		faultOpts.Seed = rf.faultSeed
-		if faultOpts.Seed == 0 {
-			faultOpts.Seed = rf.seed
-		}
-		faultOpts.LossProb = rf.loss
-		faultOpts.EngineErrProb = rf.engineErr
-		if rf.outage != "" {
-			every, down, windows, err := pocketcloudlets.ParseOutageSpec(rf.outage)
-			if err != nil {
-				fail(err)
-			}
-			faultOpts.OutageEvery, faultOpts.OutageFor, faultOpts.Windows = every, down, windows
-		}
-	}
-
-	place, err := rf.placement()
+	col := pocketcloudlets.NewLoadCollector()
+	fcfg, err := comp.FleetConfig(col)
 	if err != nil {
 		fail(err)
 	}
-
-	col := pocketcloudlets.NewLoadCollector()
-	f, err := sim.NewFleet(content, pocketcloudlets.FleetConfig{
-		Shards:             rf.shards,
-		Workers:            rf.workers,
-		QueueDepth:         rf.queue,
-		Radio:              tech.Params(),
-		PerUserBytes:       rf.userBudget,
-		TotalPersonalBytes: rf.fleetBudget,
-		Placement:          place,
-		Batch: pocketcloudlets.FleetBatchOptions{
-			Enabled:        rf.batch,
-			MaxBatch:       rf.batchMax,
-			Linger:         rf.batchLinger,
-			FleetWide:      rf.batchWide,
-			AdaptiveLinger: rf.batchAdaptive,
-		},
-		Faults:   faultOpts,
-		Retry:    pocketcloudlets.RetryPolicy{MaxAttempts: rf.retries},
-		Observer: col,
-	})
+	f, err := sim.NewFleet(content, fcfg)
 	if err != nil {
 		fail(err)
 	}
 	defer f.Close()
-	progress("fleet up: %d shards (%s placement), %d workers, queue depth %d, radio %s, batching %v, faults %v\n",
-		f.NumShards(), f.PlacementName(), f.NumWorkers(), rf.queue, tech, rf.batch, rf.faults)
+	progress("fleet up: %d shards (%s placement), %d workers, radio %s, batching %v, faults %v\n",
+		f.NumShards(), f.PlacementName(), f.NumWorkers(), spec.Fleet.Radio,
+		spec.Fleet.Batch.Enabled, spec.Faults != nil)
 	if rf.resizeTo > 0 {
 		progress("will live-resize to %d shards %v into the run (drop state: %v)\n",
 			rf.resizeTo, rf.resizeAt, rf.resizeDrop)
 	}
 
-	var report pocketcloudlets.LoadReport
-	switch rf.mode {
+	switch spec.Mode {
 	case "open":
-		kind, kerr := pocketcloudlets.ParseArrivalKind(rf.arrivals)
-		if kerr != nil {
-			fail(kerr)
-		}
-		progress("open loop: %.0f mean QPS (%s arrivals) for %v...\n", rf.qps, kind, rf.duration)
-		report, err = sim.RunOpenLoad(f, col, pocketcloudlets.OpenLoadConfig{
-			QPS: rf.qps, Duration: rf.duration, Month: rf.month, Seed: rf.seed,
-			Arrivals: kind, DiurnalPeak: rf.diurnalPeak,
-			ResizeTo: rf.resizeTo, ResizeAt: rf.resizeAt, ResizeDrop: rf.resizeDrop,
-		})
+		progress("open loop: %.0f mean QPS for %v, %d classes...\n", spec.QPS, spec.Duration.D(), len(spec.Classes))
 	case "closed":
-		if rf.pace > 0 {
-			progress("closed loop: %d concurrent users, paced at %gx model time...\n", rf.users, rf.pace)
-		} else {
-			progress("closed loop: %d concurrent users...\n", rf.users)
-		}
-		report, err = sim.RunClosedLoad(f, col, pocketcloudlets.ClosedLoadConfig{
-			Users: rf.users, Month: rf.month, Duration: rf.duration, Seed: rf.seed,
-			Pace:     pocketcloudlets.Pacer{Scale: rf.pace},
-			ResizeTo: rf.resizeTo, ResizeAt: rf.resizeAt, ResizeDrop: rf.resizeDrop,
-		})
+		progress("closed loop: %d concurrent users, %d classes...\n", spec.Users, len(spec.Classes))
+	case "trace":
+		progress("trace replay: %s...\n", spec.Trace)
 	}
+	report, err := comp.Run(f, col, sim.Generator)
 	if err != nil {
 		fail(err)
 	}
@@ -460,7 +531,13 @@ func main() {
 		fmt.Print(report.String())
 	}
 	if rf.check {
-		if problems := checkReport(report, rf.faults); len(problems) > 0 {
+		faultsOn := spec.Faults != nil
+		for _, cls := range spec.Classes {
+			if cls.Faults != nil {
+				faultsOn = true
+			}
+		}
+		if problems := checkReport(report, faultsOn); len(problems) > 0 {
 			for _, p := range problems {
 				fmt.Fprintf(os.Stderr, "check failed: %s\n", p)
 			}
@@ -499,6 +576,19 @@ func checkReport(r pocketcloudlets.LoadReport, faultsOn bool) []string {
 	if len(r.ShardOccupancy) > 0 && (shardServed != r.Served || shardShed != r.Shed) {
 		problems = append(problems, fmt.Sprintf("shard occupancy sums %d served / %d shed, report says %d / %d",
 			shardServed, shardShed, r.Served, r.Shed))
+	}
+	if len(r.Classes) > 0 {
+		var clsServed, clsShed, clsCanceled uint64
+		for _, cr := range r.Classes {
+			clsServed += cr.Served
+			clsShed += cr.Shed
+			clsCanceled += cr.Canceled
+		}
+		if clsServed != r.Served || clsShed != r.Shed || clsCanceled != r.Canceled {
+			problems = append(problems, fmt.Sprintf(
+				"class rows sum to %d served / %d shed / %d canceled, report says %d / %d / %d",
+				clsServed, clsShed, clsCanceled, r.Served, r.Shed, r.Canceled))
+		}
 	}
 	return problems
 }

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"pocketcloudlets/internal/scenario"
 )
 
 // parse runs the real flag definitions over a command line, so tests
@@ -17,6 +19,7 @@ func parse(t *testing.T, args ...string) *runFlags {
 	if err := fs.Parse(args); err != nil {
 		t.Fatalf("parse %v: %v", args, err)
 	}
+	rf.noteSet(fs)
 	return &rf
 }
 
@@ -121,5 +124,97 @@ func TestResizeFlagDefaults(t *testing.T) {
 	rf := parse(t)
 	if rf.resizeTo != 0 || rf.resizeAt != time.Second || rf.resizeDrop {
 		t.Errorf("resize defaults changed: %+v", rf)
+	}
+}
+
+func TestScenarioFlagConflicts(t *testing.T) {
+	// Every workload-shaping flag conflicts with -scenario; each
+	// conflict names the flag so the fix is obvious.
+	conflicting := [][]string{
+		{"-mode", "closed"},
+		{"-qps", "500"},
+		{"-duration", "1s"},
+		{"-arrivals", "diurnal"},
+		{"-pace", "0.1"},
+		{"-shards", "4"},
+		{"-workers", "2"},
+		{"-queue", "64"},
+		{"-share", "0.4"},
+		{"-month", "2"},
+		{"-radio", "wifi"},
+		{"-placement", "ring"},
+		{"-batch"},
+		{"-faults"},
+		{"-loss", "0.1"},
+		{"-resize-to", "4"},
+	}
+	for _, extra := range conflicting {
+		args := append([]string{"-scenario", "flash-crowd"}, extra...)
+		problems := parse(t, args...).validate()
+		found := false
+		for _, p := range problems {
+			if strings.Contains(p, extra[0]+" conflicts with -scenario") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("args %v: problems %v do not flag the %s conflict", args, problems, extra[0])
+		}
+	}
+}
+
+func TestScenarioFlagComposition(t *testing.T) {
+	// -users, -seed, -json and -check compose with -scenario.
+	ok := [][]string{
+		{"-scenario", "flash-crowd"},
+		{"-scenario", "mixed-fleet", "-users", "200", "-seed", "7"},
+		{"-scenario", "commuter", "-json", "-check"},
+	}
+	for _, args := range ok {
+		if problems := parse(t, args...).validate(); len(problems) != 0 {
+			t.Errorf("args %v should validate, got %v", args, problems)
+		}
+	}
+	problems := parse(t, "-scenario", "commuter", "-users", "0").validate()
+	if len(problems) == 0 {
+		t.Error("-scenario with -users 0 should fail")
+	}
+}
+
+func TestToSpecCompiles(t *testing.T) {
+	// The flag funnel must produce a spec the scenario compiler
+	// accepts, for both modes and with the kitchen sink on.
+	cases := [][]string{
+		{},
+		{"-mode", "closed", "-duration", "0", "-pace", "0.01"},
+		{"-arrivals", "diurnal", "-diurnal-peak", "6"},
+		{"-mode", "closed", "-faults", "-loss", "0.3", "-outage", "6s/30s", "-retries", "3",
+			"-batch", "-batchadaptive"},
+		{"-placement", "ring", "-vnodes", "64"},
+	}
+	for _, args := range cases {
+		rf := parse(t, args...)
+		if problems := rf.validate(); len(problems) != 0 {
+			t.Fatalf("args %v should validate, got %v", args, problems)
+		}
+		spec := rf.toSpec()
+		comp, err := scenario.Compile(spec, "")
+		if err != nil {
+			t.Errorf("args %v: compiled spec rejected: %v", args, err)
+			continue
+		}
+		if len(spec.Classes) != 1 || spec.Classes[0].Name != "default" {
+			t.Errorf("args %v: flag funnel should produce one \"default\" class, got %+v", args, spec.Classes)
+		}
+		switch rf.mode {
+		case "open":
+			if comp.Open.ClassTag != "default" {
+				t.Errorf("args %v: open class tag %q", args, comp.Open.ClassTag)
+			}
+		case "closed":
+			if comp.Closed.ClassTag != "default" {
+				t.Errorf("args %v: closed class tag %q", args, comp.Closed.ClassTag)
+			}
+		}
 	}
 }

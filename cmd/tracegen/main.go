@@ -2,6 +2,17 @@
 // plain-text interchange format of internal/searchlog — the stand-in
 // for the paper's m.bing.com logs. The output can be analyzed with
 // cmd/logstats.
+//
+// With -scenario <file|preset>, tracegen instead materializes the
+// scenario's open-loop arrival schedule as a replayable request trace
+// (internal/scenario trace format): every arrival with its release
+// offset, user, SLO-class tag, query and click. The trace is drawn
+// against the same corpus cmd/loadtest builds, so
+//
+//	tracegen -scenario flash-crowd -o crowd.trace
+//	loadtest -scenario replay.json        # {"mode": "trace", "trace": "crowd.trace", ...}
+//
+// replays byte-identical per-user requests, run after run.
 package main
 
 import (
@@ -11,45 +22,81 @@ import (
 	"os"
 
 	"pocketcloudlets/internal/engine"
+	"pocketcloudlets/internal/scenario"
 	"pocketcloudlets/internal/searchlog"
 	"pocketcloudlets/internal/workload"
 )
 
 func main() {
 	var (
-		users = flag.Int("users", 2000, "population size")
-		seed  = flag.Int64("seed", 1, "generator seed")
-		month = flag.Int("month", 0, "month index to generate")
-		out   = flag.String("o", "-", "output file (- for stdout)")
+		users   = flag.Int("users", 2000, "population size (ignored with -scenario; use the spec or loadtest -users)")
+		seed    = flag.Int64("seed", 1, "generator seed (ignored with -scenario)")
+		month   = flag.Int("month", 0, "month index to generate (ignored with -scenario)")
+		scenRef = flag.String("scenario", "", "materialize this scenario's open-loop schedule as a replayable trace instead of a search log")
+		out     = flag.String("o", "-", "output file (- for stdout)")
 	)
 	flag.Parse()
 
-	u := engine.MustUniverse(engine.DefaultConfig())
-	g, err := workload.New(workload.DefaultConfig(u, *users, *seed))
-	if err != nil {
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	log := g.MonthLog(*month)
 
 	w := os.Stdout
 	if *out != "-" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		defer f.Close()
 		w = f
 	}
+
+	if *scenRef != "" {
+		spec, source, err := scenario.Load(*scenRef)
+		if err != nil {
+			fail(err)
+		}
+		comp, err := scenario.Compile(spec, source)
+		if err != nil {
+			fail(err)
+		}
+		// The corpus must match cmd/loadtest's, or the recorded queries
+		// would not exist in the replaying fleet's universe.
+		ucfg := scenario.UniverseConfig()
+		u, err := engine.NewUniverse(ucfg)
+		if err != nil {
+			fail(err)
+		}
+		g, err := workload.New(workload.DefaultConfig(u, spec.Users, spec.Seed))
+		if err != nil {
+			fail(err)
+		}
+		events, err := comp.Materialize(g)
+		if err != nil {
+			fail(err)
+		}
+		if err := scenario.WriteTrace(w, events); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d trace events (%s, %d users, seed %d)\n",
+			len(events), source, spec.Users, spec.Seed)
+		return
+	}
+
+	u := engine.MustUniverse(engine.DefaultConfig())
+	g, err := workload.New(workload.DefaultConfig(u, *users, *seed))
+	if err != nil {
+		fail(err)
+	}
+	log := g.MonthLog(*month)
+
 	bw := bufio.NewWriter(w)
 	if err := searchlog.Write(bw, log, u); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
 	}
 	if err := bw.Flush(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d entries (%d users, month %d)\n", len(log.Entries), *users, *month)
 }

@@ -295,7 +295,7 @@ func (d *dispatcher) run() {
 // shards in submission order.
 func (d *dispatcher) execute(batch []*missTask) {
 	f := d.f
-	if f.inj != nil {
+	if f.faulted {
 		d.executeFaulted(batch)
 		return
 	}

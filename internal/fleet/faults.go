@@ -143,7 +143,7 @@ func (sh *shard) planCtxLocked(st *userState, uid searchlog.UserID, qh, ch uint6
 	warm := st.cache.Device().Link().State() != radio.Idle
 	return missCtx{
 		qh: qh, ch: ch,
-		plan: faults.PlanMiss(sh.inj, sh.retry, sh.link, st.clock.Now(), warm, uint64(uid), qh, st.missSeq),
+		plan: faults.PlanMiss(st.inj, st.retry, st.link, st.clock.Now(), warm, uint64(uid), qh, st.missSeq),
 	}
 }
 
@@ -214,11 +214,11 @@ func (sh *shard) completeFaultedMiss(req Request, mc missCtx) Response {
 	st.clock.Observe()
 	resp.EnergyJ = st.cache.Device().Config().BasePower * resp.Outcome.ResponseTime().Seconds()
 	if resp.Err == nil {
-		resp.RadioJ = sh.link.ActiveEnergy(resp.Outcome.Radio.RadioActive + mc.plan.FailedActive)
+		resp.RadioJ = st.link.ActiveEnergy(resp.Outcome.Radio.RadioActive + mc.plan.FailedActive)
 		if !resp.Outcome.Radio.WasWarm {
 			cold++
 		}
-		resp.RadioJ += float64(cold) * sh.link.TailEnergy()
+		resp.RadioJ += float64(cold) * st.link.TailEnergy()
 		resp.EnergyJ += resp.RadioJ
 	}
 	return resp
@@ -261,7 +261,7 @@ func (sh *shard) degradeLocked(st *userState, req Request, mc missCtx, cold int)
 	resp.Outcome = out
 	st.served++
 	st.clock.Observe()
-	resp.RadioJ = sh.link.ActiveEnergy(mc.plan.FailedActive) + float64(cold)*sh.link.TailEnergy()
+	resp.RadioJ = st.link.ActiveEnergy(mc.plan.FailedActive) + float64(cold)*st.link.TailEnergy()
 	resp.EnergyJ = dev.Config().BasePower*out.ResponseTime().Seconds() + resp.RadioJ
 	return resp
 }
@@ -291,9 +291,9 @@ func (sh *shard) applyFaultedBatched(req Request, eresp engine.SearchResponse, f
 	sh.recordExpansion(st, req.User, mc.qh, mc.ch, before)
 	st.served++
 	st.clock.Observe()
-	resp.RadioJ = bt.ItemRadioEnergy(sh.link, slot) +
-		sh.link.ActiveEnergy(mc.plan.FailedActive) +
-		float64(cold)*sh.link.TailEnergy()
+	resp.RadioJ = bt.ItemRadioEnergy(st.link, slot) +
+		st.link.ActiveEnergy(mc.plan.FailedActive) +
+		float64(cold)*st.link.TailEnergy()
 	resp.EnergyJ = st.cache.Device().Config().BasePower*resp.Outcome.ResponseTime().Seconds() + resp.RadioJ
 	return resp
 }

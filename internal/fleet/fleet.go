@@ -119,6 +119,12 @@ type Request struct {
 	User  searchlog.UserID
 	Query string
 	Click string
+	// Class is an optional SLO-class tag stamped by the load generator
+	// (the scenario layer's client class). It rides through serving
+	// unchanged — it never affects routing or outcomes — and reaches
+	// the Observer on every response, including shed and canceled ones,
+	// so reports can break counters down per class.
+	Class string
 }
 
 // Response describes how one request was (or was not) served.
@@ -229,11 +235,112 @@ type Config struct {
 	Retry faults.RetryPolicy
 	// Breaker configures the per-shard circuit breaker that stops
 	// wall-clock retry pacing against a persistently dead link. It
-	// never alters modeled outcomes. Ignored unless Faults.Enabled.
+	// never alters modeled outcomes. Ignored unless fault injection is
+	// on for the fleet or any cohort.
 	Breaker BreakerOptions
+	// Cohorts describe population slices whose devices differ from the
+	// fleet-wide defaults — a different radio tier, their own fault
+	// profile, their own retry policy. The scenario layer compiles its
+	// client classes down to these. Empty means every user runs the
+	// fleet-wide Radio/Faults/Retry exactly as before.
+	Cohorts []Cohort
+	// CohortOf maps a user to an index into Cohorts; a negative or
+	// out-of-range index selects the fleet-wide defaults. It must be a
+	// pure function of the user ID: resharding re-resolves a migrated
+	// user's cohort on import, so an impure function would change the
+	// user's device mid-run. Required when Cohorts is non-empty.
+	CohortOf func(searchlog.UserID) int
 	// Observer, when non-nil, receives every response (completed or
 	// shed). It must be safe for concurrent use.
 	Observer Observer
+}
+
+// Cohort overrides per-device serving parameters for one slice of the
+// user population. Zero-valued fields inherit the fleet-wide Config.
+type Cohort struct {
+	// Name labels the cohort in diagnostics; it has no serving effect.
+	Name string
+	// Radio is the cohort's device radio tier. The zero value inherits
+	// Config.Radio. Heterogeneous radios and miss batching do not
+	// compose: the shared session is priced on Config.Radio, so callers
+	// (the scenario compiler does) must keep radios uniform when
+	// Batch.Enabled.
+	Radio radio.Params
+	// Faults overrides fault injection for the cohort's users. Nil
+	// inherits the fleet-wide Config.Faults; non-nil with Enabled false
+	// disables injection for the cohort even when the fleet has faults
+	// on; non-nil with Enabled true gives the cohort its own injector.
+	Faults *faults.Options
+	// Retry overrides the modeled retry ladder for the cohort's cloud
+	// misses. Nil inherits Config.Retry. Wall-clock pacing
+	// (WallPauseScale/MaxWallPause) stays governed by the fleet-wide
+	// policy either way.
+	Retry *faults.RetryPolicy
+}
+
+// cohortRT is a cohort's resolved runtime: what a user's device is
+// actually built with.
+type cohortRT struct {
+	link  radio.Params
+	inj   *faults.Injector
+	retry faults.RetryPolicy
+}
+
+// cohortTable resolves users to their cohort runtime. Immutable after
+// New, so shards share it lock-free.
+type cohortTable struct {
+	def     cohortRT
+	cohorts []cohortRT
+	of      func(searchlog.UserID) int
+	// faulted reports whether any injector (fleet-wide or cohort) is
+	// live — the one flag every fault branch checks so the layer stays
+	// provably zero-cost when nothing injects.
+	faulted bool
+}
+
+// resolve returns the runtime for one user. Pure: same uid, same
+// answer, on every shard, forever — the migration-safety contract.
+func (ct *cohortTable) resolve(uid searchlog.UserID) cohortRT {
+	if ct.of == nil || len(ct.cohorts) == 0 {
+		return ct.def
+	}
+	if i := ct.of(uid); i >= 0 && i < len(ct.cohorts) {
+		return ct.cohorts[i]
+	}
+	return ct.def
+}
+
+// buildCohortTable resolves Config.Cohorts against the fleet defaults.
+// cfg must already have defaults applied.
+func buildCohortTable(cfg Config, inj *faults.Injector) (*cohortTable, error) {
+	if len(cfg.Cohorts) > 0 && cfg.CohortOf == nil {
+		return nil, fmt.Errorf("fleet: %d cohorts configured without CohortOf", len(cfg.Cohorts))
+	}
+	ct := &cohortTable{
+		def:     cohortRT{link: cfg.Radio, inj: inj, retry: cfg.Retry},
+		of:      cfg.CohortOf,
+		faulted: inj != nil,
+	}
+	for _, co := range cfg.Cohorts {
+		rt := ct.def
+		if co.Radio.Name != "" {
+			rt.link = co.Radio
+		}
+		if co.Faults != nil {
+			rt.inj = nil
+			if co.Faults.Enabled {
+				rt.inj = faults.New(*co.Faults)
+			}
+		}
+		if co.Retry != nil {
+			rt.retry = co.Retry.WithDefaults()
+		}
+		if rt.inj != nil {
+			ct.faulted = true
+		}
+		ct.cohorts = append(ct.cohorts, rt)
+	}
+	return ct, nil
 }
 
 func (c Config) withDefaults() Config {
@@ -305,10 +412,15 @@ type Fleet struct {
 	// makespan of everything served is one atomic read away.
 	tl *modeltime.Timeline
 
-	// inj is the connectivity-fault injector; nil when fault injection
-	// is disabled, which every fault branch checks first so the layer
-	// is provably zero-cost when off.
-	inj *faults.Injector
+	// inj is the fleet-wide connectivity-fault injector; nil when
+	// fault injection is disabled. cohorts resolves each user to the
+	// runtime (radio link, injector, retry policy) their device is
+	// built with; faulted caches whether any injector — fleet-wide or
+	// per-cohort — is live, which every fault branch checks first so
+	// the layer is provably zero-cost when nothing injects.
+	inj     *faults.Injector
+	cohorts *cohortTable
+	faulted bool
 
 	// mu guards closed against concurrent Submit/Do/Close, and — held
 	// exclusively — fences route publications: enqueue computes a
@@ -375,8 +487,14 @@ func New(cfg Config) (*Fleet, error) {
 	if cfg.Faults.Enabled {
 		f.inj = faults.New(cfg.Faults)
 	}
+	ct, err := buildCohortTable(cfg, f.inj)
+	if err != nil {
+		return nil, err
+	}
+	f.cohorts = ct
+	f.faulted = ct.faulted
 
-	shards, err := buildShards(cfg, f.inj, f.tl, 0, cfg.Shards)
+	shards, err := buildShards(cfg, ct, f.tl, 0, cfg.Shards)
 	if err != nil {
 		return nil, err
 	}
@@ -415,7 +533,7 @@ func New(cfg Config) (*Fleet, error) {
 
 // buildShards constructs shards [lo, hi) in parallel (community
 // replicas preload the shared content, the expensive part).
-func buildShards(cfg Config, inj *faults.Injector, tl *modeltime.Timeline, lo, hi int) ([]*shard, error) {
+func buildShards(cfg Config, ct *cohortTable, tl *modeltime.Timeline, lo, hi int) ([]*shard, error) {
 	shards := make([]*shard, hi-lo)
 	errs := make([]error, hi-lo)
 	var build sync.WaitGroup
@@ -423,7 +541,7 @@ func buildShards(cfg Config, inj *faults.Injector, tl *modeltime.Timeline, lo, h
 		build.Add(1)
 		go func(i int) {
 			defer build.Done()
-			shards[i], errs[i] = newShard(lo+i, cfg, inj, tl)
+			shards[i], errs[i] = newShard(lo+i, cfg, ct, tl)
 		}(i)
 	}
 	build.Wait()
@@ -491,7 +609,7 @@ func (f *Fleet) process(t task) {
 	}
 	tp := f.topo.Load()
 	if len(tp.dispatchers) == 0 {
-		if f.inj != nil {
+		if f.faulted {
 			f.serveFaulted(t)
 			return
 		}
@@ -843,6 +961,33 @@ func (f *Fleet) MeanUserHitRate() float64 {
 		sum += r.rate
 	}
 	return sum / float64(len(rates))
+}
+
+// UserServeCount is one resident user's serving tally — the unit of
+// the per-user determinism contract (same seed, same scenario, same
+// counts, regardless of worker interleaving or resharding).
+type UserServeCount struct {
+	User   searchlog.UserID
+	Served int64
+	Hits   int64
+	// Bytes is the user's personal flash footprint.
+	Bytes int64
+}
+
+// UserServeCounts snapshots every resident user's serving counters in
+// user-ID order. Determinism tests deep-compare two runs' slices; the
+// sort makes the comparison independent of shard layout.
+func (f *Fleet) UserServeCounts() []UserServeCount {
+	var out []UserServeCount
+	for _, sh := range f.topo.Load().shards {
+		sh.mu.Lock()
+		for uid, st := range sh.users {
+			out = append(out, UserServeCount{User: uid, Served: st.served, Hits: st.hits, Bytes: st.bytes})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].User < out[j].User })
+	return out
 }
 
 // CommunityStats aggregates the activity counters of every shard's

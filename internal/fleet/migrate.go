@@ -174,7 +174,7 @@ func (f *Fleet) ResizeWith(n int, opts ResizeOptions) (ResizeStats, error) {
 	// the budget.
 	tp := f.topo.Load()
 	if n > n1 {
-		grown, err := buildShards(f.cfg, f.inj, f.tl, n1, n)
+		grown, err := buildShards(f.cfg, f.cohorts, f.tl, n1, n)
 		if err != nil {
 			return st, err
 		}

@@ -46,6 +46,15 @@ type userState struct {
 	// budget enforcer can find this user's lowest-utility items without
 	// scanning the whole shard.
 	refs map[uint64]evictRef
+	// link, inj and retry are the user's resolved cohort runtime: the
+	// radio tier their device was built with, the fault injector their
+	// cloud misses draw from (nil when nothing injects for them), and
+	// the retry ladder those misses walk. Resolved once in shard.user —
+	// a pure function of the user ID, so a migrated user re-resolves to
+	// the same runtime on the destination shard.
+	link  radio.Params
+	inj   *faults.Injector
+	retry faults.RetryPolicy
 }
 
 // evictRef locates one personal record for eviction bookkeeping.
@@ -65,19 +74,19 @@ type shard struct {
 	id   int
 	eng  *engine.Engine
 	opts pocketsearch.Options
-	link radio.Params
 	// perUserBytes caps each user's personal flash footprint; zero
 	// means unlimited. Enforcement is deterministic: it runs after the
 	// expansion that crossed the cap, evicting that user's
 	// lowest-utility records first.
 	perUserBytes int64
-	// inj is the fleet's fault injector (nil when fault injection is
-	// off); retry is the resolved retry policy and brk the shard's
-	// circuit breaker (nil unless faults are on and the breaker is
-	// enabled).
-	inj   *faults.Injector
-	retry faults.RetryPolicy
-	brk   *breaker
+	// cohorts resolves each resident user to their device runtime
+	// (radio link, fault injector, retry policy); faulted mirrors
+	// Fleet.faulted so the serve paths branch on one bool. brk is the
+	// shard's circuit breaker (nil unless something injects and the
+	// breaker is enabled).
+	cohorts *cohortTable
+	faulted bool
+	brk     *breaker
 	// tl is the fleet-wide model timeline every resident user's clock
 	// registers on; commClock is the community replica's own clock view
 	// (community hits advance the replica's device, not the user's).
@@ -125,10 +134,11 @@ func itemKey(uid searchlog.UserID, resultHash uint64) uint64 {
 // newShard builds one shard: a community cache replica preloaded with
 // the shared content (provisioned overnight, so its model clock is
 // reset afterwards) and an empty user map.
-func newShard(id int, cfg Config, inj *faults.Injector, tl *modeltime.Timeline) (*shard, error) {
+func newShard(id int, cfg Config, ct *cohortTable, tl *modeltime.Timeline) (*shard, error) {
 	commOpts := cfg.Options
 	// The community replica is shared by every user of the shard, so
-	// it must never absorb one user's personalization.
+	// it must never absorb one user's personalization — and it runs on
+	// the fleet-wide radio tier regardless of cohorts.
 	commOpts.DisablePersonalization = true
 	dev := device.New(device.Config{}, cfg.Radio, flashsim.Params{})
 	community, err := pocketsearch.Build(dev, cfg.Engine, cfg.Content, commOpts)
@@ -140,10 +150,9 @@ func newShard(id int, cfg Config, inj *faults.Injector, tl *modeltime.Timeline) 
 		id:           id,
 		eng:          cfg.Engine,
 		opts:         cfg.Options,
-		link:         cfg.Radio,
 		perUserBytes: cfg.PerUserBytes,
-		inj:          inj,
-		retry:        cfg.Retry,
+		cohorts:      ct,
+		faulted:      ct.faulted,
 		tl:           tl,
 		commClock:    tl.UserClock(dev),
 		community:    community,
@@ -152,7 +161,7 @@ func newShard(id int, cfg Config, inj *faults.Injector, tl *modeltime.Timeline) 
 		pendingMiss:  make(map[searchlog.UserID]*missTask),
 		holds:        make(map[searchlog.UserID]*holdQueue),
 	}
-	if inj != nil {
+	if ct.faulted {
 		sh.brk = newBreaker(cfg.Breaker)
 	}
 	return sh, nil
@@ -163,12 +172,20 @@ func (sh *shard) user(uid searchlog.UserID) (*userState, error) {
 	if st, ok := sh.users[uid]; ok {
 		return st, nil
 	}
-	dev := device.New(device.Config{}, sh.link, flashsim.Params{})
+	rt := sh.cohorts.resolve(uid)
+	dev := device.New(device.Config{}, rt.link, flashsim.Params{})
 	cache, err := pocketsearch.New(dev, sh.eng, sh.opts)
 	if err != nil {
 		return nil, err
 	}
-	st := &userState{cache: cache, clock: sh.tl.UserClock(dev), refs: make(map[uint64]evictRef)}
+	st := &userState{
+		cache: cache,
+		clock: sh.tl.UserClock(dev),
+		refs:  make(map[uint64]evictRef),
+		link:  rt.link,
+		inj:   rt.inj,
+		retry: rt.retry,
+	}
 	sh.users[uid] = st
 	return st, nil
 }
@@ -247,7 +264,7 @@ func (sh *shard) routeBatched(t task) (resp Response, miss, waitFor *missTask) {
 		return sh.serveLocked(st, t.req, qh, ch, tier), nil, nil
 	}
 	mt := &missTask{t: t, done: make(chan struct{})}
-	if sh.inj != nil {
+	if sh.faulted {
 		// Plan the miss's whole fault ladder now, against the user's
 		// current model clock: the clock cannot move before the miss is
 		// applied (pendingMiss blocks the user's next request), so the
@@ -281,7 +298,7 @@ func (sh *shard) applyBatchedMiss(req Request, eresp engine.SearchResponse, foun
 	sh.recordExpansion(st, req.User, qh, ch, before)
 	st.served++
 	st.clock.Observe()
-	resp.RadioJ = bt.ItemRadioEnergy(sh.link, i)
+	resp.RadioJ = bt.ItemRadioEnergy(st.link, i)
 	resp.EnergyJ = st.cache.Device().Config().BasePower*resp.Outcome.ResponseTime().Seconds() + resp.RadioJ
 	return resp
 }
@@ -312,9 +329,9 @@ func (sh *shard) accountLocked(st *userState, resp *Response) {
 	}
 	resp.EnergyJ = st.cache.Device().Config().BasePower * resp.Outcome.ResponseTime().Seconds()
 	if resp.Source == SourceCloud && resp.Err == nil {
-		resp.RadioJ = sh.link.ActiveEnergy(resp.Outcome.Radio.RadioActive)
+		resp.RadioJ = st.link.ActiveEnergy(resp.Outcome.Radio.RadioActive)
 		if !resp.Outcome.Radio.WasWarm {
-			resp.RadioJ += sh.link.TailEnergy()
+			resp.RadioJ += st.link.TailEnergy()
 		}
 		resp.EnergyJ += resp.RadioJ
 	}

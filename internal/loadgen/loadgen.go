@@ -50,6 +50,7 @@ import (
 	"pocketcloudlets/internal/fleet"
 	"pocketcloudlets/internal/modeltime"
 	"pocketcloudlets/internal/replay"
+	"pocketcloudlets/internal/searchlog"
 	"pocketcloudlets/internal/workload"
 )
 
@@ -72,47 +73,83 @@ type counters struct {
 	batchedMisses uint64
 }
 
+func newCounters() *counters {
+	return &counters{bySource: make(map[fleet.Source]uint64)}
+}
+
+// observe books one response into the aggregate. Caller holds the
+// collector lock.
+func (c *counters) observe(r fleet.Response) {
+	if r.Canceled {
+		c.canceled++
+		return
+	}
+	if r.Shed {
+		c.shed++
+		return
+	}
+	if r.Err != nil {
+		c.errors++
+		return
+	}
+	c.wall.Observe(r.Wall)
+	c.model.Observe(r.Outcome.ResponseTime())
+	c.bySource[r.Source]++
+	c.energyJ += r.EnergyJ
+	c.radioJ += r.RadioJ
+	if r.Source == fleet.SourceCloud {
+		c.missRadioJ += r.RadioJ
+		if r.BatchSize > 0 {
+			c.batchedMisses++
+		} else if !r.Outcome.Radio.WasWarm {
+			c.wakeups++
+		}
+	}
+}
+
+// clone deep-copies the aggregate (histograms are values; only the
+// source map needs copying).
+func (c *counters) clone() *counters {
+	s := *c
+	s.bySource = make(map[fleet.Source]uint64, len(c.bySource))
+	for k, v := range c.bySource {
+		s.bySource[k] = v
+	}
+	return &s
+}
+
 // Collector aggregates fleet responses into histograms and counters.
 // Install it as the fleet's Observer (fleet.Config.Observer) before
-// running a load phase. Observe is safe for concurrent use.
+// running a load phase. Observe is safe for concurrent use. Responses
+// carrying a Request.Class tag are additionally booked into a
+// per-class aggregate, which reports surface as per-SLO-class
+// breakdowns.
 type Collector struct {
-	mu sync.Mutex
-	c  counters
+	mu      sync.Mutex
+	c       counters
+	byClass map[string]*counters
 }
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
-	return &Collector{c: counters{bySource: make(map[fleet.Source]uint64)}}
+	return &Collector{c: *newCounters()}
 }
 
 // Observe implements fleet.Observer.
 func (c *Collector) Observe(r fleet.Response) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if r.Canceled {
-		c.c.canceled++
-		return
-	}
-	if r.Shed {
-		c.c.shed++
-		return
-	}
-	if r.Err != nil {
-		c.c.errors++
-		return
-	}
-	c.c.wall.Observe(r.Wall)
-	c.c.model.Observe(r.Outcome.ResponseTime())
-	c.c.bySource[r.Source]++
-	c.c.energyJ += r.EnergyJ
-	c.c.radioJ += r.RadioJ
-	if r.Source == fleet.SourceCloud {
-		c.c.missRadioJ += r.RadioJ
-		if r.BatchSize > 0 {
-			c.c.batchedMisses++
-		} else if !r.Outcome.Radio.WasWarm {
-			c.c.wakeups++
+	c.c.observe(r)
+	if cls := r.Req.Class; cls != "" {
+		cc := c.byClass[cls]
+		if cc == nil {
+			if c.byClass == nil {
+				c.byClass = make(map[string]*counters)
+			}
+			cc = newCounters()
+			c.byClass[cls] = cc
 		}
+		cc.observe(r)
 	}
 }
 
@@ -120,30 +157,40 @@ func (c *Collector) Observe(r fleet.Response) {
 func (c *Collector) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.c = counters{bySource: make(map[fleet.Source]uint64)}
+	c.c = *newCounters()
+	c.byClass = nil
 }
 
 // snapshot copies the collector state.
 func (c *Collector) snapshot() counters {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	s := c.c
-	s.bySource = make(map[fleet.Source]uint64, len(c.c.bySource))
-	for k, v := range c.c.bySource {
-		s.bySource[k] = v
+	return *c.c.clone()
+}
+
+// classSnapshot copies the per-class aggregates.
+func (c *Collector) classSnapshot() map[string]*counters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]*counters, len(c.byClass))
+	for k, v := range c.byClass {
+		out[k] = v.clone()
 	}
-	return s
+	return out
 }
 
 // Report is the machine-readable result of one load phase. Counters
 // and the modeled-latency summary are deterministic given the workload
 // seed (when nothing was shed); wall-clock figures are measurements.
 type Report struct {
-	Mode    string `json:"mode"`
-	Seed    int64  `json:"seed"`
-	Users   int    `json:"users"`
-	Shards  int    `json:"shards"`
-	Workers int    `json:"workers"`
+	Mode string `json:"mode"`
+	// Scenario names the scenario (file or preset) that produced the
+	// run; empty for plain flag-driven runs.
+	Scenario string `json:"scenario,omitempty"`
+	Seed     int64  `json:"seed"`
+	Users    int    `json:"users"`
+	Shards   int    `json:"shards"`
+	Workers  int    `json:"workers"`
 
 	Requests uint64 `json:"requests"`
 	Served   uint64 `json:"served"`
@@ -260,9 +307,84 @@ type Report struct {
 	DroppedUsers           int64 `json:"dropped_users,omitempty"`
 	HeldRequests           int64 `json:"held_requests,omitempty"`
 
+	// Classes breaks the run down per SLO class when requests were
+	// tagged (scenario runs): latency histograms, per-tier counters and
+	// energy deltas per class, sorted by class name. Sourced from the
+	// collector, so it covers exactly the observed responses.
+	Classes []ClassReport `json:"classes,omitempty"`
+
 	// Outcomes carries per-user accounting for further analysis
 	// (closed loop only; not serialized).
 	Outcomes []replay.UserOutcome `json:"-"`
+}
+
+// ClassReport is one SLO class's slice of a tagged run: the same
+// headline counters, latency summaries and energy sums as the
+// fleet-wide report, restricted to responses carrying the class tag.
+type ClassReport struct {
+	Class    string `json:"class"`
+	Requests uint64 `json:"requests"`
+	// Served counts completed requests including errored ones, matching
+	// the fleet-wide convention.
+	Served   uint64 `json:"served"`
+	Shed     uint64 `json:"shed"`
+	Errors   uint64 `json:"errors,omitempty"`
+	Canceled uint64 `json:"canceled,omitempty"`
+
+	PersonalHits  uint64 `json:"personal_hits"`
+	CommunityHits uint64 `json:"community_hits"`
+	CloudMisses   uint64 `json:"cloud_misses"`
+	Degraded      uint64 `json:"degraded,omitempty"`
+	Unavailable   uint64 `json:"unavailable,omitempty"`
+
+	HitRate      float64 `json:"hit_rate"`
+	ShedRate     float64 `json:"shed_rate"`
+	AnsweredRate float64 `json:"answered_rate"`
+
+	Wall  LatencySummary `json:"wall_latency"`
+	Model LatencySummary `json:"model_latency"`
+
+	EnergyJ             float64 `json:"energy_j"`
+	EnergyPerQueryJ     float64 `json:"energy_per_query_j"`
+	RadioEnergyJ        float64 `json:"radio_energy_j"`
+	RadioEnergyPerMissJ float64 `json:"radio_energy_per_miss_j"`
+}
+
+// classReport folds one class's counters into its report row.
+func classReport(name string, c *counters) ClassReport {
+	observed := c.bySource[fleet.SourcePersonal] + c.bySource[fleet.SourceCommunity] + c.bySource[fleet.SourceCloud] +
+		c.bySource[fleet.SourceDegraded] + c.bySource[fleet.SourceUnavailable]
+	cr := ClassReport{
+		Class:         name,
+		Served:        observed + c.errors,
+		Shed:          c.shed,
+		Errors:        c.errors,
+		Canceled:      c.canceled,
+		PersonalHits:  c.bySource[fleet.SourcePersonal],
+		CommunityHits: c.bySource[fleet.SourceCommunity],
+		CloudMisses:   c.bySource[fleet.SourceCloud],
+		Degraded:      c.bySource[fleet.SourceDegraded],
+		Unavailable:   c.bySource[fleet.SourceUnavailable],
+		Wall:          c.wall.Summary(),
+		Model:         c.model.Summary(),
+		EnergyJ:       c.energyJ,
+		RadioEnergyJ:  c.radioJ,
+	}
+	cr.Requests = cr.Served + cr.Shed + cr.Canceled
+	if cr.Served > 0 {
+		cr.HitRate = float64(cr.PersonalHits+cr.CommunityHits) / float64(cr.Served)
+		cr.AnsweredRate = float64(cr.Served-cr.Unavailable) / float64(cr.Served)
+	}
+	if cr.Requests > 0 {
+		cr.ShedRate = float64(cr.Shed) / float64(cr.Requests)
+	}
+	if observed > 0 {
+		cr.EnergyPerQueryJ = c.energyJ / float64(observed)
+	}
+	if misses := cr.CloudMisses; misses > 0 {
+		cr.RadioEnergyPerMissJ = c.missRadioJ / float64(misses)
+	}
+	return cr
 }
 
 // ShardOccupancy is one shard's row in Report.ShardOccupancy.
@@ -296,7 +418,11 @@ func (r Report) JSON() ([]byte, error) {
 // String renders a human-readable summary.
 func (r Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s load: %d requests in %v (%.0f served QPS", r.Mode, r.Requests, time.Duration(r.ElapsedNS).Round(time.Millisecond), r.ServedQPS)
+	mode := r.Mode
+	if r.Scenario != "" {
+		mode = fmt.Sprintf("%s [scenario %s]", r.Mode, r.Scenario)
+	}
+	fmt.Fprintf(&b, "%s load: %d requests in %v (%.0f served QPS", mode, r.Requests, time.Duration(r.ElapsedNS).Round(time.Millisecond), r.ServedQPS)
 	if r.OfferedQPS > 0 {
 		fmt.Fprintf(&b, ", %.0f offered", r.OfferedQPS)
 	}
@@ -358,6 +484,11 @@ func (r Report) String() string {
 	if r.Batches > 0 {
 		fmt.Fprintf(&b, "  batching: %d misses in %d sessions (mean size %.2f)\n",
 			r.BatchedMisses, r.Batches, r.MeanBatchSize)
+	}
+	for _, cr := range r.Classes {
+		fmt.Fprintf(&b, "  class %-12s %6d req  served %6d  hit %5.1f%%  shed %5.2f%%  model p99 %s  energy %.1f J\n",
+			cr.Class, cr.Requests, cr.Served, 100*cr.HitRate, 100*cr.ShedRate,
+			ms(cr.Model.P99NS), cr.EnergyJ)
 	}
 	fmt.Fprintf(&b, "  personal flash %d bytes across %d resident users\n", r.PersonalBytes, r.ResidentUsers)
 	if len(r.ShardOccupancy) > 0 {
@@ -466,6 +597,18 @@ func fill(r *Report, f *fleet.Fleet, col *Collector, before fleet.Stats, beforeB
 	r.MigrationTransferBytes = mig.TransferBytes - beforeMig.TransferBytes
 	r.DroppedUsers = mig.DroppedUsers - beforeMig.DroppedUsers
 	r.HeldRequests = mig.HeldRequests - beforeMig.HeldRequests
+
+	if byClass := col.classSnapshot(); len(byClass) > 0 {
+		names := make([]string, 0, len(byClass))
+		for name := range byClass {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		r.Classes = make([]ClassReport, 0, len(names))
+		for _, name := range names {
+			r.Classes = append(r.Classes, classReport(name, byClass[name]))
+		}
+	}
 }
 
 // OpenConfig parameterizes an open-loop run.
@@ -504,6 +647,37 @@ type OpenConfig struct {
 	// ResizeDrop discards movers' personal state instead of migrating
 	// it — the remap-and-cold-start baseline.
 	ResizeDrop bool
+	// ClassTag, when set, stamps every request with this class so the
+	// report carries a per-class breakdown — the single-class scenario
+	// path. It never affects serving or per-user outcomes.
+	ClassTag string
+	// Classes, when non-empty, splits the run into client classes: each
+	// owns a contiguous slice of the user population and its own arrival
+	// process, and its requests carry its tag. The per-class schedules
+	// are merged by arrival time. QPS is then the total rate the class
+	// QPSShares divide; the top-level Arrivals/Diurnal fields are
+	// ignored. Empty keeps the single-process run exactly as before.
+	Classes []OpenClassConfig
+	// Scenario labels the report (Report.Scenario).
+	Scenario string
+}
+
+// OpenClassConfig is one client class of a multi-class open-loop run.
+type OpenClassConfig struct {
+	// Name is the SLO-class tag stamped on the class's requests.
+	Name string
+	// Lo and Hi bound the class's user indices: the class owns
+	// profiles [Lo, Hi) of the generator population.
+	Lo, Hi int
+	// QPSShare is the fraction of the run's total QPS this class
+	// offers.
+	QPSShare float64
+	// Arrivals is the class's arrival process; Poisson ("flat"),
+	// Diurnal or PerUser.
+	Arrivals modeltime.Kind
+	// DiurnalPeak and DiurnalPeriod shape a Diurnal class's curve.
+	DiurnalPeak   float64
+	DiurnalPeriod time.Duration
 }
 
 // scheduleResize arms the mid-run live resize. The returned finish
@@ -551,66 +725,74 @@ func perUserWeights(g *workload.Generator) []float64 {
 // curveBuckets is the offered-curve resolution of an open-loop report.
 const curveBuckets = 20
 
-// RunOpen replays workload queries against the fleet as an open-loop
-// arrival process drawn from modeltime (Poisson, diurnal or per-user;
-// see OpenConfig.Arrivals). col must be installed as the fleet's
-// Observer; it is reset at the start of the run. The call returns
-// after every scheduled request has been served or shed.
-func RunOpen(f *fleet.Fleet, col *Collector, g *workload.Generator, cfg OpenConfig) (Report, error) {
-	if f == nil || col == nil || g == nil {
-		return Report{}, fmt.Errorf("loadgen: fleet, collector and generator are required")
-	}
-	maxReq := cfg.MaxRequests
-	if maxReq <= 0 {
-		maxReq = 10_000_000
-	}
-	tape := g.MonthLog(cfg.Month).Entries
-	if len(tape) == 0 {
-		return Report{}, fmt.Errorf("loadgen: month %d log is empty", cfg.Month)
-	}
-	if f.Observer() == nil {
-		return Report{}, fmt.Errorf("loadgen: fleet has no Observer; set fleet.Config.Observer to the collector or latencies and energy go unrecorded")
-	}
+// TraceEvent is one scheduled request of a materialized open-loop
+// schedule — and the record the scenario trace format serializes, so a
+// recorded schedule replays deterministically.
+type TraceEvent struct {
+	// At is the release offset from the start of the run (model
+	// timestamp of the arrival).
+	At    time.Duration
+	User  searchlog.UserID
+	Class string
+	Query string
+	Click string
+}
+
+// classEvents materializes one class's arrival schedule as concrete
+// request events. The whole schedule is drawn up front so the arrival
+// count is a pure function of the spec — an open-loop generator must
+// not let fleet backpressure slow the arrivals.
+func classEvents(g *workload.Generator, cfg OpenConfig, cc OpenClassConfig, seed int64, maxReq int) ([]TraceEvent, error) {
 	u := g.Config().Universe
 	profiles := g.Users()
-
-	// The whole schedule is drawn up front so the arrival count is a
-	// pure function of the spec — an open-loop generator must not let
-	// fleet backpressure slow the arrivals.
 	spec := modeltime.Spec{
-		Kind:       cfg.Arrivals,
-		QPS:        cfg.QPS,
+		Kind:       cc.Arrivals,
+		QPS:        cfg.QPS * cc.QPSShare,
 		Horizon:    cfg.Duration,
-		Seed:       cfg.Seed,
+		Seed:       seed,
 		Max:        maxReq,
-		PeakTrough: cfg.DiurnalPeak,
-		Period:     cfg.DiurnalPeriod,
+		PeakTrough: cc.DiurnalPeak,
+		Period:     cc.DiurnalPeriod,
 	}
 	var cursors []*workload.Cursor
-	if cfg.Arrivals == modeltime.PerUser {
-		spec.Weights = perUserWeights(g)
+	if cc.Arrivals == modeltime.PerUser {
+		w := perUserWeights(g)
+		for i := range w {
+			if i < cc.Lo || i >= cc.Hi {
+				w[i] = 0
+			}
+		}
+		spec.Weights = w
 		cursors = make([]*workload.Cursor, len(profiles))
 	}
 	schedule, err := modeltime.Schedule(spec)
 	if err != nil {
-		return Report{}, fmt.Errorf("loadgen: %w", err)
+		return nil, fmt.Errorf("loadgen: %w", err)
 	}
-
-	col.Reset()
-	before, beforeBatch, beforeMig := f.Stats(), f.BatchStats(), f.MigrationStats()
-	finishResize := scheduleResize(f, cfg.ResizeTo, cfg.ResizeAt, cfg.ResizeDrop)
-	offered := make([]uint64, curveBuckets)
-	shedPerBucket := make([]uint64, curveBuckets)
-	var maxLag time.Duration
-	start := time.Now()
-	for i, a := range schedule {
-		now := time.Since(start)
-		if wait := a.At - now; wait > 0 {
-			time.Sleep(wait)
-		} else if lag := -wait; lag > maxLag {
-			maxLag = lag
+	var tape []searchlog.Entry
+	if cc.Arrivals != modeltime.PerUser {
+		full := g.MonthLog(cfg.Month).Entries
+		if cc.Lo <= 0 && cc.Hi >= len(profiles) {
+			tape = full
+		} else {
+			// The workload invariant profiles[i].ID == UserID(i) makes a
+			// contiguous index range a contiguous ID range.
+			for _, e := range full {
+				if idx := int(e.User); idx >= cc.Lo && idx < cc.Hi {
+					tape = append(tape, e)
+				}
+			}
 		}
-		var req fleet.Request
+		if len(tape) == 0 {
+			if cc.Name == "" {
+				return nil, fmt.Errorf("loadgen: month %d log is empty", cfg.Month)
+			}
+			return nil, fmt.Errorf("loadgen: class %q has no month-%d log entries", cc.Name, cfg.Month)
+		}
+	}
+	events := make([]TraceEvent, 0, len(schedule))
+	for i, a := range schedule {
+		ev := TraceEvent{At: a.At, Class: cc.Name}
 		if a.User >= 0 {
 			// Per-user arrival: the user replays their own stream, so
 			// skewed arrival rates meet matching per-user content.
@@ -618,28 +800,127 @@ func RunOpen(f *fleet.Fleet, col *Collector, g *workload.Generator, cfg OpenConf
 				cursors[a.User] = g.Cursor(profiles[a.User], cfg.Month)
 			}
 			e, _ := cursors[a.User].Next()
-			req = fleet.Request{
-				User:  profiles[a.User].ID,
-				Query: u.QueryText(u.QueryOf(e.Pair)),
-				Click: u.ResultURL(u.ResultOf(e.Pair)),
-			}
+			ev.User = profiles[a.User].ID
+			ev.Query = u.QueryText(u.QueryOf(e.Pair))
+			ev.Click = u.ResultURL(u.ResultOf(e.Pair))
 		} else {
 			e := tape[i%len(tape)]
-			req = fleet.Request{
-				User:  e.User,
-				Query: u.QueryText(u.QueryOf(e.Pair)),
-				Click: u.ResultURL(u.ResultOf(e.Pair)),
-			}
+			ev.User = e.User
+			ev.Query = u.QueryText(u.QueryOf(e.Pair))
+			ev.Click = u.ResultURL(u.ResultOf(e.Pair))
 		}
-		b := int(int64(a.At) * curveBuckets / int64(cfg.Duration))
+		events = append(events, ev)
+	}
+	return events, nil
+}
+
+// OpenEvents materializes an open-loop run's whole request schedule.
+// With no Classes configured this is exactly the schedule RunOpen has
+// always replayed (same spec, same tape order); with Classes, each
+// class's schedule is drawn from its own derived seed and the streams
+// are merged by arrival time (ties break by class order, then
+// within-class order, so the merge is deterministic).
+func OpenEvents(g *workload.Generator, cfg OpenConfig) ([]TraceEvent, error) {
+	maxReq := cfg.MaxRequests
+	if maxReq <= 0 {
+		maxReq = 10_000_000
+	}
+	if len(cfg.Classes) == 0 {
+		cc := OpenClassConfig{
+			Name:          cfg.ClassTag,
+			Lo:            0,
+			Hi:            len(g.Users()),
+			QPSShare:      1,
+			Arrivals:      cfg.Arrivals,
+			DiurnalPeak:   cfg.DiurnalPeak,
+			DiurnalPeriod: cfg.DiurnalPeriod,
+		}
+		return classEvents(g, cfg, cc, cfg.Seed, maxReq)
+	}
+	type tagged struct {
+		ev  TraceEvent
+		ci  int
+		seq int
+	}
+	var all []tagged
+	for ci, cc := range cfg.Classes {
+		evs, err := classEvents(g, cfg, cc, modeltime.DeriveSeed(cfg.Seed, ci), maxReq)
+		if err != nil {
+			return nil, err
+		}
+		for seq, ev := range evs {
+			all = append(all, tagged{ev, ci, seq})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].ev.At != all[j].ev.At {
+			return all[i].ev.At < all[j].ev.At
+		}
+		if all[i].ci != all[j].ci {
+			return all[i].ci < all[j].ci
+		}
+		return all[i].seq < all[j].seq
+	})
+	if len(all) > maxReq {
+		all = all[:maxReq]
+	}
+	events := make([]TraceEvent, len(all))
+	for i, t := range all {
+		events[i] = t.ev
+	}
+	return events, nil
+}
+
+// replayEvents releases the events at their offsets against the fleet,
+// bucketing arrivals (and sheds) into the offered curve over horizon.
+func replayEvents(f *fleet.Fleet, events []TraceEvent, horizon time.Duration, start time.Time) (offered, shedPerBucket []uint64, maxLag time.Duration) {
+	offered = make([]uint64, curveBuckets)
+	shedPerBucket = make([]uint64, curveBuckets)
+	for _, ev := range events {
+		now := time.Since(start)
+		if wait := ev.At - now; wait > 0 {
+			time.Sleep(wait)
+		} else if lag := -wait; lag > maxLag {
+			maxLag = lag
+		}
+		b := int(int64(ev.At) * curveBuckets / int64(horizon))
 		if b >= curveBuckets {
 			b = curveBuckets - 1
 		}
+		if b < 0 {
+			b = 0
+		}
 		offered[b]++
-		if !f.Submit(req) {
+		if !f.Submit(fleet.Request{User: ev.User, Query: ev.Query, Click: ev.Click, Class: ev.Class}) {
 			shedPerBucket[b]++
 		}
 	}
+	return offered, shedPerBucket, maxLag
+}
+
+// RunOpen replays workload queries against the fleet as an open-loop
+// arrival process drawn from modeltime (Poisson, diurnal or per-user;
+// see OpenConfig.Arrivals), or as a merge of per-class processes when
+// OpenConfig.Classes is set. col must be installed as the fleet's
+// Observer; it is reset at the start of the run. The call returns
+// after every scheduled request has been served or shed.
+func RunOpen(f *fleet.Fleet, col *Collector, g *workload.Generator, cfg OpenConfig) (Report, error) {
+	if f == nil || col == nil || g == nil {
+		return Report{}, fmt.Errorf("loadgen: fleet, collector and generator are required")
+	}
+	if f.Observer() == nil {
+		return Report{}, fmt.Errorf("loadgen: fleet has no Observer; set fleet.Config.Observer to the collector or latencies and energy go unrecorded")
+	}
+	events, err := OpenEvents(g, cfg)
+	if err != nil {
+		return Report{}, err
+	}
+
+	col.Reset()
+	before, beforeBatch, beforeMig := f.Stats(), f.BatchStats(), f.MigrationStats()
+	finishResize := scheduleResize(f, cfg.ResizeTo, cfg.ResizeAt, cfg.ResizeDrop)
+	start := time.Now()
+	offered, shedPerBucket, maxLag := replayEvents(f, events, cfg.Duration, start)
 	f.Drain()
 	if err := finishResize(); err != nil {
 		return Report{}, fmt.Errorf("loadgen: resize: %w", err)
@@ -648,19 +929,76 @@ func RunOpen(f *fleet.Fleet, col *Collector, g *workload.Generator, cfg OpenConf
 
 	r := Report{
 		Mode:             "open",
+		Scenario:         cfg.Scenario,
 		Seed:             cfg.Seed,
-		Users:            len(profiles),
+		Users:            len(g.Users()),
 		OfferedQPS:       cfg.QPS,
 		MaxScheduleLagNS: int64(maxLag),
-		Arrivals:         cfg.Arrivals.String(),
 	}
-	if cfg.Arrivals == modeltime.Diurnal {
-		r.DiurnalPeak = cfg.DiurnalPeak
-		if r.DiurnalPeak == 0 {
-			r.DiurnalPeak = modeltime.DefaultPeakTrough
+	if len(cfg.Classes) == 0 {
+		r.Arrivals = cfg.Arrivals.String()
+		if cfg.Arrivals == modeltime.Diurnal {
+			r.DiurnalPeak = cfg.DiurnalPeak
+			if r.DiurnalPeak == 0 {
+				r.DiurnalPeak = modeltime.DefaultPeakTrough
+			}
 		}
+	} else {
+		r.Arrivals = "mixed"
 	}
 	r.OfferedCurve, r.PeakTroughServedRatio = offeredCurve(cfg.Duration, offered, shedPerBucket)
+	fill(&r, f, col, before, beforeBatch, beforeMig, elapsed)
+	return r, nil
+}
+
+// TraceConfig parameterizes a recorded-trace replay run.
+type TraceConfig struct {
+	// Seed and Users are recorded in the report (the trace itself fully
+	// determines the requests).
+	Seed  int64
+	Users int
+	// Scenario labels the report.
+	Scenario string
+	// Horizon bounds the offered-curve bucketing; zero derives it from
+	// the last event's offset.
+	Horizon time.Duration
+}
+
+// RunTrace replays a materialized (typically recorded) event schedule
+// against the fleet, open-loop: each event is released at its offset
+// whether or not the fleet keeps up. Replaying the same trace against
+// an identically built fleet yields byte-identical per-user outcomes.
+func RunTrace(f *fleet.Fleet, col *Collector, events []TraceEvent, cfg TraceConfig) (Report, error) {
+	if f == nil || col == nil {
+		return Report{}, fmt.Errorf("loadgen: fleet and collector are required")
+	}
+	if len(events) == 0 {
+		return Report{}, fmt.Errorf("loadgen: empty trace")
+	}
+	if f.Observer() == nil {
+		return Report{}, fmt.Errorf("loadgen: fleet has no Observer; set fleet.Config.Observer to the collector or latencies and energy go unrecorded")
+	}
+	horizon := cfg.Horizon
+	if horizon <= 0 {
+		horizon = events[len(events)-1].At + 1
+	}
+
+	col.Reset()
+	before, beforeBatch, beforeMig := f.Stats(), f.BatchStats(), f.MigrationStats()
+	start := time.Now()
+	offered, shedPerBucket, maxLag := replayEvents(f, events, horizon, start)
+	f.Drain()
+	elapsed := time.Since(start)
+
+	r := Report{
+		Mode:             "trace",
+		Scenario:         cfg.Scenario,
+		Seed:             cfg.Seed,
+		Users:            cfg.Users,
+		OfferedQPS:       float64(len(events)) / horizon.Seconds(),
+		MaxScheduleLagNS: int64(maxLag),
+	}
+	r.OfferedCurve, r.PeakTroughServedRatio = offeredCurve(horizon, offered, shedPerBucket)
 	fill(&r, f, col, before, beforeBatch, beforeMig, elapsed)
 	return r, nil
 }
@@ -737,6 +1075,32 @@ type ClosedConfig struct {
 	// ResizeDrop discards movers' personal state instead of migrating
 	// it — the remap-and-cold-start baseline.
 	ResizeDrop bool
+	// ClassTag, when set, stamps every request with this class so the
+	// report carries a per-class breakdown — the single-class scenario
+	// path. It never affects serving or per-user outcomes.
+	ClassTag string
+	// Classes, when non-empty, splits the simulated users into client
+	// classes: a user whose index falls in a class's [Lo, Hi) range
+	// issues requests carrying the class tag, paced by the class's own
+	// Pacer and capped by its own MaxQueriesPerUser. Users outside
+	// every range fall back to the top-level ClassTag/Pace/
+	// MaxQueriesPerUser.
+	Classes []ClosedClassConfig
+	// Scenario labels the report (Report.Scenario).
+	Scenario string
+}
+
+// ClosedClassConfig is one client class of a multi-class closed run.
+type ClosedClassConfig struct {
+	// Name is the SLO-class tag stamped on the class's requests.
+	Name string
+	// Lo and Hi bound the class's user indices ([Lo, Hi)).
+	Lo, Hi int
+	// Pace is the class's think-time pacing (wall-clock only).
+	Pace modeltime.Pacer
+	// MaxQueriesPerUser caps each class user's stream; zero means no
+	// cap.
+	MaxQueriesPerUser int
 }
 
 // RunClosed drives the fleet with K concurrent simulated users, each
@@ -775,10 +1139,17 @@ func RunClosed(f *fleet.Fleet, col *Collector, g *workload.Generator, cfg Closed
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			tag, pace, maxQ := cfg.ClassTag, cfg.Pace, cfg.MaxQueriesPerUser
+			for _, cc := range cfg.Classes {
+				if i >= cc.Lo && i < cc.Hi {
+					tag, pace, maxQ = cc.Name, cc.Pace, cc.MaxQueriesPerUser
+					break
+				}
+			}
 			up := profiles[i]
 			cur := g.Cursor(up, cfg.Month)
 			uo := replay.NewUserOutcome(up, weeks)
-			for n := 0; cfg.MaxQueriesPerUser <= 0 || n < cfg.MaxQueriesPerUser; n++ {
+			for n := 0; maxQ <= 0 || n < maxQ; n++ {
 				if cfg.Duration > 0 && !time.Now().Before(deadline) {
 					break
 				}
@@ -790,12 +1161,13 @@ func RunClosed(f *fleet.Fleet, col *Collector, g *workload.Generator, cfg Closed
 					User:  up.ID,
 					Query: u.QueryText(u.QueryOf(e.Pair)),
 					Click: u.ResultURL(u.ResultOf(e.Pair)),
+					Class: tag,
 				})
 				if resp.Shed || resp.Err != nil {
 					continue
 				}
 				uo.Record(e.At, u.Navigational(e.Pair), resp.Outcome)
-				if d := cfg.Pace.Pause(resp.Outcome.ResponseTime()); d > 0 {
+				if d := pace.Pause(resp.Outcome.ResponseTime()); d > 0 {
 					time.Sleep(d)
 				}
 			}
@@ -810,13 +1182,23 @@ func RunClosed(f *fleet.Fleet, col *Collector, g *workload.Generator, cfg Closed
 
 	r := Report{
 		Mode:     "closed",
+		Scenario: cfg.Scenario,
 		Seed:     cfg.Seed,
 		Users:    cfg.Users,
 		Outcomes: outcomes,
 	}
-	if cfg.Pace.Enabled() {
+	paced, paceScale := cfg.Pace.Enabled(), cfg.Pace.Scale
+	for _, cc := range cfg.Classes {
+		if cc.Pace.Enabled() {
+			paced = true
+			if paceScale == 0 {
+				paceScale = cc.Pace.Scale
+			}
+		}
+	}
+	if paced {
 		r.Paced = true
-		r.PaceScale = cfg.Pace.Scale
+		r.PaceScale = paceScale
 	}
 	fill(&r, f, col, before, beforeBatch, beforeMig, elapsed)
 

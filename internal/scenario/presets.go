@@ -1,0 +1,151 @@
+package scenario
+
+import "sort"
+
+// presets are the built-in scenarios, stored as the same JSON a user
+// would write in a file: the preset text doubles as documentation, and
+// the copies under examples/scenarios/ are tested to stay identical.
+var presets = map[string]string{
+	// commuter: one class of 3G users riding in and out of coverage —
+	// short outages every few seconds with per-attempt loss on top. The
+	// closed loop paces on modeled response time, so faulted retries
+	// slow the commuters down like they would a real phone.
+	"commuter": presetCommuter,
+	// flash-crowd: a steady background population plus a crowd class
+	// whose diurnal curve spikes to 12x its trough inside the run —
+	// the overload story. Queue depth is deliberately modest so the
+	// crowd's peak sheds.
+	"flash-crowd": presetFlashCrowd,
+	// regional-outage: a third of the fleet loses its uplink on a duty
+	// cycle while the rest ride clean links — the degraded-service
+	// story, with per-class fault isolation doing the work.
+	"regional-outage": presetRegionalOutage,
+	// mixed-fleet: three device tiers (WiFi interactive, 3G commuters
+	// with faults, EDGE background) with different arrival processes —
+	// the per-SLO-class breakdown story.
+	"mixed-fleet": presetMixedFleet,
+}
+
+const presetCommuter = `{
+  "version": 1,
+  "name": "commuter",
+  "mode": "closed",
+  "users": 600,
+  "seed": 1,
+  "duration": "0s",
+  "faults": {"loss": 0.05, "outage": "2s/10s", "retries": 4},
+  "classes": [
+    {
+      "name": "commuter",
+      "share": 1,
+      "slo_class": "commuter",
+      "device": "3g",
+      "think": {"scale": 0.05},
+      "max_queries_per_user": 40
+    }
+  ]
+}
+`
+
+const presetFlashCrowd = `{
+  "version": 1,
+  "name": "flash-crowd",
+  "mode": "open",
+  "users": 1200,
+  "seed": 1,
+  "qps": 2400,
+  "duration": "3s",
+  "fleet": {"queue": 256},
+  "classes": [
+    {
+      "name": "steady",
+      "share": 0.75,
+      "slo_class": "steady",
+      "arrival": {"process": "flat", "rate_fraction": 0.35}
+    },
+    {
+      "name": "crowd",
+      "share": 0.25,
+      "slo_class": "crowd",
+      "arrival": {"process": "diurnal", "rate_fraction": 0.65, "peak_trough": 12, "period": "3s"}
+    }
+  ]
+}
+`
+
+const presetRegionalOutage = `{
+  "version": 1,
+  "name": "regional-outage",
+  "mode": "open",
+  "users": 1000,
+  "seed": 1,
+  "qps": 1500,
+  "duration": "3s",
+  "classes": [
+    {
+      "name": "affected",
+      "share": 0.3,
+      "slo_class": "affected",
+      "arrival": {"process": "flat"},
+      "faults": {"loss": 0.25, "outage": "600ms/1500ms", "retries": 3}
+    },
+    {
+      "name": "unaffected",
+      "share": 0.7,
+      "slo_class": "unaffected",
+      "arrival": {"process": "flat"}
+    }
+  ]
+}
+`
+
+const presetMixedFleet = `{
+  "version": 1,
+  "name": "mixed-fleet",
+  "mode": "open",
+  "users": 1500,
+  "seed": 1,
+  "qps": 1800,
+  "duration": "4s",
+  "classes": [
+    {
+      "name": "interactive",
+      "share": 0.4,
+      "slo_class": "interactive",
+      "device": "wifi",
+      "arrival": {"process": "diurnal", "rate_fraction": 0.5, "peak_trough": 6}
+    },
+    {
+      "name": "commuter-3g",
+      "share": 0.35,
+      "slo_class": "commuter",
+      "device": "3g",
+      "arrival": {"process": "diurnal", "rate_fraction": 0.3, "peak_trough": 3},
+      "faults": {"loss": 0.1, "outage": "500ms/2500ms", "retries": 4}
+    },
+    {
+      "name": "background",
+      "share": 0.25,
+      "slo_class": "background",
+      "device": "edge",
+      "arrival": {"process": "peruser", "rate_fraction": 0.2}
+    }
+  ]
+}
+`
+
+// Preset returns the JSON text of a built-in scenario.
+func Preset(name string) (string, bool) {
+	raw, ok := presets[name]
+	return raw, ok
+}
+
+// PresetNames lists the built-in scenarios, sorted.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

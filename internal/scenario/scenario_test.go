@@ -1,0 +1,465 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"pocketcloudlets/internal/cachegen"
+	"pocketcloudlets/internal/engine"
+	"pocketcloudlets/internal/fleet"
+	"pocketcloudlets/internal/loadgen"
+	"pocketcloudlets/internal/searchlog"
+	"pocketcloudlets/internal/workload"
+)
+
+// smallGen builds a scaled-down ecosystem; the corpus mirrors the
+// loadgen test fixture so runs stay fast under -race.
+func smallGen(t testing.TB, users int, seed int64) *workload.Generator {
+	t.Helper()
+	u, err := engine.NewUniverse(engine.Config{
+		NavPairs:    8000,
+		NonNavPairs: 40000,
+		NonNavSegments: []engine.Segment{
+			{Queries: 50, ResultsPerQuery: 6},
+			{Queries: 200, ResultsPerQuery: 3},
+			{Queries: 2000, ResultsPerQuery: 2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := workload.DefaultConfig(u, users, seed)
+	cfg.FavNavRanks = 2000
+	cfg.FavNonNavRanks = 6000
+	g, err := workload.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func smallContent(t testing.TB, g *workload.Generator) cachegen.Content {
+	t.Helper()
+	tbl := searchlog.ExtractTriplets(g.MonthLog(0).Entries)
+	n, err := cachegen.SelectByShare(tbl, 0.55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cachegen.Generate(tbl, g.Config().Universe, n)
+}
+
+// rig builds a fresh fleet from the compiled scenario's own fleet
+// config, with a collector installed.
+func rig(t testing.TB, comp *Compiled, g *workload.Generator, content cachegen.Content) (*fleet.Fleet, *loadgen.Collector) {
+	t.Helper()
+	col := loadgen.NewCollector()
+	cfg, err := comp.FleetConfig(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Engine = engine.New(g.Config().Universe)
+	cfg.Content = content
+	f, err := fleet.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	return f, col
+}
+
+func TestPresetsParseAndCompile(t *testing.T) {
+	names := PresetNames()
+	want := []string{"commuter", "flash-crowd", "mixed-fleet", "regional-outage"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("preset names = %v, want %v", names, want)
+	}
+	for _, name := range names {
+		spec, source, err := Load(name)
+		if err != nil {
+			t.Fatalf("Load(%s): %v", name, err)
+		}
+		if source != name || spec.Name != name {
+			t.Errorf("Load(%s): source %q, spec name %q", name, source, spec.Name)
+		}
+		comp, err := Compile(spec, source)
+		if err != nil {
+			t.Fatalf("Compile(%s): %v", name, err)
+		}
+		// Every user must belong to exactly one class range.
+		covered := 0
+		for _, r := range comp.Ranges {
+			covered += r.Hi - r.Lo
+		}
+		if len(comp.Ranges) > 0 && covered != spec.Users {
+			t.Errorf("%s: ranges cover %d of %d users", name, covered, spec.Users)
+		}
+	}
+}
+
+// TestExampleFilesMatchPresets pins the example files under
+// examples/scenarios/ to the built-in preset text, so docs and code
+// cannot drift apart.
+func TestExampleFilesMatchPresets(t *testing.T) {
+	for _, name := range PresetNames() {
+		raw, _ := Preset(name)
+		path := filepath.Join("..", "..", "examples", "scenarios", name+".json")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if string(data) != raw {
+			t.Errorf("%s differs from the built-in preset; regenerate it from scenario.Preset(%q)", path, name)
+		}
+	}
+}
+
+// TestValidationGoldens pins the validator's positional error text.
+func TestValidationGoldens(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join("testdata", "*.json"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no testdata specs: %v", err)
+	}
+	for _, path := range matches {
+		name := strings.TrimSuffix(filepath.Base(path), ".json")
+		t.Run(name, func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, perr := Parse(data)
+			if perr == nil {
+				t.Fatalf("Parse(%s) unexpectedly succeeded", path)
+			}
+			golden, err := os.ReadFile(filepath.Join("testdata", name+".golden"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := strings.TrimRight(string(golden), "\n")
+			if got := perr.Error(); got != want {
+				t.Errorf("error text drifted\n got: %s\nwant: %s", got, want)
+			}
+		})
+	}
+}
+
+func TestApportion(t *testing.T) {
+	classes := []ClassSpec{
+		{Name: "a", Share: 0.5, SLOClass: "a"},
+		{Name: "b", Share: 0.3, SLOClass: "b"},
+		{Name: "c", Share: 0.2, SLOClass: "c"},
+	}
+	ranges, err := apportion(10, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ClassRange{
+		{Name: "a", SLO: "a", Lo: 0, Hi: 5},
+		{Name: "b", SLO: "b", Lo: 5, Hi: 8},
+		{Name: "c", SLO: "c", Lo: 8, Hi: 10},
+	}
+	if !reflect.DeepEqual(ranges, want) {
+		t.Errorf("apportion = %+v, want %+v", ranges, want)
+	}
+	if _, err := apportion(2, classes); err == nil {
+		t.Error("a class rounding to zero users should fail")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	events := []loadgen.TraceEvent{
+		{At: 0, User: 3, Class: "fg", Query: "q one", Click: "http://a"},
+		{At: 1500 * time.Microsecond, User: 0, Class: "", Query: "q two", Click: ""},
+		{At: 2 * time.Millisecond, User: 7, Class: "bg", Query: "q three", Click: "http://b"},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Errorf("round trip drifted:\n got %+v\nwant %+v", got, events)
+	}
+
+	if err := WriteTrace(&bytes.Buffer{}, []loadgen.TraceEvent{{Query: "a\tb"}}); err == nil {
+		t.Error("tab in a field should fail")
+	}
+	if _, err := ReadTrace(strings.NewReader("nonsense\n")); err == nil {
+		t.Error("missing header should fail")
+	}
+	if _, err := ReadTrace(strings.NewReader(TraceHeader + "\n5\t0\t\tq\t\n1\t0\t\tq\t\n")); err == nil {
+		t.Error("out-of-order events should fail")
+	}
+	if _, err := ReadTrace(strings.NewReader(TraceHeader + "\n")); err == nil {
+		t.Error("eventless trace should fail")
+	}
+}
+
+// closedSpec is a small multi-class closed scenario exercising device
+// cohorts, per-class faults and per-class pacing.
+func closedSpec() *Spec {
+	return &Spec{
+		Version: 1,
+		Mode:    "closed",
+		Users:   40,
+		Seed:    11,
+		Fleet:   FleetSpec{Shards: 4, Workers: 2, Queue: 2048},
+		Classes: []ClassSpec{
+			{Name: "fg", Share: 0.5, SLOClass: "interactive", Device: "wifi",
+				Think: &ThinkSpec{Scale: 0.01}, MaxQueriesPerUser: 25},
+			{Name: "bg", Share: 0.5, Device: "edge", MaxQueriesPerUser: 25,
+				Faults: &FaultSpec{Loss: 0.2, Outage: "50ms/200ms", Retries: 3}},
+		},
+	}
+}
+
+// openSpec is a small multi-class open scenario.
+func openSpec() *Spec {
+	return &Spec{
+		Version:  1,
+		Mode:     "open",
+		Users:    48,
+		Seed:     11,
+		QPS:      400,
+		Duration: Duration(300 * time.Millisecond),
+		Fleet:    FleetSpec{Shards: 4, Workers: 2, Queue: 4096},
+		Classes: []ClassSpec{
+			{Name: "fg", Share: 0.5, SLOClass: "interactive", Device: "wifi",
+				Arrival: &ArrivalSpec{Process: "diurnal", RateFraction: 0.6, PeakTrough: 6}},
+			{Name: "bg", Share: 0.5, Device: "edge",
+				Arrival: &ArrivalSpec{Process: "flat", RateFraction: 0.4},
+				Faults:  &FaultSpec{Loss: 0.2, Outage: "60ms/200ms", Retries: 3}},
+		},
+	}
+}
+
+// TestScenarioRunDeterministic runs the same closed scenario twice on
+// freshly built fleets: per-user outcomes must be byte-identical.
+func TestScenarioRunDeterministic(t *testing.T) {
+	var counts [][]fleet.UserServeCount
+	var reports []loadgen.Report
+	for i := 0; i < 2; i++ {
+		comp, err := Compile(closedSpec(), "test")
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := smallGen(t, comp.Spec.Users, comp.Spec.Seed)
+		f, col := rig(t, comp, g, smallContent(t, g))
+		r, err := comp.Run(f, col, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts = append(counts, f.UserServeCounts())
+		reports = append(reports, r)
+	}
+	if reports[0].Shed != 0 {
+		t.Fatalf("closed run shed %d requests; the determinism check needs a shed-free run", reports[0].Shed)
+	}
+	if !reflect.DeepEqual(counts[0], counts[1]) {
+		t.Error("per-user outcomes differ between identical scenario runs")
+	}
+	if reports[0].Requests != reports[1].Requests || reports[0].PersonalHits != reports[1].PersonalHits {
+		t.Errorf("aggregate counters differ: %d/%d vs %d/%d requests/hits",
+			reports[0].Requests, reports[0].PersonalHits, reports[1].Requests, reports[1].PersonalHits)
+	}
+}
+
+// TestTraceReplayDeterministic materializes an open scenario into a
+// trace file, replays the recorded trace twice on fresh fleets, and
+// checks both replays (and the live open run of the same schedule)
+// agree on every per-user outcome.
+func TestTraceReplayDeterministic(t *testing.T) {
+	comp, err := Compile(openSpec(), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := smallGen(t, comp.Spec.Users, comp.Spec.Seed)
+	content := smallContent(t, g)
+
+	events, err := comp.Materialize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.trace")
+	if err := WriteTraceFile(path, events); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, events) {
+		t.Fatal("trace file does not round-trip the materialized schedule")
+	}
+
+	// Live open run of the same schedule.
+	liveF, liveCol := rig(t, comp, g, content)
+	liveReport, err := comp.Run(liveF, liveCol, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if liveReport.Shed != 0 {
+		t.Fatalf("open run shed %d requests; the determinism check needs a shed-free run", liveReport.Shed)
+	}
+	live := liveF.UserServeCounts()
+
+	// The recorded trace replayed twice, via the spec's trace mode.
+	var replays [][]fleet.UserServeCount
+	for i := 0; i < 2; i++ {
+		tspec := &Spec{
+			Version: 1, Mode: "trace", Users: comp.Spec.Users, Seed: comp.Spec.Seed,
+			Trace: path, Fleet: comp.Spec.Fleet, Classes: comp.Spec.Classes,
+		}
+		// Trace mode carries no arrival specs — the trace is the schedule.
+		for ci := range tspec.Classes {
+			tspec.Classes[ci].Arrival = nil
+		}
+		tcomp, err := Compile(tspec, "test-trace")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, col := rig(t, tcomp, g, content)
+		if _, err := tcomp.Run(f, col, g); err != nil {
+			t.Fatal(err)
+		}
+		replays = append(replays, f.UserServeCounts())
+	}
+	if !reflect.DeepEqual(replays[0], replays[1]) {
+		t.Error("per-user outcomes differ between identical trace replays")
+	}
+	if !reflect.DeepEqual(live, replays[0]) {
+		t.Error("trace replay diverges from the live open run of the same schedule")
+	}
+}
+
+// TestSingleClassMatchesLegacy checks the scenario compiler's
+// flag-funnel contract: a single-class scenario produces byte-identical
+// per-user outcomes to the legacy untagged config it replaces.
+func TestSingleClassMatchesLegacy(t *testing.T) {
+	const users, seed = 32, 9
+	spec := &Spec{
+		Version: 1, Mode: "open", Users: users, Seed: seed,
+		QPS: 300, Duration: Duration(250 * time.Millisecond),
+		Fleet: FleetSpec{Shards: 4, Workers: 2, Queue: 4096},
+		Classes: []ClassSpec{
+			{Name: "default", Share: 1, Arrival: &ArrivalSpec{Process: "flat"}},
+		},
+	}
+	comp, err := Compile(spec, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := smallGen(t, users, seed)
+	content := smallContent(t, g)
+
+	sf, scol := rig(t, comp, g, content)
+	sreport, err := comp.Run(sf, scol, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The legacy path: same fleet shape, hand-built untagged config.
+	lcol := loadgen.NewCollector()
+	lcfg, err := comp.FleetConfig(lcol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcfg.Engine = engine.New(g.Config().Universe)
+	lcfg.Content = content
+	lf, err := fleet.New(lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lf.Close()
+	lreport, err := loadgen.RunOpen(lf, lcol, g, loadgen.OpenConfig{
+		QPS: 300, Duration: 250 * time.Millisecond, Month: 1, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if sreport.Shed != 0 || lreport.Shed != 0 {
+		t.Fatalf("shed %d/%d requests; the identity check needs shed-free runs", sreport.Shed, lreport.Shed)
+	}
+	if !reflect.DeepEqual(sf.UserServeCounts(), lf.UserServeCounts()) {
+		t.Error("single-class scenario diverges from the legacy untagged run")
+	}
+	if len(sreport.Classes) != 1 || sreport.Classes[0].Class != "default" {
+		t.Errorf("single-class scenario report classes = %+v, want one \"default\" row", sreport.Classes)
+	}
+	if len(lreport.Classes) != 0 {
+		t.Errorf("legacy untagged run unexpectedly has class rows: %+v", lreport.Classes)
+	}
+}
+
+// TestMultiClassReport checks that the per-SLO-class breakdown covers
+// every request and carries per-class energy.
+func TestMultiClassReport(t *testing.T) {
+	comp, err := Compile(openSpec(), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := smallGen(t, comp.Spec.Users, comp.Spec.Seed)
+	f, col := rig(t, comp, g, smallContent(t, g))
+	r, err := comp.Run(f, col, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Classes) != 2 {
+		t.Fatalf("report has %d class rows, want 2: %+v", len(r.Classes), r.Classes)
+	}
+	names := []string{r.Classes[0].Class, r.Classes[1].Class}
+	if !reflect.DeepEqual(names, []string{"bg", "interactive"}) {
+		t.Errorf("class rows = %v, want [bg interactive] (sorted)", names)
+	}
+	var served, shed, canceled, requests uint64
+	for _, cr := range r.Classes {
+		served += cr.Served
+		shed += cr.Shed
+		canceled += cr.Canceled
+		requests += cr.Requests
+		if cr.Served > 0 && cr.EnergyJ <= 0 {
+			t.Errorf("class %s served %d requests but reports %g J", cr.Class, cr.Served, cr.EnergyJ)
+		}
+		if cr.Served > 0 && cr.Model.P99NS <= 0 {
+			t.Errorf("class %s served %d requests but has no model p99", cr.Class, cr.Served)
+		}
+	}
+	if served != r.Served || shed != r.Shed || canceled != r.Canceled || requests != r.Requests {
+		t.Errorf("class rows sum to %d/%d/%d/%d served/shed/canceled/requests, report says %d/%d/%d/%d",
+			served, shed, canceled, requests, r.Served, r.Shed, r.Canceled, r.Requests)
+	}
+	// The faulted bg class must see degraded or retried service the
+	// clean interactive class never does.
+	var bg, fg loadgen.ClassReport
+	for _, cr := range r.Classes {
+		if cr.Class == "bg" {
+			bg = cr
+		} else {
+			fg = cr
+		}
+	}
+	if fg.Degraded != 0 || fg.Unavailable != 0 {
+		t.Errorf("clean class saw %d degraded / %d unavailable", fg.Degraded, fg.Unavailable)
+	}
+	if bg.Served > 0 && bg.Degraded == 0 && bg.Unavailable == 0 && bg.CloudMisses == bg.Served {
+		t.Logf("note: faulted class saw no degradation this run (loss draws can all succeed)")
+	}
+}
+
+func TestLoadRejectsUnknown(t *testing.T) {
+	_, _, err := Load("no-such-preset-or-file.json")
+	if err == nil {
+		t.Fatal("unknown scenario should fail")
+	}
+	if !strings.Contains(err.Error(), "presets:") {
+		t.Errorf("error should list the preset names, got: %v", err)
+	}
+}

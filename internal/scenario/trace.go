@@ -1,0 +1,123 @@
+package scenario
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"pocketcloudlets/internal/loadgen"
+	"pocketcloudlets/internal/searchlog"
+)
+
+// TraceHeader is the magic first line of a recorded trace file.
+const TraceHeader = "#pocketcloudlets-trace v1"
+
+// WriteTrace writes events as a trace file: the header line, then one
+// tab-separated record per event —
+//
+//	at_ns<TAB>user<TAB>class<TAB>query<TAB>click
+//
+// Lines starting with '#' are comments. The format is deliberately
+// dumb: diffable, greppable, and replayed byte-identically by
+// ReadTrace + loadgen.RunTrace.
+func WriteTrace(w io.Writer, events []loadgen.TraceEvent) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, TraceHeader)
+	fmt.Fprintln(bw, "# at_ns\tuser\tclass\tquery\tclick")
+	for i, ev := range events {
+		for _, f := range [3]string{ev.Class, ev.Query, ev.Click} {
+			if strings.ContainsAny(f, "\t\n\r") {
+				return fmt.Errorf("scenario: trace event %d: field %q contains a tab or newline", i, f)
+			}
+		}
+		fmt.Fprintf(bw, "%d\t%d\t%s\t%s\t%s\n", int64(ev.At), int64(ev.User), ev.Class, ev.Query, ev.Click)
+	}
+	return bw.Flush()
+}
+
+// WriteTraceFile writes events to path via WriteTrace.
+func WriteTraceFile(path string, events []loadgen.TraceEvent) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	if err := WriteTrace(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadTrace parses a trace written by WriteTrace. Events must be
+// sorted by At (the replayer releases them in file order against a
+// monotonic clock); parsing is strict and errors carry line numbers.
+func ReadTrace(r io.Reader) ([]loadgen.TraceEvent, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("scenario: empty trace")
+	}
+	if got := strings.TrimRight(sc.Text(), "\r"); got != TraceHeader {
+		return nil, fmt.Errorf("scenario: line 1: want header %q, got %q", TraceHeader, got)
+	}
+	var events []loadgen.TraceEvent
+	var last time.Duration
+	for line := 2; sc.Scan(); line++ {
+		text := strings.TrimRight(sc.Text(), "\r")
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, "\t")
+		if len(parts) != 5 {
+			return nil, fmt.Errorf("scenario: line %d: want 5 tab-separated fields, got %d", line, len(parts))
+		}
+		at, err := strconv.ParseInt(parts[0], 10, 64)
+		if err != nil || at < 0 {
+			return nil, fmt.Errorf("scenario: line %d: bad at_ns %q", line, parts[0])
+		}
+		uid, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil || uid < 0 {
+			return nil, fmt.Errorf("scenario: line %d: bad user %q", line, parts[1])
+		}
+		if parts[3] == "" {
+			return nil, fmt.Errorf("scenario: line %d: empty query", line)
+		}
+		ev := loadgen.TraceEvent{
+			At:    time.Duration(at),
+			User:  searchlog.UserID(uid),
+			Class: parts[2],
+			Query: parts[3],
+			Click: parts[4],
+		}
+		if ev.At < last {
+			return nil, fmt.Errorf("scenario: line %d: events out of order (%v after %v)", line, ev.At, last)
+		}
+		last = ev.At
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("scenario: trace has a header but no events")
+	}
+	return events, nil
+}
+
+// ReadTraceFile reads a trace file via ReadTrace.
+func ReadTraceFile(path string) ([]loadgen.TraceEvent, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	defer f.Close()
+	events, err := ReadTrace(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return events, nil
+}

@@ -1,0 +1,484 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"pocketcloudlets/internal/faults"
+	"pocketcloudlets/internal/modeltime"
+)
+
+// problems accumulates validation failures so one Parse reports every
+// problem in the spec, not just the first.
+type problems struct {
+	list []string
+}
+
+func (p *problems) addf(format string, args ...any) {
+	p.list = append(p.list, fmt.Sprintf(format, args...))
+}
+
+// Parse decodes and validates a scenario spec. Decoding is strict —
+// unknown fields and type mismatches are errors, reported with the
+// JSON path they occur at — and the returned spec has defaults
+// resolved. On failure the error is an *Error listing every problem.
+func Parse(data []byte) (*Spec, error) {
+	p := &problems{}
+	s := parseSpec(p, data)
+	if len(p.list) > 0 {
+		return nil, &Error{Problems: p.list}
+	}
+	s.withDefaults()
+	validateSpec(p, s)
+	if len(p.list) > 0 {
+		return nil, &Error{Problems: p.list}
+	}
+	return s, nil
+}
+
+// decodeInto unmarshals one leaf value, translating encoding/json's
+// error into a positional problem.
+func decodeInto(p *problems, path string, raw json.RawMessage, dst any) {
+	if err := json.Unmarshal(raw, dst); err != nil {
+		if te, ok := err.(*json.UnmarshalTypeError); ok {
+			p.addf("%s: want %s, got JSON %s", path, te.Type, te.Value)
+			return
+		}
+		p.addf("%s: %v", path, err)
+	}
+}
+
+// decodeObject unmarshals one object level into its raw fields.
+func decodeObject(p *problems, path string, raw json.RawMessage) (map[string]json.RawMessage, bool) {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		p.addf("%s: want a JSON object", path)
+		return nil, false
+	}
+	return m, true
+}
+
+// sortedKeys walks object fields in a stable order so problem lists
+// are deterministic.
+func sortedKeys(m map[string]json.RawMessage) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func parseSpec(p *problems, data []byte) *Spec {
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		p.addf("spec is not a JSON object: %v", err)
+		return nil
+	}
+	s := &Spec{}
+	for _, key := range sortedKeys(raw) {
+		v := raw[key]
+		switch key {
+		case "version":
+			decodeInto(p, key, v, &s.Version)
+		case "name":
+			decodeInto(p, key, v, &s.Name)
+		case "mode":
+			decodeInto(p, key, v, &s.Mode)
+		case "users":
+			decodeInto(p, key, v, &s.Users)
+		case "seed":
+			decodeInto(p, key, v, &s.Seed)
+		case "month":
+			decodeInto(p, key, v, &s.Month)
+		case "duration":
+			decodeInto(p, key, v, &s.Duration)
+		case "qps":
+			decodeInto(p, key, v, &s.QPS)
+		case "community_share":
+			decodeInto(p, key, v, &s.CommunityShare)
+		case "trace":
+			decodeInto(p, key, v, &s.Trace)
+		case "max_requests":
+			decodeInto(p, key, v, &s.MaxRequests)
+		case "fleet":
+			parseFleet(p, key, v, &s.Fleet)
+		case "faults":
+			s.Faults = parseFaults(p, key, v)
+		case "classes":
+			parseClasses(p, key, v, s)
+		default:
+			p.addf("%s: unknown field", key)
+		}
+	}
+	return s
+}
+
+func parseFleet(p *problems, path string, raw json.RawMessage, f *FleetSpec) {
+	m, ok := decodeObject(p, path, raw)
+	if !ok {
+		return
+	}
+	for _, key := range sortedKeys(m) {
+		v, kp := m[key], path+"."+key
+		switch key {
+		case "shards":
+			decodeInto(p, kp, v, &f.Shards)
+		case "workers":
+			decodeInto(p, kp, v, &f.Workers)
+		case "queue":
+			decodeInto(p, kp, v, &f.Queue)
+		case "radio":
+			decodeInto(p, kp, v, &f.Radio)
+		case "placement":
+			decodeInto(p, kp, v, &f.Placement)
+		case "vnodes":
+			decodeInto(p, kp, v, &f.VNodes)
+		case "user_budget_bytes":
+			decodeInto(p, kp, v, &f.UserBudgetBytes)
+		case "fleet_budget_bytes":
+			decodeInto(p, kp, v, &f.FleetBudgetBytes)
+		case "batch":
+			parseBatch(p, kp, v, &f.Batch)
+		default:
+			p.addf("%s: unknown field", kp)
+		}
+	}
+}
+
+func parseBatch(p *problems, path string, raw json.RawMessage, b *BatchSpec) {
+	m, ok := decodeObject(p, path, raw)
+	if !ok {
+		return
+	}
+	for _, key := range sortedKeys(m) {
+		v, kp := m[key], path+"."+key
+		switch key {
+		case "enabled":
+			decodeInto(p, kp, v, &b.Enabled)
+		case "max":
+			decodeInto(p, kp, v, &b.Max)
+		case "linger":
+			decodeInto(p, kp, v, &b.Linger)
+		case "fleet_wide":
+			decodeInto(p, kp, v, &b.FleetWide)
+		case "adaptive":
+			decodeInto(p, kp, v, &b.Adaptive)
+		default:
+			p.addf("%s: unknown field", kp)
+		}
+	}
+}
+
+func parseFaults(p *problems, path string, raw json.RawMessage) *FaultSpec {
+	m, ok := decodeObject(p, path, raw)
+	if !ok {
+		return nil
+	}
+	f := &FaultSpec{}
+	for _, key := range sortedKeys(m) {
+		v, kp := m[key], path+"."+key
+		switch key {
+		case "loss":
+			decodeInto(p, kp, v, &f.Loss)
+		case "engine_err":
+			decodeInto(p, kp, v, &f.EngineErr)
+		case "outage":
+			decodeInto(p, kp, v, &f.Outage)
+		case "retries":
+			decodeInto(p, kp, v, &f.Retries)
+		case "seed":
+			decodeInto(p, kp, v, &f.Seed)
+		default:
+			p.addf("%s: unknown field", kp)
+		}
+	}
+	return f
+}
+
+func parseClasses(p *problems, path string, raw json.RawMessage, s *Spec) {
+	var items []json.RawMessage
+	if err := json.Unmarshal(raw, &items); err != nil {
+		p.addf("%s: want a JSON array", path)
+		return
+	}
+	for i, item := range items {
+		s.Classes = append(s.Classes, parseClass(p, fmt.Sprintf("%s[%d]", path, i), item))
+	}
+}
+
+func parseClass(p *problems, path string, raw json.RawMessage) ClassSpec {
+	var c ClassSpec
+	m, ok := decodeObject(p, path, raw)
+	if !ok {
+		return c
+	}
+	for _, key := range sortedKeys(m) {
+		v, kp := m[key], path+"."+key
+		switch key {
+		case "name":
+			decodeInto(p, kp, v, &c.Name)
+		case "share":
+			decodeInto(p, kp, v, &c.Share)
+		case "slo_class":
+			decodeInto(p, kp, v, &c.SLOClass)
+		case "device":
+			decodeInto(p, kp, v, &c.Device)
+		case "arrival":
+			c.Arrival = parseArrival(p, kp, v)
+		case "think":
+			c.Think = parseThink(p, kp, v)
+		case "max_queries_per_user":
+			decodeInto(p, kp, v, &c.MaxQueriesPerUser)
+		case "faults":
+			c.Faults = parseFaults(p, kp, v)
+		default:
+			p.addf("%s: unknown field", kp)
+		}
+	}
+	return c
+}
+
+func parseArrival(p *problems, path string, raw json.RawMessage) *ArrivalSpec {
+	m, ok := decodeObject(p, path, raw)
+	if !ok {
+		return nil
+	}
+	a := &ArrivalSpec{}
+	for _, key := range sortedKeys(m) {
+		v, kp := m[key], path+"."+key
+		switch key {
+		case "process":
+			decodeInto(p, kp, v, &a.Process)
+		case "rate_fraction":
+			decodeInto(p, kp, v, &a.RateFraction)
+		case "peak_trough":
+			decodeInto(p, kp, v, &a.PeakTrough)
+		case "period":
+			decodeInto(p, kp, v, &a.Period)
+		default:
+			p.addf("%s: unknown field", kp)
+		}
+	}
+	return a
+}
+
+func parseThink(p *problems, path string, raw json.RawMessage) *ThinkSpec {
+	m, ok := decodeObject(p, path, raw)
+	if !ok {
+		return nil
+	}
+	t := &ThinkSpec{}
+	for _, key := range sortedKeys(m) {
+		v, kp := m[key], path+"."+key
+		switch key {
+		case "scale":
+			decodeInto(p, kp, v, &t.Scale)
+		case "max_pause":
+			decodeInto(p, kp, v, &t.MaxPause)
+		default:
+			p.addf("%s: unknown field", kp)
+		}
+	}
+	return t
+}
+
+// validRadios are the radio tiers the facade knows how to price.
+var validRadios = map[string]bool{"3g": true, "edge": true, "wifi": true}
+
+// validateSpec runs the semantic checks on a structurally sound spec
+// with defaults already resolved.
+func validateSpec(p *problems, s *Spec) {
+	if s.Version != Version {
+		p.addf("version: want %d, got %d", Version, s.Version)
+	}
+	switch s.Mode {
+	case "open", "closed", "trace":
+	default:
+		p.addf("mode: want \"open\", \"closed\" or \"trace\", got %q", s.Mode)
+		return
+	}
+	if s.Users <= 0 {
+		p.addf("users: must be positive, got %d", s.Users)
+	}
+	if s.Month < 1 {
+		p.addf("month: must be ≥ 1, got %d", s.Month)
+	}
+	if s.Duration < 0 {
+		p.addf("duration: must be non-negative, got %v", s.Duration.D())
+	}
+	if s.Mode == "open" && s.Duration <= 0 {
+		p.addf("duration: open mode needs a positive duration")
+	}
+	if s.Mode == "open" && s.QPS <= 0 {
+		p.addf("qps: open mode needs a positive rate, got %g", s.QPS)
+	}
+	if s.Mode != "open" && s.QPS != 0 {
+		p.addf("qps: only open mode schedules arrivals")
+	}
+	if s.CommunityShare <= 0 || s.CommunityShare > 1 {
+		p.addf("community_share: must be in (0, 1], got %g", s.CommunityShare)
+	}
+	if s.MaxRequests < 0 {
+		p.addf("max_requests: must be non-negative, got %d", s.MaxRequests)
+	}
+	if s.Mode == "trace" && s.Trace == "" {
+		p.addf("trace: trace mode needs a trace file path")
+	}
+	if s.Mode != "trace" && s.Trace != "" {
+		p.addf("trace: only trace mode replays a trace file")
+	}
+	validateFleet(p, &s.Fleet)
+	if s.Faults != nil {
+		validateFaults(p, "faults", s.Faults)
+	}
+	validateClasses(p, s)
+}
+
+func validateFleet(p *problems, f *FleetSpec) {
+	for _, n := range []struct {
+		name string
+		v    int64
+	}{
+		{"fleet.shards", int64(f.Shards)},
+		{"fleet.workers", int64(f.Workers)},
+		{"fleet.queue", int64(f.Queue)},
+		{"fleet.vnodes", int64(f.VNodes)},
+		{"fleet.user_budget_bytes", f.UserBudgetBytes},
+		{"fleet.fleet_budget_bytes", f.FleetBudgetBytes},
+		{"fleet.batch.max", int64(f.Batch.Max)},
+		{"fleet.batch.linger", int64(f.Batch.Linger)},
+	} {
+		if n.v < 0 {
+			p.addf("%s: must be non-negative, got %d", n.name, n.v)
+		}
+	}
+	if !validRadios[f.Radio] {
+		p.addf("fleet.radio: want \"3g\", \"edge\" or \"wifi\", got %q", f.Radio)
+	}
+	switch f.Placement {
+	case "modulo", "ring":
+	default:
+		p.addf("fleet.placement: want \"modulo\" or \"ring\", got %q", f.Placement)
+	}
+	if f.VNodes > 0 && f.Placement != "ring" {
+		p.addf("fleet.vnodes: only the ring placement uses virtual nodes")
+	}
+	if !f.Batch.Enabled && (f.Batch.Max > 0 || f.Batch.Linger > 0 || f.Batch.FleetWide || f.Batch.Adaptive) {
+		p.addf("fleet.batch: knobs set but batch.enabled is false")
+	}
+}
+
+func validateFaults(p *problems, path string, f *FaultSpec) {
+	if f.Loss < 0 || f.Loss >= 1 {
+		p.addf("%s.loss: must be in [0, 1), got %g", path, f.Loss)
+	}
+	if f.EngineErr < 0 || f.EngineErr >= 1 {
+		p.addf("%s.engine_err: must be in [0, 1), got %g", path, f.EngineErr)
+	}
+	if f.Outage != "" {
+		if _, _, _, err := faults.ParseOutageSpec(f.Outage); err != nil {
+			p.addf("%s.outage: %v", path, err)
+		}
+	}
+	if f.Retries < 0 {
+		p.addf("%s.retries: must be non-negative, got %d", path, f.Retries)
+	}
+}
+
+func validateClasses(p *problems, s *Spec) {
+	if len(s.Classes) == 0 {
+		return
+	}
+	seen := map[string]int{}
+	var shareSum, rateSum float64
+	for i, c := range s.Classes {
+		path := fmt.Sprintf("classes[%d]", i)
+		if c.Name == "" {
+			p.addf("%s.name: required", path)
+		} else if prev, dup := seen[c.Name]; dup {
+			p.addf("%s.name: duplicates classes[%d].name %q", path, prev, c.Name)
+		} else {
+			seen[c.Name] = i
+		}
+		if c.Share <= 0 || c.Share > 1 {
+			p.addf("%s.share: must be in (0, 1], got %g", path, c.Share)
+		}
+		shareSum += c.Share
+		if c.Device != "" && !validRadios[c.Device] {
+			p.addf("%s.device: want \"3g\", \"edge\" or \"wifi\", got %q", path, c.Device)
+		}
+		if c.Device != "" && c.Device != s.Fleet.Radio && s.Fleet.Batch.Enabled {
+			p.addf("%s.device: per-class radios do not compose with batching (shared sessions are priced on the fleet radio)", path)
+		}
+		if c.MaxQueriesPerUser < 0 {
+			p.addf("%s.max_queries_per_user: must be non-negative, got %d", path, c.MaxQueriesPerUser)
+		}
+		if s.Mode != "closed" && (c.Think != nil || c.MaxQueriesPerUser > 0) {
+			p.addf("%s: think pacing and per-user caps only apply in closed mode", path)
+		}
+		if s.Mode != "open" && c.Arrival != nil {
+			p.addf("%s.arrival: only open mode schedules arrivals", path)
+		}
+		if s.Mode == "open" {
+			rateSum += c.effectiveRateFraction()
+		}
+		if c.Arrival != nil {
+			validateArrival(p, path+".arrival", c.Arrival)
+		}
+		if c.Think != nil {
+			if c.Think.Scale < 0 {
+				p.addf("%s.think.scale: must be non-negative, got %g", path, c.Think.Scale)
+			}
+			if c.Think.MaxPause < 0 {
+				p.addf("%s.think.max_pause: must be non-negative, got %v", path, c.Think.MaxPause.D())
+			}
+		}
+		if c.Faults != nil {
+			validateFaults(p, path+".faults", c.Faults)
+		}
+	}
+	if math.Abs(shareSum-1) > 1e-6 {
+		p.addf("classes: shares sum to %g, want 1", shareSum)
+	}
+	if s.Mode == "open" && math.Abs(rateSum-1) > 1e-6 {
+		p.addf("classes: arrival rate_fractions sum to %g, want 1", rateSum)
+	}
+}
+
+// effectiveRateFraction is the class's share of the scenario QPS: the
+// explicit rate_fraction, or the user share when no arrival is given.
+func (c *ClassSpec) effectiveRateFraction() float64 {
+	if c.Arrival != nil && c.Arrival.RateFraction > 0 {
+		return c.Arrival.RateFraction
+	}
+	return c.Share
+}
+
+func validateArrival(p *problems, path string, a *ArrivalSpec) {
+	kind, err := modeltime.ParseKind(a.Process)
+	if err != nil {
+		p.addf("%s.process: unknown arrival process %q (want \"flat\", \"diurnal\" or \"peruser\")", path, a.Process)
+		return
+	}
+	if a.RateFraction < 0 || a.RateFraction > 1 {
+		p.addf("%s.rate_fraction: must be in [0, 1], got %g", path, a.RateFraction)
+	}
+	if kind != modeltime.Diurnal {
+		if a.PeakTrough != 0 {
+			p.addf("%s.peak_trough: only the diurnal process has a peak/trough ratio", path)
+		}
+		if a.Period != 0 {
+			p.addf("%s.period: only the diurnal process has a period", path)
+		}
+		return
+	}
+	if a.PeakTrough != 0 && a.PeakTrough < 1 {
+		p.addf("%s.peak_trough: must be ≥ 1, got %g", path, a.PeakTrough)
+	}
+	if a.Period < 0 {
+		p.addf("%s.period: must be non-negative, got %v", path, a.Period.D())
+	}
+}

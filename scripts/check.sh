@@ -49,6 +49,18 @@ go run ./cmd/loadtest -mode closed -users 100 -duration 0 -seed 3 \
     -faults -loss 0.3 -outage 6s/30s -retries 3 \
     -batch -batchadaptive -check -json > "$smoke_out"
 
+echo "== scenario smoke: loadtest -scenario flash-crowd -check =="
+# The flash-crowd preset at a small population: two SLO classes (a flat
+# steady floor plus a diurnal crowd spike), multi-class open-loop
+# scheduling, and the per-class report rows, with the same -check
+# invariants plus the per-class sum checks. Exercises the scenario
+# compile path end to end on every gate run.
+scenario_out=/dev/null
+if [ -n "${CHECK_ARTIFACT_DIR:-}" ]; then
+    scenario_out="$CHECK_ARTIFACT_DIR/loadtest-flash-crowd.json"
+fi
+go run ./cmd/loadtest -scenario flash-crowd -users 150 -check -json > "$scenario_out"
+
 echo "== bench smoke: FleetServe =="
 # One iteration of each fleet serving benchmark (batched and unbatched)
 # so a regression that breaks the benchmark fixtures fails the gate.
