@@ -13,6 +13,7 @@ package pocketcloudlets_test
 //	go test -bench=. -benchmem
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -21,6 +22,7 @@ import (
 	"pocketcloudlets/internal/engine"
 	"pocketcloudlets/internal/experiments"
 	"pocketcloudlets/internal/loadgen"
+	"pocketcloudlets/internal/searchlog"
 )
 
 var (
@@ -403,6 +405,104 @@ func fleetBatchBench(b *testing.B) *fleetRig {
 		b.Fatal(fleetBatchRigErr)
 	}
 	return fleetBatchRigLab
+}
+
+// --- Million-user fleet benchmark ---
+
+const fleet100kUsers = 100_000
+
+type fleet100kRig struct {
+	f    *pocketcloudlets.Fleet
+	reqs []pocketcloudlets.FleetRequest
+}
+
+var (
+	fleet100kOnce sync.Once
+	fleet100kLab  *fleet100kRig
+	fleet100kErr  error
+)
+
+// fleet100kBench builds a fleet with 100,000 resident users, each
+// warmed with one pinned request so that every steady-state replay is
+// a personal-tier hit. The user IDs cover [0, 100k) contiguously, so
+// the whole population lives in the dense slot arena. Requests reuse
+// query/click pairs from one generated tape; only the user ID varies.
+func fleet100kBench(b *testing.B) *fleet100kRig {
+	b.Helper()
+	fleet100kOnce.Do(func() {
+		sim, err := pocketcloudlets.NewSimulation(pocketcloudlets.SimConfig{
+			Seed: 1, Users: 512, UniverseConfig: benchUniverseConfig(),
+		})
+		if err != nil {
+			fleet100kErr = err
+			return
+		}
+		content, err := sim.CommunityContent(0, 0.55)
+		if err != nil {
+			fleet100kErr = err
+			return
+		}
+		cfg := pocketcloudlets.FleetConfig{
+			Shards: 8, QueueDepth: 8192,
+			Population: fleet100kUsers,
+		}
+		cfg.Options.DiscardResults = true
+		f, err := sim.NewFleet(content, cfg)
+		if err != nil {
+			fleet100kErr = err
+			return
+		}
+		base := loadgen.Tape(sim.Generator, sim.Generator.Users()[0], 1)
+		if len(base) == 0 {
+			fleet100kErr = errEmptyTape
+			return
+		}
+		reqs := make([]pocketcloudlets.FleetRequest, fleet100kUsers)
+		for uid := range reqs {
+			r := base[uid%len(base)]
+			r.User = searchlog.UserID(uid)
+			reqs[uid] = r
+		}
+		for i := range reqs {
+			if resp := f.Do(reqs[i]); resp.Err != nil {
+				fleet100kErr = resp.Err
+				return
+			}
+		}
+		fleet100kLab = &fleet100kRig{f: f, reqs: reqs}
+	})
+	if fleet100kErr != nil {
+		b.Fatal(fleet100kErr)
+	}
+	return fleet100kLab
+}
+
+var errEmptyTape = errors.New("bench: empty warm-up tape")
+
+// BenchmarkFleetServe100kUsers measures the steady-state closed-loop
+// serve path across 100,000 warmed users: every iteration is a
+// personal-tier hit on a different user, walking the dense slot arena
+// shard by shard. The unfaulted hit path is allocation-free — the
+// reply channel is pooled, lookups reuse per-cache scratch buffers,
+// and result payloads are skipped under Options.DiscardResults — so
+// this reports 0 allocs/op at steady state.
+func BenchmarkFleetServe100kUsers(b *testing.B) {
+	rig := fleet100kBench(b)
+	// Prime with one full hit pass: a user's first post-warm-up hit
+	// pays one-time costs (per-cache lookup scratch, timeline entries,
+	// the pooled reply channel) that are not steady-state serving work.
+	for i := range rig.reqs {
+		if resp := rig.f.Do(rig.reqs[i]); resp.Err != nil {
+			b.Fatal(resp.Err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if resp := rig.f.Do(rig.reqs[i%len(rig.reqs)]); resp.Err != nil {
+			b.Fatal(resp.Err)
+		}
+	}
 }
 
 // BenchmarkFleetSubmit measures the open-loop submission path

@@ -110,6 +110,18 @@ func (fs *FileStore) Peek(name string) ([]byte, bool) {
 	return append([]byte(nil), data...), true
 }
 
+// PeekRef is Peek without the copy: it returns a read-only view of the
+// named file's stored bytes. The view is valid until the file is next
+// written, appended to, or deleted — Write/ReplaceSilently install a
+// fresh slice and Append may grow in place, so a caller must drop its
+// view whenever it performs any mutation of the file
+// (internal/resultdb's file cache invalidates on its single write
+// funnel). Callers must not modify the returned slice.
+func (fs *FileStore) PeekRef(name string) ([]byte, bool) {
+	data, ok := fs.files[name]
+	return data, ok
+}
+
 // ReplaceSilently sets the named file's contents without charging any
 // device cost, for layers that charge their own modeled latencies.
 func (fs *FileStore) ReplaceSilently(name string, data []byte) {

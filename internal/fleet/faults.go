@@ -143,7 +143,7 @@ func (sh *shard) planCtxLocked(st *userState, uid searchlog.UserID, qh, ch uint6
 	warm := st.cache.Device().Link().State() != radio.Idle
 	return missCtx{
 		qh: qh, ch: ch,
-		plan: faults.PlanMiss(st.inj, st.retry, st.link, st.clock.Now(), warm, uint64(uid), qh, st.missSeq),
+		plan: faults.PlanMiss(st.rt.inj, st.rt.retry, st.rt.link, st.clock.Now(), warm, uint64(uid), qh, st.missSeq),
 	}
 }
 
@@ -163,6 +163,9 @@ func (sh *shard) classifyFaulted(req Request) (resp Response, mc missCtx, miss b
 	tier := sh.tierOf(st, qh, ch)
 	if tier != SourceCloud {
 		return sh.serveLocked(st, req, qh, ch, tier), missCtx{}, false
+	}
+	if err := sh.materialize(st); err != nil {
+		return Response{Req: req, Err: err}, missCtx{}, false
 	}
 	return Response{}, sh.planCtxLocked(st, req.User, qh, ch), true
 }
@@ -195,6 +198,9 @@ func (sh *shard) completeFaultedMiss(req Request, mc missCtx) Response {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	st, err := sh.user(req.User)
+	if err == nil {
+		err = sh.materialize(st)
+	}
 	if err != nil {
 		return Response{Req: req, Err: err}
 	}
@@ -212,13 +218,13 @@ func (sh *shard) completeFaultedMiss(req Request, mc missCtx) Response {
 		st.hits++
 	}
 	st.clock.Observe()
-	resp.EnergyJ = st.cache.Device().Config().BasePower * resp.Outcome.ResponseTime().Seconds()
+	resp.EnergyJ = sh.basePower * resp.Outcome.ResponseTime().Seconds()
 	if resp.Err == nil {
-		resp.RadioJ = st.link.ActiveEnergy(resp.Outcome.Radio.RadioActive + mc.plan.FailedActive)
+		resp.RadioJ = st.rt.link.ActiveEnergy(resp.Outcome.Radio.RadioActive + mc.plan.FailedActive)
 		if !resp.Outcome.Radio.WasWarm {
 			cold++
 		}
-		resp.RadioJ += float64(cold) * st.link.TailEnergy()
+		resp.RadioJ += float64(cold) * st.rt.link.TailEnergy()
 		resp.EnergyJ += resp.RadioJ
 	}
 	return resp
@@ -261,8 +267,8 @@ func (sh *shard) degradeLocked(st *userState, req Request, mc missCtx, cold int)
 	resp.Outcome = out
 	st.served++
 	st.clock.Observe()
-	resp.RadioJ = st.link.ActiveEnergy(mc.plan.FailedActive) + float64(cold)*st.link.TailEnergy()
-	resp.EnergyJ = dev.Config().BasePower*out.ResponseTime().Seconds() + resp.RadioJ
+	resp.RadioJ = st.rt.link.ActiveEnergy(mc.plan.FailedActive) + float64(cold)*st.rt.link.TailEnergy()
+	resp.EnergyJ = sh.basePower*out.ResponseTime().Seconds() + resp.RadioJ
 	return resp
 }
 
@@ -277,6 +283,9 @@ func (sh *shard) applyFaultedBatched(req Request, eresp engine.SearchResponse, f
 	defer sh.mu.Unlock()
 	delete(sh.pendingMiss, req.User)
 	st, err := sh.user(req.User)
+	if err == nil {
+		err = sh.materialize(st)
+	}
 	if err != nil {
 		return Response{Req: req, Err: err}
 	}
@@ -291,10 +300,10 @@ func (sh *shard) applyFaultedBatched(req Request, eresp engine.SearchResponse, f
 	sh.recordExpansion(st, req.User, mc.qh, mc.ch, before)
 	st.served++
 	st.clock.Observe()
-	resp.RadioJ = bt.ItemRadioEnergy(st.link, slot) +
-		st.link.ActiveEnergy(mc.plan.FailedActive) +
-		float64(cold)*st.link.TailEnergy()
-	resp.EnergyJ = st.cache.Device().Config().BasePower*resp.Outcome.ResponseTime().Seconds() + resp.RadioJ
+	resp.RadioJ = bt.ItemRadioEnergy(st.rt.link, slot) +
+		st.rt.link.ActiveEnergy(mc.plan.FailedActive) +
+		float64(cold)*st.rt.link.TailEnergy()
+	resp.EnergyJ = sh.basePower*resp.Outcome.ResponseTime().Seconds() + resp.RadioJ
 	return resp
 }
 

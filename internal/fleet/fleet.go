@@ -36,6 +36,17 @@
 //     serving the same user's next request, so per-user hit/miss
 //     outcomes are byte-identical to the unbatched path for the same
 //     seed.
+//   - Per-user state is compact and arena-allocated so the fleet
+//     scales to million-user populations: each shard keeps its users
+//     in chunked slabs of by-value userState records, indexed by a
+//     dense slot table for IDs below Config.Population (contiguous
+//     scenario ranges) with a sparse map fallback for the rest, and a
+//     user's simulation objects (device, cache, clock) materialize
+//     lazily on their first cloud miss. The steady-state hit path
+//     allocates nothing — reply channels are pooled, lookups reuse
+//     per-cache scratch buffers — which BenchmarkFleetServe100kUsers
+//     and the scripts/check.sh gate hold at 0 allocs/op. DESIGN.md's
+//     "Capacity model" chapter documents the bytes-per-user budget.
 //
 // Request routing mirrors the paper's two-component cache at fleet
 // scale: personal component first, then the shared community replica,
@@ -91,6 +102,11 @@ const (
 	SourceCanceled
 	numSources
 )
+
+// NumSources is the number of distinct Source values; load generators
+// size fixed per-source counter arrays with it instead of growing maps
+// on the hot observation path.
+const NumSources = int(numSources)
 
 // String implements fmt.Stringer.
 func (s Source) String() string {
@@ -190,6 +206,16 @@ type Config struct {
 	Content cachegen.Content
 	// Shards is the number of user shards. Zero selects 8.
 	Shards int
+	// Population, when positive, declares the contiguous user-ID range
+	// [0, Population) the workload draws from — what every scenario and
+	// tape generator produces. Each shard then indexes its residents
+	// through a dense slot array instead of a hash map, which is what
+	// makes million-user fleets cheap (~4 B of index per candidate user
+	// plus ~100 B of arena slot per resident). Users outside the range
+	// still work via a sparse fallback map; Population = 0 keeps every
+	// user on the fallback. Purely a memory-layout hint: serving
+	// outcomes are identical either way.
+	Population int
 	// Placement is the user→shard routing policy. Nil selects the
 	// legacy static modulo mapping over Shards, byte-identical to the
 	// historical fleet routing. A consistent-hash ring
@@ -301,13 +327,20 @@ type cohortTable struct {
 // resolve returns the runtime for one user. Pure: same uid, same
 // answer, on every shard, forever — the migration-safety contract.
 func (ct *cohortTable) resolve(uid searchlog.UserID) cohortRT {
+	return *ct.resolvePtr(uid)
+}
+
+// resolvePtr is resolve returning a pointer into the immutable table,
+// so every resident user interns one shared *cohortRT instead of
+// carrying the three runtime fields by value. Same purity contract.
+func (ct *cohortTable) resolvePtr(uid searchlog.UserID) *cohortRT {
 	if ct.of == nil || len(ct.cohorts) == 0 {
-		return ct.def
+		return &ct.def
 	}
 	if i := ct.of(uid); i >= 0 && i < len(ct.cohorts) {
-		return ct.cohorts[i]
+		return &ct.cohorts[i]
 	}
-	return ct.def
+	return &ct.def
 }
 
 // buildCohortTable resolves Config.Cohorts against the fleet defaults.
@@ -741,6 +774,13 @@ func (f *Fleet) Do(req Request) Response {
 	return f.DoContext(context.Background(), req)
 }
 
+// replyPool recycles the reply channels of non-cancelable Do calls.
+// Only the uncancelable path may pool: it always receives the worker's
+// single buffered send before returning, so a pooled channel is
+// provably empty. A cancelable DoContext can abandon its channel with
+// the worker's response still in flight, so that path allocates fresh.
+var replyPool = sync.Pool{New: func() any { return make(chan Response, 1) }}
+
 // DoContext is Do with caller cancellation: when ctx is done before a
 // response is delivered the call returns a Canceled response
 // (Source SourceCanceled) and the request is counted exactly once —
@@ -750,21 +790,29 @@ func (f *Fleet) DoContext(ctx context.Context, req Request) Response {
 	t := task{
 		req:      req,
 		enqueued: time.Now(),
-		reply:    make(chan Response, 1),
 	}
-	if ctx != nil && ctx.Done() != nil {
-		t.ctx = ctx
-		t.claimed = new(atomic.Bool)
+	if ctx == nil || ctx.Done() == nil {
+		// Uncancelable: the single response is always received here, so
+		// the reply channel is recycled instead of allocated per call.
+		reply := replyPool.Get().(chan Response)
+		t.reply = reply
+		if !f.enqueue(t) {
+			replyPool.Put(reply)
+			return Response{Req: req, Shed: true, Source: SourceShed}
+		}
+		resp := <-reply
+		replyPool.Put(reply)
+		return resp
 	}
-	if t.ctx != nil && t.ctx.Err() != nil {
+	t.reply = make(chan Response, 1)
+	t.ctx = ctx
+	t.claimed = new(atomic.Bool)
+	if t.ctx.Err() != nil {
 		t.claimed.Store(true)
 		return f.recordCanceled(req)
 	}
 	if !f.enqueue(t) {
 		return Response{Req: req, Shed: true, Source: SourceShed}
-	}
-	if t.ctx == nil {
-		return <-t.reply
 	}
 	select {
 	case resp := <-t.reply:
@@ -926,7 +974,7 @@ func (f *Fleet) Stats() Stats {
 	for _, sh := range f.topo.Load().shards {
 		s.BreakerOpens += sh.brk.openCount()
 		sh.mu.Lock()
-		s.Users += len(sh.users)
+		s.Users += sh.users.resident
 		s.PersonalBytes += sh.personalBytes
 		sh.mu.Unlock()
 	}
@@ -945,11 +993,11 @@ func (f *Fleet) MeanUserHitRate() float64 {
 	var rates []userRate
 	for _, sh := range f.topo.Load().shards {
 		sh.mu.Lock()
-		for uid, st := range sh.users {
+		sh.users.forEach(func(st *userState) {
 			if st.served > 0 {
-				rates = append(rates, userRate{uid, float64(st.hits) / float64(st.served)})
+				rates = append(rates, userRate{st.uid, float64(st.hits) / float64(st.served)})
 			}
-		}
+		})
 		sh.mu.Unlock()
 	}
 	if len(rates) == 0 {
@@ -981,9 +1029,9 @@ func (f *Fleet) UserServeCounts() []UserServeCount {
 	var out []UserServeCount
 	for _, sh := range f.topo.Load().shards {
 		sh.mu.Lock()
-		for uid, st := range sh.users {
-			out = append(out, UserServeCount{User: uid, Served: st.served, Hits: st.hits, Bytes: st.bytes})
-		}
+		sh.users.forEach(func(st *userState) {
+			out = append(out, UserServeCount{User: st.uid, Served: st.served, Hits: st.hits, Bytes: st.bytes})
+		})
 		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].User < out[j].User })

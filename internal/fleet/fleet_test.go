@@ -392,11 +392,11 @@ func TestPerUserBudget(t *testing.T) {
 	}
 	for _, sh := range f.topo.Load().shards {
 		sh.mu.Lock()
-		for uid, ust := range sh.users {
+		sh.users.forEach(func(ust *userState) {
 			if ust.bytes > budget {
-				t.Errorf("user %d over budget: %d > %d", uid, ust.bytes, budget)
+				t.Errorf("user %d over budget: %d > %d", ust.uid, ust.bytes, budget)
 			}
-		}
+		})
 		sh.mu.Unlock()
 	}
 }

@@ -271,11 +271,11 @@ func (f *Fleet) migrateEpoch(tp *topology, p1, p2 placement.Placement, flipped [
 	src := tp.shards[s]
 	src.mu.Lock()
 	var movers []searchlog.UserID
-	for uid := range src.users {
-		if p2.ShardOf(placement.UserKey(uint64(uid))) != s {
-			movers = append(movers, uid)
+	src.users.forEach(func(st *userState) {
+		if p2.ShardOf(placement.UserKey(uint64(st.uid))) != s {
+			movers = append(movers, st.uid)
 		}
-	}
+	})
 	src.mu.Unlock()
 	sort.Slice(movers, func(i, j int) bool { return movers[i] < movers[j] })
 
@@ -417,7 +417,7 @@ func (f *Fleet) ShardLoads() []ShardLoad {
 	for i, sh := range tp.shards {
 		out[i] = ShardLoad{Shard: sh.id, Served: sh.served.Load(), Shed: sh.shed.Load()}
 		sh.mu.Lock()
-		out[i].Users = len(sh.users)
+		out[i].Users = sh.users.resident
 		out[i].PersonalBytes = sh.personalBytes
 		sh.mu.Unlock()
 	}

@@ -10,7 +10,6 @@ import (
 	"pocketcloudlets/internal/cloudletos"
 	"pocketcloudlets/internal/device"
 	"pocketcloudlets/internal/engine"
-	"pocketcloudlets/internal/faults"
 	"pocketcloudlets/internal/flashsim"
 	"pocketcloudlets/internal/hash64"
 	"pocketcloudlets/internal/modeltime"
@@ -24,14 +23,31 @@ import (
 // PocketSearch cache (their expansions and click scores) plus serving
 // counters. The community component is shared by every user of the
 // shard, so the personal cache starts empty and stays small.
+//
+// States live by value inside the shard's userTable arena (no per-user
+// heap allocation for the common case), and the heavy parts — the
+// simulated device and the personal cache built on it — are
+// materialized lazily on the user's first cloud interaction. A user
+// who only ever hits the community replica costs ~100 bytes, which is
+// what lets one process hold millions of resident users. Laziness is
+// model-invisible: building a device charges nothing, an untouched
+// device clock is zero (observing zero on the timeline is a no-op),
+// and base power is a fleet-wide constant (sh.basePower).
 type userState struct {
+	// uid and live identify the slot's owner; live distinguishes an
+	// occupied slot from a freed one during arena iteration.
+	uid  searchlog.UserID
+	live bool
+	// cache is the user's personal PocketSearch instance; nil until the
+	// user's first cloud-classified request materializes it.
 	cache *pocketsearch.Cache
 	// clock is the user's virtual model clock: the modeltime view over
 	// the user's simulated device, registered on the fleet timeline.
 	// Every model-time read, migration sync and makespan observation
 	// goes through it — serving code never touches the device clock
-	// directly. Guarded by the shard lock like the rest of the state.
-	clock *modeltime.UserClock
+	// directly. Interned by value; valid only once cache is non-nil.
+	// Guarded by the shard lock like the rest of the state.
+	clock modeltime.UserClock
 	// bytes is the user's personal flash footprint (logical result-db
 	// bytes), maintained incrementally from expansion/eviction deltas.
 	bytes  int64
@@ -44,17 +60,16 @@ type userState struct {
 	missSeq uint64
 	// refs indexes the user's personal records by eviction key, so the
 	// budget enforcer can find this user's lowest-utility items without
-	// scanning the whole shard.
+	// scanning the whole shard. Nil until the first expansion.
 	refs map[uint64]evictRef
-	// link, inj and retry are the user's resolved cohort runtime: the
-	// radio tier their device was built with, the fault injector their
-	// cloud misses draw from (nil when nothing injects for them), and
-	// the retry ladder those misses walk. Resolved once in shard.user —
-	// a pure function of the user ID, so a migrated user re-resolves to
-	// the same runtime on the destination shard.
-	link  radio.Params
-	inj   *faults.Injector
-	retry faults.RetryPolicy
+	// rt is the user's resolved cohort runtime: the radio tier their
+	// device is built with, the fault injector their cloud misses draw
+	// from (nil when nothing injects for them), and the retry ladder
+	// those misses walk. Resolved once in shard.user — a pure function
+	// of the user ID, so a migrated user re-resolves to the same
+	// runtime on the destination shard. Points into the immutable
+	// cohortTable, shared across users.
+	rt *cohortRT
 }
 
 // evictRef locates one personal record for eviction bookkeeping.
@@ -63,6 +78,122 @@ type evictRef struct {
 	queryHash  uint64
 	resultHash uint64
 	bytes      int64
+}
+
+// userTable is the shard's compact user index: an arena of userState
+// slots addressed either through a dense array (user IDs below the
+// configured population, the contiguous ID range every scenario
+// generator produces) or through a sparse fallback map for IDs outside
+// it. Slots are allocated from fixed-size chunks that are never
+// reallocated, so *userState pointers stay valid for the shard's
+// lifetime; freed slots (migration exports) are recycled via a free
+// list. Guarded by the shard lock.
+type userTable struct {
+	// slots maps uid → slot+1 for uid < len(slots); 0 means absent.
+	slots []int32
+	// sparse maps out-of-range uids → slot+1.
+	sparse map[searchlog.UserID]int32
+	// chunks is the slab arena; chunk addresses never change.
+	chunks [][]userState
+	free   []int32
+	next   int32
+	// resident counts live slots.
+	resident int
+}
+
+// userChunkShift sizes arena chunks at 1<<userChunkShift states
+// (~100 KB per chunk): big enough to amortize allocation, small enough
+// that a lightly populated shard stays cheap.
+const userChunkShift = 10
+
+func newUserTable(population int) userTable {
+	ut := userTable{}
+	if population > 0 {
+		ut.slots = make([]int32, population)
+	}
+	return ut
+}
+
+// at returns the state in slot s.
+func (ut *userTable) at(s int32) *userState {
+	return &ut.chunks[s>>userChunkShift][s&(1<<userChunkShift-1)]
+}
+
+// get returns the user's state, or nil when not resident.
+func (ut *userTable) get(uid searchlog.UserID) *userState {
+	if i := uint64(uid); i < uint64(len(ut.slots)) {
+		if s := ut.slots[i]; s != 0 {
+			return ut.at(s - 1)
+		}
+		return nil
+	}
+	if s, ok := ut.sparse[uid]; ok {
+		return ut.at(s - 1)
+	}
+	return nil
+}
+
+// put allocates (or reuses) a slot for uid and returns its zeroed
+// state with uid and live set. The uid must not be resident.
+func (ut *userTable) put(uid searchlog.UserID) *userState {
+	var s int32
+	if n := len(ut.free); n > 0 {
+		s = ut.free[n-1]
+		ut.free = ut.free[:n-1]
+	} else {
+		s = ut.next
+		if int(s)>>userChunkShift == len(ut.chunks) {
+			ut.chunks = append(ut.chunks, make([]userState, 1<<userChunkShift))
+		}
+		ut.next++
+	}
+	if i := uint64(uid); i < uint64(len(ut.slots)) {
+		ut.slots[i] = s + 1
+	} else {
+		if ut.sparse == nil {
+			ut.sparse = make(map[searchlog.UserID]int32)
+		}
+		ut.sparse[uid] = s + 1
+	}
+	ut.resident++
+	st := ut.at(s)
+	*st = userState{uid: uid, live: true}
+	return st
+}
+
+// remove frees uid's slot, zeroing the state (releasing its cache and
+// maps to the collector) and recycling the slot.
+func (ut *userTable) remove(uid searchlog.UserID) {
+	var s int32
+	if i := uint64(uid); i < uint64(len(ut.slots)) {
+		s = ut.slots[i]
+		if s == 0 {
+			return
+		}
+		ut.slots[i] = 0
+	} else {
+		var ok bool
+		s, ok = ut.sparse[uid]
+		if !ok {
+			return
+		}
+		delete(ut.sparse, uid)
+	}
+	*ut.at(s - 1) = userState{}
+	ut.free = append(ut.free, s-1)
+	ut.resident--
+}
+
+// forEach visits every live state in arena (slot) order. Callers that
+// need a deterministic order sort afterwards by uid.
+func (ut *userTable) forEach(fn func(*userState)) {
+	for _, ch := range ut.chunks {
+		for i := range ch {
+			if st := &ch[i]; st.live {
+				fn(st)
+			}
+		}
+	}
 }
 
 // shard owns a deterministic slice of the user population: one shared
@@ -92,6 +223,11 @@ type shard struct {
 	// (community hits advance the replica's device, not the user's).
 	tl        *modeltime.Timeline
 	commClock *modeltime.UserClock
+	// basePower is the devices' base power draw in watts — identical
+	// for every simulated device in the fleet (all are built with the
+	// default device config), captured once so energy attribution never
+	// needs a user's device materialized.
+	basePower float64
 
 	// served and shed are this shard's occupancy counters, bumped
 	// lock-free on the completion paths so shard skew is observable
@@ -101,7 +237,7 @@ type shard struct {
 
 	mu        sync.Mutex
 	community *pocketsearch.Cache
-	users     map[searchlog.UserID]*userState
+	users     userTable
 	// keys routes cloudletos eviction keys back to their owner.
 	keys          map[uint64]evictRef
 	personalBytes int64
@@ -133,7 +269,7 @@ func itemKey(uid searchlog.UserID, resultHash uint64) uint64 {
 
 // newShard builds one shard: a community cache replica preloaded with
 // the shared content (provisioned overnight, so its model clock is
-// reset afterwards) and an empty user map.
+// reset afterwards) and an empty user arena.
 func newShard(id int, cfg Config, ct *cohortTable, tl *modeltime.Timeline) (*shard, error) {
 	commOpts := cfg.Options
 	// The community replica is shared by every user of the shard, so
@@ -155,8 +291,9 @@ func newShard(id int, cfg Config, ct *cohortTable, tl *modeltime.Timeline) (*sha
 		faulted:      ct.faulted,
 		tl:           tl,
 		commClock:    tl.UserClock(dev),
+		basePower:    dev.Config().BasePower,
 		community:    community,
-		users:        make(map[searchlog.UserID]*userState),
+		users:        newUserTable(cfg.Population),
 		keys:         make(map[uint64]evictRef),
 		pendingMiss:  make(map[searchlog.UserID]*missTask),
 		holds:        make(map[searchlog.UserID]*holdQueue),
@@ -167,27 +304,37 @@ func newShard(id int, cfg Config, ct *cohortTable, tl *modeltime.Timeline) (*sha
 	return sh, nil
 }
 
-// user returns (lazily creating) the per-user state. Caller holds mu.
+// user returns (lazily creating) the per-user state. The state starts
+// compact — counters and cohort runtime only; the simulated device and
+// personal cache are materialized on first need. Caller holds mu.
 func (sh *shard) user(uid searchlog.UserID) (*userState, error) {
-	if st, ok := sh.users[uid]; ok {
+	if st := sh.users.get(uid); st != nil {
 		return st, nil
 	}
-	rt := sh.cohorts.resolve(uid)
-	dev := device.New(device.Config{}, rt.link, flashsim.Params{})
+	st := sh.users.put(uid)
+	st.rt = sh.cohorts.resolvePtr(uid)
+	return st, nil
+}
+
+// materialize builds the user's simulated device and personal cache if
+// they do not exist yet. Deferring this to the first cloud-classified
+// request is model-invisible: device construction charges no time or
+// energy, the fresh device clock is zero (a zero observation does not
+// move the timeline), base power is the fleet-wide constant, and an
+// empty personal cache can by definition serve no personal hit.
+// Caller holds mu.
+func (sh *shard) materialize(st *userState) error {
+	if st.cache != nil {
+		return nil
+	}
+	dev := device.New(device.Config{}, st.rt.link, flashsim.Params{})
 	cache, err := pocketsearch.New(dev, sh.eng, sh.opts)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	st := &userState{
-		cache: cache,
-		clock: sh.tl.UserClock(dev),
-		refs:  make(map[uint64]evictRef),
-		link:  rt.link,
-		inj:   rt.inj,
-		retry: rt.retry,
-	}
-	sh.users[uid] = st
-	return st, nil
+	st.cache = cache
+	st.clock = sh.tl.BoundClock(dev)
+	return nil
 }
 
 // serve executes one request under the shard lock. The routing mirrors
@@ -209,10 +356,12 @@ func (sh *shard) serve(req Request) Response {
 	return sh.serveLocked(st, req, qh, ch, sh.tierOf(st, qh, ch))
 }
 
-// tierOf classifies which tier will serve the pair. Caller holds mu.
+// tierOf classifies which tier will serve the pair. A user whose
+// personal cache is not materialized cannot have a personal hit.
+// Caller holds mu.
 func (sh *shard) tierOf(st *userState, qh, ch uint64) Source {
 	switch {
-	case st.cache.ContainsPair(qh, ch):
+	case st.cache != nil && st.cache.ContainsPair(qh, ch):
 		return SourcePersonal
 	case sh.community.ContainsPair(qh, ch):
 		return SourceCommunity
@@ -232,6 +381,9 @@ func (sh *shard) serveLocked(st *userState, req Request, qh, ch uint64, tier Sou
 	case SourceCommunity:
 		resp.Outcome, resp.Err = sh.community.Query(req.Query, req.Click)
 	default:
+		if err := sh.materialize(st); err != nil {
+			return Response{Req: req, Err: err}
+		}
 		before := st.cache.DB().LogicalBytes()
 		resp.Outcome, resp.Err = st.cache.Query(req.Query, req.Click)
 		sh.recordExpansion(st, req.User, qh, ch, before)
@@ -263,6 +415,9 @@ func (sh *shard) routeBatched(t task) (resp Response, miss, waitFor *missTask) {
 	if tier != SourceCloud {
 		return sh.serveLocked(st, t.req, qh, ch, tier), nil, nil
 	}
+	if err := sh.materialize(st); err != nil {
+		return Response{Req: t.req, Err: err}, nil, nil
+	}
 	mt := &missTask{t: t, done: make(chan struct{})}
 	if sh.faulted {
 		// Plan the miss's whole fault ladder now, against the user's
@@ -287,6 +442,9 @@ func (sh *shard) applyBatchedMiss(req Request, eresp engine.SearchResponse, foun
 	resp := Response{Req: req, Source: SourceCloud, BatchSize: bt.Size()}
 	delete(sh.pendingMiss, req.User)
 	st, err := sh.user(req.User)
+	if err == nil {
+		err = sh.materialize(st)
+	}
 	if err != nil {
 		resp.Err = err
 		return resp
@@ -298,8 +456,8 @@ func (sh *shard) applyBatchedMiss(req Request, eresp engine.SearchResponse, foun
 	sh.recordExpansion(st, req.User, qh, ch, before)
 	st.served++
 	st.clock.Observe()
-	resp.RadioJ = bt.ItemRadioEnergy(st.link, i)
-	resp.EnergyJ = st.cache.Device().Config().BasePower*resp.Outcome.ResponseTime().Seconds() + resp.RadioJ
+	resp.RadioJ = bt.ItemRadioEnergy(st.rt.link, i)
+	resp.EnergyJ = sh.basePower*resp.Outcome.ResponseTime().Seconds() + resp.RadioJ
 	return resp
 }
 
@@ -309,6 +467,9 @@ func (sh *shard) recordExpansion(st *userState, uid searchlog.UserID, qh, ch uin
 	if delta := st.cache.DB().LogicalBytes() - before; delta > 0 {
 		ref := evictRef{user: uid, queryHash: qh, resultHash: ch, bytes: delta}
 		key := itemKey(uid, ch)
+		if st.refs == nil {
+			st.refs = make(map[uint64]evictRef)
+		}
 		st.refs[key] = ref
 		sh.keys[key] = ref
 		st.bytes += delta
@@ -327,15 +488,17 @@ func (sh *shard) accountLocked(st *userState, resp *Response) {
 	if resp.Outcome.Hit {
 		st.hits++
 	}
-	resp.EnergyJ = st.cache.Device().Config().BasePower * resp.Outcome.ResponseTime().Seconds()
+	resp.EnergyJ = sh.basePower * resp.Outcome.ResponseTime().Seconds()
 	if resp.Source == SourceCloud && resp.Err == nil {
-		resp.RadioJ = st.link.ActiveEnergy(resp.Outcome.Radio.RadioActive)
+		resp.RadioJ = st.rt.link.ActiveEnergy(resp.Outcome.Radio.RadioActive)
 		if !resp.Outcome.Radio.WasWarm {
-			resp.RadioJ += st.link.TailEnergy()
+			resp.RadioJ += st.rt.link.TailEnergy()
 		}
 		resp.EnergyJ += resp.RadioJ
 	}
-	st.clock.Observe()
+	if st.cache != nil {
+		st.clock.Observe()
+	}
 	if resp.Source == SourceCommunity {
 		// A community hit advanced the replica's device, not the user's.
 		sh.commClock.Observe()
@@ -346,6 +509,9 @@ func (sh *shard) accountLocked(st *userState, resp *Response) {
 // click score any query still gives it (Equation 1's S values), so a
 // user's stale, decayed records go first.
 func (st *userState) utilityOf(ref evictRef) float64 {
+	if st.cache == nil {
+		return 0
+	}
 	s, ok := st.cache.Table().Score(ref.queryHash, ref.resultHash)
 	if !ok {
 		return 0
@@ -377,8 +543,8 @@ func (sh *shard) enforceUserBudget(st *userState) {
 // evictLocked removes one personal record and its index entries.
 // Caller holds mu.
 func (sh *shard) evictLocked(key uint64, ref evictRef) int64 {
-	st, ok := sh.users[ref.user]
-	if !ok {
+	st := sh.users.get(ref.user)
+	if st == nil || st.cache == nil {
 		return 0
 	}
 	freed := st.cache.EvictResult(ref.resultHash)
@@ -411,7 +577,7 @@ func (sh *shard) Items() []cloudletos.Item {
 	out := make([]cloudletos.Item, 0, len(keys))
 	for _, k := range keys {
 		ref := sh.keys[k]
-		st := sh.users[ref.user]
+		st := sh.users.get(ref.user)
 		out = append(out, cloudletos.Item{
 			Key:      k,
 			Relation: ref.queryHash,
@@ -444,8 +610,8 @@ func (sh *shard) Read(key uint64) ([]byte, bool) {
 	if !ok {
 		return nil, false
 	}
-	st, ok := sh.users[ref.user]
-	if !ok {
+	st := sh.users.get(ref.user)
+	if st == nil || st.cache == nil {
 		return nil, false
 	}
 	rec, _, err := st.cache.DB().Get(ref.resultHash)
@@ -479,24 +645,30 @@ type userExport struct {
 // returns it packaged for import. ok is false when the user is not
 // resident. When the export itself fails (err non-nil) the state has
 // still been removed — the caller cold-starts the user at the
-// destination and books the drop.
+// destination and books the drop. A user whose lazy cache was never
+// materialized is materialized first, so the wire format — and the
+// byte-identical round-trip contract — is the same for every mover.
 func (sh *shard) exportUser(uid searchlog.UserID) (ex userExport, ok bool, err error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	st, resident := sh.users[uid]
-	if !resident {
+	st := sh.users.get(uid)
+	if st == nil {
 		return userExport{}, false, nil
 	}
-	delete(sh.users, uid)
 	for key := range st.refs {
 		delete(sh.keys, key)
 	}
 	sh.personalBytes -= st.bytes
-	upd, err := updater.ExportState(st.cache)
-	if err != nil {
+	if err := sh.materialize(st); err != nil {
+		sh.users.remove(uid)
 		return userExport{}, true, err
 	}
-	return userExport{
+	upd, err := updater.ExportState(st.cache)
+	if err != nil {
+		sh.users.remove(uid)
+		return userExport{}, true, err
+	}
+	ex = userExport{
 		update:  upd,
 		bytes:   st.bytes,
 		served:  st.served,
@@ -504,7 +676,10 @@ func (sh *shard) exportUser(uid searchlog.UserID) (ex userExport, ok bool, err e
 		missSeq: st.missSeq,
 		refs:    st.refs,
 		clock:   st.clock.Now(),
-	}, true, nil
+	}
+	// remove zeroes the slot; ex.refs still references the map object.
+	sh.users.remove(uid)
+	return ex, true, nil
 }
 
 // importUser installs an exported user on this shard: a fresh device
@@ -516,15 +691,19 @@ func (sh *shard) exportUser(uid searchlog.UserID) (ex userExport, ok bool, err e
 func (sh *shard) importUser(uid searchlog.UserID, ex userExport) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if _, exists := sh.users[uid]; exists {
+	if sh.users.get(uid) != nil {
 		return fmt.Errorf("fleet: user %d already resident on shard %d", uid, sh.id)
 	}
 	st, err := sh.user(uid)
 	if err != nil {
 		return err
 	}
+	if err := sh.materialize(st); err != nil {
+		sh.users.remove(uid)
+		return err
+	}
 	if _, err := updater.Apply(st.cache, ex.update); err != nil {
-		delete(sh.users, uid)
+		sh.users.remove(uid)
 		return err
 	}
 	st.clock.SyncForward(ex.clock)
@@ -534,6 +713,9 @@ func (sh *shard) importUser(uid searchlog.UserID, ex userExport) error {
 	st.bytes = st.cache.DB().LogicalBytes()
 	sh.personalBytes += st.bytes
 	for key, ref := range ex.refs {
+		if st.refs == nil {
+			st.refs = make(map[uint64]evictRef)
+		}
 		st.refs[key] = ref
 		sh.keys[key] = ref
 	}

@@ -4,20 +4,35 @@
 // their web address, and the result database assigns results to files
 // by hash modulo the file count (paper Sections 5.2.1-5.2.2). All
 // three must agree on the hash function.
+//
+// The hash is FNV-1a, computed inline rather than through hash/fnv so
+// the serve hot path never converts a string to []byte (that
+// conversion heap-allocates for strings past the runtime's small
+// stack buffer) and never allocates a hash.Hash.
 package hash64
 
-import "hash/fnv"
+// FNV-1a 64-bit parameters (the same constants hash/fnv uses).
+const (
+	offset64 = 14695981039346656037
+	prime64  = 1099511628211
+)
 
 // Sum returns the FNV-1a 64-bit hash of s.
 func Sum(s string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(s))
-	return h.Sum64()
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
 }
 
 // SumBytes returns the FNV-1a 64-bit hash of b.
 func SumBytes(b []byte) uint64 {
-	h := fnv.New64a()
-	h.Write(b)
-	return h.Sum64()
+	h := uint64(offset64)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= prime64
+	}
+	return h
 }

@@ -92,21 +92,48 @@ func (t *Table) Contains(queryHash uint64) bool {
 // descending score (ties broken by result hash for determinism).
 // It returns nil for a miss.
 func (t *Table) Lookup(queryHash uint64) []SearchRef {
+	return t.LookupInto(queryHash, nil)
+}
+
+// LookupInto is Lookup writing into buf (reused when its capacity
+// suffices), so steady-state callers can keep the serve path
+// allocation-free. The returned slice aliases buf's backing array and
+// is only valid until the next LookupInto with the same buffer. The
+// order is identical to Lookup's: descending score, ties broken by
+// ascending result hash.
+func (t *Table) LookupInto(queryHash uint64, buf []SearchRef) []SearchRef {
 	chain, ok := t.entries[queryHash]
 	if !ok {
 		return nil
 	}
-	var refs []SearchRef
+	refs := buf[:0]
 	for _, e := range chain {
 		refs = append(refs, e.refs...)
 	}
-	sort.Slice(refs, func(i, j int) bool {
-		if refs[i].Score != refs[j].Score {
-			return refs[i].Score > refs[j].Score
+	// Insertion sort instead of sort.Slice: chains are short (a handful
+	// of refs) and sort.Slice's reflection-based closure allocates.
+	for i := 1; i < len(refs); i++ {
+		for j := i; j > 0 && refLess(refs[j], refs[j-1]); j-- {
+			refs[j], refs[j-1] = refs[j-1], refs[j]
 		}
-		return refs[i].ResultHash < refs[j].ResultHash
-	})
+	}
 	return refs
+}
+
+// refLess is Lookup's total order: descending score, then ascending
+// result hash.
+func refLess(a, b SearchRef) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.ResultHash < b.ResultHash
+}
+
+// ContainsRef reports whether the (query, result) pair is stored,
+// without allocating — the hit-path form of scanning Lookup's slice.
+func (t *Table) ContainsRef(queryHash, resultHash uint64) bool {
+	_, _, ok := t.find(queryHash, resultHash)
+	return ok
 }
 
 // find locates the chain entry and slot index of a (query, result).

@@ -41,6 +41,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -54,14 +55,16 @@ import (
 	"pocketcloudlets/internal/workload"
 )
 
-// counters is the lock-free aggregate a Collector accumulates.
+// counters is the aggregate a Collector accumulates.
 type counters struct {
 	wall     Histogram
 	model    Histogram
 	shed     uint64
 	errors   uint64
 	canceled uint64
-	bySource map[fleet.Source]uint64
+	// bySource is a fixed array indexed by fleet.Source — no map churn
+	// on the per-response observation path.
+	bySource [fleet.NumSources]uint64
 	// Modeled energy sums over observed non-error responses: total,
 	// radio-only, and radio-only restricted to cloud misses.
 	energyJ    float64
@@ -73,12 +76,10 @@ type counters struct {
 	batchedMisses uint64
 }
 
-func newCounters() *counters {
-	return &counters{bySource: make(map[fleet.Source]uint64)}
-}
+func newCounters() *counters { return &counters{} }
 
 // observe books one response into the aggregate. Caller holds the
-// collector lock.
+// owning stripe's lock.
 func (c *counters) observe(r fleet.Response) {
 	if r.Canceled {
 		c.canceled++
@@ -107,47 +108,70 @@ func (c *counters) observe(r fleet.Response) {
 	}
 }
 
-// clone deep-copies the aggregate (histograms are values; only the
-// source map needs copying).
-func (c *counters) clone() *counters {
-	s := *c
-	s.bySource = make(map[fleet.Source]uint64, len(c.bySource))
-	for k, v := range c.bySource {
-		s.bySource[k] = v
+// merge folds another aggregate into this one. Everything is additive
+// (histograms merge bucket-wise), so merging stripes in any fixed
+// order yields the same counters; only the float energy sums are
+// order-sensitive, and stripes are always merged in index order.
+func (c *counters) merge(o *counters) {
+	c.wall.Merge(&o.wall)
+	c.model.Merge(&o.model)
+	c.shed += o.shed
+	c.errors += o.errors
+	c.canceled += o.canceled
+	for i := range c.bySource {
+		c.bySource[i] += o.bySource[i]
 	}
-	return &s
+	c.energyJ += o.energyJ
+	c.radioJ += o.radioJ
+	c.missRadioJ += o.missRadioJ
+	c.wakeups += o.wakeups
+	c.batchedMisses += o.batchedMisses
 }
 
-// Collector aggregates fleet responses into histograms and counters.
-// Install it as the fleet's Observer (fleet.Config.Observer) before
-// running a load phase. Observe is safe for concurrent use. Responses
-// carrying a Request.Class tag are additionally booked into a
-// per-class aggregate, which reports surface as per-SLO-class
-// breakdowns.
-type Collector struct {
+// collectorStripes is the Collector's lock-stripe count. Responses
+// stripe by user ID, so one stripe sees all of a user's responses and
+// a wide fleet's workers stop serializing on a single observer mutex.
+const collectorStripes = 16
+
+// collectorStripe is one independently locked slice of the collector.
+// Padded out to its own cache lines would be overkill here: the mutex
+// hold times (a histogram bump) dominate any false sharing.
+type collectorStripe struct {
 	mu      sync.Mutex
 	c       counters
 	byClass map[string]*counters
 }
 
+// Collector aggregates fleet responses into histograms and counters.
+// Install it as the fleet's Observer (fleet.Config.Observer) before
+// running a load phase. Observe is safe for concurrent use — internally
+// lock-striped by user ID so fleet workers do not serialize on one
+// mutex. Responses carrying a Request.Class tag are additionally booked
+// into a per-class aggregate, which reports surface as per-SLO-class
+// breakdowns.
+type Collector struct {
+	stripes [collectorStripes]collectorStripe
+}
+
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
-	return &Collector{c: *newCounters()}
+	return &Collector{}
 }
 
 // Observe implements fleet.Observer.
 func (c *Collector) Observe(r fleet.Response) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.c.observe(r)
+	s := &c.stripes[uint64(r.Req.User)%collectorStripes]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.c.observe(r)
 	if cls := r.Req.Class; cls != "" {
-		cc := c.byClass[cls]
+		cc := s.byClass[cls]
 		if cc == nil {
-			if c.byClass == nil {
-				c.byClass = make(map[string]*counters)
+			if s.byClass == nil {
+				s.byClass = make(map[string]*counters)
 			}
 			cc = newCounters()
-			c.byClass[cls] = cc
+			s.byClass[cls] = cc
 		}
 		cc.observe(r)
 	}
@@ -155,26 +179,42 @@ func (c *Collector) Observe(r fleet.Response) {
 
 // Reset clears the collector for a fresh load phase.
 func (c *Collector) Reset() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.c = *newCounters()
-	c.byClass = nil
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		s.c = *newCounters()
+		s.byClass = nil
+		s.mu.Unlock()
+	}
 }
 
-// snapshot copies the collector state.
+// snapshot merges the stripes into one aggregate.
 func (c *Collector) snapshot() counters {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return *c.c.clone()
+	var out counters
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		out.merge(&s.c)
+		s.mu.Unlock()
+	}
+	return out
 }
 
-// classSnapshot copies the per-class aggregates.
+// classSnapshot merges the per-class aggregates across stripes.
 func (c *Collector) classSnapshot() map[string]*counters {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make(map[string]*counters, len(c.byClass))
-	for k, v := range c.byClass {
-		out[k] = v.clone()
+	out := make(map[string]*counters)
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		for k, v := range s.byClass {
+			agg := out[k]
+			if agg == nil {
+				agg = newCounters()
+				out[k] = agg
+			}
+			agg.merge(v)
+		}
+		s.mu.Unlock()
 	}
 	return out
 }
@@ -218,7 +258,11 @@ type Report struct {
 
 	HitRate float64 `json:"hit_rate"`
 	// MeanUserHitRate averages per-user hit rates — the paper's
-	// Figure 17 metric (closed loop only; zero otherwise).
+	// Figure 17 metric. Closed loop computes it from per-user outcome
+	// accounting; open and trace runs take it from the fleet's resident
+	// counters (fleet.MeanUserHitRate), which is what the capacity
+	// study's hit-rate-invariance check compares across population
+	// sizes.
 	MeanUserHitRate float64 `json:"mean_user_hit_rate"`
 	// ClassHitRate is the mean per-user hit rate by user class
 	// (closed loop only).
@@ -287,6 +331,11 @@ type Report struct {
 	// run; ResidentUsers the number of materialized personal states.
 	PersonalBytes int64 `json:"personal_bytes"`
 	ResidentUsers int   `json:"resident_users"`
+	// HeapAllocBytes is the Go heap in use at the end of the run
+	// (runtime.MemStats.HeapAlloc) — the process-memory side of the
+	// capacity model's users-vs-RSS curve. A measurement of this
+	// process, not a modeled quantity.
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes,omitempty"`
 
 	// Placement names the routing policy ("modulo" or "ring").
 	Placement string `json:"placement,omitempty"`
@@ -568,6 +617,9 @@ func fill(r *Report, f *fleet.Fleet, col *Collector, before fleet.Stats, beforeB
 
 	r.PersonalBytes = st.PersonalBytes
 	r.ResidentUsers = st.Users
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.HeapAllocBytes = ms.HeapAlloc
 
 	r.Placement = f.PlacementName()
 	loads := f.ShardLoads()
@@ -948,6 +1000,7 @@ func RunOpen(f *fleet.Fleet, col *Collector, g *workload.Generator, cfg OpenConf
 	}
 	r.OfferedCurve, r.PeakTroughServedRatio = offeredCurve(cfg.Duration, offered, shedPerBucket)
 	fill(&r, f, col, before, beforeBatch, beforeMig, elapsed)
+	r.MeanUserHitRate = f.MeanUserHitRate()
 	return r, nil
 }
 
@@ -1000,6 +1053,7 @@ func RunTrace(f *fleet.Fleet, col *Collector, events []TraceEvent, cfg TraceConf
 	}
 	r.OfferedCurve, r.PeakTroughServedRatio = offeredCurve(horizon, offered, shedPerBucket)
 	fill(&r, f, col, before, beforeBatch, beforeMig, elapsed)
+	r.MeanUserHitRate = f.MeanUserHitRate()
 	return r, nil
 }
 

@@ -102,7 +102,16 @@ type UserClock struct {
 
 // UserClock registers a user's device clock on the timeline.
 func (tl *Timeline) UserClock(dev DeviceClock) *UserClock {
-	return &UserClock{dev: dev, tl: tl}
+	c := tl.BoundClock(dev)
+	return &c
+}
+
+// BoundClock is UserClock returning the clock by value, for callers
+// that intern per-user clocks inside compact arena slots instead of
+// heap-allocating one clock per user. The value is a valid UserClock;
+// methods work on any addressable copy.
+func (tl *Timeline) BoundClock(dev DeviceClock) UserClock {
+	return UserClock{dev: dev, tl: tl}
 }
 
 // Now returns the user's current model time.

@@ -23,7 +23,7 @@ package pocketsearch
 import (
 	"fmt"
 	"math"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"pocketcloudlets/internal/cachegen"
@@ -62,11 +62,25 @@ type Options struct {
 	// and displayed on a hit (the prototype shows results in the
 	// auto-suggest box; two are fetched in Table 4's breakdown).
 	ResultsShown int
+	// DiscardResults skips materializing Outcome.Results: records are
+	// still fetched (and their flash latency charged) and engine
+	// responses still ship, but no result structs are parsed or
+	// appended, so a serve allocates nothing for callers — load
+	// generators, large-fleet benchmarks — that never read the result
+	// list. Every latency, energy and hit/miss number is unchanged.
+	DiscardResults bool
 	// IndexPlacement selects where the hash table lives across power
 	// cycles (Section 3.3): the default two-tier DRAM+NAND hierarchy
 	// reloads it from flash at every boot, while a three-tier
 	// hierarchy keeps it instantly available in PCM.
 	IndexPlacement device.IndexPlacement
+	// DisableSuggest skips maintaining the auto-completion index and
+	// its query-text map. Nothing modeled reads them — every latency,
+	// energy and hit/miss number is unchanged — but they cost a trie
+	// plus a string map per cache (~2.5 KB per user), which at a
+	// million users is the difference between fitting in host memory
+	// or not. Autocomplete returns nil while disabled.
+	DisableSuggest bool
 }
 
 func (o Options) withDefaults() Options {
@@ -101,8 +115,9 @@ type Cache struct {
 	db    *resultdb.DB
 	eng   *engine.Engine
 
-	statsMu sync.Mutex
-	stats   Stats
+	// stats counters are atomic so Stats/ResetStats stay safe to call
+	// concurrently with Query without a lock on the serve path.
+	stats cacheStats
 	// completions indexes the cached query strings for the Figure 1
 	// auto-suggest box; queryText maps query hashes back to strings so
 	// the index can follow hash table updates.
@@ -110,6 +125,15 @@ type Cache struct {
 	queryText   map[uint64]string
 	// lastQueryText carries the miss-path query string to expand.
 	lastQueryText string
+	// refsBuf is the scratch buffer hash-table lookups reuse so the
+	// steady-state serve path allocates nothing. Single-owner like the
+	// rest of the cache: only the serialized mutating methods touch it.
+	refsBuf []hashtable.SearchRef
+}
+
+// cacheStats is the atomic backing store for Stats.
+type cacheStats struct {
+	queries, hits, misses, expansions, stale atomic.Int64
 }
 
 // Stats accumulates cache activity counters.
@@ -147,15 +171,18 @@ func New(dev *device.Device, eng *engine.Engine, opts Options) (*Cache, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Cache{
-		opts:        o,
-		dev:         dev,
-		table:       tbl,
-		db:          db,
-		eng:         eng,
-		completions: suggest.New(),
-		queryText:   make(map[uint64]string),
-	}, nil
+	c := &Cache{
+		opts:  o,
+		dev:   dev,
+		table: tbl,
+		db:    db,
+		eng:   eng,
+	}
+	if !o.DisableSuggest {
+		c.completions = suggest.New()
+		c.queryText = make(map[uint64]string)
+	}
+	return c, nil
 }
 
 // Build creates a cache preloaded with community content. The preload
@@ -234,6 +261,9 @@ func (c *Cache) QueryTexts() map[uint64]string {
 // that survived the merge.
 func (c *Cache) ReplaceTable(t *hashtable.Table, queryTexts map[uint64]string) {
 	c.table = t
+	if c.opts.DisableSuggest {
+		return
+	}
 	for qh, q := range queryTexts {
 		if q != "" {
 			c.queryText[qh] = q
@@ -260,9 +290,23 @@ func (c *Cache) ReplaceTable(t *hashtable.Table, queryTexts map[uint64]string) {
 	}
 }
 
+// lookupScratch is Table.LookupInto through the cache's reusable
+// scratch buffer. The returned slice is valid until the next
+// lookupScratch call; single-owner like every mutating method.
+func (c *Cache) lookupScratch(qh uint64) []hashtable.SearchRef {
+	refs := c.table.LookupInto(qh, c.refsBuf)
+	if refs != nil {
+		c.refsBuf = refs[:0]
+	}
+	return refs
+}
+
 // indexQuery records a query string for auto-completion, keeping the
 // best score seen.
 func (c *Cache) indexQuery(qh uint64, q string, score float64) {
+	if c.opts.DisableSuggest {
+		return
+	}
 	c.queryText[qh] = q
 	c.completions.Add(q, score)
 }
@@ -273,6 +317,9 @@ func (c *Cache) indexQuery(qh uint64, q string, score float64) {
 // alternative the paper describes submits a server query per typed
 // letter over the radio (Section 8).
 func (c *Cache) Autocomplete(prefix string, k int) []suggest.Completion {
+	if c.completions == nil {
+		return nil
+	}
 	return c.completions.Complete(prefix, k)
 }
 
@@ -288,24 +335,23 @@ func (c *Cache) Engine() *engine.Engine { return c.eng }
 // Stats returns a snapshot of the activity counters. It is safe to
 // call concurrently with Query.
 func (c *Cache) Stats() Stats {
-	c.statsMu.Lock()
-	defer c.statsMu.Unlock()
-	return c.stats
+	return Stats{
+		Queries:    int(c.stats.queries.Load()),
+		Hits:       int(c.stats.hits.Load()),
+		Misses:     int(c.stats.misses.Load()),
+		Expansions: int(c.stats.expansions.Load()),
+		Stale:      int(c.stats.stale.Load()),
+	}
 }
 
 // ResetStats clears the activity counters. It is safe to call
 // concurrently with Query.
 func (c *Cache) ResetStats() {
-	c.statsMu.Lock()
-	defer c.statsMu.Unlock()
-	c.stats = Stats{}
-}
-
-// bump applies one mutation to the counters under the stats lock.
-func (c *Cache) bump(f func(*Stats)) {
-	c.statsMu.Lock()
-	f(&c.stats)
-	c.statsMu.Unlock()
+	c.stats.queries.Store(0)
+	c.stats.hits.Store(0)
+	c.stats.misses.Store(0)
+	c.stats.expansions.Store(0)
+	c.stats.stale.Store(0)
 }
 
 // Outcome describes how one query was served.
@@ -353,12 +399,7 @@ func (c *Cache) RemovePair(queryHash, resultHash uint64) bool {
 // cost. The fleet layer uses it to route a request to the cache tier
 // that will serve it.
 func (c *Cache) ContainsPair(queryHash, resultHash uint64) bool {
-	for _, r := range c.table.Lookup(queryHash) {
-		if r.ResultHash == resultHash {
-			return true
-		}
-	}
-	return false
+	return c.table.ContainsRef(queryHash, resultHash)
 }
 
 // ContainsQuery reports whether the cache holds any results for the
@@ -382,11 +423,12 @@ const UnavailablePageBytes = 2_000
 // must not learn from an answer the user did not choose. It reports
 // false, charging nothing, when the query has no cached results.
 func (c *Cache) ServeStale(queryText string) (Outcome, bool) {
-	refs := c.table.Lookup(hash64.Sum(queryText))
+	refs := c.lookupScratch(hash64.Sum(queryText))
 	if len(refs) == 0 {
 		return Outcome{}, false
 	}
-	c.bump(func(s *Stats) { s.Queries++; s.Stale++ })
+	c.stats.queries.Add(1)
+	c.stats.stale.Add(1)
 
 	var out Outcome
 	out.Lookup = LookupCost
@@ -396,13 +438,15 @@ func (c *Cache) ServeStale(queryText string) (Outcome, bool) {
 		shown = len(refs)
 	}
 	for _, r := range refs[:shown] {
-		rec, lat, err := c.db.Get(r.ResultHash)
+		rec, lat, err := c.db.GetView(r.ResultHash)
 		if err != nil {
 			continue
 		}
 		out.Fetch += lat
-		if res, perr := engine.ParseRecord(rec); perr == nil {
-			out.Results = append(out.Results, res)
+		if !c.opts.DiscardResults {
+			if res, perr := engine.ParseRecord(rec); perr == nil {
+				out.Results = append(out.Results, res)
+			}
 		}
 	}
 	c.dev.FlashBusy(out.Fetch)
@@ -481,7 +525,7 @@ const ResultsPageBytes = 100_000
 // clicked result is among its cached results — the same criterion the
 // paper uses for repeated queries (same query, same clicked result).
 func (c *Cache) Query(queryText, clickURL string) (Outcome, error) {
-	c.bump(func(s *Stats) { s.Queries++ })
+	c.stats.queries.Add(1)
 	qh := hash64.Sum(queryText)
 	ch := hash64.Sum(clickURL)
 
@@ -489,7 +533,7 @@ func (c *Cache) Query(queryText, clickURL string) (Outcome, error) {
 	out.Lookup = LookupCost
 	c.dev.Busy(LookupCost, "lookup")
 
-	refs := c.table.Lookup(qh)
+	refs := c.lookupScratch(qh)
 	var clickCached bool
 	for _, r := range refs {
 		if r.ResultHash == ch {
@@ -500,23 +544,27 @@ func (c *Cache) Query(queryText, clickURL string) (Outcome, error) {
 
 	if len(refs) > 0 && clickCached {
 		// Cache hit: fetch the top-ranked records from flash, render.
-		c.bump(func(s *Stats) { s.Hits++ })
+		// This is the steady-state serve path; with DiscardResults set
+		// it allocates nothing.
+		c.stats.hits.Add(1)
 		out.Hit = true
 		shown := c.opts.ResultsShown
 		if shown > len(refs) {
 			shown = len(refs)
 		}
 		for _, r := range refs[:shown] {
-			rec, lat, err := c.db.Get(r.ResultHash)
+			rec, lat, err := c.db.GetView(r.ResultHash)
 			if err != nil {
 				return out, fmt.Errorf("pocketsearch: hit fetch: %w", err)
 			}
 			out.Fetch += lat
-			res, err := engine.ParseRecord(rec)
-			if err != nil {
-				return out, fmt.Errorf("pocketsearch: hit parse: %w", err)
+			if !c.opts.DiscardResults {
+				res, err := engine.ParseRecord(rec)
+				if err != nil {
+					return out, fmt.Errorf("pocketsearch: hit parse: %w", err)
+				}
+				out.Results = append(out.Results, res)
 			}
-			out.Results = append(out.Results, res)
 		}
 		c.dev.FlashBusy(out.Fetch)
 		out.Render = c.dev.Render(ResultsPageBytes)
@@ -534,7 +582,7 @@ func (c *Cache) Query(queryText, clickURL string) (Outcome, error) {
 	}
 
 	// Cache miss: query the engine over the radio.
-	c.bump(func(s *Stats) { s.Misses++ })
+	c.stats.misses.Add(1)
 	c.lastQueryText = queryText
 	resp, found := c.eng.Search(queryText)
 	pageBytes := MissPageBytes(resp)
@@ -543,7 +591,7 @@ func (c *Cache) Query(queryText, clickURL string) (Outcome, error) {
 	out.Radio = tr
 	out.Render = c.dev.Render(pageBytes)
 	out.Misc = c.dev.Misc()
-	if found {
+	if found && !c.opts.DiscardResults {
 		out.Results = resp.Results
 	}
 
@@ -575,7 +623,8 @@ func MissPageBytes(resp engine.SearchResponse) int {
 // accounting and cache state evolve byte-identically whether or not
 // misses coalesce — only the network term and radio energy differ.
 func (c *Cache) ApplyBatchedMiss(queryText, clickURL string, resp engine.SearchResponse, found bool, wait, share time.Duration) Outcome {
-	c.bump(func(s *Stats) { s.Queries++; s.Misses++ })
+	c.stats.queries.Add(1)
+	c.stats.misses.Add(1)
 	qh := hash64.Sum(queryText)
 	ch := hash64.Sum(clickURL)
 
@@ -589,7 +638,7 @@ func (c *Cache) ApplyBatchedMiss(queryText, clickURL string, resp engine.SearchR
 	out.Radio = radio.Transfer{RadioActive: share}
 	out.Render = c.dev.Render(MissPageBytes(resp))
 	out.Misc = c.dev.Misc()
-	if found {
+	if found && !c.opts.DiscardResults {
 		out.Results = resp.Results
 	}
 
@@ -629,13 +678,15 @@ func (c *Cache) expand(qh, ch uint64, clickURL string, resp engine.SearchRespons
 		// Stored off the critical path, but still paid in time/energy.
 		c.dev.FlashBusy(lat)
 	}
-	c.bump(func(s *Stats) { s.Expansions++ })
+	c.stats.expansions.Add(1)
 }
 
 // personalizeClick applies Equations 1 and 2: the clicked result's
-// score increases by one; every sibling decays by e^-lambda.
+// score increases by one; every sibling decays by e^-lambda. It reuses
+// the lookup scratch, so callers must be done with any slice a prior
+// lookupScratch returned.
 func (c *Cache) personalizeClick(qh, ch uint64) {
-	for _, r := range c.table.Lookup(qh) {
+	for _, r := range c.lookupScratch(qh) {
 		if r.ResultHash == ch {
 			c.table.SetScore(qh, ch, r.Score+1)
 		} else {

@@ -20,6 +20,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"pocketcloudlets/internal/flashsim"
@@ -47,6 +48,33 @@ type Config struct {
 type DB struct {
 	store *flashsim.FileStore
 	cfg   Config
+	// names precomputes the file names so the retrieval path never
+	// formats strings. The slice is interned across databases (see
+	// fileNames): a million-user fleet holds one database per user and
+	// they all name their files identically.
+	names []string
+	// cache holds the parsed header and a no-copy view of the body for
+	// each file touched so far, so repeated retrievals (the cache-hit
+	// serve path) parse and allocate nothing. It is a map keyed by file
+	// index, populated lazily, because a typical per-user database
+	// touches only a handful of its files — an eager per-file array
+	// costs ~2 KB per user at the default 32 files. Entries are
+	// invalidated by storeFile — the single funnel every database write
+	// goes through — and the modeled latency is computed from the
+	// recorded header length, so a cached retrieval charges exactly
+	// what an uncached one would.
+	cache map[int]*fileCache
+}
+
+// fileCache is one file's parsed state. body aliases the store's
+// backing slice, which is safe because storeFile replaces the whole
+// slice (never writes in place) and invalidates this entry first.
+type fileCache struct {
+	valid  bool
+	exists bool
+	hdr    header
+	body   []byte
+	hdrLen int // header line length including '\n', for latency
 }
 
 // New creates (or reopens) a database over the given flash store.
@@ -63,7 +91,40 @@ func New(store *flashsim.FileStore, cfg Config) (*DB, error) {
 	if cfg.HeaderParseCost <= 0 {
 		cfg.HeaderParseCost = DefaultHeaderParseCost
 	}
-	return &DB{store: store, cfg: cfg}, nil
+	db := &DB{store: store, cfg: cfg}
+	db.names = fileNames(cfg.Prefix, cfg.Files)
+	return db, nil
+}
+
+// nameTables interns the file-name slices shared by every database
+// with the same prefix and file count — one table per configuration,
+// not one per user.
+var nameTables sync.Map // "prefix\x00files" -> []string
+
+func fileNames(prefix string, files int) []string {
+	key := fmt.Sprintf("%s\x00%d", prefix, files)
+	if v, ok := nameTables.Load(key); ok {
+		return v.([]string)
+	}
+	names := make([]string, files)
+	for i := range names {
+		names[i] = fmt.Sprintf("%s%d.db", prefix, i)
+	}
+	v, _ := nameTables.LoadOrStore(key, names)
+	return v.([]string)
+}
+
+// cacheEntry returns file i's cache slot, creating it on first touch.
+func (db *DB) cacheEntry(i int) *fileCache {
+	if fc, ok := db.cache[i]; ok {
+		return fc
+	}
+	if db.cache == nil {
+		db.cache = make(map[int]*fileCache, 4)
+	}
+	fc := &fileCache{}
+	db.cache[i] = fc
+	return fc
 }
 
 // Files returns the configured file count.
@@ -75,9 +136,7 @@ func (db *DB) FileOf(resultHash uint64) int {
 	return int(resultHash % uint64(db.cfg.Files))
 }
 
-func (db *DB) fileName(i int) string {
-	return fmt.Sprintf("%s%d.db", db.cfg.Prefix, i)
-}
+func (db *DB) fileName(i int) string { return db.names[i] }
 
 // header is the parsed first line of a database file.
 type header struct {
@@ -139,29 +198,48 @@ func parseHeader(line []byte) (*header, error) {
 	return h, nil
 }
 
-// loadFile reads and parses one database file, returning the header,
-// the raw body, and the modeled latency of reading the header portion
-// (open + header pages + per-entry parse CPU). bodyLatency charging is
-// left to the caller since most operations touch only one record.
+// loadFile returns one database file's parsed header, raw body, and
+// the modeled latency of reading the header portion (open + header
+// pages + per-entry parse CPU). Body latency charging is left to the
+// caller since most operations touch only one record. The parse is
+// served from the per-file cache when valid; the latency formula is
+// evaluated either way, so caching never changes modeled costs.
 func (db *DB) loadFile(i int) (*header, []byte, time.Duration, error) {
-	name := db.fileName(i)
-	data, ok := db.store.Peek(name)
-	if !ok {
+	fc := db.cacheEntry(i)
+	if !fc.valid {
+		if err := db.fillCache(i); err != nil {
+			return nil, nil, 0, err
+		}
+	}
+	if !fc.exists {
 		return &header{}, nil, db.store.Device().OpenCost(), nil
-	}
-	nl := bytes.IndexByte(data, '\n')
-	if nl < 0 {
-		return nil, nil, 0, fmt.Errorf("resultdb: file %q has no header line", name)
-	}
-	h, err := parseHeader(data[:nl+1])
-	if err != nil {
-		return nil, nil, 0, err
 	}
 	// Model: open the file, read the header pages, parse each entry.
 	lat := db.store.Device().OpenCost() +
-		db.store.Device().ReadCost(nl+1) +
-		time.Duration(len(h.entries))*db.cfg.HeaderParseCost
-	return h, data[nl+1:], lat, nil
+		db.store.Device().ReadCost(fc.hdrLen) +
+		time.Duration(len(fc.hdr.entries))*db.cfg.HeaderParseCost
+	return &fc.hdr, fc.body, lat, nil
+}
+
+// fillCache (re)parses file i into its cache slot.
+func (db *DB) fillCache(i int) error {
+	fc := db.cacheEntry(i)
+	name := db.fileName(i)
+	data, ok := db.store.PeekRef(name)
+	if !ok {
+		*fc = fileCache{valid: true}
+		return nil
+	}
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return fmt.Errorf("resultdb: file %q has no header line", name)
+	}
+	h, err := parseHeader(data[:nl+1])
+	if err != nil {
+		return err
+	}
+	*fc = fileCache{valid: true, exists: true, hdr: *h, body: data[nl+1:], hdrLen: nl + 1}
+	return nil
 }
 
 // Put stores a record under its result hash, appending it to its file
@@ -177,11 +255,16 @@ func (db *DB) Put(resultHash uint64, record []byte) (time.Duration, error) {
 	if _, exists := h.find(resultHash); exists {
 		return lat, nil
 	}
-	h.entries = append(h.entries, headerEntry{hash: resultHash, off: len(body), length: len(record)})
-	newBody := append(body, record...)
+	// Build the new header and body in fresh slices: h and body may
+	// alias the file cache and the store's backing array.
+	h2 := header{entries: make([]headerEntry, 0, len(h.entries)+1)}
+	h2.entries = append(append(h2.entries, h.entries...),
+		headerEntry{hash: resultHash, off: len(body), length: len(record)})
+	newBody := make([]byte, 0, len(body)+len(record))
+	newBody = append(append(newBody, body...), record...)
 	// The header line changes size, so it is rewritten in place
 	// (charged as a flash rewrite); the record itself is an append.
-	hdr := h.serialize()
+	hdr := h2.serialize()
 	lat += db.store.Device().RewriteCost(len(hdr)) + db.store.Device().WriteCost(len(record))
 	db.storeFile(i, hdr, newBody)
 	return lat, nil
@@ -189,7 +272,13 @@ func (db *DB) Put(resultHash uint64, record []byte) (time.Duration, error) {
 
 // storeFile writes the serialized file content without charging
 // additional device cost (costs are charged explicitly by callers).
+// It is the single funnel every database write goes through (Put,
+// ReplaceFile, and Delete via ReplaceFile), so invalidating the file
+// cache here keeps cached views consistent.
 func (db *DB) storeFile(i int, hdr, body []byte) {
+	if fc, ok := db.cache[i]; ok {
+		*fc = fileCache{}
+	}
 	content := make([]byte, 0, len(hdr)+len(body))
 	content = append(content, hdr...)
 	content = append(content, body...)
@@ -198,7 +287,21 @@ func (db *DB) storeFile(i int, hdr, body []byte) {
 
 // Get retrieves the record stored under the result hash, with the
 // modeled latency: open + header read + header parse + record pages.
+// The returned slice is a copy; use GetView on paths that must not
+// allocate.
 func (db *DB) Get(resultHash uint64) ([]byte, time.Duration, error) {
+	rec, lat, err := db.GetView(resultHash)
+	if err != nil {
+		return nil, lat, err
+	}
+	return append([]byte(nil), rec...), lat, nil
+}
+
+// GetView is Get without the copy: the returned slice is a read-only
+// view into the database's cached file body and is valid only until
+// the next write to the record's file. Callers must not modify or
+// retain it.
+func (db *DB) GetView(resultHash uint64) ([]byte, time.Duration, error) {
 	i := db.FileOf(resultHash)
 	h, body, lat, err := db.loadFile(i)
 	if err != nil {
@@ -212,48 +315,41 @@ func (db *DB) Get(resultHash uint64) ([]byte, time.Duration, error) {
 		return nil, lat, fmt.Errorf("resultdb: corrupt header entry for %x", resultHash)
 	}
 	lat += db.store.Device().ReadCost(e.length)
-	return append([]byte(nil), body[e.off:e.off+e.length]...), lat, nil
+	return body[e.off : e.off+e.length], lat, nil
 }
 
 // Contains reports whether a record exists, without charging latency
 // (existence is known from the DRAM hash table in the real system).
 func (db *DB) Contains(resultHash uint64) bool {
-	name := db.fileName(db.FileOf(resultHash))
-	if !db.store.Exists(name) {
+	h, _, ok, err := db.peekFile(db.FileOf(resultHash))
+	if err != nil || !ok {
 		return false
 	}
-	h, _, err := db.peekHeader(name)
-	if err != nil {
-		return false
-	}
-	_, ok := h.find(resultHash)
-	return ok
+	_, found := h.find(resultHash)
+	return found
 }
 
-// peekHeader parses a file's header without device-cost accounting.
-func (db *DB) peekHeader(name string) (*header, []byte, error) {
-	data, ok := db.store.Peek(name)
-	if !ok {
-		return nil, nil, &flashsim.ErrNotExist{Name: name}
+// peekFile returns a file's cached parse without device-cost
+// accounting. ok reports whether the file exists.
+func (db *DB) peekFile(i int) (h *header, body []byte, ok bool, err error) {
+	fc := db.cacheEntry(i)
+	if !fc.valid {
+		if err := db.fillCache(i); err != nil {
+			return nil, nil, false, err
+		}
 	}
-	nl := bytes.IndexByte(data, '\n')
-	if nl < 0 {
-		return nil, nil, fmt.Errorf("resultdb: file %q has no header line", name)
+	if !fc.exists {
+		return nil, nil, false, nil
 	}
-	h, err := parseHeader(data[:nl+1])
-	return h, data[nl+1:], err
+	return &fc.hdr, fc.body, true, nil
 }
 
 // Hashes returns every stored result hash in ascending order.
 func (db *DB) Hashes() []uint64 {
 	var out []uint64
 	for i := 0; i < db.cfg.Files; i++ {
-		name := db.fileName(i)
-		if !db.store.Exists(name) {
-			continue
-		}
-		h, _, err := db.peekHeader(name)
-		if err != nil {
+		h, _, ok, err := db.peekFile(i)
+		if err != nil || !ok {
 			continue
 		}
 		for _, e := range h.entries {
@@ -268,11 +364,7 @@ func (db *DB) Hashes() []uint64 {
 func (db *DB) Len() int {
 	n := 0
 	for i := 0; i < db.cfg.Files; i++ {
-		name := db.fileName(i)
-		if !db.store.Exists(name) {
-			continue
-		}
-		if h, _, err := db.peekHeader(name); err == nil {
+		if h, _, ok, err := db.peekFile(i); err == nil && ok {
 			n += len(h.entries)
 		}
 	}
@@ -332,14 +424,13 @@ func (db *DB) Delete(resultHash uint64) (time.Duration, bool, error) {
 // RecordsOf returns the records of one file keyed by hash — the
 // server-side read when computing patches.
 func (db *DB) RecordsOf(i int) (map[uint64][]byte, error) {
-	name := db.fileName(i)
 	out := make(map[uint64][]byte)
-	if !db.store.Exists(name) {
-		return out, nil
-	}
-	h, body, err := db.peekHeader(name)
+	h, body, ok, err := db.peekFile(i)
 	if err != nil {
 		return nil, err
+	}
+	if !ok {
+		return out, nil
 	}
 	for _, e := range h.entries {
 		if e.off < 0 || e.off+e.length > len(body) {

@@ -287,7 +287,11 @@ func faultOptions(scenarioSeed int64, f *FaultSpec) (faults.Options, error) {
 func (c *Compiled) FleetConfig(obs fleet.Observer) (fleet.Config, error) {
 	s := c.Spec
 	cfg := fleet.Config{
-		Shards:             s.Fleet.Shards,
+		Shards: s.Fleet.Shards,
+		// The workload generator numbers its profiles 0..Users-1, so the
+		// population is a contiguous ID range and every shard can index
+		// residents through dense slots instead of a hash map.
+		Population:         s.Users,
 		Workers:            s.Fleet.Workers,
 		QueueDepth:         s.Fleet.Queue,
 		Radio:              radioParams(s.Fleet.Radio),
@@ -304,6 +308,11 @@ func (c *Compiled) FleetConfig(obs fleet.Observer) (fleet.Config, error) {
 		CohortOf: c.cohortOf,
 		Observer: obs,
 	}
+	// Load runs measure latency, energy and hit rates — nothing reads
+	// Outcome.Results — so serving skips materializing result structs.
+	// Latencies, energy and hit/miss classification are unchanged
+	// (pocketsearch.Options.DiscardResults contract).
+	cfg.Options.DiscardResults = true
 	if s.Fleet.Placement == "ring" {
 		n := s.Fleet.Shards
 		if n == 0 {

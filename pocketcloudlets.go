@@ -29,6 +29,7 @@ package pocketcloudlets
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"pocketcloudlets/internal/adlet"
@@ -254,6 +255,32 @@ func (s *Simulation) MonthLog(month int) Log { return s.Generator.MonthLog(month
 // of cumulative volume (the paper evaluates at 0.55).
 func (s *Simulation) CommunityContent(month int, share float64) (Content, error) {
 	tbl := searchlog.ExtractTriplets(s.Generator.MonthLog(month).Entries)
+	n, err := cachegen.SelectByShare(tbl, share)
+	if err != nil {
+		return Content{}, err
+	}
+	return cachegen.Generate(tbl, s.Universe, n), nil
+}
+
+// CommunityContentFrom is CommunityContent computed from only the first
+// `users` profiles' month logs. Materializing a full month log scales
+// with the population (a million-user month is tens of millions of
+// entries), while the popular head the community cache captures is
+// already stable over a much smaller sample — per-user streams are
+// seeded by (seed, user, month), so the sampled users' entries are
+// identical at any population size. users <= 0, or at least the whole
+// population, selects the exact full-log extraction.
+func (s *Simulation) CommunityContentFrom(month int, share float64, users int) (Content, error) {
+	profiles := s.Generator.Users()
+	if users <= 0 || users >= len(profiles) {
+		return s.CommunityContent(month, share)
+	}
+	var entries []searchlog.Entry
+	for _, up := range profiles[:users] {
+		entries = append(entries, s.Generator.UserStream(up, month)...)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].At < entries[j].At })
+	tbl := searchlog.ExtractTriplets(entries)
 	n, err := cachegen.SelectByShare(tbl, share)
 	if err != nil {
 		return Content{}, err

@@ -15,7 +15,7 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-1x}"
 OUT="${1:-BENCH_$(date -u +%Y%m%d).json}"
 
-raw=$(go test -bench FleetServe -benchtime "$BENCHTIME" -run '^$' .)
+raw=$(go test -bench FleetServe -benchtime "$BENCHTIME" -benchmem -run '^$' .)
 echo "$raw"
 
 {

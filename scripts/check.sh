@@ -64,6 +64,21 @@ go run ./cmd/loadtest -scenario flash-crowd -users 150 -check -json > "$scenario
 echo "== bench smoke: FleetServe =="
 # One iteration of each fleet serving benchmark (batched and unbatched)
 # so a regression that breaks the benchmark fixtures fails the gate.
-go test -bench FleetServe -benchtime 1x -run '^$' .
+# The 100k-user benchmark's steady-state hit path is allocation-free
+# by construction (see DESIGN.md, "Capacity model"); any allocs/op
+# above zero is a serving-path regression and fails the gate.
+bench_raw=$(go test -bench FleetServe -benchtime 1x -benchmem -run '^$' .)
+echo "$bench_raw"
+allocs=$(echo "$bench_raw" | awk '/^BenchmarkFleetServe100kUsers/ {
+    for (i = 3; i + 1 <= NF; i += 2) if ($(i + 1) == "allocs/op") print $i
+}')
+if [ -z "$allocs" ]; then
+    echo "bench smoke: BenchmarkFleetServe100kUsers produced no allocs/op metric" >&2
+    exit 1
+fi
+if [ "$allocs" != "0" ]; then
+    echo "bench smoke: serve path regressed to $allocs allocs/op (baseline 0)" >&2
+    exit 1
+fi
 
 echo "all checks passed"
