@@ -122,6 +122,11 @@ type runFlags struct {
 	retries   int
 	faultSeed int64
 
+	replicas   int
+	hedge      int
+	hedgeDelay time.Duration
+	hedgeMax   int
+
 	scenarioRef string
 
 	communityUsers int
@@ -169,6 +174,10 @@ func (rf *runFlags) register(fs *flag.FlagSet) {
 	fs.StringVar(&rf.outage, "outage", "", `outage spec (with -faults): "6s/30s" duty cycle or "10s-20s,40s-45s" windows`)
 	fs.IntVar(&rf.retries, "retries", 0, "max radio attempts per cloud miss (with -faults); 0 = default 4")
 	fs.Int64Var(&rf.faultSeed, "faultseed", 0, "fault-model seed (with -faults); 0 reuses -seed")
+	fs.IntVar(&rf.replicas, "replicas", 0, "modeled cloud backend replicas with independent fault draws (with -faults); 0 = single backend")
+	fs.IntVar(&rf.hedge, "hedge", 0, "hedged-miss clone factor: dispatch each cloud miss to up to this many replicas, first success wins (with -faults and -replicas ≥ 2); 0 or 1 = no hedging")
+	fs.DurationVar(&rf.hedgeDelay, "hedgedelay", 0, "model-time delay before each hedge clone launches (with -hedge); 0 = immediate clones")
+	fs.IntVar(&rf.hedgeMax, "hedgemax", 0, "max concurrent dispatches per hedged miss (with -hedge); 0 = clone factor")
 	fs.StringVar(&rf.scenarioRef, "scenario", "", "run a declarative scenario: a JSON file path or a preset (commuter, flash-crowd, regional-outage, mixed-fleet)")
 	fs.IntVar(&rf.communityUsers, "communityusers", 0, "build community content from only the first N users' logs (million-user fleets: avoids materializing the full month log); 0 = all users")
 	fs.BoolVar(&rf.noSuggest, "nosuggest", false, "skip the per-user auto-suggest index (million-user fleets: saves ~2.5 KB/user; no modeled outcome changes)")
@@ -343,6 +352,12 @@ func (rf *runFlags) validate() []string {
 		if rf.faultSeed != 0 {
 			bad("-faultseed requires -faults")
 		}
+		if rf.replicas != 0 {
+			bad("-replicas requires -faults")
+		}
+		if rf.hedge != 0 {
+			bad("-hedge requires -faults")
+		}
 	} else {
 		if rf.loss < 0 || rf.loss >= 1 {
 			bad("-loss must be in [0, 1), got %g", rf.loss)
@@ -357,6 +372,33 @@ func (rf *runFlags) validate() []string {
 			if _, _, _, err := pocketcloudlets.ParseOutageSpec(rf.outage); err != nil {
 				bad("bad -outage: %v", err)
 			}
+		}
+		if rf.replicas < 0 {
+			bad("-replicas must be non-negative, got %d", rf.replicas)
+		}
+		if rf.hedge < 0 {
+			bad("-hedge must be non-negative, got %d", rf.hedge)
+		}
+		if rf.hedge >= 2 && rf.replicas < 2 {
+			bad("-hedge %d requires -replicas ≥ 2, got %d", rf.hedge, rf.replicas)
+		}
+	}
+	if rf.hedge < 2 {
+		if rf.hedgeDelay != 0 {
+			bad("-hedgedelay requires -hedge ≥ 2")
+		}
+		if rf.hedgeMax != 0 {
+			bad("-hedgemax requires -hedge ≥ 2")
+		}
+	} else {
+		if rf.hedgeDelay < 0 {
+			bad("-hedgedelay must be non-negative, got %v", rf.hedgeDelay)
+		}
+		if rf.hedgeMax < 0 {
+			bad("-hedgemax must be non-negative, got %d", rf.hedgeMax)
+		}
+		if rf.hedgeMax > rf.hedge {
+			bad("-hedgemax %d exceeds -hedge %d", rf.hedgeMax, rf.hedge)
 		}
 	}
 	return problems
@@ -424,6 +466,14 @@ func (rf *runFlags) toSpec() *scenario.Spec {
 			Outage:    rf.outage,
 			Retries:   rf.retries,
 			Seed:      rf.faultSeed,
+		}
+		spec.Fleet.Replicas = rf.replicas
+		if rf.hedge >= 2 {
+			cls.Hedge = &scenario.HedgeSpec{
+				CloneFactor: rf.hedge,
+				Delay:       scenario.Duration(rf.hedgeDelay),
+				MaxInflight: rf.hedgeMax,
+			}
 		}
 	}
 	spec.Classes = []scenario.ClassSpec{cls}
@@ -546,12 +596,16 @@ func main() {
 	}
 	if rf.check {
 		faultsOn := spec.Faults != nil
+		hedgeOn := false
 		for _, cls := range spec.Classes {
 			if cls.Faults != nil {
 				faultsOn = true
 			}
+			if cls.Hedge != nil && cls.Hedge.CloneFactor >= 2 && spec.Fleet.Replicas >= 2 {
+				hedgeOn = true
+			}
 		}
-		if problems := checkReport(report, faultsOn); len(problems) > 0 {
+		if problems := checkReport(report, faultsOn, hedgeOn); len(problems) > 0 {
 			for _, p := range problems {
 				fmt.Fprintf(os.Stderr, "check failed: %s\n", p)
 			}
@@ -563,9 +617,11 @@ func main() {
 
 // checkReport verifies the report's accounting invariants: every
 // submission is booked exactly once, every served request came from
-// exactly one tier, and the fault counters are silent when fault
-// injection is off.
-func checkReport(r pocketcloudlets.LoadReport, faultsOn bool) []string {
+// exactly one tier, the fault counters are silent when fault
+// injection is off, and the hedge counters cross-foot (every hedged
+// cloud serve was won by exactly one dispatch; wasted clones never
+// exceed clones launched).
+func checkReport(r pocketcloudlets.LoadReport, faultsOn, hedgeOn bool) []string {
 	var problems []string
 	if r.Errors != 0 {
 		problems = append(problems, fmt.Sprintf("errors: %d", r.Errors))
@@ -581,6 +637,30 @@ func checkReport(r pocketcloudlets.LoadReport, faultsOn bool) []string {
 	if !faultsOn && r.Degraded+r.Unavailable+uint64(r.Retries)+uint64(r.Exhausted)+uint64(r.BreakerOpens) != 0 {
 		problems = append(problems, fmt.Sprintf("fault counters nonzero with faults off: degraded %d unavailable %d retries %d exhausted %d breaker %d",
 			r.Degraded, r.Unavailable, r.Retries, r.Exhausted, r.BreakerOpens))
+	}
+	if !hedgeOn && r.ClonesLaunched+r.PrimaryWins+r.CloneWins+r.WastedAttempts != 0 {
+		problems = append(problems, fmt.Sprintf("hedge counters nonzero with hedging off: clones %d primary wins %d clone wins %d wasted %d",
+			r.ClonesLaunched, r.PrimaryWins, r.CloneWins, r.WastedAttempts))
+	}
+	if hedgeOn {
+		// Every hedged cloud miss is won by exactly one dispatch, so with
+		// no cancellations the wins partition the cloud serves.
+		if r.Canceled == 0 && r.PrimaryWins+r.CloneWins != int64(r.CloudMisses) {
+			problems = append(problems, fmt.Sprintf("primary wins %d + clone wins %d != cloud misses %d",
+				r.PrimaryWins, r.CloneWins, r.CloudMisses))
+		}
+		if r.CloneWins > r.ClonesLaunched {
+			problems = append(problems, fmt.Sprintf("clone wins %d exceed clones launched %d", r.CloneWins, r.ClonesLaunched))
+		}
+	}
+	if len(r.ReplicaBreakerOpens) > 0 {
+		var sum int64
+		for _, n := range r.ReplicaBreakerOpens {
+			sum += n
+		}
+		if sum != r.BreakerOpens {
+			problems = append(problems, fmt.Sprintf("replica breaker opens sum to %d, report says %d", sum, r.BreakerOpens))
+		}
 	}
 	var shardServed, shardShed uint64
 	for _, so := range r.ShardOccupancy {

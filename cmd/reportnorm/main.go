@@ -1,0 +1,92 @@
+// Command reportnorm canonicalizes a cmd/loadtest JSON report so two
+// reports can be compared byte-for-byte for *model* determinism. The
+// modeled outcome of a run is a pure function of its configuration and
+// seeds (DESIGN.md, "Model time"; "Hedged misses and replicas"), but
+// the report also records host-side measurements that legitimately
+// vary run to run. reportnorm reads a report on stdin and writes it
+// back with:
+//
+//   - wall-clock fields removed (elapsed_ns, served_qps, wall_latency,
+//     max_schedule_lag_ns, heap_alloc_bytes) — these measure the host,
+//     not the model;
+//   - the replica presentation fields removed (replicas,
+//     replica_breaker_opens) — a replicated fleet with hedging off is
+//     required to be model-identical to a single-backend fleet, and
+//     these two fields are the only permitted report differences;
+//   - floating-point values reformatted at 9 significant digits —
+//     energy totals are accumulated across worker goroutines and the
+//     summation order perturbs the last few ulps;
+//   - object keys sorted and output indented.
+//
+// scripts/check.sh diffs the normalized reports of a single-backend
+// run and a -replicas 3 -hedge 1 run as the hedged-determinism gate,
+// and scripts/bench.sh embeds a normalized hedged report in the bench
+// snapshot so hedge counters can be diffed across commits.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// volatileKeys are deleted wherever they appear (top level, per-class
+// rows, nested latency blocks).
+var volatileKeys = map[string]bool{
+	"elapsed_ns":            true,
+	"served_qps":            true,
+	"wall_latency":          true,
+	"max_schedule_lag_ns":   true,
+	"heap_alloc_bytes":      true,
+	"replicas":              true,
+	"replica_breaker_opens": true,
+}
+
+func normalize(v any) any {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, e := range t {
+			if volatileKeys[k] {
+				delete(t, k)
+				continue
+			}
+			t[k] = normalize(e)
+		}
+		return t
+	case []any:
+		for i, e := range t {
+			t[i] = normalize(e)
+		}
+		return t
+	case json.Number:
+		s := t.String()
+		if !strings.ContainsAny(s, ".eE") {
+			return t // integer: already canonical
+		}
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return t
+		}
+		return json.Number(strconv.FormatFloat(f, 'g', 9, 64))
+	default:
+		return v
+	}
+}
+
+func main() {
+	dec := json.NewDecoder(os.Stdin)
+	dec.UseNumber()
+	var report any
+	if err := dec.Decode(&report); err != nil {
+		fmt.Fprintf(os.Stderr, "reportnorm: %v\n", err)
+		os.Exit(1)
+	}
+	out, err := json.MarshalIndent(normalize(report), "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reportnorm: %v\n", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(append(out, '\n'))
+}

@@ -66,6 +66,11 @@ type Options struct {
 	// commuter's daily dead zones). Both must be positive to apply.
 	OutageEvery time.Duration
 	OutageFor   time.Duration
+	// OutagePhase shifts the duty cycle forward in time. Replica
+	// derivation (ReplicaOptions) uses it to give each modeled backend
+	// an independently phased outage schedule; zero keeps the legacy
+	// alignment. Must be non-negative.
+	OutagePhase time.Duration
 }
 
 // Active reports whether any fault is actually configured — Enabled
@@ -79,7 +84,7 @@ func (o Options) Active() bool {
 // Down reports whether the radio is inside an outage at model time
 // now. Pure function of the options and now.
 func (o Options) Down(now time.Duration) bool {
-	if o.OutageEvery > 0 && o.OutageFor > 0 && now%o.OutageEvery < o.OutageFor {
+	if o.OutageEvery > 0 && o.OutageFor > 0 && (now+o.OutagePhase)%o.OutageEvery < o.OutageFor {
 		return true
 	}
 	for _, w := range o.Windows {
@@ -122,8 +127,8 @@ func ParseOutageSpec(spec string) (every, down time.Duration, windows []Window, 
 		if err != nil {
 			return 0, 0, nil, fmt.Errorf("faults: outage spec %q: %w", spec, err)
 		}
-		if down <= 0 || every <= 0 || down > every {
-			return 0, 0, nil, fmt.Errorf("faults: outage spec %q: want 0 < down <= period", spec)
+		if down <= 0 || every <= 0 || down >= every {
+			return 0, 0, nil, fmt.Errorf("faults: outage spec %q: want 0 < down < period", spec)
 		}
 		return every, down, nil, nil
 	}
@@ -138,6 +143,9 @@ func ParseOutageSpec(spec string) (every, down time.Duration, windows []Window, 
 		}
 		if w.End, err = time.ParseDuration(strings.TrimSpace(hi)); err != nil {
 			return 0, 0, nil, fmt.Errorf("faults: outage window %q: %w", part, err)
+		}
+		if w.Start < 0 {
+			return 0, 0, nil, fmt.Errorf("faults: outage window %q: negative start", part)
 		}
 		if w.End <= w.Start {
 			return 0, 0, nil, fmt.Errorf("faults: outage window %q: end before start", part)

@@ -89,7 +89,7 @@ func TestParseOutageSpec(t *testing.T) {
 		t.Errorf("windows = %v", windows)
 	}
 
-	for _, bad := range []string{"", "30s/6s", "0s/30s", "junk", "5s-2s", "10s"} {
+	for _, bad := range []string{"", "30s/6s", "0s/30s", "junk", "5s-2s", "10s", "1s/1s", "-5s-2s"} {
 		if _, _, _, err := ParseOutageSpec(bad); err == nil {
 			t.Errorf("spec %q should fail", bad)
 		}

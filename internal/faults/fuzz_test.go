@@ -1,0 +1,46 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzParseOutageSpec hammers the outage-spec grammar: whatever the
+// input, the parser must not panic, and anything it accepts must be a
+// well-formed outage — a periodic spec with 0 < down < every, or
+// absolute windows with 0 ≤ start < end — that Options.Down can
+// evaluate safely.
+func FuzzParseOutageSpec(f *testing.F) {
+	for _, seed := range []string{
+		"6s/30s", "10s-20s, 40s-45s", "10s-20s,40s-45s",
+		"", "30s/6s", "0s/30s", "junk", "5s-2s", "10s",
+		"1ms/1s", "-5s-2s", "1s/1s", "1h-2h", "1s-2s,", "/",
+		"9223372036854775807ns/1ns", "1s--2s", "1s/2s/3s",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		every, down, windows, err := ParseOutageSpec(spec)
+		if err != nil {
+			if every != 0 || down != 0 || windows != nil {
+				t.Fatalf("%q: error with non-zero results (every=%v down=%v windows=%v)", spec, every, down, windows)
+			}
+			return
+		}
+		if (every > 0) == (len(windows) > 0) {
+			t.Fatalf("%q: accepted as both/neither periodic and windowed (every=%v windows=%v)", spec, every, windows)
+		}
+		if every > 0 && (down <= 0 || down >= every) {
+			t.Fatalf("%q: accepted periodic spec with down=%v every=%v", spec, down, every)
+		}
+		for _, w := range windows {
+			if w.Start < 0 || w.End <= w.Start {
+				t.Fatalf("%q: accepted window %+v", spec, w)
+			}
+		}
+		o := Options{Enabled: true, OutageEvery: every, OutageFor: down, Windows: windows}
+		for _, now := range []time.Duration{0, every / 2, every, time.Hour} {
+			o.Down(now) // must not panic or divide by zero
+		}
+	})
+}

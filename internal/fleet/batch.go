@@ -338,15 +338,12 @@ func (d *dispatcher) executeFaulted(batch []*missTask) {
 	shards := f.topo.Load().shards
 	for _, mt := range batch {
 		pl := mt.mc.plan
-		f.retries.Add(int64(pl.Attempts - 1))
-		if !pl.Success {
-			f.exhausted.Add(1)
-		}
+		f.recordMissPlan(mt.mc)
 		sh := shards[mt.t.shard]
-		if pl.Failures() > 0 && sh.brk.pace() {
+		if pl.Failures() > 0 && sh.paceBreaker(mt.mc) {
 			pace = true
 		}
-		sh.brk.record(pl.Success)
+		sh.recordBreakers(mt.mc)
 		if pl.FailedWait > maxWait {
 			maxWait = pl.FailedWait
 		}

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -85,7 +86,7 @@ func TestBatchedOutcomesMatchUnbatched(t *testing.T) {
 	if plainBatch.Batches != 0 {
 		t.Errorf("unbatched fleet recorded %d batches", plainBatch.Batches)
 	}
-	if plainStats != coalStats {
+	if !reflect.DeepEqual(plainStats, coalStats) {
 		t.Errorf("fleet counters diverge:\n  unbatched: %+v\n  batched:   %+v", plainStats, coalStats)
 	}
 	if len(coal) != len(plain) {
@@ -169,7 +170,7 @@ func TestBatchedOutcomesMatchUnbatchedSharded(t *testing.T) {
 
 	plain, plainStats := run(BatchOptions{})
 	coal, coalStats := run(BatchOptions{Enabled: true, FleetWide: true, Linger: time.Millisecond})
-	if plainStats != coalStats {
+	if !reflect.DeepEqual(plainStats, coalStats) {
 		t.Errorf("fleet counters diverge:\n  unbatched: %+v\n  fleet-wide batched: %+v", plainStats, coalStats)
 	}
 	for uid, p := range plain {

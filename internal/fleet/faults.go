@@ -130,21 +130,67 @@ func (b *breaker) openCount() int64 {
 // nothing advances the user's device in between.
 type missCtx struct {
 	qh, ch uint64
-	plan   faults.Plan
+	// plan is the ladder the user's timeline rides: the single-backend
+	// plan, or — when hedged — the winning dispatch's plan (the
+	// primary's when every dispatch exhausted).
+	plan faults.Plan
+	// hedged marks a miss planned across replicas; hplan then carries
+	// the full dispatch set for breaker recording, telemetry and the
+	// losers' wasted-work charges.
+	hedged bool
+	hplan  faults.HedgedPlan
 }
 
-// planCtxLocked plans one cloud miss's whole attempt/backoff ladder.
-// Caller holds mu. The per-user miss sequence number feeds the pure
-// fault hashes so repeats of a query draw fresh outcomes, and — being
-// incremented in per-user submission order — is identical between the
-// batched and unbatched paths.
+// planCtxLocked plans one cloud miss's whole attempt/backoff ladder —
+// against the single backend, or hedged across the replica set when
+// the user's cohort hedges. Caller holds mu. The per-user miss
+// sequence number feeds the pure fault hashes so repeats of a query
+// draw fresh outcomes, and — being incremented in per-user submission
+// order — is identical between the batched and unbatched paths.
 func (sh *shard) planCtxLocked(st *userState, uid searchlog.UserID, qh, ch uint64) missCtx {
 	st.missSeq++
-	warm := st.cache.Device().Link().State() != radio.Idle
-	return missCtx{
-		qh: qh, ch: ch,
-		plan: faults.PlanMiss(st.rt.inj, st.rt.retry, st.rt.link, st.clock.Now(), warm, uint64(uid), qh, st.missSeq),
+	mc := missCtx{qh: qh, ch: ch}
+	if st.rt.hedged() {
+		mc.hedged = true
+		mc.hplan = faults.PlanHedged(st.rt.injs, st.rt.retry, st.rt.hedge, st.rt.link,
+			st.clock.Now(), st.cache.Device().Link().TailRemaining(), uint64(uid), qh, st.missSeq)
+		mc.plan = mc.hplan.Delivered()
+		return mc
 	}
+	warm := st.cache.Device().Link().State() != radio.Idle
+	mc.plan = faults.PlanMiss(st.rt.inj, st.rt.retry, st.rt.link, st.clock.Now(), warm, uint64(uid), qh, st.missSeq)
+	return mc
+}
+
+// hedgeWait returns the extra user-visible wait the hedge added on top
+// of the delivered ladder (zero for unhedged misses).
+func (mc missCtx) hedgeWait() time.Duration {
+	if !mc.hedged {
+		return 0
+	}
+	return mc.hplan.Wait
+}
+
+// hedgeWasteJ prices the hedge's losing dispatches in radio energy:
+// the active time of every attempt a loser had started when the
+// winner's answer canceled it, plus — for each loser whose successful
+// exchange was already in flight — one abandoned exchange priced by
+// the radio cost model (radio.ExchangeCost with an empty response: the
+// request went up, nobody read the answer). Losers run concurrently
+// with the winner on the network side, so none of this enters the
+// user's modeled latency; it is pure energy waste.
+func hedgeWasteJ(p radio.Params, mc missCtx) float64 {
+	if !mc.hedged {
+		return 0
+	}
+	active := mc.hplan.WastedActive
+	if mc.hplan.Abandoned > 0 {
+		active += time.Duration(mc.hplan.Abandoned) * radio.ExchangeCost(p, 0, 0, true).RadioActive
+	}
+	if active <= 0 {
+		return 0
+	}
+	return p.ActiveEnergy(active)
 }
 
 // classifyFaulted routes one request on the fault-injected unbatched
@@ -204,14 +250,23 @@ func (sh *shard) completeFaultedMiss(req Request, mc missCtx) Response {
 	if err != nil {
 		return Response{Req: req, Err: err}
 	}
-	cold := replayFailedAttempts(st.cache.Device(), mc.plan)
+	dev := st.cache.Device()
+	if mc.plan.Success {
+		// A hedged clone win waits out the winner's launch stagger
+		// before its ladder starts; the primary's doomed attempts run
+		// concurrently during it and are charged as waste, off the link.
+		if w := mc.hedgeWait(); w > 0 {
+			dev.Busy(w, "hedge")
+		}
+	}
+	cold := replayFailedAttempts(dev, mc.plan)
 	if !mc.plan.Success {
 		return sh.degradeLocked(st, req, mc, cold)
 	}
 	resp := Response{Req: req, Source: SourceCloud, Attempts: mc.plan.Attempts}
 	before := st.cache.DB().LogicalBytes()
 	resp.Outcome, resp.Err = st.cache.Query(req.Query, req.Click)
-	resp.Outcome.Network += mc.plan.FailedWait
+	resp.Outcome.Network += mc.plan.FailedWait + mc.hedgeWait()
 	sh.recordExpansion(st, req.User, mc.qh, mc.ch, before)
 	st.served++
 	if resp.Outcome.Hit {
@@ -220,7 +275,8 @@ func (sh *shard) completeFaultedMiss(req Request, mc missCtx) Response {
 	st.clock.Observe()
 	resp.EnergyJ = sh.basePower * resp.Outcome.ResponseTime().Seconds()
 	if resp.Err == nil {
-		resp.RadioJ = st.rt.link.ActiveEnergy(resp.Outcome.Radio.RadioActive + mc.plan.FailedActive)
+		resp.RadioJ = st.rt.link.ActiveEnergy(resp.Outcome.Radio.RadioActive+mc.plan.FailedActive) +
+			hedgeWasteJ(st.rt.link, mc)
 		if !resp.Outcome.Radio.WasWarm {
 			cold++
 		}
@@ -240,8 +296,14 @@ func (sh *shard) completeFaultedMiss(req Request, mc missCtx) Response {
 func (sh *shard) degradeLocked(st *userState, req Request, mc missCtx, cold int) Response {
 	resp := Response{Req: req, Attempts: mc.plan.Attempts}
 	dev := st.cache.Device()
+	// A hedged miss degrades only once its last ladder has given up:
+	// the clones' extra exhaust time past the primary's ladder is
+	// user-visible wait.
+	if w := mc.hedgeWait(); w > 0 {
+		dev.Busy(w, "hedge")
+	}
 	out := pocketsearch.Outcome{
-		Network: mc.plan.FailedWait,
+		Network: mc.plan.FailedWait + mc.hedgeWait(),
 		Radio:   radio.Transfer{RadioActive: mc.plan.FailedActive, Failed: true},
 	}
 	graft := func(stale pocketsearch.Outcome) {
@@ -267,7 +329,8 @@ func (sh *shard) degradeLocked(st *userState, req Request, mc missCtx, cold int)
 	resp.Outcome = out
 	st.served++
 	st.clock.Observe()
-	resp.RadioJ = st.rt.link.ActiveEnergy(mc.plan.FailedActive) + float64(cold)*st.rt.link.TailEnergy()
+	resp.RadioJ = st.rt.link.ActiveEnergy(mc.plan.FailedActive) +
+		float64(cold)*st.rt.link.TailEnergy() + hedgeWasteJ(st.rt.link, mc)
 	resp.EnergyJ = sh.basePower*out.ResponseTime().Seconds() + resp.RadioJ
 	return resp
 }
@@ -289,20 +352,27 @@ func (sh *shard) applyFaultedBatched(req Request, eresp engine.SearchResponse, f
 	if err != nil {
 		return Response{Req: req, Err: err}
 	}
-	cold := replayFailedAttempts(st.cache.Device(), mc.plan)
+	dev := st.cache.Device()
+	if mc.plan.Success {
+		if w := mc.hedgeWait(); w > 0 {
+			dev.Busy(w, "hedge")
+		}
+	}
+	cold := replayFailedAttempts(dev, mc.plan)
 	if !mc.plan.Success {
 		return sh.degradeLocked(st, req, mc, cold)
 	}
 	resp := Response{Req: req, Source: SourceCloud, BatchSize: bt.Size(), Attempts: mc.plan.Attempts}
 	before := st.cache.DB().LogicalBytes()
 	resp.Outcome = st.cache.ApplyBatchedMiss(req.Query, req.Click, eresp, found, bt.ItemLatency(slot), bt.ItemShare(slot))
-	resp.Outcome.Network += mc.plan.FailedWait
+	resp.Outcome.Network += mc.plan.FailedWait + mc.hedgeWait()
 	sh.recordExpansion(st, req.User, mc.qh, mc.ch, before)
 	st.served++
 	st.clock.Observe()
 	resp.RadioJ = bt.ItemRadioEnergy(st.rt.link, slot) +
 		st.rt.link.ActiveEnergy(mc.plan.FailedActive) +
-		float64(cold)*st.rt.link.TailEnergy()
+		float64(cold)*st.rt.link.TailEnergy() +
+		hedgeWasteJ(st.rt.link, mc)
 	resp.EnergyJ = sh.basePower*resp.Outcome.ResponseTime().Seconds() + resp.RadioJ
 	return resp
 }
@@ -318,17 +388,57 @@ func (f *Fleet) serveFaulted(t task) {
 		f.finish(resp, t)
 		return
 	}
-	pace := sh.brk.pace()
-	sh.brk.record(mc.plan.Success)
+	pace := sh.paceBreaker(mc)
+	sh.recordBreakers(mc)
 	if pace && !f.pauseWall(mc.plan, t.ctx) {
 		f.cancelTask(t)
 		return
 	}
+	f.recordMissPlan(mc)
+	f.finish(sh.completeFaultedMiss(t.req, mc), t)
+}
+
+// paceBreaker asks the primary replica's circuit breaker whether this
+// miss should take its real retry pause.
+func (sh *shard) paceBreaker(mc missCtx) bool {
+	r := 0
+	if mc.hedged {
+		r = mc.hplan.Launches[0].Replica
+	}
+	return sh.breaker(r).pace()
+}
+
+// recordBreakers books a planned miss's outcome into the shard's
+// circuit breakers: every dispatched replica's breaker learns what its
+// own ladder did, so one dead replica opens only its own breaker.
+func (sh *shard) recordBreakers(mc missCtx) {
+	if !mc.hedged {
+		sh.breaker(0).record(mc.plan.Success)
+		return
+	}
+	for _, l := range mc.hplan.Launches {
+		sh.breaker(l.Replica).record(l.Plan.Success)
+	}
+}
+
+// recordMissPlan books a planned miss's retry/hedge telemetry into the
+// fleet counters (shared by the batched and unbatched paths).
+func (f *Fleet) recordMissPlan(mc missCtx) {
 	f.retries.Add(int64(mc.plan.Attempts - 1))
 	if !mc.plan.Success {
 		f.exhausted.Add(1)
 	}
-	f.finish(sh.completeFaultedMiss(t.req, mc), t)
+	if !mc.hedged {
+		return
+	}
+	f.clonesLaunched.Add(int64(mc.hplan.Clones()))
+	f.wastedAttempts.Add(int64(mc.hplan.WastedAttempts))
+	switch {
+	case mc.hplan.Winner == 0:
+		f.primaryWins.Add(1)
+	case mc.hplan.Winner > 0:
+		f.cloneWins.Add(1)
+	}
 }
 
 // pauseWall takes the real pause the retry policy prices for a plan's

@@ -105,7 +105,7 @@ func TestFaultStatsDeterministicConcurrent(t *testing.T) {
 
 	tr1, s1 := run()
 	tr2, s2 := run()
-	if s1 != s2 {
+	if !reflect.DeepEqual(s1, s2) {
 		t.Errorf("fleet counters diverge across identical faulted runs:\n  run 1: %+v\n  run 2: %+v", s1, s2)
 	}
 	if !reflect.DeepEqual(tr1, tr2) {
@@ -162,7 +162,7 @@ func TestFaultStatsDeterministicSequential(t *testing.T) {
 
 	s1 := run()
 	s2 := run()
-	if s1 != s2 {
+	if !reflect.DeepEqual(s1, s2) {
 		t.Errorf("fleet counters diverge across identical sequential runs:\n  run 1: %+v\n  run 2: %+v", s1, s2)
 	}
 	if s1.BreakerOpens == 0 {
@@ -223,7 +223,7 @@ func TestInertFaultsMatchDisabled(t *testing.T) {
 
 	plain, plainStats := run(faults.Options{})
 	inert, inertStats := run(faults.Options{Enabled: true})
-	if plainStats != inertStats {
+	if !reflect.DeepEqual(plainStats, inertStats) {
 		t.Errorf("fleet counters diverge:\n  disabled: %+v\n  inert:    %+v", plainStats, inertStats)
 	}
 	if !reflect.DeepEqual(plain, inert) {
@@ -396,6 +396,75 @@ func TestDoContextCancel(t *testing.T) {
 	}
 }
 
+// TestDoContextReplyPoolStress hammers the pooled reply channels (run
+// under -race by scripts/check.sh): many concurrent DoContext callers,
+// a large fraction abandoning mid-pause, so recycled channels are
+// constantly handed to new requests. A stale send landing on a reused
+// channel would surface here as a response for the wrong request, a
+// double booking, or a race report. Every response must be for the
+// request the caller submitted, and the fleet must book every
+// submission exactly once.
+func TestDoContextReplyPoolStress(t *testing.T) {
+	g := smallGen(t, 16)
+	content := smallContent(t, g)
+	uid := g.Users()[0].ID
+
+	f := newTestFleet(t, g, content, func(cfg *Config) {
+		cfg.Shards = 1
+		cfg.Workers = 2
+		cfg.QueueDepth = 4096
+		cfg.Faults = faults.Options{Enabled: true, LossProb: 0.9}
+		cfg.Retry = faults.RetryPolicy{
+			MaxAttempts:    3,
+			WallPauseScale: 0.001,
+			MaxWallPause:   2 * time.Millisecond,
+		}
+		cfg.Breaker = BreakerOptions{Threshold: -1}
+	})
+
+	miss := missBeyondContent(t, g, len(content.Triplets), uid)
+	const iters = 400
+	var wg sync.WaitGroup
+	for i := 0; i < iters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := miss
+			if i%2 == 0 {
+				// Half the callers give up almost immediately, racing the
+				// worker's finish against their own cancellation.
+				ctx, cancel := context.WithTimeout(context.Background(), time.Duration(i%5)*100*time.Microsecond)
+				defer cancel()
+				resp := f.DoContext(ctx, req)
+				if resp.Err != nil {
+					t.Errorf("request %d errored: %v", i, resp.Err)
+				}
+				if resp.Req.User != req.User || (resp.Req.Query != "" && resp.Req.Query != req.Query) {
+					t.Errorf("request %d got a response for someone else's request: %+v", i, resp.Req)
+				}
+				return
+			}
+			resp := f.DoContext(context.Background(), req)
+			if resp.Canceled || resp.Shed || resp.Err != nil {
+				t.Errorf("background request %d did not serve: %+v", i, resp)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := f.Stats()
+		if s.Served+s.Shed+s.Canceled == iters {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("booked %d+%d+%d of %d submissions", s.Served, s.Shed, s.Canceled, iters)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 // TestFaultedBatchedMatchesUnbatched extends the batching determinism
 // guarantee to the fault-injected path: with clock-free fault sources
 // (loss and engine errors — outages depend on model clocks, which
@@ -429,7 +498,7 @@ func TestFaultedBatchedMatchesUnbatched(t *testing.T) {
 	plain, plainStats := run(BatchOptions{})
 	coal, coalStats := run(BatchOptions{Enabled: true, Linger: time.Millisecond, AdaptiveLinger: true})
 
-	if plainStats != coalStats {
+	if !reflect.DeepEqual(plainStats, coalStats) {
 		t.Errorf("fleet counters diverge:\n  unbatched: %+v\n  batched:   %+v", plainStats, coalStats)
 	}
 	if !reflect.DeepEqual(plain, coal) {

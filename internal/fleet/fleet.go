@@ -262,8 +262,25 @@ type Config struct {
 	// Breaker configures the per-shard circuit breaker that stops
 	// wall-clock retry pacing against a persistently dead link. It
 	// never alters modeled outcomes. Ignored unless fault injection is
-	// on for the fleet or any cohort.
+	// on for the fleet or any cohort. With Replicas > 1 each shard runs
+	// one breaker per replica, so a single dead backend cannot open the
+	// breaker for its healthy peers.
 	Breaker BreakerOptions
+	// Replicas is the number of modeled cloud engine replicas the miss
+	// path may dispatch to. Each replica beyond the first draws its
+	// faults from an independently salted injector
+	// (faults.ReplicaOptions); replica 0 is byte-identical to the
+	// single-backend model. Zero or one keeps the legacy single
+	// backend. Only meaningful with fault injection on.
+	Replicas int
+	// Hedge is the fleet-wide hedging policy for cloud misses: with
+	// CloneFactor >= 2 and Replicas >= 2, a miss is dispatched to up to
+	// CloneFactor replicas (staggered by Hedge.Delay) and the first
+	// successful ladder wins; the losers' spent attempts are charged as
+	// wasted radio energy. The zero value — or CloneFactor < 2 — keeps
+	// the single-dispatch path, byte-identical to an unreplicated
+	// fleet. Cohorts may override it per class.
+	Hedge faults.HedgePolicy
 	// Cohorts describe population slices whose devices differ from the
 	// fleet-wide defaults — a different radio tier, their own fault
 	// profile, their own retry policy. The scenario layer compiles its
@@ -302,6 +319,11 @@ type Cohort struct {
 	// (WallPauseScale/MaxWallPause) stays governed by the fleet-wide
 	// policy either way.
 	Retry *faults.RetryPolicy
+	// Hedge overrides the hedging policy for the cohort's cloud misses.
+	// Nil inherits Config.Hedge; non-nil with CloneFactor < 2 disables
+	// hedging for the cohort even when the fleet hedges. The replica
+	// count stays fleet-wide (Config.Replicas).
+	Hedge *faults.HedgePolicy
 }
 
 // cohortRT is a cohort's resolved runtime: what a user's device is
@@ -310,6 +332,19 @@ type cohortRT struct {
 	link  radio.Params
 	inj   *faults.Injector
 	retry faults.RetryPolicy
+	// injs are the per-replica injectors (injs[0] == inj); length 1
+	// unless the fleet is replicated and this cohort injects faults.
+	injs []*faults.Injector
+	// hedge is the cohort's resolved hedging policy.
+	hedge faults.HedgePolicy
+}
+
+// hedged reports whether this cohort's misses take the hedged path:
+// faults on, at least two replicas to dispatch to, and a clone factor
+// that actually clones. Everything else runs the legacy single-backend
+// ladder, byte-identical to an unreplicated fleet.
+func (rt *cohortRT) hedged() bool {
+	return rt.inj != nil && len(rt.injs) > 1 && rt.hedge.Active()
 }
 
 // cohortTable resolves users to their cohort runtime. Immutable after
@@ -350,7 +385,10 @@ func buildCohortTable(cfg Config, inj *faults.Injector) (*cohortTable, error) {
 		return nil, fmt.Errorf("fleet: %d cohorts configured without CohortOf", len(cfg.Cohorts))
 	}
 	ct := &cohortTable{
-		def:     cohortRT{link: cfg.Radio, inj: inj, retry: cfg.Retry},
+		def: cohortRT{
+			link: cfg.Radio, inj: inj, retry: cfg.Retry,
+			injs: faults.Replicas(inj, cfg.Replicas), hedge: cfg.Hedge,
+		},
 		of:      cfg.CohortOf,
 		faulted: inj != nil,
 	}
@@ -364,9 +402,13 @@ func buildCohortTable(cfg Config, inj *faults.Injector) (*cohortTable, error) {
 			if co.Faults.Enabled {
 				rt.inj = faults.New(*co.Faults)
 			}
+			rt.injs = faults.Replicas(rt.inj, cfg.Replicas)
 		}
 		if co.Retry != nil {
 			rt.retry = co.Retry.WithDefaults()
+		}
+		if co.Hedge != nil {
+			rt.hedge = *co.Hedge
 		}
 		if rt.inj != nil {
 			ct.faulted = true
@@ -394,6 +436,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TotalPersonalBytes <= 0 {
 		c.TotalPersonalBytes = DefaultTotalPersonalBytes
+	}
+	if c.Replicas < 1 {
+		c.Replicas = 1
 	}
 	c.Batch = c.Batch.withDefaults()
 	c.Retry = c.Retry.WithDefaults()
@@ -489,6 +534,13 @@ type Fleet struct {
 	retries   atomic.Int64
 	exhausted atomic.Int64
 	bySource  [numSources]atomic.Int64
+	// Hedging telemetry: clone dispatches beyond each hedged miss's
+	// primary, hedged misses delivered by the primary vs a clone, and
+	// attempts the losing dispatches burned before cancellation.
+	clonesLaunched atomic.Int64
+	primaryWins    atomic.Int64
+	cloneWins      atomic.Int64
+	wastedAttempts atomic.Int64
 
 	batchMu    sync.Mutex
 	batchStats BatchStats
@@ -774,11 +826,16 @@ func (f *Fleet) Do(req Request) Response {
 	return f.DoContext(context.Background(), req)
 }
 
-// replyPool recycles the reply channels of non-cancelable Do calls.
-// Only the uncancelable path may pool: it always receives the worker's
-// single buffered send before returning, so a pooled channel is
-// provably empty. A cancelable DoContext can abandon its channel with
-// the worker's response still in flight, so that path allocates fresh.
+// replyPool recycles reply channels for both Do paths. The
+// uncancelable path always receives the worker's single buffered send
+// before returning, so its channel is provably empty when pooled. The
+// cancelable path pools too: every send into a reply channel (finish,
+// cancelTask) is gated on winning the task's claimed CAS, so at most
+// one send can ever land. Each DoContext return proves the channel
+// empty before pooling it — the send already received, or the caller
+// won the CAS so no send can ever happen. A worker may keep a stale
+// reference to a recycled channel (a canceled task still queued or
+// held), but having lost the CAS it will never send on it.
 var replyPool = sync.Pool{New: func() any { return make(chan Response, 1) }}
 
 // DoContext is Do with caller cancellation: when ctx is done before a
@@ -791,11 +848,10 @@ func (f *Fleet) DoContext(ctx context.Context, req Request) Response {
 		req:      req,
 		enqueued: time.Now(),
 	}
+	reply := replyPool.Get().(chan Response)
+	t.reply = reply
 	if ctx == nil || ctx.Done() == nil {
-		// Uncancelable: the single response is always received here, so
-		// the reply channel is recycled instead of allocated per call.
-		reply := replyPool.Get().(chan Response)
-		t.reply = reply
+		// Uncancelable: the single response is always received here.
 		if !f.enqueue(t) {
 			replyPool.Put(reply)
 			return Response{Req: req, Shed: true, Source: SourceShed}
@@ -804,26 +860,35 @@ func (f *Fleet) DoContext(ctx context.Context, req Request) Response {
 		replyPool.Put(reply)
 		return resp
 	}
-	t.reply = make(chan Response, 1)
 	t.ctx = ctx
 	t.claimed = new(atomic.Bool)
 	if t.ctx.Err() != nil {
+		// Never enqueued: nothing can ever send on the channel.
 		t.claimed.Store(true)
+		replyPool.Put(reply)
 		return f.recordCanceled(req)
 	}
 	if !f.enqueue(t) {
+		replyPool.Put(reply)
 		return Response{Req: req, Shed: true, Source: SourceShed}
 	}
 	select {
-	case resp := <-t.reply:
+	case resp := <-reply:
+		// The single CAS-winning send was just consumed; empty.
+		replyPool.Put(reply)
 		return resp
 	case <-t.ctx.Done():
 		if t.claimed.CompareAndSwap(false, true) {
+			// The caller won: every future sender loses the CAS and
+			// drops its response, so no send can ever land.
+			replyPool.Put(reply)
 			return f.recordCanceled(t.req)
 		}
-		// The worker claimed it first; its response is (or will be)
-		// in the buffered reply channel.
-		return <-t.reply
+		// The worker claimed it first; its single response is (or will
+		// be) in the buffered reply channel.
+		resp := <-reply
+		replyPool.Put(reply)
+		return resp
 	}
 }
 
@@ -918,8 +983,21 @@ type Stats struct {
 	Retries, Exhausted int64
 	// BreakerOpens counts closed→open transitions across the per-shard
 	// circuit breakers (wall-clock pacing only; model outcomes are
-	// unaffected).
-	BreakerOpens int64
+	// unaffected). With replicas it sums across every replica's breaker;
+	// ReplicaBreakerOpens breaks the same total down per replica (nil
+	// for a single-backend fleet).
+	BreakerOpens        int64
+	ReplicaBreakerOpens []int64
+	// Replicas is the configured cloud-replica count (1 = single
+	// backend).
+	Replicas int
+	// Hedging telemetry, all zero unless hedging is active:
+	// ClonesLaunched counts clone dispatches beyond each hedged miss's
+	// primary; PrimaryWins and CloneWins split the hedged misses that
+	// delivered by who answered first; WastedAttempts counts the radio
+	// attempts losing dispatches had started when the winner's answer
+	// canceled them.
+	ClonesLaunched, PrimaryWins, CloneWins, WastedAttempts int64
 	// Users is the number of resident users (personal states).
 	Users int
 	// PersonalBytes is the personal flash footprint across all users.
@@ -959,20 +1037,34 @@ func (s Stats) AnsweredRate() float64 {
 // shard lock briefly; counters are atomics.
 func (f *Fleet) Stats() Stats {
 	s := Stats{
-		Served:        f.served.Load(),
-		Shed:          f.shed.Load(),
-		Errors:        f.errors.Load(),
-		PersonalHits:  f.bySource[SourcePersonal].Load(),
-		CommunityHits: f.bySource[SourceCommunity].Load(),
-		CloudMisses:   f.bySource[SourceCloud].Load(),
-		Degraded:      f.bySource[SourceDegraded].Load(),
-		Unavailable:   f.bySource[SourceUnavailable].Load(),
-		Canceled:      f.canceled.Load(),
-		Retries:       f.retries.Load(),
-		Exhausted:     f.exhausted.Load(),
+		Served:         f.served.Load(),
+		Shed:           f.shed.Load(),
+		Errors:         f.errors.Load(),
+		PersonalHits:   f.bySource[SourcePersonal].Load(),
+		CommunityHits:  f.bySource[SourceCommunity].Load(),
+		CloudMisses:    f.bySource[SourceCloud].Load(),
+		Degraded:       f.bySource[SourceDegraded].Load(),
+		Unavailable:    f.bySource[SourceUnavailable].Load(),
+		Canceled:       f.canceled.Load(),
+		Retries:        f.retries.Load(),
+		Exhausted:      f.exhausted.Load(),
+		Replicas:       f.cfg.Replicas,
+		ClonesLaunched: f.clonesLaunched.Load(),
+		PrimaryWins:    f.primaryWins.Load(),
+		CloneWins:      f.cloneWins.Load(),
+		WastedAttempts: f.wastedAttempts.Load(),
+	}
+	if f.cfg.Replicas > 1 {
+		s.ReplicaBreakerOpens = make([]int64, f.cfg.Replicas)
 	}
 	for _, sh := range f.topo.Load().shards {
-		s.BreakerOpens += sh.brk.openCount()
+		for r, b := range sh.brks {
+			opens := b.openCount()
+			s.BreakerOpens += opens
+			if s.ReplicaBreakerOpens != nil {
+				s.ReplicaBreakerOpens[r] += opens
+			}
+		}
 		sh.mu.Lock()
 		s.Users += sh.users.resident
 		s.PersonalBytes += sh.personalBytes

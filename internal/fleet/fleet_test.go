@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 
@@ -188,7 +189,7 @@ func TestDeterministicOutcomes(t *testing.T) {
 
 	s1, hr1 := run()
 	s2, hr2 := run()
-	if s1 != s2 {
+	if !reflect.DeepEqual(s1, s2) {
 		t.Errorf("stats differ across identical runs:\n  %+v\n  %+v", s1, s2)
 	}
 	if hr1 != hr2 {

@@ -212,12 +212,14 @@ type shard struct {
 	perUserBytes int64
 	// cohorts resolves each resident user to their device runtime
 	// (radio link, fault injector, retry policy); faulted mirrors
-	// Fleet.faulted so the serve paths branch on one bool. brk is the
-	// shard's circuit breaker (nil unless something injects and the
-	// breaker is enabled).
+	// Fleet.faulted so the serve paths branch on one bool. brks holds
+	// one circuit breaker per cloud replica — index 0 is the legacy
+	// single-backend breaker — so a dead replica cannot open the
+	// breaker for its healthy peers (empty unless something injects and
+	// the breaker is enabled).
 	cohorts *cohortTable
 	faulted bool
-	brk     *breaker
+	brks    []*breaker
 	// tl is the fleet-wide model timeline every resident user's clock
 	// registers on; commClock is the community replica's own clock view
 	// (community hits advance the replica's device, not the user's).
@@ -299,9 +301,26 @@ func newShard(id int, cfg Config, ct *cohortTable, tl *modeltime.Timeline) (*sha
 		holds:        make(map[searchlog.UserID]*holdQueue),
 	}
 	if ct.faulted {
-		sh.brk = newBreaker(cfg.Breaker)
+		n := cfg.Replicas
+		if n < 1 {
+			n = 1
+		}
+		for r := 0; r < n; r++ {
+			if b := newBreaker(cfg.Breaker); b != nil {
+				sh.brks = append(sh.brks, b)
+			}
+		}
 	}
 	return sh, nil
+}
+
+// breaker returns the circuit breaker for replica r, nil (permanently
+// closed) when breakers are disabled or r is out of range.
+func (sh *shard) breaker(r int) *breaker {
+	if r < 0 || r >= len(sh.brks) {
+		return nil
+	}
+	return sh.brks[r]
 }
 
 // user returns (lazily creating) the per-user state. The state starts

@@ -252,6 +252,22 @@ type Report struct {
 	Retries      int64  `json:"retries,omitempty"`
 	Exhausted    int64  `json:"exhausted,omitempty"`
 	BreakerOpens int64  `json:"breaker_opens,omitempty"`
+	// Hedging counters (replicated cloud backends): Replicas is the
+	// configured backend replica count; ClonesLaunched counts hedge
+	// clones dispatched to secondary replicas, CloneWins / PrimaryWins
+	// split hedged cloud misses by which dispatch answered first, and
+	// WastedAttempts counts clone ladder attempts charged to the radio
+	// waste budget without contributing the answer. Cross-footing:
+	// hedged misses = PrimaryWins + CloneWins, and wasted clones
+	// (ClonesLaunched − CloneWins) never exceed ClonesLaunched.
+	// ReplicaBreakerOpens breaks BreakerOpens down per replica when the
+	// fleet runs more than one. All zero/absent without hedging.
+	Replicas            int     `json:"replicas,omitempty"`
+	ClonesLaunched      int64   `json:"clones_launched,omitempty"`
+	PrimaryWins         int64   `json:"hedged_primary_wins,omitempty"`
+	CloneWins           int64   `json:"clone_wins,omitempty"`
+	WastedAttempts      int64   `json:"wasted_attempts,omitempty"`
+	ReplicaBreakerOpens []int64 `json:"replica_breaker_opens,omitempty"`
 	// AnsweredRate is the fraction of served requests that got real
 	// results, fresh or stale — the availability headline under faults.
 	AnsweredRate float64 `json:"answered_rate"`
@@ -502,6 +518,18 @@ func (r Report) String() string {
 	if r.Canceled > 0 {
 		fmt.Fprintf(&b, "  canceled %d\n", r.Canceled)
 	}
+	if r.Replicas > 1 || r.ClonesLaunched > 0 {
+		fmt.Fprintf(&b, "  hedging: %d replicas, %d clones launched, wins primary %d / clone %d, wasted attempts %d",
+			r.Replicas, r.ClonesLaunched, r.PrimaryWins, r.CloneWins, r.WastedAttempts)
+		if len(r.ReplicaBreakerOpens) > 0 {
+			parts := make([]string, len(r.ReplicaBreakerOpens))
+			for i, n := range r.ReplicaBreakerOpens {
+				parts[i] = strconv.FormatInt(n, 10)
+			}
+			fmt.Fprintf(&b, ", breaker opens by replica [%s]", strings.Join(parts, " "))
+		}
+		fmt.Fprintf(&b, "\n")
+	}
 	if r.MeanUserHitRate > 0 {
 		fmt.Fprintf(&b, "  mean per-user hit rate %.1f%%", 100*r.MeanUserHitRate)
 		if len(r.ClassHitRate) > 0 {
@@ -535,9 +563,9 @@ func (r Report) String() string {
 			r.BatchedMisses, r.Batches, r.MeanBatchSize)
 	}
 	for _, cr := range r.Classes {
-		fmt.Fprintf(&b, "  class %-12s %6d req  served %6d  hit %5.1f%%  shed %5.2f%%  model p99 %s  energy %.1f J\n",
+		fmt.Fprintf(&b, "  class %-12s %6d req  served %6d  hit %5.1f%%  shed %5.2f%%  model p99 %s  p99.9 %s  energy %.1f J\n",
 			cr.Class, cr.Requests, cr.Served, 100*cr.HitRate, 100*cr.ShedRate,
-			ms(cr.Model.P99NS), cr.EnergyJ)
+			ms(cr.Model.P99NS), ms(cr.Model.P999NS), cr.EnergyJ)
 	}
 	fmt.Fprintf(&b, "  personal flash %d bytes across %d resident users\n", r.PersonalBytes, r.ResidentUsers)
 	if len(r.ShardOccupancy) > 0 {
@@ -575,6 +603,20 @@ func fill(r *Report, f *fleet.Fleet, col *Collector, before fleet.Stats, beforeB
 	r.Retries = st.Retries - before.Retries
 	r.Exhausted = st.Exhausted - before.Exhausted
 	r.BreakerOpens = st.BreakerOpens - before.BreakerOpens
+	r.Replicas = st.Replicas
+	r.ClonesLaunched = st.ClonesLaunched - before.ClonesLaunched
+	r.PrimaryWins = st.PrimaryWins - before.PrimaryWins
+	r.CloneWins = st.CloneWins - before.CloneWins
+	r.WastedAttempts = st.WastedAttempts - before.WastedAttempts
+	if len(st.ReplicaBreakerOpens) > 0 {
+		r.ReplicaBreakerOpens = make([]int64, len(st.ReplicaBreakerOpens))
+		for i, n := range st.ReplicaBreakerOpens {
+			if i < len(before.ReplicaBreakerOpens) {
+				n -= before.ReplicaBreakerOpens[i]
+			}
+			r.ReplicaBreakerOpens[i] = n
+		}
+	}
 	r.Requests = r.Served + r.Shed + r.Canceled
 	if r.Served > 0 {
 		r.HitRate = float64(r.PersonalHits+r.CommunityHits) / float64(r.Served)

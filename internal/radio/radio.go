@@ -201,6 +201,17 @@ func (l *Link) State() State {
 	return Idle
 }
 
+// TailRemaining returns how much of the post-transfer tail is left at
+// the current model time — zero when the link is idle. The hedging
+// planner (internal/faults.PlanHedged) uses it to decide whether a
+// staggered clone dispatch will still find the radio warm.
+func (l *Link) TailRemaining() time.Duration {
+	if d := l.tailEnds - l.now; d > 0 {
+		return d
+	}
+	return 0
+}
+
 // RadioEnergy returns the accumulated radio-only energy in joules
 // (excluding the device baseline, which internal/device adds).
 func (l *Link) RadioEnergy() float64 { return l.energy }

@@ -191,7 +191,7 @@ func (c *Compiled) buildCohorts() error {
 	s := c.Spec
 	needed := false
 	for _, cs := range s.Classes {
-		if cs.Device != "" || cs.Faults != nil {
+		if cs.Device != "" || cs.Faults != nil || cs.Hedge != nil {
 			needed = true
 			break
 		}
@@ -213,6 +213,13 @@ func (c *Compiled) buildCohorts() error {
 			co.Faults = &opts
 			if cs.Faults.Retries > 0 {
 				co.Retry = &faults.RetryPolicy{MaxAttempts: cs.Faults.Retries}
+			}
+		}
+		if cs.Hedge != nil {
+			co.Hedge = &faults.HedgePolicy{
+				CloneFactor: cs.Hedge.CloneFactor,
+				Delay:       cs.Hedge.Delay.D(),
+				MaxInflight: cs.Hedge.MaxInflight,
 			}
 		}
 		c.cohorts = append(c.cohorts, co)
@@ -304,6 +311,7 @@ func (c *Compiled) FleetConfig(obs fleet.Observer) (fleet.Config, error) {
 			FleetWide:      s.Fleet.Batch.FleetWide,
 			AdaptiveLinger: s.Fleet.Batch.Adaptive,
 		},
+		Replicas: s.Fleet.Replicas,
 		Cohorts:  c.cohorts,
 		CohortOf: c.cohortOf,
 		Observer: obs,

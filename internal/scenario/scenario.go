@@ -135,6 +135,11 @@ type FleetSpec struct {
 	// FleetBudgetBytes the fleet-wide personal budget (0 = 2.5 GB).
 	UserBudgetBytes  int64 `json:"user_budget_bytes,omitempty"`
 	FleetBudgetBytes int64 `json:"fleet_budget_bytes,omitempty"`
+	// Replicas is the number of modeled cloud engine replicas the miss
+	// path may dispatch to (0 or 1 = single backend). Each replica
+	// beyond the first draws its faults independently; classes opt into
+	// hedging across them with a "hedge" block.
+	Replicas int `json:"replicas,omitempty"`
 	// Batch configures cloud-miss coalescing. Batching and per-class
 	// device overrides do not compose (the shared session is priced on
 	// the fleet radio), which Compile enforces.
@@ -191,6 +196,23 @@ type ClassSpec struct {
 	// Faults overrides the fleet-wide fault profile for this class's
 	// users; an empty object disables faults for them.
 	Faults *FaultSpec `json:"faults,omitempty"`
+	// Hedge opts this class's cloud misses into hedged dispatch across
+	// the fleet's replicas (fleet.replicas must be ≥ 2). Nil keeps the
+	// single-dispatch path.
+	Hedge *HedgeSpec `json:"hedge,omitempty"`
+}
+
+// HedgeSpec is one class's hedging policy for cloud misses.
+type HedgeSpec struct {
+	// CloneFactor is the total dispatches one miss may make, primary
+	// included; values below 2 disable hedging for the class.
+	CloneFactor int `json:"clone_factor"`
+	// Delay staggers each additional clone after the primary; zero
+	// launches all clones immediately.
+	Delay Duration `json:"delay,omitempty"`
+	// MaxInflight caps concurrently outstanding dispatches per miss
+	// (0 = clone_factor).
+	MaxInflight int `json:"max_inflight,omitempty"`
 }
 
 // ArrivalSpec shapes one class's open-loop arrival process.

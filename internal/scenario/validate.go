@@ -140,6 +140,8 @@ func parseFleet(p *problems, path string, raw json.RawMessage, f *FleetSpec) {
 			decodeInto(p, kp, v, &f.UserBudgetBytes)
 		case "fleet_budget_bytes":
 			decodeInto(p, kp, v, &f.FleetBudgetBytes)
+		case "replicas":
+			decodeInto(p, kp, v, &f.Replicas)
 		case "batch":
 			parseBatch(p, kp, v, &f.Batch)
 		default:
@@ -234,11 +236,35 @@ func parseClass(p *problems, path string, raw json.RawMessage) ClassSpec {
 			decodeInto(p, kp, v, &c.MaxQueriesPerUser)
 		case "faults":
 			c.Faults = parseFaults(p, kp, v)
+		case "hedge":
+			c.Hedge = parseHedge(p, kp, v)
 		default:
 			p.addf("%s: unknown field", kp)
 		}
 	}
 	return c
+}
+
+func parseHedge(p *problems, path string, raw json.RawMessage) *HedgeSpec {
+	m, ok := decodeObject(p, path, raw)
+	if !ok {
+		return nil
+	}
+	h := &HedgeSpec{}
+	for _, key := range sortedKeys(m) {
+		v, kp := m[key], path+"."+key
+		switch key {
+		case "clone_factor":
+			decodeInto(p, kp, v, &h.CloneFactor)
+		case "delay":
+			decodeInto(p, kp, v, &h.Delay)
+		case "max_inflight":
+			decodeInto(p, kp, v, &h.MaxInflight)
+		default:
+			p.addf("%s: unknown field", kp)
+		}
+	}
+	return h
 }
 
 func parseArrival(p *problems, path string, raw json.RawMessage) *ArrivalSpec {
@@ -348,6 +374,7 @@ func validateFleet(p *problems, f *FleetSpec) {
 		{"fleet.vnodes", int64(f.VNodes)},
 		{"fleet.user_budget_bytes", f.UserBudgetBytes},
 		{"fleet.fleet_budget_bytes", f.FleetBudgetBytes},
+		{"fleet.replicas", int64(f.Replicas)},
 		{"fleet.batch.max", int64(f.Batch.Max)},
 		{"fleet.batch.linger", int64(f.Batch.Linger)},
 	} {
@@ -439,12 +466,33 @@ func validateClasses(p *problems, s *Spec) {
 		if c.Faults != nil {
 			validateFaults(p, path+".faults", c.Faults)
 		}
+		if c.Hedge != nil {
+			validateHedge(p, path+".hedge", c.Hedge, s)
+		}
 	}
 	if math.Abs(shareSum-1) > 1e-6 {
 		p.addf("classes: shares sum to %g, want 1", shareSum)
 	}
 	if s.Mode == "open" && math.Abs(rateSum-1) > 1e-6 {
 		p.addf("classes: arrival rate_fractions sum to %g, want 1", rateSum)
+	}
+}
+
+func validateHedge(p *problems, path string, h *HedgeSpec, s *Spec) {
+	if h.CloneFactor < 1 {
+		p.addf("%s.clone_factor: must be ≥ 1, got %d", path, h.CloneFactor)
+	}
+	if h.Delay < 0 {
+		p.addf("%s.delay: must be non-negative, got %v", path, h.Delay.D())
+	}
+	if h.MaxInflight < 0 {
+		p.addf("%s.max_inflight: must be non-negative, got %d", path, h.MaxInflight)
+	}
+	if h.MaxInflight > h.CloneFactor {
+		p.addf("%s.max_inflight: exceeds clone_factor %d", path, h.CloneFactor)
+	}
+	if h.CloneFactor >= 2 && s.Fleet.Replicas < 2 {
+		p.addf("%s: clone_factor %d needs fleet.replicas ≥ 2, got %d", path, h.CloneFactor, s.Fleet.Replicas)
 	}
 }
 

@@ -129,6 +129,14 @@ type (
 	FaultWindow = faults.Window
 	// RetryPolicy governs retrying of faulted cloud misses.
 	RetryPolicy = faults.RetryPolicy
+	// HedgePolicy configures hedged cloud misses against replicated
+	// backends (FleetConfig.Replicas): clone factor, per-clone launch
+	// delay and the concurrent-dispatch cap.
+	HedgePolicy = faults.HedgePolicy
+	// HedgedPlan is one hedged miss's precomputed attempt ladders across
+	// replicas, including the winning dispatch and the waste charged to
+	// the losers.
+	HedgedPlan = faults.HedgedPlan
 	// FleetBreakerOptions configure the fleet's per-shard circuit
 	// breaker (wall-clock retry pacing only).
 	FleetBreakerOptions = fleet.BreakerOptions

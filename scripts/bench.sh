@@ -18,6 +18,15 @@ OUT="${1:-BENCH_$(date -u +%Y%m%d).json}"
 raw=$(go test -bench FleetServe -benchtime "$BENCHTIME" -benchmem -run '^$' .)
 echo "$raw"
 
+# A short hedged fault run, normalized by cmd/reportnorm so it is
+# byte-deterministic, rides along in the snapshot: its hedge counters
+# (clones launched, primary/clone wins, wasted attempts) are pure
+# model outputs, so a diff between two snapshots surfaces any drift
+# in the hedging policy the serving benchmarks would not see.
+hedged=$(go run ./cmd/loadtest -mode closed -users 64 -duration 0 -seed 3 \
+    -faults -loss 0.2 -outage 6s/30s -retries 3 \
+    -replicas 3 -hedge 2 -json | go run ./cmd/reportnorm)
+
 {
     echo '{'
     echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
@@ -37,7 +46,8 @@ echo "$raw"
         }
         END { print out }
     '
-    echo '  ]'
+    echo '  ],'
+    echo "  \"hedged_loadtest\": $hedged"
     echo '}'
 } > "$OUT"
 

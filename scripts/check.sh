@@ -49,6 +49,37 @@ go run ./cmd/loadtest -mode closed -users 100 -duration 0 -seed 3 \
     -faults -loss 0.3 -outage 6s/30s -retries 3 \
     -batch -batchadaptive -check -json > "$smoke_out"
 
+echo "== hedged determinism smoke: clone factor 1 ≡ single backend =="
+# The replicated-backend acceptance guarantee (DESIGN.md, "Hedged
+# misses and replicas"): a fleet with -replicas 3 and hedging off
+# (clone factor 1) must be model-indistinguishable from the
+# single-backend fleet. Both runs are normalized by cmd/reportnorm
+# (wall-clock fields stripped, floats canonicalized) and then must be
+# byte-identical. A second run with clone factor 2 exercises the hedge
+# telemetry cross-foot invariants (-check): primary wins + clone wins
+# partition the cloud serves, clone wins never exceed clones launched,
+# per-replica breaker opens sum to the fleet total.
+hedge_tmp=$(mktemp -d)
+trap 'rm -rf "$hedge_tmp"' EXIT
+hedge_smoke() {
+    go run ./cmd/loadtest -mode closed -users 64 -duration 0 -seed 3 \
+        -faults -loss 0.2 -outage 6s/30s -retries 3 "$@" -json |
+        go run ./cmd/reportnorm
+}
+hedge_smoke > "$hedge_tmp/single.json"
+hedge_smoke -replicas 3 -hedge 1 > "$hedge_tmp/clone1.json"
+if ! diff -u "$hedge_tmp/single.json" "$hedge_tmp/clone1.json"; then
+    echo "hedged determinism smoke: clone factor 1 diverged from the single backend" >&2
+    exit 1
+fi
+hedged_out=/dev/null
+if [ -n "${CHECK_ARTIFACT_DIR:-}" ]; then
+    hedged_out="$CHECK_ARTIFACT_DIR/loadtest-hedged.json"
+fi
+go run ./cmd/loadtest -mode closed -users 64 -duration 0 -seed 3 \
+    -faults -loss 0.2 -outage 6s/30s -retries 3 \
+    -replicas 3 -hedge 2 -check -json > "$hedged_out"
+
 echo "== scenario smoke: loadtest -scenario flash-crowd -check =="
 # The flash-crowd preset at a small population: two SLO classes (a flat
 # steady floor plus a diurnal crowd spike), multi-class open-loop
