@@ -55,8 +55,8 @@
 // declarative JSON scenario (internal/scenario): multiple client
 // classes with their own arrival processes, device tiers and fault
 // profiles, compiled onto the same fleet and generators, with the
-// report broken down per SLO class. Built-in presets: commuter,
-// flash-crowd, regional-outage, mixed-fleet. Only -users and -seed may
+// report broken down per SLO class. Built-in presets: clone-storm,
+// commuter, flash-crowd, regional-outage, mixed-fleet. Only -users and -seed may
 // override a scenario (population and seed scaling); every other
 // workload flag conflicts. Flag-only runs are themselves compiled as a
 // single-class scenario tagged "default", so both paths exercise one
@@ -71,8 +71,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -127,6 +129,13 @@ type runFlags struct {
 	hedgeDelay time.Duration
 	hedgeMax   int
 
+	backendRate    string
+	backendQueue   int
+	backendDisc    string
+	backendDist    string
+	backendOffered float64
+	backendCancel  bool
+
 	scenarioRef string
 
 	communityUsers int
@@ -178,7 +187,13 @@ func (rf *runFlags) register(fs *flag.FlagSet) {
 	fs.IntVar(&rf.hedge, "hedge", 0, "hedged-miss clone factor: dispatch each cloud miss to up to this many replicas, first success wins (with -faults and -replicas ≥ 2); 0 or 1 = no hedging")
 	fs.DurationVar(&rf.hedgeDelay, "hedgedelay", 0, "model-time delay before each hedge clone launches (with -hedge); 0 = immediate clones")
 	fs.IntVar(&rf.hedgeMax, "hedgemax", 0, "max concurrent dispatches per hedged miss (with -hedge); 0 = clone factor")
-	fs.StringVar(&rf.scenarioRef, "scenario", "", "run a declarative scenario: a JSON file path or a preset (commuter, flash-crowd, regional-outage, mixed-fleet)")
+	fs.StringVar(&rf.backendRate, "backend-rate", "", `model the cloud replicas as finite-capacity queues at this per-replica service rate in requests/second, or "inf" for an infinitely fast server (with -faults); empty = analytic miss path`)
+	fs.IntVar(&rf.backendQueue, "backend-queue", 0, "replica queue bound (with -backend-rate): fifo caps backlog at this many mean service times, ps caps concurrent sharing; 0 = unbounded")
+	fs.StringVar(&rf.backendDisc, "backend-disc", "", "replica queueing discipline (with -backend-rate): fifo or ps; empty = fifo")
+	fs.StringVar(&rf.backendDist, "backend-dist", "", "replica service-time distribution (with -backend-rate): exp or fixed; empty = exp")
+	fs.Float64Var(&rf.backendOffered, "backend-offered", 0, "fleet-wide background miss arrival rate in requests/second the replica queues simmer under (with -backend-rate); 0 = no background load")
+	fs.BoolVar(&rf.backendCancel, "backend-cancel", false, "reclaim a hedge loser's unexecuted service when the winner's answer cancels it (with -backend-rate)")
+	fs.StringVar(&rf.scenarioRef, "scenario", "", "run a declarative scenario: a JSON file path or a preset (clone-storm, commuter, flash-crowd, regional-outage, mixed-fleet)")
 	fs.IntVar(&rf.communityUsers, "communityusers", 0, "build community content from only the first N users' logs (million-user fleets: avoids materializing the full month log); 0 = all users")
 	fs.BoolVar(&rf.noSuggest, "nosuggest", false, "skip the per-user auto-suggest index (million-user fleets: saves ~2.5 KB/user; no modeled outcome changes)")
 	fs.BoolVar(&rf.check, "check", false, "verify report invariants after the run and exit non-zero on violation")
@@ -358,6 +373,9 @@ func (rf *runFlags) validate() []string {
 		if rf.hedge != 0 {
 			bad("-hedge requires -faults")
 		}
+		if rf.backendRate != "" {
+			bad("-backend-rate requires -faults (the admission planner runs on the faulted miss path)")
+		}
 	} else {
 		if rf.loss < 0 || rf.loss >= 1 {
 			bad("-loss must be in [0, 1), got %g", rf.loss)
@@ -383,6 +401,44 @@ func (rf *runFlags) validate() []string {
 			bad("-hedge %d requires -replicas ≥ 2, got %d", rf.hedge, rf.replicas)
 		}
 	}
+	if rf.backendRate == "" {
+		if rf.backendQueue != 0 {
+			bad("-backend-queue requires -backend-rate")
+		}
+		if rf.backendDisc != "" {
+			bad("-backend-disc requires -backend-rate")
+		}
+		if rf.backendDist != "" {
+			bad("-backend-dist requires -backend-rate")
+		}
+		if rf.backendOffered != 0 {
+			bad("-backend-offered requires -backend-rate")
+		}
+		if rf.backendCancel {
+			bad("-backend-cancel requires -backend-rate")
+		}
+	} else {
+		if _, err := parseRate(rf.backendRate); err != nil {
+			bad("bad -backend-rate: %v", err)
+		}
+		if rf.backendQueue < 0 {
+			bad("-backend-queue must be non-negative, got %d", rf.backendQueue)
+		}
+		switch rf.backendDisc {
+		case "", "fifo", "ps":
+		default:
+			bad("unknown -backend-disc %q (want fifo or ps)", rf.backendDisc)
+		}
+		switch rf.backendDist {
+		case "", "exp", "fixed":
+		default:
+			bad("unknown -backend-dist %q (want exp or fixed)", rf.backendDist)
+		}
+		if rf.backendOffered < 0 {
+			bad("-backend-offered must be non-negative, got %g", rf.backendOffered)
+		}
+	}
+
 	if rf.hedge < 2 {
 		if rf.hedgeDelay != 0 {
 			bad("-hedgedelay requires -hedge ≥ 2")
@@ -402,6 +458,22 @@ func (rf *runFlags) validate() []string {
 		}
 	}
 	return problems
+}
+
+// parseRate parses a service rate: a positive requests-per-second
+// number, or "inf" for an infinitely fast server.
+func parseRate(s string) (float64, error) {
+	if strings.EqualFold(s, "inf") {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("want a rate number or \"inf\", got %q", s)
+	}
+	if v <= 0 || math.IsInf(v, -1) || math.IsNaN(v) {
+		return 0, fmt.Errorf("rate must be positive (or \"inf\"), got %q", s)
+	}
+	return v, nil
 }
 
 // placement resolves the -placement/-vnodes flags; nil selects the
@@ -473,6 +545,17 @@ func (rf *runFlags) toSpec() *scenario.Spec {
 				CloneFactor: rf.hedge,
 				Delay:       scenario.Duration(rf.hedgeDelay),
 				MaxInflight: rf.hedgeMax,
+			}
+		}
+		if rf.backendRate != "" {
+			rate, _ := parseRate(rf.backendRate) // validate already vetted it
+			spec.Fleet.Backend = &scenario.BackendSpec{
+				ServiceRate: scenario.Rate(rate),
+				Queue:       rf.backendQueue,
+				Discipline:  rf.backendDisc,
+				Dist:        rf.backendDist,
+				Offered:     rf.backendOffered,
+				CancelOnWin: rf.backendCancel,
 			}
 		}
 	}
@@ -605,7 +688,8 @@ func main() {
 				hedgeOn = true
 			}
 		}
-		if problems := checkReport(report, faultsOn, hedgeOn); len(problems) > 0 {
+		backendOn := spec.Fleet.Backend != nil
+		if problems := checkReport(report, faultsOn, hedgeOn, backendOn); len(problems) > 0 {
 			for _, p := range problems {
 				fmt.Fprintf(os.Stderr, "check failed: %s\n", p)
 			}
@@ -618,10 +702,11 @@ func main() {
 // checkReport verifies the report's accounting invariants: every
 // submission is booked exactly once, every served request came from
 // exactly one tier, the fault counters are silent when fault
-// injection is off, and the hedge counters cross-foot (every hedged
+// injection is off, the hedge counters cross-foot (every hedged
 // cloud serve was won by exactly one dispatch; wasted clones never
-// exceed clones launched).
-func checkReport(r pocketcloudlets.LoadReport, faultsOn, hedgeOn bool) []string {
+// exceed clones launched), and the backend replica rows cross-foot
+// (arrivals partition into served, rejected and abandoned).
+func checkReport(r pocketcloudlets.LoadReport, faultsOn, hedgeOn, backendOn bool) []string {
 	var problems []string
 	if r.Errors != 0 {
 		problems = append(problems, fmt.Sprintf("errors: %d", r.Errors))
@@ -660,6 +745,25 @@ func checkReport(r pocketcloudlets.LoadReport, faultsOn, hedgeOn bool) []string 
 		}
 		if sum != r.BreakerOpens {
 			problems = append(problems, fmt.Sprintf("replica breaker opens sum to %d, report says %d", sum, r.BreakerOpens))
+		}
+	}
+	if !backendOn && len(r.Backend) > 0 {
+		problems = append(problems, fmt.Sprintf("backend rows present with the backend model off: %d replicas", len(r.Backend)))
+	}
+	if backendOn && len(r.Backend) == 0 {
+		problems = append(problems, "backend model on but the report has no replica rows")
+	}
+	for _, br := range r.Backend {
+		if br.Arrivals != br.Served+br.Rejected+br.Abandoned {
+			problems = append(problems, fmt.Sprintf(
+				"backend replica %d does not cross-foot: arrivals %d != served %d + rejected %d + abandoned %d",
+				br.Replica, br.Arrivals, br.Served, br.Rejected, br.Abandoned))
+		}
+		if br.Utilization < 0 || br.BusyNS < 0 || br.MeanWaitNS < 0 || br.P99WaitNS < 0 {
+			problems = append(problems, fmt.Sprintf("backend replica %d has negative accounting: %+v", br.Replica, br))
+		}
+		if br.ReclaimedNS < 0 || br.AbandonedWorkFraction < 0 || br.AbandonedWorkFraction > 1 {
+			problems = append(problems, fmt.Sprintf("backend replica %d waste accounting out of range: %+v", br.Replica, br))
 		}
 	}
 	var shardServed, shardShed uint64

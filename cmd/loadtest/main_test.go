@@ -2,6 +2,7 @@ package main
 
 import (
 	"flag"
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -71,6 +72,19 @@ func TestValidateCatchesBadFlags(t *testing.T) {
 		{[]string{"-arrivals", "diurnal", "-diurnal-peak", "0.5"}, "-diurnal-peak"},
 		{[]string{"-pace", "0.01"}, "-pace only applies"},
 		{[]string{"-mode", "closed", "-pace", "-1"}, "-pace"},
+		{[]string{"-backend-rate", "50"}, "-backend-rate requires -faults"},
+		{[]string{"-backend-queue", "8"}, "-backend-queue requires -backend-rate"},
+		{[]string{"-backend-disc", "ps"}, "-backend-disc requires -backend-rate"},
+		{[]string{"-backend-dist", "fixed"}, "-backend-dist requires -backend-rate"},
+		{[]string{"-backend-offered", "20"}, "-backend-offered requires -backend-rate"},
+		{[]string{"-backend-cancel"}, "-backend-cancel requires -backend-rate"},
+		{[]string{"-faults", "-backend-rate", "fast"}, "bad -backend-rate"},
+		{[]string{"-faults", "-backend-rate", "-5"}, "bad -backend-rate"},
+		{[]string{"-faults", "-backend-rate", "0"}, "bad -backend-rate"},
+		{[]string{"-faults", "-backend-rate", "50", "-backend-queue", "-1"}, "-backend-queue"},
+		{[]string{"-faults", "-backend-rate", "50", "-backend-disc", "lifo"}, "-backend-disc"},
+		{[]string{"-faults", "-backend-rate", "50", "-backend-dist", "pareto"}, "-backend-dist"},
+		{[]string{"-faults", "-backend-rate", "50", "-backend-offered", "-2"}, "-backend-offered"},
 	}
 	for _, tc := range cases {
 		problems := parse(t, tc.args...).validate()
@@ -97,6 +111,10 @@ func TestValidateAcceptsRealInvocations(t *testing.T) {
 		{"-arrivals", "diurnal", "-diurnal-peak", "4"},
 		{"-arrivals", "peruser"},
 		{"-mode", "closed", "-duration", "0", "-pace", "0.001"},
+		{"-faults", "-loss", "0.1", "-backend-rate", "40", "-backend-queue", "32",
+			"-backend-disc", "ps", "-backend-dist", "exp", "-backend-offered", "25",
+			"-backend-cancel", "-check"},
+		{"-faults", "-backend-rate", "inf"},
 	}
 	for _, args := range cases {
 		if problems := parse(t, args...).validate(); len(problems) != 0 {
@@ -191,6 +209,8 @@ func TestToSpecCompiles(t *testing.T) {
 		{"-mode", "closed", "-faults", "-loss", "0.3", "-outage", "6s/30s", "-retries", "3",
 			"-batch", "-batchadaptive"},
 		{"-placement", "ring", "-vnodes", "64"},
+		{"-faults", "-loss", "0.1", "-backend-rate", "40", "-backend-queue", "32",
+			"-backend-disc", "ps", "-backend-offered", "25", "-backend-cancel"},
 	}
 	for _, args := range cases {
 		rf := parse(t, args...)
@@ -215,6 +235,48 @@ func TestToSpecCompiles(t *testing.T) {
 			if comp.Closed.ClassTag != "default" {
 				t.Errorf("args %v: closed class tag %q", args, comp.Closed.ClassTag)
 			}
+		}
+	}
+}
+
+func TestToSpecLowersBackendFlags(t *testing.T) {
+	rf := parse(t, "-faults", "-loss", "0.1", "-backend-rate", "40", "-backend-queue", "32",
+		"-backend-disc", "ps", "-backend-dist", "fixed", "-backend-offered", "25", "-backend-cancel")
+	if problems := rf.validate(); len(problems) != 0 {
+		t.Fatalf("backend flags should validate, got %v", problems)
+	}
+	spec := rf.toSpec()
+	b := spec.Fleet.Backend
+	if b == nil {
+		t.Fatal("toSpec dropped the backend block")
+	}
+	if float64(b.ServiceRate) != 40 || b.Queue != 32 || b.Discipline != "ps" ||
+		b.Dist != "fixed" || b.Offered != 25 || !b.CancelOnWin {
+		t.Errorf("backend block mislowered: %+v", *b)
+	}
+	comp, err := scenario.Compile(spec, "")
+	if err != nil {
+		t.Fatalf("compiled backend spec rejected: %v", err)
+	}
+	cfg, err := comp.FleetConfig(nil)
+	if err != nil {
+		t.Fatalf("FleetConfig: %v", err)
+	}
+	if !cfg.Backend.Enabled {
+		t.Error("compiled fleet config should have the backend enabled")
+	}
+}
+
+func TestParseRate(t *testing.T) {
+	if v, err := parseRate("inf"); err != nil || !math.IsInf(v, 1) {
+		t.Errorf(`parseRate("inf") = %v, %v`, v, err)
+	}
+	if v, err := parseRate("12.5"); err != nil || v != 12.5 {
+		t.Errorf(`parseRate("12.5") = %v, %v`, v, err)
+	}
+	for _, bad := range []string{"fast", "0", "-3", "nan", "-inf"} {
+		if _, err := parseRate(bad); err == nil {
+			t.Errorf("parseRate(%q) should fail", bad)
 		}
 	}
 }

@@ -13,6 +13,11 @@
 //     replica_breaker_opens) — a replicated fleet with hedging off is
 //     required to be model-identical to a single-backend fleet, and
 //     these two fields are the only permitted report differences;
+//   - the per-replica backend rows removed ("backend") — they are keyed
+//     by replica index, so the single-backend vs replicated comparison
+//     that check.sh runs would trivially differ; pass -keep backend to
+//     retain them (scripts/bench.sh does, so backend counters can be
+//     diffed across commits);
 //   - floating-point values reformatted at 9 significant digits —
 //     energy totals are accumulated across worker goroutines and the
 //     summation order perturbs the last few ulps;
@@ -26,14 +31,17 @@ package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 )
 
 // volatileKeys are deleted wherever they appear (top level, per-class
-// rows, nested latency blocks).
+// rows, nested latency blocks). Unlike defaultStrip, -keep cannot
+// restore them: they measure the host, never the model.
 var volatileKeys = map[string]bool{
 	"elapsed_ns":            true,
 	"served_qps":            true,
@@ -44,20 +52,49 @@ var volatileKeys = map[string]bool{
 	"replica_breaker_opens": true,
 }
 
-func normalize(v any) any {
+// defaultStrip keys are model-deterministic but presentation-variant
+// (per-replica shape), so they are stripped unless named in -keep.
+var defaultStrip = map[string]bool{
+	"backend": true,
+}
+
+// stripSet resolves the final delete set: all volatile keys, plus the
+// default-stripped keys not named in the comma-separated keep list.
+func stripSet(keep string) (map[string]bool, error) {
+	strip := make(map[string]bool, len(volatileKeys)+len(defaultStrip))
+	for k := range volatileKeys {
+		strip[k] = true
+	}
+	for k := range defaultStrip {
+		strip[k] = true
+	}
+	for _, k := range strings.Split(keep, ",") {
+		k = strings.TrimSpace(k)
+		if k == "" {
+			continue
+		}
+		if !defaultStrip[k] {
+			return nil, fmt.Errorf("-keep %q: not a default-stripped key (only \"backend\" is)", k)
+		}
+		delete(strip, k)
+	}
+	return strip, nil
+}
+
+func normalize(v any, strip map[string]bool) any {
 	switch t := v.(type) {
 	case map[string]any:
 		for k, e := range t {
-			if volatileKeys[k] {
+			if strip[k] {
 				delete(t, k)
 				continue
 			}
-			t[k] = normalize(e)
+			t[k] = normalize(e, strip)
 		}
 		return t
 	case []any:
 		for i, e := range t {
-			t[i] = normalize(e)
+			t[i] = normalize(e, strip)
 		}
 		return t
 	case json.Number:
@@ -75,18 +112,32 @@ func normalize(v any) any {
 	}
 }
 
-func main() {
-	dec := json.NewDecoder(os.Stdin)
+// run normalizes one report from in to out; keep is the raw -keep
+// value. Split from main so the golden-file test can drive it.
+func run(keep string, in io.Reader, out io.Writer) error {
+	strip, err := stripSet(keep)
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(in)
 	dec.UseNumber()
 	var report any
 	if err := dec.Decode(&report); err != nil {
-		fmt.Fprintf(os.Stderr, "reportnorm: %v\n", err)
-		os.Exit(1)
+		return err
 	}
-	out, err := json.MarshalIndent(normalize(report), "", "  ")
+	buf, err := json.MarshalIndent(normalize(report, strip), "", "  ")
 	if err != nil {
+		return err
+	}
+	_, err = out.Write(append(buf, '\n'))
+	return err
+}
+
+func main() {
+	keep := flag.String("keep", "", "comma-separated default-stripped keys to retain (e.g. \"backend\")")
+	flag.Parse()
+	if err := run(*keep, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "reportnorm: %v\n", err)
 		os.Exit(1)
 	}
-	os.Stdout.Write(append(out, '\n'))
 }

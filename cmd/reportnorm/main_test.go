@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGolden pins the normalized output for a real loadtest report
+// (testdata/report.json was produced by a hedged, backend-enabled run).
+// Regenerate the goldens after an intentional format change with:
+//
+//	go run ./cmd/reportnorm < cmd/reportnorm/testdata/report.json > cmd/reportnorm/testdata/report.golden
+//	go run ./cmd/reportnorm -keep backend < cmd/reportnorm/testdata/report.json > cmd/reportnorm/testdata/report_keep_backend.golden
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		keep   string
+		golden string
+	}{
+		{"", "report.golden"},
+		{"backend", "report_keep_backend.golden"},
+	}
+	in, err := os.ReadFile(filepath.Join("testdata", "report.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range cases {
+		want, err := os.ReadFile(filepath.Join("testdata", tc.golden))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		if err := run(tc.keep, bytes.NewReader(in), &out); err != nil {
+			t.Fatalf("-keep %q: %v", tc.keep, err)
+		}
+		if !bytes.Equal(out.Bytes(), want) {
+			t.Errorf("-keep %q: output differs from %s (see regeneration note above)", tc.keep, tc.golden)
+		}
+	}
+}
+
+func TestGoldenStripsTheRightKeys(t *testing.T) {
+	// Belt and braces next to the byte-exact check: the default golden
+	// must not mention any stripped key, and -keep backend must restore
+	// exactly the backend rows.
+	def, err := os.ReadFile(filepath.Join("testdata", "report.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range volatileKeys {
+		if strings.Contains(string(def), `"`+k+`"`) {
+			t.Errorf("default golden still contains volatile key %q", k)
+		}
+	}
+	if strings.Contains(string(def), `"backend"`) {
+		t.Error("default golden still contains the backend rows")
+	}
+	kept, err := os.ReadFile(filepath.Join("testdata", "report_keep_backend.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(kept), `"backend"`) {
+		t.Error("-keep backend golden lost the backend rows")
+	}
+	for k := range volatileKeys {
+		if strings.Contains(string(kept), `"`+k+`"`) {
+			t.Errorf("-keep backend golden contains volatile key %q — -keep must not restore those", k)
+		}
+	}
+}
+
+func TestKeepRejectsUnknownKeys(t *testing.T) {
+	if _, err := stripSet("elapsed_ns"); err == nil {
+		t.Error("-keep elapsed_ns should be rejected: volatile keys are not restorable")
+	}
+	if _, err := stripSet("nonsense"); err == nil {
+		t.Error("-keep nonsense should be rejected")
+	}
+	if _, err := stripSet(" backend , "); err != nil {
+		t.Errorf("-keep with spaces should parse: %v", err)
+	}
+}

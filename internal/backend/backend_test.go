@@ -1,0 +1,309 @@
+package backend
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"pocketcloudlets/internal/faults"
+)
+
+func opts(disc Discipline, rate, offered float64, depth int) Options {
+	return Options{
+		Enabled: true, Seed: 7, Replicas: 3, ServiceRate: rate,
+		QueueDepth: depth, Discipline: disc, Dist: DistExp,
+		Offered: offered, CloneFactor: 2,
+	}
+}
+
+// queries builds a deterministic batch of pricing queries spread over
+// the model horizon.
+type query struct {
+	replica int
+	at      time.Duration
+	uid, qh uint64
+	seq     uint64
+	attempt int
+}
+
+func makeQueries(n int) []query {
+	r := rand.New(rand.NewSource(42))
+	qs := make([]query, n)
+	for i := range qs {
+		qs[i] = query{
+			replica: r.Intn(3),
+			at:      time.Duration(r.Int63n(int64(120 * time.Second))),
+			uid:     r.Uint64() % 1000,
+			qh:      r.Uint64(),
+			seq:     uint64(r.Intn(20)),
+			attempt: 1 + r.Intn(4),
+		}
+	}
+	return qs
+}
+
+// TestPricePure is the determinism contract: the same query answers
+// the same on a fresh model, in any order, and under concurrency —
+// observers never perturb the simulated queues.
+func TestPricePure(t *testing.T) {
+	for _, disc := range []Discipline{FIFO, PS} {
+		qs := makeQueries(400)
+
+		// Reference: ascending model-time order on a fresh model.
+		ref := NewModel(opts(disc, 20, 25, 32))
+		want := make([]faults.Admission, len(qs))
+		order := make([]int, len(qs))
+		for i := range order {
+			order[i] = i
+		}
+		for _, i := range order {
+			q := qs[i]
+			want[i] = ref.Price(q.replica, q.at, q.uid, q.qh, q.seq, q.attempt)
+		}
+
+		// Shuffled order on a fresh model.
+		m := NewModel(opts(disc, 20, 25, 32))
+		r := rand.New(rand.NewSource(9))
+		r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			q := qs[i]
+			if got := m.Price(q.replica, q.at, q.uid, q.qh, q.seq, q.attempt); got != want[i] {
+				t.Fatalf("%v: query %d out-of-order mismatch: got %+v want %+v", disc, i, got, want[i])
+			}
+		}
+
+		// Concurrent repeats against the same (already warmed) model.
+		var wg sync.WaitGroup
+		errs := make(chan string, len(qs))
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(qs); i += 8 {
+					q := qs[i]
+					if got := m.Price(q.replica, q.at, q.uid, q.qh, q.seq, q.attempt); got != want[i] {
+						errs <- "concurrent mismatch"
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		for e := range errs {
+			t.Fatalf("%v: %s", disc, e)
+		}
+	}
+}
+
+// TestNoLoadNoWait: with no background load, requests pay their service
+// time but never queue and are never rejected.
+func TestNoLoadNoWait(t *testing.T) {
+	for _, disc := range []Discipline{FIFO, PS} {
+		m := NewModel(opts(disc, 20, 0, 4))
+		for _, q := range makeQueries(200) {
+			adm := m.Price(q.replica, q.at, q.uid, q.qh, q.seq, q.attempt)
+			if adm.Rejected || adm.Wait != 0 {
+				t.Fatalf("%v: unloaded backend queued/rejected: %+v", disc, adm)
+			}
+			if adm.Service <= 0 {
+				t.Fatalf("%v: service time not drawn: %+v", disc, adm)
+			}
+		}
+	}
+}
+
+// TestInfiniteRateIsZero: an infinitely fast server prices everything
+// at exactly zero and admits everything — the byte-identity escape
+// hatch the fleet equivalence tests lean on.
+func TestInfiniteRateIsZero(t *testing.T) {
+	for _, disc := range []Discipline{FIFO, PS} {
+		m := NewModel(opts(disc, math.Inf(1), 50, 4))
+		for _, q := range makeQueries(200) {
+			if adm := m.Price(q.replica, q.at, q.uid, q.qh, q.seq, q.attempt); adm != (faults.Admission{}) {
+				t.Fatalf("%v: infinite rate priced nonzero: %+v", disc, adm)
+			}
+		}
+	}
+}
+
+// TestDisabledModelIsNil: inactive options build no model, and a nil
+// model prices zero and records nothing.
+func TestDisabledModelIsNil(t *testing.T) {
+	if m := NewModel(Options{}); m != nil {
+		t.Fatalf("disabled options built a model")
+	}
+	if m := NewModel(Options{Enabled: true}); m != nil {
+		t.Fatalf("zero service rate built a model")
+	}
+	var m *Model
+	if adm := m.Price(0, time.Second, 1, 2, 3, 1); adm != (faults.Admission{}) {
+		t.Fatalf("nil model priced nonzero: %+v", adm)
+	}
+	m.Record([]faults.Arrival{{Replica: 0}})
+	if s := m.Stats(); s != nil {
+		t.Fatalf("nil model has stats: %v", s)
+	}
+}
+
+// TestOverloadQueues: offered load past capacity grows FIFO waits with
+// model time (unbounded queue), and a bounded queue caps the wait and
+// rejects instead.
+func TestOverloadQueues(t *testing.T) {
+	unbounded := NewModel(opts(FIFO, 10, 40, 0)) // per-replica λ ≈ 26.7 vs μ = 10
+	early := unbounded.Price(0, 2*time.Second, 1, 2, 1, 1)
+	late := unbounded.Price(0, 100*time.Second, 1, 2, 1, 1)
+	if late.Wait < 4*early.Wait || late.Wait < 10*time.Second {
+		t.Fatalf("overloaded FIFO backlog did not grow: early %v late %v", early.Wait, late.Wait)
+	}
+
+	bounded := NewModel(opts(FIFO, 10, 40, 8))
+	boundDur := 8 * (time.Second / 10) // QueueDepth × mean service
+	rejected := 0
+	for i := 0; i < 200; i++ {
+		at := time.Duration(i) * 500 * time.Millisecond
+		adm := bounded.Price(0, at, uint64(i), uint64(i)*3, 1, 1)
+		if adm.Rejected {
+			rejected++
+			continue
+		}
+		if adm.Wait > boundDur+time.Millisecond {
+			t.Fatalf("bounded FIFO wait %v exceeds bound %v", adm.Wait, boundDur)
+		}
+	}
+	if rejected == 0 {
+		t.Fatalf("overloaded bounded FIFO rejected nothing")
+	}
+}
+
+// TestPSStretch: under PS, load stretches a request beyond its service
+// time, and a multiprogramming bound rejects when the server is full.
+func TestPSStretch(t *testing.T) {
+	m := NewModel(opts(PS, 10, 30, 0)) // per-replica λ = 20 vs μ = 10: overload
+	stretched := 0
+	for i := 0; i < 100; i++ {
+		at := 20*time.Second + time.Duration(i)*300*time.Millisecond
+		adm := m.Price(1, at, uint64(i), uint64(i)*7, 1, 1)
+		if adm.Rejected {
+			t.Fatalf("unbounded PS rejected")
+		}
+		if adm.Wait > 0 {
+			stretched++
+		}
+	}
+	if stretched < 50 {
+		t.Fatalf("overloaded PS barely stretched: %d/100", stretched)
+	}
+
+	bounded := NewModel(opts(PS, 10, 30, 2))
+	rejected := 0
+	for i := 0; i < 100; i++ {
+		at := 20*time.Second + time.Duration(i)*300*time.Millisecond
+		if bounded.Price(1, at, uint64(i), uint64(i)*7, 1, 1).Rejected {
+			rejected++
+		}
+	}
+	if rejected == 0 {
+		t.Fatalf("bounded PS rejected nothing under overload")
+	}
+}
+
+// TestRecordCrossFoot: the accounting invariant -check enforces, plus
+// cancel-on-win work reclamation.
+func TestRecordCrossFoot(t *testing.T) {
+	ledger := []faults.Arrival{
+		{Replica: 0, At: time.Second, Wait: 100 * time.Millisecond, Service: 200 * time.Millisecond, Status: faults.ArrivalServed},
+		{Replica: 0, At: 2 * time.Second, Status: faults.ArrivalRejected},
+		{Replica: 1, At: 3 * time.Second, Wait: 50 * time.Millisecond, Service: 400 * time.Millisecond,
+			Status: faults.ArrivalAbandoned, Reclaimable: 300 * time.Millisecond},
+	}
+
+	burn := NewModel(opts(FIFO, 10, 5, 0))
+	burn.Record(ledger)
+	st := burn.Stats()
+	if len(st) != 3 {
+		t.Fatalf("want 3 replica stats, got %d", len(st))
+	}
+	for r, s := range st {
+		if s.Arrivals != s.Served+s.Rejected+s.Abandoned {
+			t.Fatalf("replica %d cross-foot: %+v", r, s)
+		}
+	}
+	if st[0].Arrivals != 2 || st[0].Served != 1 || st[0].Rejected != 1 {
+		t.Fatalf("replica 0 counts wrong: %+v", st[0])
+	}
+	if st[1].Abandoned != 1 || st[1].BusyNs != int64(400*time.Millisecond) ||
+		st[1].AbandonedWorkNs != int64(400*time.Millisecond) || st[1].ReclaimedNs != 0 {
+		t.Fatalf("fire-and-forget abandoned accounting wrong: %+v", st[1])
+	}
+
+	o := opts(FIFO, 10, 5, 0)
+	o.CancelOnWin = true
+	cancel := NewModel(o)
+	cancel.Record(ledger)
+	st = cancel.Stats()
+	if st[1].BusyNs != int64(100*time.Millisecond) || st[1].ReclaimedNs != int64(300*time.Millisecond) ||
+		st[1].AbandonedWorkNs != int64(100*time.Millisecond) {
+		t.Fatalf("cancel-on-win abandoned accounting wrong: %+v", st[1])
+	}
+	if got := st[1].HorizonNs; got != int64(3*time.Second+150*time.Millisecond) {
+		t.Fatalf("cancel-on-win horizon wrong: %d", got)
+	}
+
+	// Delta and derived metrics.
+	d := st[0].Sub(ReplicaStats{})
+	if d.Arrivals != st[0].Arrivals || d.HorizonNs != st[0].HorizonNs {
+		t.Fatalf("Sub identity broken: %+v vs %+v", d, st[0])
+	}
+	if mw := st[0].MeanWait(); mw != 100*time.Millisecond {
+		t.Fatalf("mean wait: %v", mw)
+	}
+	if p := st[0].P99Wait(); p < 100*time.Millisecond || p > 125*time.Millisecond {
+		t.Fatalf("p99 wait outside bucket tolerance: %v", p)
+	}
+}
+
+// TestWaitBuckets: bucket mapping is monotone and the upper bound
+// covers the bucket.
+func TestWaitBuckets(t *testing.T) {
+	if waitBucket(0) != 0 || bucketUpper(0) != 0 {
+		t.Fatalf("zero wait must land in bucket 0")
+	}
+	prev := -1
+	for _, w := range []time.Duration{1, 10, time.Microsecond, time.Millisecond, time.Second, time.Minute, time.Hour} {
+		b := waitBucket(w)
+		if b <= prev {
+			t.Fatalf("bucket not monotone at %v", w)
+		}
+		if up := bucketUpper(b); up < w {
+			t.Fatalf("bucket upper %v below member %v", up, w)
+		}
+		prev = b
+	}
+}
+
+// TestPSOverloadSaturates: an unbounded PS queue under sustained
+// overload has genuinely diverging sojourn times; the tagged replay
+// must saturate deterministically rather than walk the divergence
+// forever.
+func TestPSOverloadSaturates(t *testing.T) {
+	o := opts(PS, 10, 30, 0) // per-replica lambda = 20, mu = 10, unbounded
+	m1, m2 := NewModel(o), NewModel(o)
+	at := 200 * time.Second
+	done := make(chan faults.Admission, 1)
+	go func() { done <- m1.Price(0, at, 9, 9, 9, 1) }()
+	var adm faults.Admission
+	select {
+	case adm = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("overloaded unbounded PS price did not terminate")
+	}
+	if adm.Rejected || adm.Wait <= time.Second {
+		t.Fatalf("saturated overload wait implausibly small: %+v", adm)
+	}
+	if again := m2.Price(0, at, 9, 9, 9, 1); again != adm {
+		t.Fatalf("saturated price not deterministic: %+v vs %+v", again, adm)
+	}
+}

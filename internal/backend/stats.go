@@ -1,0 +1,240 @@
+package backend
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"pocketcloudlets/internal/faults"
+)
+
+// Accounting. The fleet books every plan's priced dispatches (the
+// faults.Arrival ledger) into these counters after the plan replays.
+// All updates are commutative atomic adds (and one atomic max) of
+// deterministic per-plan values, so the totals are exact and identical
+// regardless of goroutine interleaving — the same trick the fleet's
+// own telemetry uses.
+
+// histBuckets is the queue-wait histogram resolution: quarter-octave
+// log2 buckets over nanoseconds (≲19% relative error on the p99),
+// bucket 0 holding exact-zero waits.
+const histBuckets = 256
+
+// acct is one replica's counter block.
+type acct struct {
+	arrivals  atomic.Int64
+	served    atomic.Int64
+	rejected  atomic.Int64
+	abandoned atomic.Int64
+	// busyNs is the service time actually charged to the server;
+	// abandonedWorkNs the slice of it charged to requests nobody
+	// consumed; reclaimedNs the service time cancel-on-win returned.
+	busyNs          atomic.Int64
+	abandonedWorkNs atomic.Int64
+	reclaimedNs     atomic.Int64
+	// waitSumNs sums queue waits over non-rejected arrivals; the
+	// histogram holds their distribution.
+	waitSumNs atomic.Int64
+	hist      [histBuckets]atomic.Int64
+	// horizonNs is the latest model instant any booked dispatch touched
+	// — the elapsed-capacity denominator of utilization.
+	horizonNs atomic.Int64
+}
+
+func (a *acct) recordWait(w time.Duration) {
+	a.waitSumNs.Add(int64(w))
+	a.hist[waitBucket(w)].Add(1)
+}
+
+func (a *acct) raiseHorizon(ns int64) {
+	for {
+		cur := a.horizonNs.Load()
+		if ns <= cur || a.horizonNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// waitBucket maps a wait to its histogram bucket.
+func waitBucket(w time.Duration) int {
+	if w <= 0 {
+		return 0
+	}
+	b := 1 + int(math.Log2(float64(w))*4)
+	if b < 1 {
+		b = 1
+	}
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// bucketUpper is the inclusive upper bound (ns) of a histogram bucket.
+func bucketUpper(b int) time.Duration {
+	if b <= 0 {
+		return 0
+	}
+	return time.Duration(math.Ceil(math.Exp2(float64(b) / 4)))
+}
+
+// Record books one plan's priced dispatch ledger. Rejected arrivals
+// consume no backend time; served ones charge their service; abandoned
+// ones charge their executed slice — plus, without cancel-on-win, the
+// never-consumed remainder.
+func (m *Model) Record(arrivals []faults.Arrival) {
+	if m == nil {
+		return
+	}
+	for _, ar := range arrivals {
+		idx := ar.Replica
+		if idx < 0 || idx >= len(m.reps) {
+			idx = 0
+		}
+		a := &m.reps[idx].acct
+		a.arrivals.Add(1)
+		end := ar.At
+		switch ar.Status {
+		case faults.ArrivalRejected:
+			a.rejected.Add(1)
+		case faults.ArrivalAbandoned:
+			a.abandoned.Add(1)
+			a.recordWait(ar.Wait)
+			end += ar.Wait + ar.Service
+			executed := ar.Service - ar.Reclaimable
+			if executed < 0 {
+				executed = 0
+			}
+			if m.opts.CancelOnWin {
+				a.busyNs.Add(int64(executed))
+				a.abandonedWorkNs.Add(int64(executed))
+				a.reclaimedNs.Add(int64(ar.Reclaimable))
+				end -= ar.Reclaimable
+			} else {
+				a.busyNs.Add(int64(ar.Service))
+				a.abandonedWorkNs.Add(int64(ar.Service))
+			}
+		default: // served
+			a.served.Add(1)
+			a.recordWait(ar.Wait)
+			a.busyNs.Add(int64(ar.Service))
+			end += ar.Wait + ar.Service
+		}
+		a.raiseHorizon(int64(end))
+	}
+}
+
+// ReplicaStats is one replica's accounting snapshot. The invariant the
+// load tester cross-foots: Arrivals == Served + Rejected + Abandoned.
+type ReplicaStats struct {
+	Arrivals, Served, Rejected, Abandoned int64
+	// BusyNs is service time charged to the server; AbandonedWorkNs the
+	// part charged to canceled requests; ReclaimedNs the service time
+	// cancel-on-win returned instead of burning.
+	BusyNs, AbandonedWorkNs, ReclaimedNs int64
+	// WaitSumNs sums queue waits over non-rejected arrivals; Hist is
+	// their quarter-octave log2 distribution (bucket 0 = zero wait).
+	WaitSumNs int64
+	Hist      [histBuckets]int64
+	// HorizonNs is the latest model instant any dispatch touched.
+	HorizonNs int64
+}
+
+// Sub returns the delta s − prev (horizon keeps the later absolute
+// value; it is a watermark, not a counter).
+func (s ReplicaStats) Sub(prev ReplicaStats) ReplicaStats {
+	d := ReplicaStats{
+		Arrivals:        s.Arrivals - prev.Arrivals,
+		Served:          s.Served - prev.Served,
+		Rejected:        s.Rejected - prev.Rejected,
+		Abandoned:       s.Abandoned - prev.Abandoned,
+		BusyNs:          s.BusyNs - prev.BusyNs,
+		AbandonedWorkNs: s.AbandonedWorkNs - prev.AbandonedWorkNs,
+		ReclaimedNs:     s.ReclaimedNs - prev.ReclaimedNs,
+		WaitSumNs:       s.WaitSumNs - prev.WaitSumNs,
+		HorizonNs:       s.HorizonNs,
+	}
+	for i := range s.Hist {
+		d.Hist[i] = s.Hist[i] - prev.Hist[i]
+	}
+	return d
+}
+
+// Utilization is charged busy time over the model horizon — above 1.0
+// the replica was asked for more work than time passed (overload).
+func (s ReplicaStats) Utilization() float64 {
+	if s.HorizonNs <= 0 {
+		return 0
+	}
+	return float64(s.BusyNs) / float64(s.HorizonNs)
+}
+
+// MeanWait is the mean queue wait over non-rejected arrivals.
+func (s ReplicaStats) MeanWait() time.Duration {
+	n := s.Served + s.Abandoned
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(s.WaitSumNs / n)
+}
+
+// P99Wait is the 99th-percentile queue wait from the histogram (an
+// upper bound at the bucket resolution).
+func (s ReplicaStats) P99Wait() time.Duration { return s.QuantileWait(0.99) }
+
+// QuantileWait returns the q-quantile queue wait from the histogram.
+func (s ReplicaStats) QuantileWait(q float64) time.Duration {
+	var total int64
+	for _, c := range s.Hist {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for b, c := range s.Hist {
+		cum += c
+		if cum >= rank {
+			return bucketUpper(b)
+		}
+	}
+	return bucketUpper(histBuckets - 1)
+}
+
+// AbandonedWorkFraction is the share of charged busy time spent on
+// requests nobody consumed.
+func (s ReplicaStats) AbandonedWorkFraction() float64 {
+	if s.BusyNs <= 0 {
+		return 0
+	}
+	return float64(s.AbandonedWorkNs) / float64(s.BusyNs)
+}
+
+// Stats snapshots every replica's accounting; nil for a nil model.
+func (m *Model) Stats() []ReplicaStats {
+	if m == nil {
+		return nil
+	}
+	out := make([]ReplicaStats, len(m.reps))
+	for i, rp := range m.reps {
+		a := &rp.acct
+		s := &out[i]
+		s.Arrivals = a.arrivals.Load()
+		s.Served = a.served.Load()
+		s.Rejected = a.rejected.Load()
+		s.Abandoned = a.abandoned.Load()
+		s.BusyNs = a.busyNs.Load()
+		s.AbandonedWorkNs = a.abandonedWorkNs.Load()
+		s.ReclaimedNs = a.reclaimedNs.Load()
+		s.WaitSumNs = a.waitSumNs.Load()
+		s.HorizonNs = a.horizonNs.Load()
+		for b := range a.hist {
+			s.Hist[b] = a.hist[b].Load()
+		}
+	}
+	return out
+}

@@ -1,0 +1,288 @@
+package backend
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// The replica timeline. Each replica simulates its queue under the
+// deterministic background process, event by event, in model time. The
+// fleet's queries arrive in arbitrary order (users' model clocks are
+// not synchronized), so the timeline keeps checkpoints — full copies
+// of the simulation state every ckptEvery background arrivals — and
+// answers a query by cloning the last checkpoint at or before the
+// queried instant and replaying forward. Replay work per query is
+// bounded by the checkpoint interval; checkpoints are append-only and
+// grow with the model horizon actually explored.
+
+// ckptEvery is the background-arrival interval between checkpoints.
+const ckptEvery = 512
+
+// completionEps is the remaining-work epsilon (seconds) below which a
+// PS job is complete — one nanosecond, the model's output resolution.
+// Float drain accumulates rounding, and the epsilon keeps job
+// completion deterministic and terminating.
+const completionEps = 1e-9
+
+// state is one replica's simulated queue at instant t: every
+// background event at or before t has been applied.
+type state struct {
+	t float64 // seconds of model time this state describes
+	// work is the FIFO unfinished work (seconds) in the queue at t.
+	work float64
+	// jobs are the PS jobs' service-demand marks, sorted ascending. A
+	// job's remaining demand is jobs[i] − off: draining every job by an
+	// equal share is one add to off, and the next completion is always
+	// jobs[0] — this is what keeps overloaded-queue replay linear in
+	// events rather than quadratic in backlog.
+	jobs []float64
+	off  float64
+	// events counts background arrivals consumed so far.
+	events int64
+	// nextAt/nextDemand are the next background arrival's instant and
+	// service demand; r is the draw stream positioned after them.
+	nextAt     float64
+	nextDemand float64
+	r          rng
+}
+
+// insertJob admits a job of the given remaining demand, keeping the
+// marks sorted.
+func (st *state) insertJob(demand float64) {
+	mark := demand + st.off
+	i := sort.SearchFloat64s(st.jobs, mark)
+	st.jobs = append(st.jobs, 0)
+	copy(st.jobs[i+1:], st.jobs[i:])
+	st.jobs[i] = mark
+}
+
+// dropDone pops completed jobs off the front.
+func (st *state) dropDone() {
+	for len(st.jobs) > 0 && st.jobs[0] <= st.off+completionEps {
+		st.jobs = st.jobs[1:]
+	}
+}
+
+// copyFrom deep-copies src into st, reusing st's jobs capacity.
+func (st *state) copyFrom(src *state) {
+	jobs := append(st.jobs[:0], src.jobs...)
+	*st = *src
+	st.jobs = jobs
+}
+
+type replica struct {
+	m  *Model
+	mu sync.Mutex
+	// cps are the checkpoints in event order; cps[0] is genesis (t=0,
+	// empty queue, first arrival drawn).
+	cps []state
+	// scratch is the query working state; scratch2 the tagged-job clone
+	// (both reused under mu so steady-state queries stay allocation-lean).
+	scratch, scratch2 state
+
+	acct acct
+}
+
+func newReplica(m *Model, idx int) *replica {
+	rp := &replica{m: m}
+	genesis := state{r: rng{s: mix(uint64(m.opts.Seed)^0xB0E57A7E_5EED_0001) ^ uint64(idx)*0x9FB21C651E98DF25}}
+	genesis.nextAt = math.Inf(1)
+	if m.lambda > 0 {
+		genesis.nextAt = genesis.r.exp() / m.lambda
+		genesis.nextDemand = m.drawBackgroundDemand(&genesis.r)
+	}
+	rp.cps = append(rp.cps, genesis)
+	return rp
+}
+
+// drawBackgroundDemand draws one background job's service demand from
+// the stream.
+func (m *Model) drawBackgroundDemand(r *rng) float64 {
+	switch {
+	case m.mean == 0:
+		r.next() // keep the stream layout stable across distributions
+		return 0
+	case m.opts.Dist == DistFixed:
+		r.next()
+		return m.mean
+	default:
+		return r.exp() * m.mean
+	}
+}
+
+// stateAt returns the queue state at instant t in the replica's
+// scratch buffer. Caller holds mu; the result is valid until the next
+// stateAt/tagged call.
+func (rp *replica) stateAt(t float64) *state {
+	// Latest checkpoint at or before t. Checkpoint times are strictly
+	// increasing, so binary search applies.
+	lo, hi := 0, len(rp.cps)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if rp.cps[mid].t <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	cp := &rp.cps[lo-1]
+	st := &rp.scratch
+	st.copyFrom(cp)
+	frontier := rp.cps[len(rp.cps)-1].events
+	rp.advance(st, t, frontier)
+	return st
+}
+
+// advance replays background events up to and including instant t,
+// then drains the final partial interval so st describes t exactly.
+// While the replay pushes past the checkpoint frontier it appends new
+// checkpoints every ckptEvery arrivals.
+func (rp *replica) advance(st *state, t float64, frontier int64) {
+	switch rp.m.opts.Discipline {
+	case PS:
+		rp.advancePS(st, t, frontier)
+	default:
+		rp.advanceFIFO(st, t, frontier)
+	}
+}
+
+// advanceFIFO is the scalar virtual-work recursion: between arrivals
+// the server drains unfinished work at rate 1; an arrival over the
+// backlog bound is dropped (the background load sheds too — the bound
+// is the replica's, not the observer's).
+func (rp *replica) advanceFIFO(st *state, t float64, frontier int64) {
+	for st.nextAt <= t {
+		if d := st.nextAt - st.t; st.work > d {
+			st.work -= d
+		} else {
+			st.work = 0
+		}
+		st.t = st.nextAt
+		if rp.m.bound <= 0 || st.work < rp.m.bound {
+			st.work += st.nextDemand
+		}
+		rp.consumeArrival(st, frontier)
+	}
+	if d := t - st.t; st.work > d {
+		st.work -= d
+	} else {
+		st.work = 0
+	}
+	st.t = t
+}
+
+// advancePS replays arrivals and completions: n admitted jobs each
+// progress at rate 1/n; an arrival over the multiprogramming bound is
+// dropped.
+func (rp *replica) advancePS(st *state, t float64, frontier int64) {
+	for {
+		nc := math.Inf(1)
+		if n := len(st.jobs); n > 0 {
+			nc = st.t + (st.jobs[0]-st.off)*float64(n)
+		}
+		if nc <= st.nextAt && nc <= t {
+			st.off += (nc - st.t) / float64(len(st.jobs))
+			st.t = nc
+			st.dropDone()
+			continue
+		}
+		if st.nextAt <= t {
+			if n := len(st.jobs); n > 0 {
+				st.off += (st.nextAt - st.t) / float64(n)
+			}
+			st.t = st.nextAt
+			st.dropDone()
+			if rp.m.opts.QueueDepth <= 0 || len(st.jobs) < rp.m.opts.QueueDepth {
+				st.insertJob(st.nextDemand)
+			}
+			rp.consumeArrival(st, frontier)
+			continue
+		}
+		break
+	}
+	if n := len(st.jobs); n > 0 {
+		st.off += (t - st.t) / float64(n)
+	}
+	st.t = t
+	st.dropDone()
+}
+
+// consumeArrival books one background arrival as processed, draws the
+// next one, and checkpoints at the interval while st is past the
+// frontier.
+func (rp *replica) consumeArrival(st *state, frontier int64) {
+	st.events++
+	st.nextAt += st.r.exp() / rp.m.lambda
+	st.nextDemand = rp.m.drawBackgroundDemand(&st.r)
+	if st.events > frontier && st.events%ckptEvery == 0 {
+		cp := state{}
+		cp.copyFrom(st)
+		rp.cps = append(rp.cps, cp)
+	}
+}
+
+// taggedMaxArrivals caps the tagged replay's forward walk. In an
+// unbounded PS queue under sustained overload (arrival rate above the
+// service rate) sojourn times genuinely diverge — the sharing level
+// keeps growing, the tagged job's drain rate keeps shrinking — and the
+// replay would walk that divergence one background event at a time,
+// forever. Past the cap the job is declared complete at the clock
+// reached: a deterministic saturation (the walk is a pure function of
+// state) that reports "this wait is astronomical" without replaying
+// it. Stable queues and bounded queues complete in a handful of events
+// and never come near the cap.
+const taggedMaxArrivals = 1 << 16
+
+// tagged simulates a foreground job of demand svc arriving at t into
+// state st (which describes t) and returns its completion instant.
+// The tagged job shares the server like any other — it slows the
+// background jobs in this throwaway replay — but the replay never
+// escapes: st and the clone are scratch, so other queries are
+// unperturbed.
+func (rp *replica) tagged(st *state, t, svc float64) float64 {
+	if svc <= completionEps {
+		return t
+	}
+	cl := &rp.scratch2
+	cl.copyFrom(st)
+	rem := svc
+	var arrivals int
+	for {
+		n := len(cl.jobs) + 1
+		nc := math.Inf(1)
+		if len(cl.jobs) > 0 {
+			nc = cl.t + (cl.jobs[0]-cl.off)*float64(n)
+		}
+		tc := cl.t + rem*float64(n)
+		switch {
+		case nc <= tc && nc <= cl.nextAt:
+			dt := nc - cl.t
+			cl.off += dt / float64(n)
+			rem -= dt / float64(n)
+			cl.t = nc
+			cl.dropDone()
+		case tc <= cl.nextAt:
+			return tc
+		default:
+			dt := cl.nextAt - cl.t
+			cl.off += dt / float64(n)
+			rem -= dt / float64(n)
+			cl.t = cl.nextAt
+			cl.dropDone()
+			// The tagged job holds a slot: background admission sees it.
+			if rp.m.opts.QueueDepth <= 0 || len(cl.jobs)+1 < rp.m.opts.QueueDepth {
+				cl.insertJob(cl.nextDemand)
+			}
+			cl.events++
+			cl.nextAt += cl.r.exp() / rp.m.lambda
+			cl.nextDemand = rp.m.drawBackgroundDemand(&cl.r)
+			if arrivals++; arrivals >= taggedMaxArrivals {
+				return cl.t // saturated: sojourn is diverging (see taggedMaxArrivals)
+			}
+		}
+		if rem <= completionEps {
+			return cl.t
+		}
+	}
+}

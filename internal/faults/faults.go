@@ -319,6 +319,27 @@ type Plan struct {
 	// even when the network drops you").
 	FailedWait   time.Duration
 	FailedActive time.Duration
+	// BackendWait is the modeled backend time — queue wait plus service —
+	// burned by failed attempts' exchanges (an engine error still queued
+	// and got served before it answered 5xx). It advances the ladder
+	// clock alongside FailedWait but is tracked separately: it is server
+	// time, not radio time. Zero without a Pricer.
+	BackendWait time.Duration
+	// FinalQueueWait and FinalService are the successful exchange's
+	// priced admission: the queue delay before its service began and the
+	// service time it consumed. The fleet charges them on top of the
+	// normal exchange cost, the way it charges hedge wait. Zero without
+	// a Pricer.
+	FinalQueueWait time.Duration
+	FinalService   time.Duration
+	// Rejects counts dispatches the replica's bounded queue turned away —
+	// failures that cost a radio attempt but no backend time.
+	Rejects int
+	// Arrivals is the priced-dispatch ledger: one entry per attempt that
+	// reached the replica, in attempt order, for the fleet to book into
+	// the backend's accounting after the plan replays. Nil without a
+	// Pricer (the legacy path allocates nothing).
+	Arrivals []Arrival
 	// Backoffs are the pauses taken between attempts, in order, so the
 	// fleet can replay the exact failure sequence against the device
 	// model (failed attempt i is followed by Backoffs[i-1] when present).
@@ -333,10 +354,25 @@ func (pl Plan) Failures() int {
 	return pl.Attempts
 }
 
-// PlanMiss simulates the whole retry ladder of one cloud miss: at each
-// attempt the radio may be inside an outage window (evaluated against
-// the user's advancing model clock), the attempt may be lost, or the
-// engine may answer a transient error; each failure costs the radio's
+// LadderWait is the model time the ladder burned before its final
+// exchange: failed waits, backoffs, and the backend time of failed
+// exchanges. Without a Pricer it equals FailedWait.
+func (pl Plan) LadderWait() time.Duration { return pl.FailedWait + pl.BackendWait }
+
+// FinalBackend is the backend time of the successful exchange: queue
+// wait plus service. Zero without a Pricer or on an exhausted ladder.
+func (pl Plan) FinalBackend() time.Duration { return pl.FinalQueueWait + pl.FinalService }
+
+// PlanMiss simulates the whole retry ladder of one cloud miss as an
+// admission planner: at each attempt the radio may be inside an outage
+// window (evaluated against the user's advancing model clock) or the
+// attempt may be lost — either way it never reaches a replica. An
+// attempt that does reach replica is priced against the backend model:
+// the replica's bounded queue may reject it outright (a failed attempt
+// that costs the radio but no server time), or admit it with a queue
+// wait and service time — after which the engine may still answer a
+// transient error, in which case the exchange's backend time is burned
+// on the ladder clock (BackendWait). Each failure costs the radio's
 // session overhead (wake-up when cold, plus the handshake) and is
 // followed by the policy's backoff, which can itself carry the clock
 // out of an outage window — retrying *escapes* dead zones, which is
@@ -344,9 +380,12 @@ func (pl Plan) Failures() int {
 // cap, or when the model-time deadline passes.
 //
 // now is the user's model clock and warm the user link's state at the
-// start; uid, qh and seq key the pure fault hashes. A nil injector
-// plans a clean single-attempt success.
-func PlanMiss(in *Injector, pol RetryPolicy, p radio.Params, now time.Duration, warm bool, uid, qh, seq uint64) Plan {
+// start; uid, qh and seq key the pure fault hashes; replica indexes
+// the backend replica this ladder dispatches to. A nil injector plans
+// a clean single-attempt success and skips pricing (the fleet gates
+// backends on the fault model); a nil pricer admits everything at zero
+// cost, reproducing the legacy planner byte-for-byte.
+func PlanMiss(in *Injector, pol RetryPolicy, p radio.Params, pr Pricer, replica int, now time.Duration, warm bool, uid, qh, seq uint64) Plan {
 	pl := Plan{FinalWarm: warm}
 	if in == nil {
 		pl.Attempts, pl.Success = 1, true
@@ -356,14 +395,45 @@ func PlanMiss(in *Injector, pol RetryPolicy, p radio.Params, now time.Duration, 
 	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
 		pl.Attempts = attempt
 		lost := in.RadioDown(now) || in.LostAttempt(uid, qh, seq, attempt)
-		if !lost && !in.EngineError(uid, qh, seq, attempt) {
-			pl.Success, pl.FinalWarm = true, warm
-			return pl
+		var backendTime time.Duration
+		if !lost {
+			var adm Admission
+			if pr != nil {
+				adm = pr.Price(replica, now, uid, qh, seq, attempt)
+			}
+			switch {
+			case adm.Rejected:
+				pl.Rejects++
+				pl.Arrivals = append(pl.Arrivals, Arrival{
+					Replica: replica, Attempt: attempt, At: now, Status: ArrivalRejected,
+				})
+			case !in.EngineError(uid, qh, seq, attempt):
+				pl.Success, pl.FinalWarm = true, warm
+				pl.FinalQueueWait, pl.FinalService = adm.Wait, adm.Service
+				if pr != nil {
+					pl.Arrivals = append(pl.Arrivals, Arrival{
+						Replica: replica, Attempt: attempt, At: now,
+						Wait: adm.Wait, Service: adm.Service, Status: ArrivalServed,
+					})
+				}
+				return pl
+			default:
+				// Engine error: the replica queued and served the exchange
+				// before answering 5xx — the backend time is spent.
+				backendTime = adm.Wait + adm.Service
+				pl.BackendWait += backendTime
+				if pr != nil {
+					pl.Arrivals = append(pl.Arrivals, Arrival{
+						Replica: replica, Attempt: attempt, At: now,
+						Wait: adm.Wait, Service: adm.Service, Status: ArrivalServed,
+					})
+				}
+			}
 		}
 		cost := radio.FailedAttemptCost(p, warm)
 		pl.FailedWait += cost
 		pl.FailedActive += cost
-		now += cost
+		now += cost + backendTime
 		warm = true // the failed attempt left the radio promoted
 		if attempt == pol.MaxAttempts {
 			break

@@ -180,7 +180,7 @@ func TestWallPause(t *testing.T) {
 }
 
 func TestPlanMissNilInjector(t *testing.T) {
-	pl := PlanMiss(nil, RetryPolicy{}.WithDefaults(), radio.ThreeG(), 0, true, 1, 2, 3)
+	pl := PlanMiss(nil, RetryPolicy{}.WithDefaults(), radio.ThreeG(), nil, 0, 0, true, 1, 2, 3)
 	if pl.Attempts != 1 || !pl.Success || !pl.FinalWarm || pl.FailedWait != 0 || len(pl.Backoffs) != 0 {
 		t.Errorf("nil injector should plan a clean warm success, got %+v", pl)
 	}
@@ -194,7 +194,7 @@ func TestPlanMissPermanentOutage(t *testing.T) {
 	in := New(Options{Enabled: true, Windows: []Window{{Start: 0, End: time.Hour}}})
 	p := radio.ThreeG()
 	pol := RetryPolicy{MaxAttempts: 3, Deadline: -1}.WithDefaults()
-	pl := PlanMiss(in, pol, p, 0, false, 1, 2, 1)
+	pl := PlanMiss(in, pol, p, nil, 0, 0, false, 1, 2, 1)
 	if pl.Success {
 		t.Fatal("permanent outage should exhaust the ladder")
 	}
@@ -234,7 +234,7 @@ func TestPlanMissEscapesOutage(t *testing.T) {
 	// the backoff carries the clock beyond it.
 	in := New(Options{Enabled: true, Windows: []Window{{Start: 0, End: time.Millisecond}}})
 	pol := RetryPolicy{MaxAttempts: 4}.WithDefaults()
-	pl := PlanMiss(in, pol, p, 0, false, 1, 2, 1)
+	pl := PlanMiss(in, pol, p, nil, 0, 0, false, 1, 2, 1)
 	if !pl.Success || pl.Attempts != 2 {
 		t.Fatalf("plan = %+v, want success on attempt 2", pl)
 	}
@@ -254,13 +254,13 @@ func TestPlanMissDeadline(t *testing.T) {
 	// One failed attempt (~3.9s for cold 3G) blows a 1s deadline: the
 	// ladder must stop at 1 attempt with no backoff taken.
 	pol := RetryPolicy{MaxAttempts: 10, Deadline: time.Second}.WithDefaults()
-	pl := PlanMiss(in, pol, p, 0, false, 1, 2, 1)
+	pl := PlanMiss(in, pol, p, nil, 0, 0, false, 1, 2, 1)
 	if pl.Success || pl.Attempts != 1 || len(pl.Backoffs) != 0 {
 		t.Errorf("plan = %+v, want 1 exhausted attempt with no backoff", pl)
 	}
 	// Negative deadline means no deadline: the full cap is used.
 	pol = RetryPolicy{MaxAttempts: 10, Deadline: -1}.WithDefaults()
-	pl = PlanMiss(in, pol, p, 0, false, 1, 2, 1)
+	pl = PlanMiss(in, pol, p, nil, 0, 0, false, 1, 2, 1)
 	if pl.Attempts != 10 {
 		t.Errorf("no-deadline plan took %d attempts, want 10", pl.Attempts)
 	}
@@ -276,8 +276,8 @@ func TestPlanMissDeterministic(t *testing.T) {
 	pol := RetryPolicy{}.WithDefaults()
 	p := radio.ThreeG()
 	for seq := uint64(1); seq < 50; seq++ {
-		a := PlanMiss(in, pol, p, time.Duration(seq)*time.Second, seq%2 == 0, 7, 1234, seq)
-		b := PlanMiss(in, pol, p, time.Duration(seq)*time.Second, seq%2 == 0, 7, 1234, seq)
+		a := PlanMiss(in, pol, p, nil, 0, time.Duration(seq)*time.Second, seq%2 == 0, 7, 1234, seq)
+		b := PlanMiss(in, pol, p, nil, 0, time.Duration(seq)*time.Second, seq%2 == 0, 7, 1234, seq)
 		if a.Attempts != b.Attempts || a.Success != b.Success || a.FinalWarm != b.FinalWarm ||
 			a.FailedWait != b.FailedWait || a.FailedActive != b.FailedActive || len(a.Backoffs) != len(b.Backoffs) {
 			t.Fatalf("seq %d: plans differ: %+v vs %+v", seq, a, b)

@@ -196,7 +196,7 @@ func cloneQueryHash(qh uint64, slot int) uint64 {
 // primary's concurrent attempts do not keep the modeled link warm for
 // clones — their cost is charged analytically, off the link — which
 // keeps the plan in exact agreement with the fleet's device replay.
-func PlanHedged(injs []*Injector, pol RetryPolicy, hp HedgePolicy, p radio.Params, now time.Duration, tailLeft time.Duration, uid, qh, seq uint64) HedgedPlan {
+func PlanHedged(injs []*Injector, pol RetryPolicy, hp HedgePolicy, p radio.Params, pr Pricer, now time.Duration, tailLeft time.Duration, uid, qh, seq uint64) HedgedPlan {
 	hp = hp.WithDefaults()
 	n := len(injs)
 	if n == 0 {
@@ -206,7 +206,7 @@ func PlanHedged(injs []*Injector, pol RetryPolicy, hp HedgePolicy, p radio.Param
 	if !hp.Active() {
 		// Degenerate single dispatch; the fleet never takes this path
 		// (it runs the legacy ladder instead), but keep it well-defined.
-		pl := PlanMiss(injs[0], pol, p, now, tailLeft > 0, uid, qh, seq)
+		pl := PlanMiss(injs[0], pol, p, pr, 0, now, tailLeft > 0, uid, qh, seq)
 		w := 0
 		if !pl.Success {
 			w = -1
@@ -217,7 +217,7 @@ func PlanHedged(injs []*Injector, pol RetryPolicy, hp HedgePolicy, p radio.Param
 	handshake := time.Duration(p.HandshakeRTTs) * p.RTT
 	hplan := HedgedPlan{Winner: -1}
 	answerAt := time.Duration(-1) // earliest instant an answer is in hand; -1 = none yet
-	winSuccessAt := time.Duration(0)
+	winAnswerAt := time.Duration(0)
 	for slot := 0; slot < hp.CloneFactor; slot++ {
 		at := time.Duration(slot) * hp.Delay
 		if slot > 0 {
@@ -226,7 +226,11 @@ func PlanHedged(injs []*Injector, pol RetryPolicy, hp HedgePolicy, p radio.Param
 			}
 			inflight := 0
 			for _, l := range hplan.Launches {
-				if l.At+l.Plan.FailedWait > at || (l.Plan.Success && l.At+l.Plan.FailedWait == at) {
+				end := l.At + l.Plan.LadderWait()
+				if l.Plan.Success {
+					end += l.Plan.FinalBackend()
+				}
+				if end > at || (l.Plan.Success && end == at) {
 					inflight++
 				}
 			}
@@ -236,25 +240,27 @@ func PlanHedged(injs []*Injector, pol RetryPolicy, hp HedgePolicy, p radio.Param
 		}
 		rep := (start + slot) % n
 		warm := at < tailLeft
-		pl := PlanMiss(injs[rep], pol, p, now+at, warm, uid, cloneQueryHash(qh, slot), seq)
+		pl := PlanMiss(injs[rep], pol, p, pr, rep, now+at, warm, uid, cloneQueryHash(qh, slot), seq)
 		hplan.Launches = append(hplan.Launches, HedgeLaunch{Replica: rep, At: at, Plan: pl, Warm: warm})
 		if pl.Success {
-			successAt := at + pl.FailedWait
-			if answerAt < 0 || successAt+handshake < answerAt {
-				answerAt = successAt + handshake
+			handAt := at + pl.LadderWait() + pl.FinalBackend() + handshake
+			if answerAt < 0 || handAt < answerAt {
+				answerAt = handAt
 			}
 		}
 	}
 
-	// Pick the winner: earliest successful exchange start, ties to the
-	// earlier launch.
+	// Pick the winner: earliest answer in hand — ladder, queue and
+	// service time included, so a fast replica beats a congested one
+	// even when the congested dispatch's exchange *started* first. Ties
+	// go to the earlier launch.
 	for i, l := range hplan.Launches {
 		if !l.Plan.Success {
 			continue
 		}
-		successAt := l.At + l.Plan.FailedWait
-		if hplan.Winner < 0 || successAt < winSuccessAt {
-			hplan.Winner, winSuccessAt = i, successAt
+		handAt := l.At + l.Plan.LadderWait() + l.Plan.FinalBackend() + handshake
+		if hplan.Winner < 0 || handAt < winAnswerAt {
+			hplan.Winner, winAnswerAt = i, handAt
 		}
 	}
 
@@ -265,7 +271,7 @@ func PlanHedged(injs []*Injector, pol RetryPolicy, hp HedgePolicy, p radio.Param
 		exhaustAt := time.Duration(0)
 		for i := range hplan.Launches {
 			l := &hplan.Launches[i]
-			if end := l.At + l.Plan.FailedWait; end > exhaustAt {
+			if end := l.At + l.Plan.LadderWait(); end > exhaustAt {
 				exhaustAt = end
 			}
 			if i == 0 {
@@ -276,14 +282,14 @@ func PlanHedged(injs []*Injector, pol RetryPolicy, hp HedgePolicy, p radio.Param
 			hplan.WastedAttempts += l.Wasted
 			hplan.WastedActive += l.WastedActive
 		}
-		if extra := exhaustAt - hplan.Launches[0].Plan.FailedWait; extra > 0 {
+		if extra := exhaustAt - hplan.Launches[0].Plan.LadderWait(); extra > 0 {
 			hplan.Wait = extra
 		}
 		return hplan
 	}
 
 	hplan.Wait = hplan.Launches[hplan.Winner].At
-	cancelAt := winSuccessAt + handshake
+	cancelAt := winAnswerAt
 	for i := range hplan.Launches {
 		if i == hplan.Winner {
 			continue
@@ -306,18 +312,36 @@ func PlanHedged(injs []*Injector, pol RetryPolicy, hp HedgePolicy, p radio.Param
 // or not anyone waits for the outcome). A successful loser whose final
 // exchange had started by cancelAt is marked abandoned — its request
 // went up, its response will be discarded.
+//
+// The plan's arrival ledger is truncated in step: dispatches of
+// attempts that never started are dropped (they never arrived), and
+// the abandoned final exchange is reclassified ArrivalAbandoned with
+// the service time not yet executed at cancelAt recorded as
+// Reclaimable — what a cancel-on-win backend gets back. Failed
+// exchanges that started keep their full burn: the replica served the
+// error whether or not anyone was listening.
 func truncateLadder(l *HedgeLaunch, p radio.Params, cancelAt time.Duration) (wasted int, active time.Duration, abandoned bool) {
 	t := l.At
 	warm := l.Warm
 	failures := l.Plan.Failures()
+	arr := l.Plan.Arrivals
+	ai := 0 // arrivals of attempts that actually started
 	for i := 0; i < failures; i++ {
 		if t >= cancelAt {
+			l.Plan.Arrivals = arr[:ai]
 			return wasted, active, false
 		}
+		attempt := i + 1
 		cost := radio.FailedAttemptCost(p, warm)
 		wasted++
 		active += cost
 		t += cost
+		if ai < len(arr) && arr[ai].Attempt == attempt {
+			if arr[ai].Status != ArrivalRejected {
+				t += arr[ai].Wait + arr[ai].Service
+			}
+			ai++
+		}
 		warm = true
 		if i < len(l.Plan.Backoffs) {
 			b := l.Plan.Backoffs[i]
@@ -326,7 +350,24 @@ func truncateLadder(l *HedgeLaunch, p radio.Params, cancelAt time.Duration) (was
 		}
 	}
 	if l.Plan.Success && t < cancelAt {
+		if ai < len(arr) {
+			// The final exchange's dispatch: abandoned mid-flight.
+			fin := &arr[ai]
+			svcStart := t + fin.Wait
+			executed := cancelAt - svcStart
+			if executed < 0 {
+				executed = 0
+			}
+			if executed > fin.Service {
+				executed = fin.Service
+			}
+			fin.Status = ArrivalAbandoned
+			fin.Reclaimable = fin.Service - executed
+			ai++
+		}
+		l.Plan.Arrivals = arr[:ai]
 		return wasted, active, true
 	}
+	l.Plan.Arrivals = arr[:ai]
 	return wasted, active, false
 }

@@ -104,8 +104,8 @@ func TestPlanHedgedDeterministic(t *testing.T) {
 	hp := HedgePolicy{CloneFactor: 3, Delay: 50 * time.Millisecond}
 	p := radio.ThreeG()
 	for seq := uint64(0); seq < 200; seq++ {
-		a := PlanHedged(injs, pol, hp, p, time.Duration(seq)*time.Second, 0, 42, seq*13, seq)
-		b := PlanHedged(injs, pol, hp, p, time.Duration(seq)*time.Second, 0, 42, seq*13, seq)
+		a := PlanHedged(injs, pol, hp, p, nil, time.Duration(seq)*time.Second, 0, 42, seq*13, seq)
+		b := PlanHedged(injs, pol, hp, p, nil, time.Duration(seq)*time.Second, 0, 42, seq*13, seq)
 		if !reflect.DeepEqual(a, b) {
 			t.Fatalf("seq %d: plans differ:\n%+v\n%+v", seq, a, b)
 		}
@@ -122,7 +122,7 @@ func TestPlanHedgedQuietBackends(t *testing.T) {
 	pol := RetryPolicy{}.WithDefaults()
 	p := radio.ThreeG()
 	hp := HedgePolicy{CloneFactor: 2, Delay: 10 * time.Second}
-	hplan := PlanHedged(injs, pol, hp, p, 0, 0, 1, 2, 3)
+	hplan := PlanHedged(injs, pol, hp, p, nil, 0, 0, 1, 2, 3)
 	if len(hplan.Launches) != 1 {
 		t.Fatalf("quiet backends launched %d dispatches, want 1", len(hplan.Launches))
 	}
@@ -130,7 +130,7 @@ func TestPlanHedgedQuietBackends(t *testing.T) {
 		t.Errorf("quiet hedge accrued winner=%d wait=%v waste=%d abandoned=%d",
 			hplan.Winner, hplan.Wait, hplan.WastedAttempts, hplan.Abandoned)
 	}
-	want := PlanMiss(injs[hplan.Launches[0].Replica], pol, p, 0, false, 1, 2, 3)
+	want := PlanMiss(injs[hplan.Launches[0].Replica], pol, p, nil, 0, 0, false, 1, 2, 3)
 	if got := hplan.Delivered(); !reflect.DeepEqual(got, want) {
 		t.Errorf("delivered ladder diverged from the single-backend plan:\n%+v\n%+v", got, want)
 	}
@@ -153,7 +153,7 @@ func TestPlanHedgedCloneWins(t *testing.T) {
 			continue
 		}
 		found = true
-		hplan := PlanHedged([]*Injector{dead, healthy}, pol, hp, p, 0, 0, 9, 7, seq)
+		hplan := PlanHedged([]*Injector{dead, healthy}, pol, hp, p, nil, 0, 0, 9, 7, seq)
 		if len(hplan.Launches) != 2 {
 			t.Fatalf("seq %d: want 2 launches, got %d", seq, len(hplan.Launches))
 		}
@@ -181,7 +181,7 @@ func TestPlanHedgedAllFail(t *testing.T) {
 	pol := RetryPolicy{}.WithDefaults()
 	p := radio.ThreeG()
 	hp := HedgePolicy{CloneFactor: 2, Delay: 100 * time.Millisecond}
-	hplan := PlanHedged(injs, pol, hp, p, 0, 0, 1, 2, 3)
+	hplan := PlanHedged(injs, pol, hp, p, nil, 0, 0, 1, 2, 3)
 	if hplan.Winner != -1 {
 		t.Fatalf("winner %d, want -1 with every replica down", hplan.Winner)
 	}
@@ -209,7 +209,7 @@ func TestPlanHedgedMaxInflight(t *testing.T) {
 	pol := RetryPolicy{}.WithDefaults()
 	p := radio.ThreeG()
 	hp := HedgePolicy{CloneFactor: 3, Delay: time.Millisecond, MaxInflight: 1}
-	hplan := PlanHedged(injs, pol, hp, p, 0, 0, 1, 2, 3)
+	hplan := PlanHedged(injs, pol, hp, p, nil, 0, 0, 1, 2, 3)
 	// The primary's failing ladder keeps the single inflight slot busy
 	// past every clone's launch point, so no clone may launch.
 	if len(hplan.Launches) != 1 {

@@ -150,15 +150,16 @@ type missCtx struct {
 func (sh *shard) planCtxLocked(st *userState, uid searchlog.UserID, qh, ch uint64) missCtx {
 	st.missSeq++
 	mc := missCtx{qh: qh, ch: ch}
+	pr := sh.cohorts.pricer
 	if st.rt.hedged() {
 		mc.hedged = true
-		mc.hplan = faults.PlanHedged(st.rt.injs, st.rt.retry, st.rt.hedge, st.rt.link,
+		mc.hplan = faults.PlanHedged(st.rt.injs, st.rt.retry, st.rt.hedge, st.rt.link, pr,
 			st.clock.Now(), st.cache.Device().Link().TailRemaining(), uint64(uid), qh, st.missSeq)
 		mc.plan = mc.hplan.Delivered()
 		return mc
 	}
 	warm := st.cache.Device().Link().State() != radio.Idle
-	mc.plan = faults.PlanMiss(st.rt.inj, st.rt.retry, st.rt.link, st.clock.Now(), warm, uint64(uid), qh, st.missSeq)
+	mc.plan = faults.PlanMiss(st.rt.inj, st.rt.retry, st.rt.link, pr, 0, st.clock.Now(), warm, uint64(uid), qh, st.missSeq)
 	return mc
 }
 
@@ -169,6 +170,14 @@ func (mc missCtx) hedgeWait() time.Duration {
 		return 0
 	}
 	return mc.hplan.Wait
+}
+
+// backendWait is the modeled backend time the delivered ladder spent at
+// its replica: failed exchanges' queue-and-service time plus the
+// successful exchange's own admission. Zero without a backend model, so
+// every charge site below is byte-neutral when the model is off.
+func (mc missCtx) backendWait() time.Duration {
+	return mc.plan.BackendWait + mc.plan.FinalBackend()
 }
 
 // hedgeWasteJ prices the hedge's losing dispatches in radio energy:
@@ -258,6 +267,13 @@ func (sh *shard) completeFaultedMiss(req Request, mc missCtx) Response {
 		if w := mc.hedgeWait(); w > 0 {
 			dev.Busy(w, "hedge")
 		}
+		// The backend's queue wait and service time are user-visible
+		// wait, charged like hedge wait: local device time, no extra
+		// radio energy (the link idles down naturally while the server
+		// grinds).
+		if w := mc.backendWait(); w > 0 {
+			dev.Busy(w, "backend")
+		}
 	}
 	cold := replayFailedAttempts(dev, mc.plan)
 	if !mc.plan.Success {
@@ -266,7 +282,7 @@ func (sh *shard) completeFaultedMiss(req Request, mc missCtx) Response {
 	resp := Response{Req: req, Source: SourceCloud, Attempts: mc.plan.Attempts}
 	before := st.cache.DB().LogicalBytes()
 	resp.Outcome, resp.Err = st.cache.Query(req.Query, req.Click)
-	resp.Outcome.Network += mc.plan.FailedWait + mc.hedgeWait()
+	resp.Outcome.Network += mc.plan.FailedWait + mc.hedgeWait() + mc.backendWait()
 	sh.recordExpansion(st, req.User, mc.qh, mc.ch, before)
 	st.served++
 	if resp.Outcome.Hit {
@@ -302,8 +318,13 @@ func (sh *shard) degradeLocked(st *userState, req Request, mc missCtx, cold int)
 	if w := mc.hedgeWait(); w > 0 {
 		dev.Busy(w, "hedge")
 	}
+	// An exhausted ladder may still have burned backend time on engine
+	// errors before giving up — the user waited that out too.
+	if w := mc.backendWait(); w > 0 {
+		dev.Busy(w, "backend")
+	}
 	out := pocketsearch.Outcome{
-		Network: mc.plan.FailedWait + mc.hedgeWait(),
+		Network: mc.plan.FailedWait + mc.hedgeWait() + mc.backendWait(),
 		Radio:   radio.Transfer{RadioActive: mc.plan.FailedActive, Failed: true},
 	}
 	graft := func(stale pocketsearch.Outcome) {
@@ -357,6 +378,9 @@ func (sh *shard) applyFaultedBatched(req Request, eresp engine.SearchResponse, f
 		if w := mc.hedgeWait(); w > 0 {
 			dev.Busy(w, "hedge")
 		}
+		if w := mc.backendWait(); w > 0 {
+			dev.Busy(w, "backend")
+		}
 	}
 	cold := replayFailedAttempts(dev, mc.plan)
 	if !mc.plan.Success {
@@ -365,7 +389,7 @@ func (sh *shard) applyFaultedBatched(req Request, eresp engine.SearchResponse, f
 	resp := Response{Req: req, Source: SourceCloud, BatchSize: bt.Size(), Attempts: mc.plan.Attempts}
 	before := st.cache.DB().LogicalBytes()
 	resp.Outcome = st.cache.ApplyBatchedMiss(req.Query, req.Click, eresp, found, bt.ItemLatency(slot), bt.ItemShare(slot))
-	resp.Outcome.Network += mc.plan.FailedWait + mc.hedgeWait()
+	resp.Outcome.Network += mc.plan.FailedWait + mc.hedgeWait() + mc.backendWait()
 	sh.recordExpansion(st, req.User, mc.qh, mc.ch, before)
 	st.served++
 	st.clock.Observe()
@@ -422,11 +446,21 @@ func (sh *shard) recordBreakers(mc missCtx) {
 }
 
 // recordMissPlan books a planned miss's retry/hedge telemetry into the
-// fleet counters (shared by the batched and unbatched paths).
+// fleet counters, and its priced-dispatch ledgers into the backend's
+// per-replica accounting (shared by the batched and unbatched paths).
 func (f *Fleet) recordMissPlan(mc missCtx) {
 	f.retries.Add(int64(mc.plan.Attempts - 1))
 	if !mc.plan.Success {
 		f.exhausted.Add(1)
+	}
+	if bk := f.cohorts.bk; bk != nil {
+		if mc.hedged {
+			for i := range mc.hplan.Launches {
+				bk.Record(mc.hplan.Launches[i].Plan.Arrivals)
+			}
+		} else {
+			bk.Record(mc.plan.Arrivals)
+		}
 	}
 	if !mc.hedged {
 		return

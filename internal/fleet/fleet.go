@@ -63,6 +63,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pocketcloudlets/internal/backend"
 	"pocketcloudlets/internal/cachegen"
 	"pocketcloudlets/internal/cloudletos"
 	"pocketcloudlets/internal/engine"
@@ -273,6 +274,17 @@ type Config struct {
 	// single-backend model. Zero or one keeps the legacy single
 	// backend. Only meaningful with fault injection on.
 	Replicas int
+	// Backend configures the modeled cloud backend servers
+	// (internal/backend): per-replica queues with finite service
+	// capacity, so a miss's exchange pays a queue wait and service time
+	// — and may be rejected by a bounded queue — instead of answering
+	// instantly. Replicas and CloneFactor are derived from the fleet's
+	// own Replicas and Hedge configuration; the remaining fields are the
+	// caller's. Requires fault injection (the admission planner lives on
+	// the faulted miss path). The zero value — or an infinite
+	// ServiceRate — keeps every outcome byte-identical to an unqueued
+	// fleet.
+	Backend backend.Options
 	// Hedge is the fleet-wide hedging policy for cloud misses: with
 	// CloneFactor >= 2 and Replicas >= 2, a miss is dispatched to up to
 	// CloneFactor replicas (staggered by Hedge.Delay) and the first
@@ -357,6 +369,13 @@ type cohortTable struct {
 	// live — the one flag every fault branch checks so the layer stays
 	// provably zero-cost when nothing injects.
 	faulted bool
+	// bk is the shared queued-backend model (nil when disabled); pricer
+	// is bk as a faults.Pricer, kept as a separate field so a disabled
+	// backend passes a true nil interface to the planners (they gate
+	// ledger allocation on it). Shards built later by a resize share the
+	// same model through this table.
+	bk     *backend.Model
+	pricer faults.Pricer
 }
 
 // resolve returns the runtime for one user. Pure: same uid, same
@@ -439,6 +458,22 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Replicas < 1 {
 		c.Replicas = 1
+	}
+	if c.Backend.Enabled {
+		// The backend's replica count and clone-load scaling are the
+		// fleet's own, not caller knobs. Cohort hedge overrides count
+		// too: the background load models the heaviest cloning any
+		// cohort sends at the replicas.
+		c.Backend.Replicas = c.Replicas
+		c.Backend.CloneFactor = 1
+		if c.Hedge.Active() {
+			c.Backend.CloneFactor = c.Hedge.CloneFactor
+		}
+		for _, co := range c.Cohorts {
+			if co.Hedge != nil && co.Hedge.Active() && co.Hedge.CloneFactor > c.Backend.CloneFactor {
+				c.Backend.CloneFactor = co.Hedge.CloneFactor
+			}
+		}
 	}
 	c.Batch = c.Batch.withDefaults()
 	c.Retry = c.Retry.WithDefaults()
@@ -575,6 +610,15 @@ func New(cfg Config) (*Fleet, error) {
 	ct, err := buildCohortTable(cfg, f.inj)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Backend.Active() {
+		if !ct.faulted {
+			return nil, fmt.Errorf("fleet: backend model requires fault injection (the admission planner runs on the faulted miss path)")
+		}
+		ct.bk = backend.NewModel(cfg.Backend)
+		if ct.bk != nil {
+			ct.pricer = ct.bk
+		}
 	}
 	f.cohorts = ct
 	f.faulted = ct.faulted
@@ -1002,6 +1046,11 @@ type Stats struct {
 	Users int
 	// PersonalBytes is the personal flash footprint across all users.
 	PersonalBytes int64
+	// Backend is the per-replica queued-backend accounting (nil when the
+	// backend model is disabled): arrivals, served/rejected/abandoned
+	// splits, busy time, queue-wait distribution and the model horizon
+	// each replica has been driven to.
+	Backend []backend.ReplicaStats
 }
 
 // HitRate is the fraction of served requests answered from on-device
@@ -1053,6 +1102,7 @@ func (f *Fleet) Stats() Stats {
 		PrimaryWins:    f.primaryWins.Load(),
 		CloneWins:      f.cloneWins.Load(),
 		WastedAttempts: f.wastedAttempts.Load(),
+		Backend:        f.cohorts.bk.Stats(),
 	}
 	if f.cfg.Replicas > 1 {
 		s.ReplicaBreakerOpens = make([]int64, f.cfg.Replicas)

@@ -48,6 +48,7 @@ import (
 	"sync"
 	"time"
 
+	"pocketcloudlets/internal/backend"
 	"pocketcloudlets/internal/fleet"
 	"pocketcloudlets/internal/modeltime"
 	"pocketcloudlets/internal/replay"
@@ -372,6 +373,12 @@ type Report struct {
 	DroppedUsers           int64 `json:"dropped_users,omitempty"`
 	HeldRequests           int64 `json:"held_requests,omitempty"`
 
+	// Backend is the per-replica accounting of the modeled cloud servers
+	// (scenario fleet.backend / loadtest -backend-rate), as run deltas.
+	// Cross-footing (cmd/loadtest -check): arrivals = served + rejected
+	// + abandoned on every replica. Absent without the backend model.
+	Backend []BackendReport `json:"backend,omitempty"`
+
 	// Classes breaks the run down per SLO class when requests were
 	// tagged (scenario runs): latency histograms, per-tier counters and
 	// energy deltas per class, sorted by class name. Sourced from the
@@ -413,6 +420,45 @@ type ClassReport struct {
 	EnergyPerQueryJ     float64 `json:"energy_per_query_j"`
 	RadioEnergyJ        float64 `json:"radio_energy_j"`
 	RadioEnergyPerMissJ float64 `json:"radio_energy_per_miss_j"`
+}
+
+// BackendReport is one modeled cloud replica's row in Report.Backend.
+type BackendReport struct {
+	Replica   int   `json:"replica"`
+	Arrivals  int64 `json:"arrivals"`
+	Served    int64 `json:"served"`
+	Rejected  int64 `json:"rejected,omitempty"`
+	Abandoned int64 `json:"abandoned,omitempty"`
+	// Utilization is charged busy time over the model horizon (above 1
+	// the replica was offered more work than time passed); BusyNS the
+	// busy time itself, ReclaimedNS the service cancel-on-win returned.
+	Utilization float64 `json:"utilization"`
+	BusyNS      int64   `json:"busy_ns"`
+	ReclaimedNS int64   `json:"reclaimed_ns,omitempty"`
+	// MeanWaitNS and P99WaitNS summarize the queue waits non-rejected
+	// dispatches experienced.
+	MeanWaitNS int64 `json:"mean_wait_ns"`
+	P99WaitNS  int64 `json:"p99_wait_ns"`
+	// AbandonedWorkFraction is the share of busy time burned on
+	// dispatches nobody consumed — the clone-storm waste metric.
+	AbandonedWorkFraction float64 `json:"abandoned_work_fraction,omitempty"`
+}
+
+// backendReport folds one replica's stats delta into its report row.
+func backendReport(replica int, bs backend.ReplicaStats) BackendReport {
+	return BackendReport{
+		Replica:               replica,
+		Arrivals:              bs.Arrivals,
+		Served:                bs.Served,
+		Rejected:              bs.Rejected,
+		Abandoned:             bs.Abandoned,
+		Utilization:           bs.Utilization(),
+		BusyNS:                bs.BusyNs,
+		ReclaimedNS:           bs.ReclaimedNs,
+		MeanWaitNS:            int64(bs.MeanWait()),
+		P99WaitNS:             int64(bs.P99Wait()),
+		AbandonedWorkFraction: bs.AbandonedWorkFraction(),
+	}
 }
 
 // classReport folds one class's counters into its report row.
@@ -530,6 +576,19 @@ func (r Report) String() string {
 		}
 		fmt.Fprintf(&b, "\n")
 	}
+	for _, br := range r.Backend {
+		fmt.Fprintf(&b, "  backend replica %d: util %.2f  wait mean %s p99 %s  (%d arrivals: %d served, %d rejected, %d abandoned",
+			br.Replica, br.Utilization, time.Duration(br.MeanWaitNS).Round(10*time.Microsecond),
+			time.Duration(br.P99WaitNS).Round(10*time.Microsecond),
+			br.Arrivals, br.Served, br.Rejected, br.Abandoned)
+		if br.ReclaimedNS > 0 {
+			fmt.Fprintf(&b, ", reclaimed %v", time.Duration(br.ReclaimedNS).Round(time.Microsecond))
+		}
+		if br.AbandonedWorkFraction > 0 {
+			fmt.Fprintf(&b, ", %.1f%% work abandoned", 100*br.AbandonedWorkFraction)
+		}
+		fmt.Fprintf(&b, ")\n")
+	}
 	if r.MeanUserHitRate > 0 {
 		fmt.Fprintf(&b, "  mean per-user hit rate %.1f%%", 100*r.MeanUserHitRate)
 		if len(r.ClassHitRate) > 0 {
@@ -615,6 +674,15 @@ func fill(r *Report, f *fleet.Fleet, col *Collector, before fleet.Stats, beforeB
 				n -= before.ReplicaBreakerOpens[i]
 			}
 			r.ReplicaBreakerOpens[i] = n
+		}
+	}
+	if len(st.Backend) > 0 {
+		r.Backend = make([]BackendReport, len(st.Backend))
+		for i, bs := range st.Backend {
+			if i < len(before.Backend) {
+				bs = bs.Sub(before.Backend[i])
+			}
+			r.Backend[i] = backendReport(i, bs)
 		}
 	}
 	r.Requests = r.Served + r.Shed + r.Canceled

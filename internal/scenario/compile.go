@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"pocketcloudlets/internal/backend"
 	"pocketcloudlets/internal/faults"
 	"pocketcloudlets/internal/fleet"
 	"pocketcloudlets/internal/loadgen"
@@ -339,6 +340,25 @@ func (c *Compiled) FleetConfig(obs fleet.Observer) (fleet.Config, error) {
 		}
 		cfg.Faults = opts
 		cfg.Retry = faults.RetryPolicy{MaxAttempts: s.Faults.Retries}
+	}
+	if b := s.Fleet.Backend; b != nil {
+		// Validation already vetted the spellings; replicas and clone
+		// factor are derived by the fleet from its own configuration.
+		disc, _ := backend.ParseDiscipline(b.Discipline)
+		dist, _ := backend.ParseDist(b.Dist)
+		cfg.Backend = backend.Options{
+			Enabled:     true,
+			Seed:        b.Seed,
+			ServiceRate: float64(b.ServiceRate),
+			QueueDepth:  b.Queue,
+			Discipline:  disc,
+			Dist:        dist,
+			Offered:     b.Offered,
+			CancelOnWin: b.CancelOnWin,
+		}
+		if cfg.Backend.Seed == 0 {
+			cfg.Backend.Seed = s.Seed
+		}
 	}
 	return cfg, nil
 }

@@ -24,6 +24,12 @@ var presets = map[string]string{
 	// with faults, EDGE background) with different arrival processes —
 	// the per-SLO-class breakdown story.
 	"mixed-fleet": presetMixedFleet,
+	// clone-storm: a lossy fleet hedging every miss across three cloud
+	// replicas whose queues are modeled for real — the request-cloning
+	// congestion-knee story. The clones cut the tail while the replicas
+	// have headroom and feed the queues that create it once they don't;
+	// cancel_on_win is what keeps the storm survivable.
+	"clone-storm": presetCloneStorm,
 }
 
 const presetCommuter = `{
@@ -129,6 +135,31 @@ const presetMixedFleet = `{
       "slo_class": "background",
       "device": "edge",
       "arrival": {"process": "peruser", "rate_fraction": 0.2}
+    }
+  ]
+}
+`
+
+const presetCloneStorm = `{
+  "version": 1,
+  "name": "clone-storm",
+  "mode": "open",
+  "users": 1000,
+  "seed": 1,
+  "qps": 1500,
+  "duration": "3s",
+  "fleet": {
+    "replicas": 3,
+    "backend": {"service_rate": 40, "queue": 32, "discipline": "ps", "offered": 25, "cancel_on_win": true}
+  },
+  "faults": {"loss": 0.15, "engine_err": 0.05, "retries": 4},
+  "classes": [
+    {
+      "name": "stormers",
+      "share": 1,
+      "slo_class": "interactive",
+      "arrival": {"process": "flat"},
+      "hedge": {"clone_factor": 2, "delay": "30ms"}
     }
   ]
 }

@@ -34,6 +34,7 @@ package scenario
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"strings"
 	"time"
@@ -73,6 +74,34 @@ func (d *Duration) UnmarshalJSON(data []byte) error {
 		return fmt.Errorf("want a duration string like \"3s\"")
 	}
 	*d = Duration(time.Duration(secs * float64(time.Second)))
+	return nil
+}
+
+// Rate is a requests-per-second rate that marshals "inf" for an
+// infinite rate (JSON numbers cannot express infinity) and accepts
+// either a positive number or the string "inf".
+type Rate float64
+
+// MarshalJSON implements json.Marshaler.
+func (r Rate) MarshalJSON() ([]byte, error) {
+	if math.IsInf(float64(r), 1) {
+		return []byte(`"inf"`), nil
+	}
+	return []byte(fmt.Sprintf("%g", float64(r))), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (r *Rate) UnmarshalJSON(data []byte) error {
+	s := strings.TrimSpace(string(data))
+	if strings.Trim(s, `"`) == "inf" {
+		*r = Rate(math.Inf(1))
+		return nil
+	}
+	var v float64
+	if _, err := fmt.Sscanf(s, "%g", &v); err != nil {
+		return fmt.Errorf("want a rate number or \"inf\"")
+	}
+	*r = Rate(v)
 	return nil
 }
 
@@ -144,6 +173,42 @@ type FleetSpec struct {
 	// device overrides do not compose (the shared session is priced on
 	// the fleet radio), which Compile enforces.
 	Batch BatchSpec `json:"batch,omitempty"`
+	// Backend models the cloud replica servers as finite-capacity
+	// queues; nil keeps the pre-backend analytic miss path. The block
+	// requires a fault profile somewhere in the spec (the admission
+	// planner runs on the faulted miss path).
+	Backend *BackendSpec `json:"backend,omitempty"`
+}
+
+// BackendSpec models the cloud replica servers behind the miss path as
+// event-driven queues (internal/backend). Presence of the block
+// enables the model; replica count and clone-load scaling are derived
+// from the fleet's replicas and the heaviest hedge policy in the spec.
+type BackendSpec struct {
+	// ServiceRate is each replica's capacity in requests per second; the
+	// string "inf" models an infinitely fast server, which reproduces
+	// the no-backend fleet byte-for-byte. Required and positive.
+	ServiceRate Rate `json:"service_rate"`
+	// Queue bounds each replica's queue (0 = unbounded): FIFO caps the
+	// backlog at queue mean service times, PS caps the sharing level at
+	// queue concurrent requests. Over-bound dispatches are rejected and
+	// retried like any failed attempt.
+	Queue int `json:"queue,omitempty"`
+	// Discipline is "fifo" (default) or "ps".
+	Discipline string `json:"discipline,omitempty"`
+	// Dist is the service-time distribution: "exp" (default) or "fixed".
+	Dist string `json:"dist,omitempty"`
+	// Offered is the fleet-wide miss arrival rate (requests/second,
+	// before cloning) the replicas' background load simmers at; zero
+	// means dispatches pay service time but never queue behind others.
+	Offered float64 `json:"offered,omitempty"`
+	// CancelOnWin reclaims a hedge loser's unexecuted service when the
+	// winner's answer cancels it; off, abandoned clones burn their full
+	// service time.
+	CancelOnWin bool `json:"cancel_on_win,omitempty"`
+	// Seed drives the background arrivals and service draws; zero reuses
+	// the scenario seed.
+	Seed int64 `json:"seed,omitempty"`
 }
 
 // BatchSpec configures miss coalescing.

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"bytes"
+	"math"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -9,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"pocketcloudlets/internal/backend"
 	"pocketcloudlets/internal/cachegen"
 	"pocketcloudlets/internal/engine"
 	"pocketcloudlets/internal/fleet"
@@ -74,7 +76,7 @@ func rig(t testing.TB, comp *Compiled, g *workload.Generator, content cachegen.C
 
 func TestPresetsParseAndCompile(t *testing.T) {
 	names := PresetNames()
-	want := []string{"commuter", "flash-crowd", "mixed-fleet", "regional-outage"}
+	want := []string{"clone-storm", "commuter", "flash-crowd", "mixed-fleet", "regional-outage"}
 	if !reflect.DeepEqual(names, want) {
 		t.Fatalf("preset names = %v, want %v", names, want)
 	}
@@ -461,5 +463,84 @@ func TestLoadRejectsUnknown(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "presets:") {
 		t.Errorf("error should list the preset names, got: %v", err)
+	}
+}
+
+// TestBackendSpecLowering: the fleet.backend block reaches the fleet
+// config intact — spellings parsed, seed defaulted to the scenario
+// seed, "inf" understood — and a backend-bearing preset actually
+// builds a fleet whose stats expose per-replica accounting.
+func TestBackendSpecLowering(t *testing.T) {
+	spec, err := Parse([]byte(`{
+		"version": 1, "mode": "open", "users": 60, "qps": 50, "seed": 9,
+		"duration": "1s",
+		"faults": {"loss": 0.1},
+		"fleet": {"replicas": 2,
+			"backend": {"service_rate": 12.5, "queue": 8, "discipline": "ps",
+				"dist": "fixed", "offered": 6, "cancel_on_win": true}}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := Compile(spec, "inline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := comp.FleetConfig(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bo := cfg.Backend
+	if !bo.Enabled || bo.ServiceRate != 12.5 || bo.QueueDepth != 8 ||
+		bo.Discipline != backend.PS || bo.Dist != backend.DistFixed ||
+		bo.Offered != 6 || !bo.CancelOnWin {
+		t.Fatalf("backend options not lowered: %+v", bo)
+	}
+	if bo.Seed != 9 {
+		t.Fatalf("backend seed did not default to the scenario seed: %d", bo.Seed)
+	}
+
+	// "inf" is a first-class rate spelling.
+	spec2, err := Parse([]byte(`{
+		"version": 1, "mode": "closed", "users": 10,
+		"faults": {"loss": 0.1},
+		"fleet": {"backend": {"service_rate": "inf"}}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(float64(spec2.Fleet.Backend.ServiceRate), 1) {
+		t.Fatalf("inf rate parsed as %v", spec2.Fleet.Backend.ServiceRate)
+	}
+
+	// The clone-storm preset runs end to end and reports replica stats.
+	g := smallGen(t, 60, 9)
+	content := smallContent(t, g)
+	cs, _, err := Load("clone-storm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs.Users, cs.QPS, cs.Duration = 60, 40, Duration(300*time.Millisecond)
+	comp, err = Compile(cs, "clone-storm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, col := rig(t, comp, g, content)
+	if _, err := comp.Run(f, col, g); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if len(st.Backend) != 3 {
+		t.Fatalf("clone-storm fleet has %d replica stats, want 3", len(st.Backend))
+	}
+	var arrivals int64
+	for r, bs := range st.Backend {
+		if bs.Arrivals != bs.Served+bs.Rejected+bs.Abandoned {
+			t.Errorf("replica %d does not cross-foot: %+v", r, bs)
+		}
+		arrivals += bs.Arrivals
+	}
+	if arrivals == 0 {
+		t.Error("clone-storm run priced no backend arrivals")
 	}
 }

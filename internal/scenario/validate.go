@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 
+	"pocketcloudlets/internal/backend"
 	"pocketcloudlets/internal/faults"
 	"pocketcloudlets/internal/modeltime"
 )
@@ -144,10 +145,42 @@ func parseFleet(p *problems, path string, raw json.RawMessage, f *FleetSpec) {
 			decodeInto(p, kp, v, &f.Replicas)
 		case "batch":
 			parseBatch(p, kp, v, &f.Batch)
+		case "backend":
+			f.Backend = parseBackend(p, kp, v)
 		default:
 			p.addf("%s: unknown field", kp)
 		}
 	}
+}
+
+func parseBackend(p *problems, path string, raw json.RawMessage) *BackendSpec {
+	m, ok := decodeObject(p, path, raw)
+	if !ok {
+		return nil
+	}
+	b := &BackendSpec{}
+	for _, key := range sortedKeys(m) {
+		v, kp := m[key], path+"."+key
+		switch key {
+		case "service_rate":
+			decodeInto(p, kp, v, &b.ServiceRate)
+		case "queue":
+			decodeInto(p, kp, v, &b.Queue)
+		case "discipline":
+			decodeInto(p, kp, v, &b.Discipline)
+		case "dist":
+			decodeInto(p, kp, v, &b.Dist)
+		case "offered":
+			decodeInto(p, kp, v, &b.Offered)
+		case "cancel_on_win":
+			decodeInto(p, kp, v, &b.CancelOnWin)
+		case "seed":
+			decodeInto(p, kp, v, &b.Seed)
+		default:
+			p.addf("%s: unknown field", kp)
+		}
+	}
+	return b
 }
 
 func parseBatch(p *problems, path string, raw json.RawMessage, b *BatchSpec) {
@@ -360,6 +393,9 @@ func validateSpec(p *problems, s *Spec) {
 	if s.Faults != nil {
 		validateFaults(p, "faults", s.Faults)
 	}
+	if s.Fleet.Backend != nil && s.Faults == nil && !anyClassFaults(s) {
+		p.addf("fleet.backend: needs a fault profile (fleet-wide \"faults\" or a class override) — the admission planner runs on the faulted miss path")
+	}
 	validateClasses(p, s)
 }
 
@@ -395,6 +431,27 @@ func validateFleet(p *problems, f *FleetSpec) {
 	}
 	if !f.Batch.Enabled && (f.Batch.Max > 0 || f.Batch.Linger > 0 || f.Batch.FleetWide || f.Batch.Adaptive) {
 		p.addf("fleet.batch: knobs set but batch.enabled is false")
+	}
+	if f.Backend != nil {
+		validateBackend(p, f.Backend)
+	}
+}
+
+func validateBackend(p *problems, b *BackendSpec) {
+	if b.ServiceRate <= 0 {
+		p.addf("fleet.backend.service_rate: must be positive (or \"inf\"), got %g", float64(b.ServiceRate))
+	}
+	if b.Queue < 0 {
+		p.addf("fleet.backend.queue: must be non-negative, got %d", b.Queue)
+	}
+	if _, err := backend.ParseDiscipline(b.Discipline); err != nil {
+		p.addf("fleet.backend.discipline: want \"fifo\" or \"ps\", got %q", b.Discipline)
+	}
+	if _, err := backend.ParseDist(b.Dist); err != nil {
+		p.addf("fleet.backend.dist: want \"exp\" or \"fixed\", got %q", b.Dist)
+	}
+	if b.Offered < 0 || math.IsInf(b.Offered, 1) {
+		p.addf("fleet.backend.offered: must be a non-negative finite rate, got %g", b.Offered)
 	}
 }
 
@@ -494,6 +551,17 @@ func validateHedge(p *problems, path string, h *HedgeSpec, s *Spec) {
 	if h.CloneFactor >= 2 && s.Fleet.Replicas < 2 {
 		p.addf("%s: clone_factor %d needs fleet.replicas ≥ 2, got %d", path, h.CloneFactor, s.Fleet.Replicas)
 	}
+}
+
+// anyClassFaults reports whether any class carries its own fault
+// profile (an empty override still enables the injector for the class).
+func anyClassFaults(s *Spec) bool {
+	for _, c := range s.Classes {
+		if c.Faults != nil {
+			return true
+		}
+	}
+	return false
 }
 
 // effectiveRateFraction is the class's share of the scenario QPS: the

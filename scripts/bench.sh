@@ -22,10 +22,16 @@ echo "$raw"
 # byte-deterministic, rides along in the snapshot: its hedge counters
 # (clones launched, primary/clone wins, wasted attempts) are pure
 # model outputs, so a diff between two snapshots surfaces any drift
-# in the hedging policy the serving benchmarks would not see.
+# in the hedging policy the serving benchmarks would not see. The
+# queued backends are on (finite rate, bounded PS, cancel-on-win) and
+# the per-replica rows kept (-keep backend), so backend utilization
+# and queue-wait counters diff across commits too.
 hedged=$(go run ./cmd/loadtest -mode closed -users 64 -duration 0 -seed 3 \
     -faults -loss 0.2 -outage 6s/30s -retries 3 \
-    -replicas 3 -hedge 2 -json | go run ./cmd/reportnorm)
+    -replicas 3 -hedge 2 \
+    -backend-rate 30 -backend-queue 16 -backend-disc ps \
+    -backend-offered 20 -backend-cancel -json |
+    go run ./cmd/reportnorm -keep backend)
 
 {
     echo '{'

@@ -32,6 +32,13 @@ go test ./...
 echo "== go test -race -short ./... =="
 go test -race -short ./...
 
+echo "== fuzz seed-corpus regression: go test -run Fuzz ./... =="
+# Replays every fuzz target over its committed seed corpus (plus any
+# crashers committed to testdata/fuzz) without open-ended fuzz time, so
+# once a crasher is fixed it stays fixed. -fuzz is deliberately absent:
+# this is a regression gate, not a search.
+go test -run Fuzz ./...
+
 echo "== fault-injection smoke: loadtest -faults -check =="
 # A short closed-loop run under loss + a periodic outage with batching
 # and the adaptive linger window, with the report invariants verified
@@ -79,6 +86,34 @@ fi
 go run ./cmd/loadtest -mode closed -users 64 -duration 0 -seed 3 \
     -faults -loss 0.2 -outage 6s/30s -retries 3 \
     -replicas 3 -hedge 2 -check -json > "$hedged_out"
+
+echo "== backend byte-identity smoke: -backend-rate inf ≡ no backend =="
+# The queued-backend acceptance guarantee (DESIGN.md, "Queued
+# backends"): an infinitely fast backend prices every admission at
+# zero, so a faulted hedged run with -backend-rate inf must be
+# model-indistinguishable from the same run without the backend.
+# reportnorm strips the per-replica backend rows by default, which are
+# the only permitted report difference.
+hedge_smoke -replicas 3 -hedge 2 > "$hedge_tmp/nobackend.json"
+hedge_smoke -replicas 3 -hedge 2 -backend-rate inf > "$hedge_tmp/infrate.json"
+if ! diff -u "$hedge_tmp/nobackend.json" "$hedge_tmp/infrate.json"; then
+    echo "backend byte-identity smoke: -backend-rate inf diverged from the backend-free run" >&2
+    exit 1
+fi
+
+echo "== backend smoke: finite-rate queued replicas -check =="
+# A finite-rate bounded PS backend under hedged load, with the report
+# invariants verified by the binary itself (-check): per-replica
+# arrivals = served + rejected + abandoned, utilization and wait
+# accounting non-negative, abandoned-work fraction in [0, 1].
+backend_out=/dev/null
+if [ -n "${CHECK_ARTIFACT_DIR:-}" ]; then
+    backend_out="$CHECK_ARTIFACT_DIR/loadtest-backend.json"
+fi
+go run ./cmd/loadtest -mode closed -users 64 -duration 0 -seed 3 \
+    -faults -loss 0.2 -retries 3 -replicas 3 -hedge 2 \
+    -backend-rate 30 -backend-queue 16 -backend-disc ps \
+    -backend-offered 20 -backend-cancel -check -json > "$backend_out"
 
 echo "== scenario smoke: loadtest -scenario flash-crowd -check =="
 # The flash-crowd preset at a small population: two SLO classes (a flat
