@@ -28,6 +28,16 @@
 // baseline), and the report's resizes/migrated_*/held_requests fields
 // quantify the migration work.
 //
+// -autoscale hands the topology to the occupancy-driven controller
+// (open mode with -placement ring): per-shard occupancy is sampled
+// every -autoscale-interval of model time and the fleet is resized
+// within [-autoscale-min, -autoscale-max] with hysteresis
+// (-autoscale-high/-autoscale-low watermarks, -autoscale-up/-down
+// streaks, -autoscale-rate req/s per fully-occupied shard). The
+// report's energy ledger (fleet/device/shard joules and J per
+// answered query) and autoscale action log quantify the energy
+// proportionality the controller buys on a diurnal curve.
+//
 // Miss batching (-batch) coalesces concurrent cloud misses into shared
 // radio sessions — one wake-up, one handshake, one tail per batch —
 // capped at -batchmax misses after a -batchlinger collection window
@@ -111,6 +121,16 @@ type runFlags struct {
 	resizeAt      time.Duration
 	resizeDrop    bool
 
+	autoscale         bool
+	autoscaleInterval time.Duration
+	autoscaleMin      int
+	autoscaleMax      int
+	autoscaleHigh     float64
+	autoscaleLow      float64
+	autoscaleUp       int
+	autoscaleDown     int
+	autoscaleRate     float64
+
 	batch         bool
 	batchMax      int
 	batchLinger   time.Duration
@@ -172,6 +192,15 @@ func (rf *runFlags) register(fs *flag.FlagSet) {
 	fs.IntVar(&rf.resizeTo, "resize-to", 0, "live-reshard the fleet to this many shards during the run; 0 = no resize")
 	fs.DurationVar(&rf.resizeAt, "resize-at", time.Second, "when after the run starts to trigger the -resize-to resize")
 	fs.BoolVar(&rf.resizeDrop, "resize-drop", false, "discard movers' personal state on resize instead of migrating it (cold-start baseline)")
+	fs.BoolVar(&rf.autoscale, "autoscale", false, "drive shard count from per-shard occupancy sampled on a model-time cadence (open mode with -placement ring)")
+	fs.DurationVar(&rf.autoscaleInterval, "autoscale-interval", 0, "autoscaler model-time sampling cadence (with -autoscale); 0 = default 1s")
+	fs.IntVar(&rf.autoscaleMin, "autoscale-min", 0, "autoscaler shard floor (with -autoscale); 0 = default 1")
+	fs.IntVar(&rf.autoscaleMax, "autoscale-max", 0, "autoscaler shard ceiling (with -autoscale); 0 = default 4x the initial -shards")
+	fs.Float64Var(&rf.autoscaleHigh, "autoscale-high", 0, "occupancy watermark above which samples count toward scaling up (with -autoscale); 0 = default 0.75")
+	fs.Float64Var(&rf.autoscaleLow, "autoscale-low", 0, "occupancy watermark below which samples count toward scaling down (with -autoscale); 0 = default 0.35")
+	fs.IntVar(&rf.autoscaleUp, "autoscale-up", 0, "consecutive hot samples before a scale-up fires (with -autoscale); 0 = default 2")
+	fs.IntVar(&rf.autoscaleDown, "autoscale-down", 0, "consecutive cold samples before a scale-down fires (with -autoscale); 0 = default 3")
+	fs.Float64Var(&rf.autoscaleRate, "autoscale-rate", 0, "model-time serving rate (req/s) at which one shard counts as fully occupied (with -autoscale); 0 = default 50")
 	fs.BoolVar(&rf.batch, "batch", false, "coalesce concurrent cloud misses into batched radio sessions")
 	fs.IntVar(&rf.batchMax, "batchmax", 0, "max misses per batched radio session; 0 = default 16")
 	fs.DurationVar(&rf.batchLinger, "batchlinger", 0, "how long a dispatcher holds an open batch for more misses; 0 = default 200µs")
@@ -327,6 +356,60 @@ func (rf *runFlags) validate() []string {
 	}
 	if rf.resizeDrop && rf.resizeTo == 0 {
 		bad("-resize-drop requires -resize-to")
+	}
+
+	if !rf.autoscale {
+		for _, n := range []struct {
+			name string
+			set  bool
+		}{
+			{"autoscale-interval", rf.autoscaleInterval != 0},
+			{"autoscale-min", rf.autoscaleMin != 0},
+			{"autoscale-max", rf.autoscaleMax != 0},
+			{"autoscale-high", rf.autoscaleHigh != 0},
+			{"autoscale-low", rf.autoscaleLow != 0},
+			{"autoscale-up", rf.autoscaleUp != 0},
+			{"autoscale-down", rf.autoscaleDown != 0},
+			{"autoscale-rate", rf.autoscaleRate != 0},
+		} {
+			if n.set {
+				bad("-%s requires -autoscale", n.name)
+			}
+		}
+	} else {
+		if rf.mode != "open" {
+			bad("-autoscale only applies to open mode (the sampler rides the arrival schedule)")
+		}
+		if rf.placementName != "ring" {
+			bad("-autoscale requires -placement ring (resizes route through consistent hashing)")
+		}
+		if rf.resizeTo != 0 {
+			bad("-autoscale conflicts with -resize-to (the controller owns the topology)")
+		}
+		if rf.autoscaleInterval < 0 {
+			bad("-autoscale-interval must be non-negative, got %v", rf.autoscaleInterval)
+		}
+		if rf.autoscaleMin < 0 || rf.autoscaleMax < 0 {
+			bad("-autoscale-min/-autoscale-max must be non-negative, got %d/%d", rf.autoscaleMin, rf.autoscaleMax)
+		}
+		if rf.autoscaleMin > 0 && rf.autoscaleMax > 0 && rf.autoscaleMin > rf.autoscaleMax {
+			bad("-autoscale-min %d exceeds -autoscale-max %d", rf.autoscaleMin, rf.autoscaleMax)
+		}
+		if rf.autoscaleHigh < 0 || rf.autoscaleHigh > 1 {
+			bad("-autoscale-high must be in [0, 1], got %g", rf.autoscaleHigh)
+		}
+		if rf.autoscaleLow < 0 {
+			bad("-autoscale-low must be non-negative, got %g", rf.autoscaleLow)
+		}
+		if rf.autoscaleHigh > 0 && rf.autoscaleLow > 0 && rf.autoscaleLow >= rf.autoscaleHigh {
+			bad("-autoscale-low %g must be below -autoscale-high %g", rf.autoscaleLow, rf.autoscaleHigh)
+		}
+		if rf.autoscaleUp < 0 || rf.autoscaleDown < 0 {
+			bad("-autoscale-up/-autoscale-down must be non-negative, got %d/%d", rf.autoscaleUp, rf.autoscaleDown)
+		}
+		if rf.autoscaleRate < 0 {
+			bad("-autoscale-rate must be non-negative, got %g", rf.autoscaleRate)
+		}
 	}
 
 	if !rf.batch {
@@ -517,6 +600,18 @@ func (rf *runFlags) toSpec() *scenario.Spec {
 			},
 		},
 	}
+	if rf.autoscale {
+		spec.Fleet.Autoscale = &scenario.AutoscaleSpec{
+			Interval:     scenario.Duration(rf.autoscaleInterval),
+			Min:          rf.autoscaleMin,
+			Max:          rf.autoscaleMax,
+			High:         rf.autoscaleHigh,
+			Low:          rf.autoscaleLow,
+			UpAfter:      rf.autoscaleUp,
+			DownAfter:    rf.autoscaleDown,
+			RatePerShard: rf.autoscaleRate,
+		}
+	}
 	cls := scenario.ClassSpec{Name: "default", Share: 1}
 	switch rf.mode {
 	case "open":
@@ -689,7 +784,8 @@ func main() {
 			}
 		}
 		backendOn := spec.Fleet.Backend != nil
-		if problems := checkReport(report, faultsOn, hedgeOn, backendOn); len(problems) > 0 {
+		autoscaleOn := spec.Fleet.Autoscale != nil
+		if problems := checkReport(report, faultsOn, hedgeOn, backendOn, autoscaleOn); len(problems) > 0 {
 			for _, p := range problems {
 				fmt.Fprintf(os.Stderr, "check failed: %s\n", p)
 			}
@@ -704,9 +800,12 @@ func main() {
 // exactly one tier, the fault counters are silent when fault
 // injection is off, the hedge counters cross-foot (every hedged
 // cloud serve was won by exactly one dispatch; wasted clones never
-// exceed clones launched), and the backend replica rows cross-foot
-// (arrivals partition into served, rejected and abandoned).
-func checkReport(r pocketcloudlets.LoadReport, faultsOn, hedgeOn, backendOn bool) []string {
+// exceed clones launched), the backend replica rows cross-foot
+// (arrivals partition into served, rejected and abandoned), the
+// energy ledger cross-foots (device = base + radio, and it tracks the
+// collector's per-response sum; fleet = device + shards), and the
+// autoscale action log stays within bounds and chains shard counts.
+func checkReport(r pocketcloudlets.LoadReport, faultsOn, hedgeOn, backendOn, autoscaleOn bool) []string {
 	var problems []string
 	if r.Errors != 0 {
 		problems = append(problems, fmt.Sprintf("errors: %d", r.Errors))
@@ -766,13 +865,17 @@ func checkReport(r pocketcloudlets.LoadReport, faultsOn, hedgeOn, backendOn bool
 			problems = append(problems, fmt.Sprintf("backend replica %d waste accounting out of range: %+v", br.Replica, br))
 		}
 	}
+	// Live shards plus the folded counters of shards retired by a
+	// resize must account for every booked request.
 	var shardServed, shardShed uint64
 	for _, so := range r.ShardOccupancy {
 		shardServed += uint64(so.Served)
 		shardShed += uint64(so.Shed)
 	}
+	shardServed += uint64(r.RetiredServed)
+	shardShed += uint64(r.RetiredShed)
 	if len(r.ShardOccupancy) > 0 && (shardServed != r.Served || shardShed != r.Shed) {
-		problems = append(problems, fmt.Sprintf("shard occupancy sums %d served / %d shed, report says %d / %d",
+		problems = append(problems, fmt.Sprintf("shard occupancy (live + retired) sums %d served / %d shed, report says %d / %d",
 			shardServed, shardShed, r.Served, r.Shed))
 	}
 	if len(r.Classes) > 0 {
@@ -788,5 +891,87 @@ func checkReport(r pocketcloudlets.LoadReport, faultsOn, hedgeOn, backendOn bool
 				clsServed, clsShed, clsCanceled, r.Served, r.Shed, r.Canceled))
 		}
 	}
+
+	if r.Energy == nil {
+		problems = append(problems, "report has no energy ledger block")
+	} else {
+		e := r.Energy
+		for _, n := range []struct {
+			name string
+			v    float64
+		}{
+			{"device_base_j", e.DeviceBaseJ}, {"radio_j", e.RadioJ}, {"device_j", e.DeviceJ},
+			{"shard_idle_j", e.ShardIdleJ}, {"shard_active_j", e.ShardActiveJ},
+			{"shard_j", e.ShardJ}, {"fleet_j", e.FleetJ}, {"per_answered_j", e.PerAnsweredJ},
+		} {
+			if n.v < 0 {
+				problems = append(problems, fmt.Sprintf("energy.%s negative: %g", n.name, n.v))
+			}
+		}
+		if !near(e.DeviceBaseJ+e.RadioJ, e.DeviceJ) {
+			problems = append(problems, fmt.Sprintf("energy: device base %g + radio %g != device %g",
+				e.DeviceBaseJ, e.RadioJ, e.DeviceJ))
+		}
+		if !near(e.ShardIdleJ+e.ShardActiveJ, e.ShardJ) {
+			problems = append(problems, fmt.Sprintf("energy: shard idle %g + active %g != shard %g",
+				e.ShardIdleJ, e.ShardActiveJ, e.ShardJ))
+		}
+		if !near(e.DeviceJ+e.ShardJ, e.FleetJ) {
+			problems = append(problems, fmt.Sprintf("energy: device %g + shard %g != fleet %g",
+				e.DeviceJ, e.ShardJ, e.FleetJ))
+		}
+		if !near(e.DeviceJ, r.EnergyJ) {
+			problems = append(problems, fmt.Sprintf(
+				"energy: ledger device joules %g disagree with collector energy_j %g", e.DeviceJ, r.EnergyJ))
+		}
+		if answered := int64(r.Served) - int64(r.Unavailable); answered > 0 &&
+			!near(e.PerAnsweredJ*float64(answered), e.FleetJ) {
+			problems = append(problems, fmt.Sprintf("energy: per_answered %g × %d answered != fleet %g",
+				e.PerAnsweredJ, answered, e.FleetJ))
+		}
+	}
+
+	if !autoscaleOn && r.Autoscale != nil {
+		problems = append(problems, "autoscale block present with the autoscaler off")
+	}
+	if autoscaleOn {
+		if r.Autoscale == nil {
+			problems = append(problems, "autoscaler on but the report has no autoscale block")
+		} else {
+			a := r.Autoscale
+			if a.Samples <= 0 {
+				problems = append(problems, "autoscaler on but recorded no occupancy samples")
+			}
+			cur := -1
+			for i, act := range a.Actions {
+				if act.To < a.Min || act.To > a.Max {
+					problems = append(problems, fmt.Sprintf("autoscale action %d targets %d shards, outside [%d, %d]",
+						i, act.To, a.Min, a.Max))
+				}
+				if act.To == act.From {
+					problems = append(problems, fmt.Sprintf("autoscale action %d is a no-op resize at %d shards", i, act.To))
+				}
+				if cur >= 0 && act.From != cur {
+					problems = append(problems, fmt.Sprintf(
+						"autoscale actions do not chain: action %d starts from %d shards, previous ended at %d",
+						i, act.From, cur))
+				}
+				cur = act.To
+			}
+			if cur >= 0 && a.FinalShards != cur {
+				problems = append(problems, fmt.Sprintf("autoscale final shard count %d != last action target %d",
+					a.FinalShards, cur))
+			}
+		}
+	}
 	return problems
+}
+
+// near reports whether two joule totals agree within the ledger's
+// rounding slack: the ledger accumulates in integer nanojoules while
+// the collector sums float64 per response, so totals drift by at most
+// a relative hair.
+func near(a, b float64) bool {
+	scale := math.Max(math.Max(math.Abs(a), math.Abs(b)), 1)
+	return math.Abs(a-b) <= 1e-6*scale
 }

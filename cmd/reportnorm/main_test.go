@@ -9,11 +9,14 @@ import (
 )
 
 // TestGolden pins the normalized output for a real loadtest report
-// (testdata/report.json was produced by a hedged, backend-enabled run).
-// Regenerate the goldens after an intentional format change with:
+// (testdata/report.json was produced by a hedged, backend-enabled,
+// autoscaled run). Regenerate the goldens after an intentional format
+// change with:
 //
 //	go run ./cmd/reportnorm < cmd/reportnorm/testdata/report.json > cmd/reportnorm/testdata/report.golden
 //	go run ./cmd/reportnorm -keep backend < cmd/reportnorm/testdata/report.json > cmd/reportnorm/testdata/report_keep_backend.golden
+//	go run ./cmd/reportnorm -keep energy < cmd/reportnorm/testdata/report.json > cmd/reportnorm/testdata/report_keep_energy.golden
+//	go run ./cmd/reportnorm -keep autoscale < cmd/reportnorm/testdata/report.json > cmd/reportnorm/testdata/report_keep_autoscale.golden
 func TestGolden(t *testing.T) {
 	cases := []struct {
 		keep   string
@@ -21,6 +24,8 @@ func TestGolden(t *testing.T) {
 	}{
 		{"", "report.golden"},
 		{"backend", "report_keep_backend.golden"},
+		{"energy", "report_keep_energy.golden"},
+		{"autoscale", "report_keep_autoscale.golden"},
 	}
 	in, err := os.ReadFile(filepath.Join("testdata", "report.json"))
 	if err != nil {
@@ -43,8 +48,8 @@ func TestGolden(t *testing.T) {
 
 func TestGoldenStripsTheRightKeys(t *testing.T) {
 	// Belt and braces next to the byte-exact check: the default golden
-	// must not mention any stripped key, and -keep backend must restore
-	// exactly the backend rows.
+	// must not mention any stripped key, and each -keep golden must
+	// restore exactly its own block.
 	def, err := os.ReadFile(filepath.Join("testdata", "report.golden"))
 	if err != nil {
 		t.Fatal(err)
@@ -54,19 +59,32 @@ func TestGoldenStripsTheRightKeys(t *testing.T) {
 			t.Errorf("default golden still contains volatile key %q", k)
 		}
 	}
-	if strings.Contains(string(def), `"backend"`) {
-		t.Error("default golden still contains the backend rows")
+	for k := range defaultStrip {
+		if strings.Contains(string(def), `"`+k+`"`) {
+			t.Errorf("default golden still contains default-stripped key %q", k)
+		}
 	}
-	kept, err := os.ReadFile(filepath.Join("testdata", "report_keep_backend.golden"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(string(kept), `"backend"`) {
-		t.Error("-keep backend golden lost the backend rows")
-	}
-	for k := range volatileKeys {
-		if strings.Contains(string(kept), `"`+k+`"`) {
-			t.Errorf("-keep backend golden contains volatile key %q — -keep must not restore those", k)
+	for keep, golden := range map[string]string{
+		"backend":   "report_keep_backend.golden",
+		"energy":    "report_keep_energy.golden",
+		"autoscale": "report_keep_autoscale.golden",
+	} {
+		kept, err := os.ReadFile(filepath.Join("testdata", golden))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(kept), `"`+keep+`"`) {
+			t.Errorf("-keep %s golden lost its %q block", keep, keep)
+		}
+		for k := range defaultStrip {
+			if k != keep && strings.Contains(string(kept), `"`+k+`"`) {
+				t.Errorf("-keep %s golden contains default-stripped key %q", keep, k)
+			}
+		}
+		for k := range volatileKeys {
+			if strings.Contains(string(kept), `"`+k+`"`) {
+				t.Errorf("-keep %s golden contains volatile key %q — -keep must not restore those", keep, k)
+			}
 		}
 	}
 }

@@ -1,0 +1,214 @@
+// Package autoscale implements a deterministic occupancy-driven shard
+// autoscaler for the fleet: the control loop that rides the diurnal
+// curve, growing the topology toward the peak and shrinking it into the
+// trough so provisioned-but-idle shards stop burning their idle power
+// floor (the Green Cloudlet Network argument, applied to pocket
+// cloudlet serving infrastructure).
+//
+// The controller is a pure state machine over model time. The load
+// generator samples per-shard occupancy on a fixed model-time cadence —
+// after a fleet drain, so the sample is a function of the tape prefix,
+// never of worker interleaving — and feeds each sample to Step. Step
+// answers with a resize target only after the occupancy has stayed
+// beyond a watermark for a configured number of consecutive samples
+// (hysteresis), which is what keeps a flat or gently noisy curve from
+// flapping the topology. Two runs of the same workload therefore
+// produce byte-identical action sequences.
+package autoscale
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Config parameterizes the controller.
+type Config struct {
+	// Interval is the model-time sampling cadence. Zero selects
+	// DefaultInterval.
+	Interval time.Duration
+	// Min and Max bound the shard count the controller may target.
+	// Min zero selects 1; Max zero selects 4× the initial shard count
+	// (resolved by the caller via WithDefaults).
+	Min, Max int
+	// High and Low are the occupancy watermarks: a sample above High
+	// counts toward scaling up, below Low toward scaling down, and the
+	// deadband between them resets both streaks. Zeros select 0.75 and
+	// 0.35.
+	High, Low float64
+	// UpAfter and DownAfter are the consecutive-sample streaks required
+	// before a resize fires — the hysteresis. Zeros select 2 and 3:
+	// scaling up is cheap to get wrong briefly (a little idle power),
+	// scaling down is not (shed requests), so the down streak is longer.
+	UpAfter, DownAfter int
+	// RatePerShard is the serving rate, in requests per second of model
+	// time, at which one shard counts as fully occupied. Zero selects
+	// DefaultRatePerShard.
+	RatePerShard float64
+}
+
+// Defaults for the zero Config fields.
+const (
+	DefaultInterval     = time.Second
+	DefaultHigh         = 0.75
+	DefaultLow          = 0.35
+	DefaultUpAfter      = 2
+	DefaultDownAfter    = 3
+	DefaultRatePerShard = 50.0
+	// DefaultMaxFactor scales the initial shard count into the default
+	// Max bound.
+	DefaultMaxFactor = 4
+)
+
+// WithDefaults fills zero fields; shards is the initial shard count,
+// which anchors the default Max bound.
+func (c Config) WithDefaults(shards int) Config {
+	if c.Interval <= 0 {
+		c.Interval = DefaultInterval
+	}
+	if c.Min <= 0 {
+		c.Min = 1
+	}
+	if c.Max <= 0 {
+		c.Max = DefaultMaxFactor * shards
+	}
+	if c.High <= 0 {
+		c.High = DefaultHigh
+	}
+	if c.Low <= 0 {
+		c.Low = DefaultLow
+	}
+	if c.UpAfter <= 0 {
+		c.UpAfter = DefaultUpAfter
+	}
+	if c.DownAfter <= 0 {
+		c.DownAfter = DefaultDownAfter
+	}
+	if c.RatePerShard <= 0 {
+		c.RatePerShard = DefaultRatePerShard
+	}
+	return c
+}
+
+// Validate rejects a config whose resolved fields cannot drive a sane
+// controller. Call it after WithDefaults.
+func (c Config) Validate() error {
+	if c.Min > c.Max {
+		return fmt.Errorf("autoscale: min %d > max %d", c.Min, c.Max)
+	}
+	if c.Low >= c.High {
+		return fmt.Errorf("autoscale: low watermark %.3f must be below high %.3f", c.Low, c.High)
+	}
+	if c.High > 1 {
+		return fmt.Errorf("autoscale: high watermark %.3f above 1", c.High)
+	}
+	return nil
+}
+
+// Occupancy is the controller's load signal: the fraction of the
+// fleet's serving capacity the window consumed, where capacity is
+// shards × RatePerShard requests per second of model time. Not clamped:
+// an overloaded window reads above 1.
+func (c Config) Occupancy(requests int64, window time.Duration, shards int) float64 {
+	if window <= 0 || shards <= 0 {
+		return 0
+	}
+	capacity := window.Seconds() * float64(shards) * c.RatePerShard
+	if capacity <= 0 {
+		return 0
+	}
+	return float64(requests) / capacity
+}
+
+// Sample is one occupancy observation fed to Step.
+type Sample struct {
+	// At is the model-time instant of the sample.
+	At time.Duration
+	// Occupancy is the observed load signal; Shards the topology size
+	// it was measured against.
+	Occupancy float64
+	Shards    int
+}
+
+// Action is one resize the controller decided.
+type Action struct {
+	// At is the model-time instant the deciding sample was taken.
+	At time.Duration
+	// From and To are the shard counts before and after.
+	From, To int
+	// Occupancy is the sample that tripped the decision.
+	Occupancy float64
+}
+
+// Controller is the hysteresis state machine. Not safe for concurrent
+// use: the load generator steps it from its single event loop.
+type Controller struct {
+	cfg       Config
+	hot, cold int
+	samples   []Sample
+	actions   []Action
+}
+
+// New builds a controller from a resolved (WithDefaults) config.
+func New(cfg Config) *Controller {
+	return &Controller{cfg: cfg}
+}
+
+// Config returns the controller's resolved configuration.
+func (ctl *Controller) Config() Config { return ctl.cfg }
+
+// Step feeds one occupancy sample and returns the shard count the
+// fleet should run with. resize is true when that target differs from
+// the current count — the caller then drives Fleet.Resize and the
+// action is recorded. The target is proportional: occupancy divided by
+// the watermark midpoint, scaled by the current count and clamped to
+// [Min, Max], so a deep trough collapses in one step instead of
+// rung-by-rung.
+func (ctl *Controller) Step(at time.Duration, occ float64, shards int) (target int, resize bool) {
+	ctl.samples = append(ctl.samples, Sample{At: at, Occupancy: occ, Shards: shards})
+	switch {
+	case occ > ctl.cfg.High:
+		ctl.hot++
+		ctl.cold = 0
+	case occ < ctl.cfg.Low:
+		ctl.cold++
+		ctl.hot = 0
+	default:
+		ctl.hot, ctl.cold = 0, 0
+	}
+	if ctl.hot >= ctl.cfg.UpAfter {
+		if t := ctl.proportional(occ, shards); t > shards {
+			ctl.hot = 0
+			ctl.actions = append(ctl.actions, Action{At: at, From: shards, To: t, Occupancy: occ})
+			return t, true
+		}
+	}
+	if ctl.cold >= ctl.cfg.DownAfter {
+		if t := ctl.proportional(occ, shards); t < shards {
+			ctl.cold = 0
+			ctl.actions = append(ctl.actions, Action{At: at, From: shards, To: t, Occupancy: occ})
+			return t, true
+		}
+	}
+	return shards, false
+}
+
+// proportional is the clamped set-point target: enough shards to bring
+// the observed occupancy back to the watermark midpoint.
+func (ctl *Controller) proportional(occ float64, shards int) int {
+	mid := (ctl.cfg.High + ctl.cfg.Low) / 2
+	t := int(math.Ceil(float64(shards) * occ / mid))
+	if t < ctl.cfg.Min {
+		t = ctl.cfg.Min
+	}
+	if t > ctl.cfg.Max {
+		t = ctl.cfg.Max
+	}
+	return t
+}
+
+// Samples returns every observation fed to Step, in order.
+func (ctl *Controller) Samples() []Sample { return ctl.samples }
+
+// Actions returns every resize the controller decided, in order.
+func (ctl *Controller) Actions() []Action { return ctl.actions }

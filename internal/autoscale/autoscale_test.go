@@ -1,0 +1,188 @@
+package autoscale
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func resolved(t *testing.T, c Config, shards int) Config {
+	t.Helper()
+	c = c.WithDefaults(shards)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("config invalid: %v", err)
+	}
+	return c
+}
+
+func TestDefaults(t *testing.T) {
+	c := resolved(t, Config{}, 8)
+	if c.Interval != DefaultInterval || c.Min != 1 || c.Max != DefaultMaxFactor*8 {
+		t.Errorf("resolved bounds = %+v", c)
+	}
+	if c.High != DefaultHigh || c.Low != DefaultLow || c.UpAfter != DefaultUpAfter || c.DownAfter != DefaultDownAfter {
+		t.Errorf("resolved watermarks = %+v", c)
+	}
+	if c.RatePerShard != DefaultRatePerShard {
+		t.Errorf("resolved rate = %v", c.RatePerShard)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Config{
+		{Min: 5, Max: 2, High: 0.75, Low: 0.35},
+		{Min: 1, Max: 2, High: 0.3, Low: 0.5},
+		{Min: 1, Max: 2, High: 1.5, Low: 0.5},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", c)
+		}
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	c := Config{RatePerShard: 50}
+	// 400 requests over 2s on 4 shards: capacity 400 → fully occupied.
+	if got := c.Occupancy(400, 2*time.Second, 4); got != 1.0 {
+		t.Errorf("occupancy = %v, want 1", got)
+	}
+	if got := c.Occupancy(100, 2*time.Second, 4); got != 0.25 {
+		t.Errorf("occupancy = %v, want 0.25", got)
+	}
+	if got := c.Occupancy(100, 0, 4); got != 0 {
+		t.Errorf("zero window occupancy = %v, want 0", got)
+	}
+}
+
+// TestFlatCurveNoFlap drives a long flat deadband occupancy and checks
+// the controller never resizes — the hysteresis contract.
+func TestFlatCurveNoFlap(t *testing.T) {
+	ctl := New(resolved(t, Config{}, 8))
+	shards := 8
+	for i := 0; i < 1000; i++ {
+		target, resize := ctl.Step(time.Duration(i)*time.Second, 0.55, shards)
+		if resize || target != shards {
+			t.Fatalf("sample %d: flat curve resized %d → %d", i, shards, target)
+		}
+	}
+	if n := len(ctl.Actions()); n != 0 {
+		t.Errorf("flat curve produced %d actions", n)
+	}
+	if n := len(ctl.Samples()); n != 1000 {
+		t.Errorf("recorded %d samples, want 1000", n)
+	}
+}
+
+// TestHysteresisStreaks checks a single hot or cold sample does not
+// resize, but a full streak does, proportionally and in bounds.
+func TestHysteresisStreaks(t *testing.T) {
+	cfg := resolved(t, Config{}, 8)
+	ctl := New(cfg)
+	shards := 8
+
+	// One hot sample: streak too short.
+	if _, resize := ctl.Step(0, 0.9, shards); resize {
+		t.Fatal("scaled up after one hot sample")
+	}
+	// Second hot sample completes UpAfter=2: proportional target
+	// ceil(8 * 0.9 / 0.55) = 14.
+	target, resize := ctl.Step(time.Second, 0.9, shards)
+	if !resize || target != 14 {
+		t.Fatalf("hot streak: target %d resize %v, want 14 true", target, resize)
+	}
+	shards = target
+
+	// Deadband resets the streaks.
+	ctl.Step(2*time.Second, 0.5, shards)
+	ctl.Step(3*time.Second, 0.2, shards)
+	ctl.Step(4*time.Second, 0.2, shards)
+	if _, resize := ctl.Step(5*time.Second, 0.5, shards); resize {
+		t.Fatal("deadband sample resized")
+	}
+
+	// Cold streak of DownAfter=3 shrinks: ceil(14 * 0.1 / 0.55) = 3.
+	ctl.Step(6*time.Second, 0.1, shards)
+	ctl.Step(7*time.Second, 0.1, shards)
+	target, resize = ctl.Step(8*time.Second, 0.1, shards)
+	if !resize || target != 3 {
+		t.Fatalf("cold streak: target %d resize %v, want 3 true", target, resize)
+	}
+
+	acts := ctl.Actions()
+	if len(acts) != 2 || acts[0].To != 14 || acts[1].To != 3 {
+		t.Errorf("actions = %+v", acts)
+	}
+}
+
+// TestBounds checks the proportional target clamps to [Min, Max] even
+// for extreme occupancy, and that a clamped-out resize (already at the
+// bound) records no action.
+func TestBounds(t *testing.T) {
+	cfg := resolved(t, Config{Min: 2, Max: 12}, 8)
+	ctl := New(cfg)
+	ctl.Step(0, 50.0, 8)
+	target, resize := ctl.Step(time.Second, 50.0, 8)
+	if !resize || target != 12 {
+		t.Fatalf("overload target = %d resize %v, want clamp to 12", target, resize)
+	}
+	// Already at Max: a further hot streak must not act.
+	ctl.Step(2*time.Second, 50.0, 12)
+	if _, resize := ctl.Step(3*time.Second, 50.0, 12); resize {
+		t.Fatal("resized beyond Max")
+	}
+
+	// Zero occupancy collapses to Min, never below.
+	down := New(cfg)
+	for i := 0; i < cfg.DownAfter-1; i++ {
+		down.Step(time.Duration(i)*time.Second, 0, 8)
+	}
+	target, resize = down.Step(10*time.Second, 0, 8)
+	if !resize || target != 2 {
+		t.Fatalf("trough target = %d resize %v, want clamp to 2", target, resize)
+	}
+}
+
+// TestDeterminism replays the same synthetic diurnal occupancy trace
+// through two controllers and requires byte-identical samples and
+// actions — the property the load generator's drained sampling builds
+// on.
+func TestDeterminism(t *testing.T) {
+	trace := make([]float64, 200)
+	for i := range trace {
+		// A deterministic bumpy day: ramps up, plateaus, ramps down.
+		switch {
+		case i < 50:
+			trace[i] = 0.2 + float64(i)*0.02
+		case i < 120:
+			trace[i] = 1.1
+		default:
+			trace[i] = 0.15
+		}
+	}
+	run := func() *Controller {
+		ctl := New(resolved(t, Config{}, 4))
+		shards := 4
+		for i, occ := range trace {
+			if target, resize := ctl.Step(time.Duration(i)*time.Second, occ, shards); resize {
+				shards = target
+			}
+		}
+		return ctl
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.Actions(), b.Actions()) {
+		t.Errorf("actions diverge:\n%+v\n%+v", a.Actions(), b.Actions())
+	}
+	if !reflect.DeepEqual(a.Samples(), b.Samples()) {
+		t.Error("samples diverge")
+	}
+	if len(a.Actions()) == 0 {
+		t.Error("diurnal trace produced no actions")
+	}
+	for _, act := range a.Actions() {
+		if act.To < 1 || act.To > 16 || act.To == act.From {
+			t.Errorf("action out of bounds: %+v", act)
+		}
+	}
+}

@@ -13,6 +13,7 @@ package device
 import (
 	"time"
 
+	"pocketcloudlets/internal/energy"
 	"pocketcloudlets/internal/flashsim"
 	"pocketcloudlets/internal/radio"
 )
@@ -37,10 +38,12 @@ type Config struct {
 	PCMBandwidth  float64
 }
 
-// DefaultConfig returns the paper-calibrated constants.
+// DefaultConfig returns the paper-calibrated constants. The power
+// baseline comes from internal/energy, the single source of truth for
+// the power constants.
 func DefaultConfig() Config {
 	return Config{
-		BasePower:     0.9,
+		BasePower:     energy.DeviceBaseW,
 		RenderBase:    200 * time.Millisecond,
 		RenderPerByte: 1610 * time.Nanosecond,
 		MiscPerQuery:  7 * time.Millisecond,
@@ -68,10 +71,10 @@ type Device struct {
 	store *flashsim.FileStore
 	link  *radio.Link
 
-	clock      time.Duration
-	baseEnergy float64 // joules from BasePower over busy time
-	trace      []PowerSegment
-	tracing    bool
+	clock   time.Duration
+	meter   energy.Meter // joules from BasePower over busy time
+	trace   []PowerSegment
+	tracing bool
 }
 
 // New creates a device with the given configuration, radio technology
@@ -123,7 +126,7 @@ func (d *Device) Now() time.Duration { return d.clock }
 
 // TotalEnergy returns the joules consumed so far: device baseline over
 // busy time plus the radio's extra draw.
-func (d *Device) TotalEnergy() float64 { return d.baseEnergy + d.link.RadioEnergy() }
+func (d *Device) TotalEnergy() float64 { return d.meter.Joules() + d.link.RadioEnergy() }
 
 // StartTrace begins recording power segments for Figure 16.
 func (d *Device) StartTrace() {
@@ -164,7 +167,7 @@ func (d *Device) Busy(dur time.Duration, label string) {
 		return
 	}
 	d.record(dur, d.radioExtraIdle(), label)
-	d.baseEnergy += d.cfg.BasePower * dur.Seconds()
+	d.meter.Charge(d.cfg.BasePower, dur)
 	d.link.Advance(dur)
 	d.clock += dur
 }
@@ -175,7 +178,7 @@ func (d *Device) Busy(dur time.Duration, label string) {
 func (d *Device) NetworkRequest(reqBytes, respBytes int) radio.Transfer {
 	tr := d.link.Request(reqBytes, respBytes)
 	d.record(tr.Total(), d.link.Params().ExtraActivePower, "radio")
-	d.baseEnergy += d.cfg.BasePower * tr.Total().Seconds()
+	d.meter.Charge(d.cfg.BasePower, tr.Total())
 	d.clock += tr.Total()
 	return tr
 }
@@ -189,7 +192,7 @@ func (d *Device) NetworkRequest(reqBytes, respBytes int) radio.Transfer {
 func (d *Device) NetworkFailedRequest() radio.Transfer {
 	tr := d.link.FailedRequest()
 	d.record(tr.Total(), d.link.Params().ExtraActivePower, "radio-failed")
-	d.baseEnergy += d.cfg.BasePower * tr.Total().Seconds()
+	d.meter.Charge(d.cfg.BasePower, tr.Total())
 	d.clock += tr.Total()
 	return tr
 }
@@ -204,7 +207,7 @@ func (d *Device) NetworkBatchShare(wait, share time.Duration) {
 		wait = 0
 	}
 	d.record(wait, d.link.Params().ExtraActivePower, "radio")
-	d.baseEnergy += d.cfg.BasePower * wait.Seconds()
+	d.meter.Charge(d.cfg.BasePower, wait)
 	d.link.JoinBatch(wait, share)
 	d.clock += wait
 }
@@ -260,7 +263,7 @@ func (d *Device) SyncClock(t time.Duration) {
 // cleared. Flash contents are preserved; the radio link is reset.
 func (d *Device) Reset() {
 	d.clock = 0
-	d.baseEnergy = 0
+	d.meter.Reset()
 	d.trace = nil
 	d.tracing = false
 	d.link.Reset()

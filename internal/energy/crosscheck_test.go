@@ -1,0 +1,55 @@
+package energy_test
+
+import (
+	"testing"
+	"time"
+
+	"pocketcloudlets/internal/device"
+	"pocketcloudlets/internal/energy"
+	"pocketcloudlets/internal/radio"
+)
+
+// TestRadioParamsSourceEnergyConstants asserts the radio parameter
+// sets carry exactly the envelopes internal/energy defines — the
+// deduplication contract: one source of truth, byte-identical through
+// the refactor.
+func TestRadioParamsSourceEnergyConstants(t *testing.T) {
+	cases := []struct {
+		params radio.Params
+		power  energy.RadioPower
+	}{
+		{radio.ThreeG(), energy.Radio3G()},
+		{radio.EDGE(), energy.RadioEDGE()},
+		{radio.WiFi(), energy.RadioWiFi()},
+	}
+	for _, tc := range cases {
+		if tc.params.ExtraActivePower != tc.power.ExtraActiveW ||
+			tc.params.ExtraTailPower != tc.power.ExtraTailW ||
+			tc.params.ExtraIdlePower != tc.power.ExtraIdleW ||
+			tc.params.TailDuration != tc.power.TailDuration {
+			t.Errorf("%s params %+v diverge from energy envelope %+v", tc.params.Name, tc.params, tc.power)
+		}
+	}
+}
+
+func TestDeviceBaseSourcesEnergyConstant(t *testing.T) {
+	if got := device.DefaultConfig().BasePower; got != energy.DeviceBaseW {
+		t.Errorf("device base power = %v, want energy.DeviceBaseW %v", got, energy.DeviceBaseW)
+	}
+}
+
+// TestFormulaEquivalence asserts the radio energy formulas are
+// bit-identical with the pre-refactor inline arithmetic for every
+// built-in technology.
+func TestFormulaEquivalence(t *testing.T) {
+	for _, p := range radio.Technologies() {
+		for _, d := range []time.Duration{0, 378 * time.Millisecond, 4411 * time.Millisecond, time.Minute} {
+			if got, legacy := p.ActiveEnergy(d), p.ExtraActivePower*d.Seconds(); got != legacy {
+				t.Errorf("%s ActiveEnergy(%v) = %v, want %v", p.Name, d, got, legacy)
+			}
+		}
+		if got, legacy := p.TailEnergy(), p.ExtraTailPower*p.TailDuration.Seconds(); got != legacy {
+			t.Errorf("%s TailEnergy = %v, want %v", p.Name, got, legacy)
+		}
+	}
+}

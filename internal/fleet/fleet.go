@@ -66,6 +66,7 @@ import (
 	"pocketcloudlets/internal/backend"
 	"pocketcloudlets/internal/cachegen"
 	"pocketcloudlets/internal/cloudletos"
+	"pocketcloudlets/internal/energy"
 	"pocketcloudlets/internal/engine"
 	"pocketcloudlets/internal/faults"
 	"pocketcloudlets/internal/modeltime"
@@ -245,6 +246,12 @@ type Config struct {
 	// registered with the cloudlet manager and divided evenly among
 	// shards. Zero selects DefaultTotalPersonalBytes.
 	TotalPersonalBytes int64
+	// ShardPower is the cloudlet-server power envelope of each shard: a
+	// provisioned shard draws IdleW continuously for as long as it is in
+	// the topology, plus the ActiveW increment over its busy time. Zero
+	// fields take energy.DefaultShardPower. The envelope only feeds the
+	// energy ledger (EnergyStats); it never affects serving outcomes.
+	ShardPower energy.ShardPower
 	// Batch configures cloud-miss coalescing: concurrent misses share
 	// one radio session (one wake-up, one handshake, one tail) instead
 	// of paying a full round trip each. The zero value disables it.
@@ -478,6 +485,7 @@ func (c Config) withDefaults() Config {
 	c.Batch = c.Batch.withDefaults()
 	c.Retry = c.Retry.WithDefaults()
 	c.Breaker = c.Breaker.withDefaults()
+	c.ShardPower = c.ShardPower.WithDefaults()
 	return c
 }
 
@@ -558,6 +566,18 @@ type Fleet struct {
 	migTransfer  atomic.Int64
 	migDropped   atomic.Int64
 	heldRequests atomic.Int64
+
+	// ledger is the fleet energy ledger: device radio and baseline
+	// joules are charged per response in finish; shard idle/active
+	// integrals of retired shards are folded in at retirement, live
+	// shards' accrue lazily in EnergyStats. Counters are commutative
+	// fixed-point atomics, so totals are interleaving-independent.
+	ledger energy.Ledger
+	// retiredServed/retiredShed preserve the occupancy counters of
+	// shards a shrink retired, so Served/Shed cross-foots against
+	// ShardLoads plus RetiredLoad across resizes.
+	retiredServed atomic.Int64
+	retiredShed   atomic.Int64
 
 	served   atomic.Int64
 	shed     atomic.Int64
@@ -784,7 +804,18 @@ func (f *Fleet) finish(resp Response, t task) {
 	}
 	resp.Wall = time.Since(t.enqueued)
 	f.served.Add(1)
-	f.topo.Load().shards[t.shard].served.Add(1)
+	sh := f.topo.Load().shards[t.shard]
+	sh.served.Add(1)
+	// Every serve path lands here, so this is the one ledger charge
+	// site: the response's device-side joules split radio vs baseline,
+	// and the shard's busy time grows by the server-local part of the
+	// modeled latency (network and radio wait excluded — the shard is
+	// free while the device waits on the air).
+	if busy := resp.Outcome.ResponseTime() - resp.Outcome.Network; busy > 0 {
+		sh.busyNS.Add(int64(busy))
+	}
+	f.ledger.Radio.Add(resp.RadioJ)
+	f.ledger.DeviceBase.Add(resp.EnergyJ - resp.RadioJ)
 	f.bySource[resp.Source].Add(1)
 	if resp.Err != nil {
 		f.errors.Add(1)
@@ -1119,6 +1150,28 @@ func (f *Fleet) Stats() Stats {
 		s.Users += sh.users.resident
 		s.PersonalBytes += sh.personalBytes
 		sh.mu.Unlock()
+	}
+	return s
+}
+
+// EnergyStats snapshots the fleet energy ledger in joules. Device-side
+// counters (radio, baseline) accumulate per response; shard-side
+// counters integrate each shard's power envelope over model time —
+// idle draw from the shard's provisioning instant to the current
+// makespan plus the active increment over its busy time — with retired
+// shards' integrals folded in at retirement. Deterministic for a
+// deterministic workload once the fleet is drained: every term is a
+// function of modeled outcomes, never of wall time.
+func (f *Fleet) EnergyStats() energy.Snapshot {
+	s := f.ledger.Snapshot()
+	mk := f.tl.Makespan()
+	for _, sh := range f.topo.Load().shards {
+		if d := mk - sh.provisionedAt; d > 0 {
+			s.ShardIdleJ += sh.power.IdleJ(d)
+		}
+		if busy := time.Duration(sh.busyNS.Load()); busy > 0 {
+			s.ShardActiveJ += sh.power.ActiveJ(busy)
+		}
 	}
 	return s
 }

@@ -3,6 +3,7 @@ package fleet
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"pocketcloudlets/internal/cloudletos"
 	"pocketcloudlets/internal/placement"
@@ -178,6 +179,13 @@ func (f *Fleet) ResizeWith(n int, opts ResizeOptions) (ResizeStats, error) {
 		if err != nil {
 			return st, err
 		}
+		// A grown shard starts drawing idle power at the model instant it
+		// is provisioned, not at time zero: stamp the current makespan
+		// before the shard is published (reads fence on the topo store).
+		provisioned := f.tl.Makespan()
+		for _, sh := range grown {
+			sh.provisionedAt = provisioned
+		}
 		quota := cloudletos.Quota{FlashBytes: f.cfg.TotalPersonalBytes / int64(n)}
 		for _, sh := range tp.shards {
 			if err := f.manager.SetQuota(sh.Name(), quota); err != nil {
@@ -226,6 +234,23 @@ func (f *Fleet) ResizeWith(n int, opts ResizeOptions) (ResizeStats, error) {
 		f.topo.Store(&topology{shards: shards, dispatchers: dispatchers})
 		for _, d := range retiredDisp {
 			d.close()
+		}
+		// Fold the retired shards' final counters into the fleet-level
+		// accumulators: their serving tallies keep the occupancy
+		// cross-foot (ShardLoads + RetiredLoad == Served/Shed) intact,
+		// and their energy integrals — idle from provisioning to this
+		// retirement instant, active over their busy time — close out in
+		// the ledger. Post-drain the counters are final.
+		retiredAt := f.tl.Makespan()
+		for _, sh := range retired {
+			f.retiredServed.Add(sh.served.Load())
+			f.retiredShed.Add(sh.shed.Load())
+			if d := retiredAt - sh.provisionedAt; d > 0 {
+				f.ledger.ShardIdle.Add(sh.power.IdleJ(d))
+			}
+			if busy := time.Duration(sh.busyNS.Load()); busy > 0 {
+				f.ledger.ShardActive.Add(sh.power.ActiveJ(busy))
+			}
 		}
 		for _, sh := range retired {
 			if err := f.manager.Unregister(sh.Name()); err != nil {
@@ -407,6 +432,19 @@ type ShardLoad struct {
 	Shed          int64
 	Users         int
 	PersonalBytes int64
+}
+
+// RetiredLoad aggregates the final serving counters of every shard a
+// shrink has retired, under the sentinel shard ID -1. Adding it to
+// ShardLoads keeps the Served/Shed occupancy cross-foot exact across
+// resizes: a live shard's counters leave the topology with it, but the
+// requests it served still happened.
+func (f *Fleet) RetiredLoad() ShardLoad {
+	return ShardLoad{
+		Shard:  -1,
+		Served: f.retiredServed.Load(),
+		Shed:   f.retiredShed.Load(),
+	}
 }
 
 // ShardLoads snapshots per-shard occupancy — the skew view that a

@@ -9,6 +9,7 @@ import (
 
 	"pocketcloudlets/internal/cloudletos"
 	"pocketcloudlets/internal/device"
+	"pocketcloudlets/internal/energy"
 	"pocketcloudlets/internal/engine"
 	"pocketcloudlets/internal/flashsim"
 	"pocketcloudlets/internal/hash64"
@@ -230,12 +231,22 @@ type shard struct {
 	// default device config), captured once so energy attribution never
 	// needs a user's device materialized.
 	basePower float64
+	// power is the shard's cloudlet-server energy envelope, and
+	// provisionedAt the model instant the shard joined the topology
+	// (zero for the initial build, the resize-time makespan for grown
+	// shards) — the idle integral runs from there. provisionedAt is
+	// written before the shard is published and read-only afterwards.
+	power         energy.ShardPower
+	provisionedAt time.Duration
 
 	// served and shed are this shard's occupancy counters, bumped
 	// lock-free on the completion paths so shard skew is observable
-	// without touching mu.
+	// without touching mu. busyNS accumulates the server-local part of
+	// every served response's modeled latency, feeding the active term
+	// of the shard power model.
 	served atomic.Int64
 	shed   atomic.Int64
+	busyNS atomic.Int64
 
 	mu        sync.Mutex
 	community *pocketsearch.Cache
@@ -294,6 +305,7 @@ func newShard(id int, cfg Config, ct *cohortTable, tl *modeltime.Timeline) (*sha
 		tl:           tl,
 		commClock:    tl.UserClock(dev),
 		basePower:    dev.Config().BasePower,
+		power:        cfg.ShardPower.WithDefaults(),
 		community:    community,
 		users:        newUserTable(cfg.Population),
 		keys:         make(map[uint64]evictRef),

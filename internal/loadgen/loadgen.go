@@ -48,7 +48,9 @@ import (
 	"sync"
 	"time"
 
+	"pocketcloudlets/internal/autoscale"
 	"pocketcloudlets/internal/backend"
+	"pocketcloudlets/internal/energy"
 	"pocketcloudlets/internal/fleet"
 	"pocketcloudlets/internal/modeltime"
 	"pocketcloudlets/internal/replay"
@@ -372,6 +374,25 @@ type Report struct {
 	MigrationTransferBytes int64 `json:"migration_transfer_bytes,omitempty"`
 	DroppedUsers           int64 `json:"dropped_users,omitempty"`
 	HeldRequests           int64 `json:"held_requests,omitempty"`
+	// RetiredServed/RetiredShed are the serving counters of shards a
+	// shrink retired; together with ShardOccupancy they cross-foot
+	// against Served/Shed (cmd/loadtest -check). Like ShardOccupancy
+	// the counters are cumulative over the fleet's lifetime, which
+	// equals the run for the freshly built fleets the CLI drives.
+	// Absent unless a shrink actually retired shards.
+	RetiredServed int64 `json:"retired_served,omitempty"`
+	RetiredShed   int64 `json:"retired_shed,omitempty"`
+
+	// Energy is the fleet energy ledger for the run: the device-side
+	// joules broken down radio vs baseline, the shard-side (cloudlet
+	// server) idle floor and active increment, and the whole-system
+	// total per answered query. Always present; cmd/reportnorm strips
+	// it by default so byte-identity smokes keep passing.
+	Energy *EnergyReport `json:"energy,omitempty"`
+	// Autoscale summarizes the occupancy-driven controller's run:
+	// samples taken, resize actions fired and the bounds they respected.
+	// Absent when autoscaling is off.
+	Autoscale *AutoscaleReport `json:"autoscale,omitempty"`
 
 	// Backend is the per-replica accounting of the modeled cloud servers
 	// (scenario fleet.backend / loadtest -backend-rate), as run deltas.
@@ -459,6 +480,55 @@ func backendReport(replica int, bs backend.ReplicaStats) BackendReport {
 		P99WaitNS:             int64(bs.P99Wait()),
 		AbandonedWorkFraction: bs.AbandonedWorkFraction(),
 	}
+}
+
+// EnergyReport is the run's energy ledger (fleet.EnergyStats deltas),
+// in joules. Cross-footing (cmd/loadtest -check): DeviceJ =
+// DeviceBaseJ + RadioJ and tracks the collector's energy_j sum within
+// fixed-point rounding; ShardJ = ShardIdleJ + ShardActiveJ; FleetJ =
+// DeviceJ + ShardJ; PerAnsweredJ = FleetJ over answered requests.
+type EnergyReport struct {
+	// DeviceBaseJ is the devices' screen+CPU baseline over modeled
+	// response time; RadioJ their extra radio draw; DeviceJ the sum —
+	// the device-side energy the reports have always totaled.
+	DeviceBaseJ float64 `json:"device_base_j"`
+	RadioJ      float64 `json:"radio_j"`
+	DeviceJ     float64 `json:"device_j"`
+	// ShardIdleJ is the provisioned shards' idle floor — what a shard
+	// burns just by existing, the term autoscaling reclaims on the
+	// trough; ShardActiveJ the active increment over busy time; ShardJ
+	// the cloudlet-server-side sum.
+	ShardIdleJ   float64 `json:"shard_idle_j"`
+	ShardActiveJ float64 `json:"shard_active_j"`
+	ShardJ       float64 `json:"shard_j"`
+	// FleetJ is the whole-system total; PerAnsweredJ divides it by the
+	// requests that got real results (served − unavailable) — the
+	// headline joules-per-answered-query metric of the autoscaling
+	// study.
+	FleetJ       float64 `json:"fleet_j"`
+	PerAnsweredJ float64 `json:"per_answered_j,omitempty"`
+}
+
+// AutoscaleReport summarizes the occupancy-driven controller's run.
+type AutoscaleReport struct {
+	IntervalNS int64 `json:"interval_ns"`
+	Min        int   `json:"min"`
+	Max        int   `json:"max"`
+	// Samples counts occupancy observations; MeanOccupancy averages
+	// them. FinalShards is the topology size the run ended with.
+	Samples       int     `json:"samples"`
+	MeanOccupancy float64 `json:"mean_occupancy"`
+	FinalShards   int     `json:"final_shards"`
+	// Actions are the resizes the controller fired, in order.
+	Actions []AutoscaleAction `json:"actions,omitempty"`
+}
+
+// AutoscaleAction is one controller-driven resize.
+type AutoscaleAction struct {
+	AtNS      int64   `json:"at_ns"`
+	From      int     `json:"from"`
+	To        int     `json:"to"`
+	Occupancy float64 `json:"occupancy"`
 }
 
 // classReport folds one class's counters into its report row.
@@ -621,6 +691,22 @@ func (r Report) String() string {
 		fmt.Fprintf(&b, "  batching: %d misses in %d sessions (mean size %.2f)\n",
 			r.BatchedMisses, r.Batches, r.MeanBatchSize)
 	}
+	if e := r.Energy; e != nil {
+		fmt.Fprintf(&b, "  ledger: fleet %.1f J = device %.1f (base %.1f + radio %.1f) + shards %.1f (idle %.1f + active %.1f)",
+			e.FleetJ, e.DeviceJ, e.DeviceBaseJ, e.RadioJ, e.ShardJ, e.ShardIdleJ, e.ShardActiveJ)
+		if e.PerAnsweredJ > 0 {
+			fmt.Fprintf(&b, "; %.3f J/answered", e.PerAnsweredJ)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	if a := r.Autoscale; a != nil {
+		fmt.Fprintf(&b, "  autoscale: %d samples (mean occupancy %.2f), %d actions within [%d, %d], final %d shards",
+			a.Samples, a.MeanOccupancy, len(a.Actions), a.Min, a.Max, a.FinalShards)
+		for _, act := range a.Actions {
+			fmt.Fprintf(&b, " %v:%d→%d", time.Duration(act.AtNS).Round(time.Millisecond), act.From, act.To)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
 	for _, cr := range r.Classes {
 		fmt.Fprintf(&b, "  class %-12s %6d req  served %6d  hit %5.1f%%  shed %5.2f%%  model p99 %s  p99.9 %s  energy %.1f J\n",
 			cr.Class, cr.Requests, cr.Served, 100*cr.HitRate, 100*cr.ShedRate,
@@ -638,6 +724,9 @@ func (r Report) String() string {
 		fmt.Fprintf(&b, "  resizes: %d (moved %d users / %d bytes, shipped %d bytes, dropped %d, held %d requests)\n",
 			r.Resizes, r.MigratedUsers, r.MigratedBytes, r.MigrationTransferBytes, r.DroppedUsers, r.HeldRequests)
 	}
+	if r.RetiredServed+r.RetiredShed > 0 {
+		fmt.Fprintf(&b, "  retired shards served %d / shed %d before retirement\n", r.RetiredServed, r.RetiredShed)
+	}
 	return b.String()
 }
 
@@ -645,7 +734,7 @@ func (r Report) String() string {
 // the fleet's own Stats as before/after deltas — authoritative no
 // matter how the observer is wired — while latency histograms and
 // energy sums come from the collector.
-func fill(r *Report, f *fleet.Fleet, col *Collector, before fleet.Stats, beforeBatch fleet.BatchStats, beforeMig fleet.MigrationStats, elapsed time.Duration) {
+func fill(r *Report, f *fleet.Fleet, col *Collector, before fleet.Stats, beforeBatch fleet.BatchStats, beforeMig fleet.MigrationStats, beforeEnergy energy.Snapshot, elapsed time.Duration) {
 	cnt := col.snapshot()
 	st := f.Stats()
 	r.Shards = f.NumShards()
@@ -759,6 +848,24 @@ func fill(r *Report, f *fleet.Fleet, col *Collector, before fleet.Stats, beforeB
 	r.MigrationTransferBytes = mig.TransferBytes - beforeMig.TransferBytes
 	r.DroppedUsers = mig.DroppedUsers - beforeMig.DroppedUsers
 	r.HeldRequests = mig.HeldRequests - beforeMig.HeldRequests
+	rl := f.RetiredLoad()
+	r.RetiredServed = rl.Served
+	r.RetiredShed = rl.Shed
+
+	es := f.EnergyStats()
+	er := &EnergyReport{
+		DeviceBaseJ:  es.DeviceBaseJ - beforeEnergy.DeviceBaseJ,
+		RadioJ:       es.RadioJ - beforeEnergy.RadioJ,
+		ShardIdleJ:   es.ShardIdleJ - beforeEnergy.ShardIdleJ,
+		ShardActiveJ: es.ShardActiveJ - beforeEnergy.ShardActiveJ,
+	}
+	er.DeviceJ = er.DeviceBaseJ + er.RadioJ
+	er.ShardJ = er.ShardIdleJ + er.ShardActiveJ
+	er.FleetJ = er.DeviceJ + er.ShardJ
+	if answered := r.Served - r.Unavailable; answered > 0 {
+		er.PerAnsweredJ = er.FleetJ / float64(answered)
+	}
+	r.Energy = er
 
 	if byClass := col.classSnapshot(); len(byClass) > 0 {
 		names := make([]string, 0, len(byClass))
@@ -809,6 +916,19 @@ type OpenConfig struct {
 	// ResizeDrop discards movers' personal state instead of migrating
 	// it — the remap-and-cold-start baseline.
 	ResizeDrop bool
+	// Events are resize events executed at model offsets of the arrival
+	// schedule: an event fires just before the first arrival at or past
+	// its offset, so its position in the tape — and with it every
+	// per-user outcome — is a pure function of the spec, unlike the
+	// wall-timer ResizeTo/ResizeAt path. Must be sorted by At.
+	Events []TimelineEvent
+	// Autoscale, when non-nil, turns on the occupancy-driven shard
+	// autoscaler (internal/autoscale): the run samples per-shard
+	// occupancy on the controller's model-time cadence — after a fleet
+	// drain, so the sample is a pure function of the tape prefix — and
+	// drives Fleet.Resize from its hysteresis decisions. Zero fields
+	// are resolved against the fleet's initial shard count.
+	Autoscale *autoscale.Config
 	// ClassTag, when set, stamps every request with this class so the
 	// report carries a per-class breakdown — the single-class scenario
 	// path. It never affects serving or per-user outcomes.
@@ -822,6 +942,18 @@ type OpenConfig struct {
 	Classes []OpenClassConfig
 	// Scenario labels the report (Report.Scenario).
 	Scenario string
+}
+
+// TimelineEvent is one scheduled resize of an open-loop run's event
+// timeline.
+type TimelineEvent struct {
+	// At is the model offset from the start of the run.
+	At time.Duration
+	// ResizeTo is the shard count to live-resize the fleet to.
+	ResizeTo int
+	// DropState discards movers' personal state instead of migrating
+	// it.
+	DropState bool
 }
 
 // OpenClassConfig is one client class of a multi-class open-loop run.
@@ -1036,9 +1168,75 @@ func OpenEvents(g *workload.Generator, cfg OpenConfig) ([]TraceEvent, error) {
 // replayEvents releases the events at their offsets against the fleet,
 // bucketing arrivals (and sheds) into the offered curve over horizon.
 func replayEvents(f *fleet.Fleet, events []TraceEvent, horizon time.Duration, start time.Time) (offered, shedPerBucket []uint64, maxLag time.Duration) {
+	offered, shedPerBucket, maxLag, _ = replayTimeline(f, events, horizon, start, nil, nil)
+	return offered, shedPerBucket, maxLag
+}
+
+// demandCount sums submissions the fleet has booked so far — served
+// plus shed across live shards, plus the counters shrinks retired.
+// After a drain it equals the number of Submit calls made, so the
+// autoscaler's occupancy signal is a pure function of the tape prefix
+// regardless of worker interleaving or shed timing.
+func demandCount(f *fleet.Fleet) int64 {
+	rl := f.RetiredLoad()
+	total := rl.Served + rl.Shed
+	for _, sl := range f.ShardLoads() {
+		total += sl.Served + sl.Shed
+	}
+	return total
+}
+
+// replayTimeline is replayEvents plus the model-time control plane: it
+// interleaves scheduled resize events (timeline) and autoscaler samples
+// (ctl) with the arrival schedule, firing everything due at or before
+// an arrival's offset — in model-time order, ties resolved timeline
+// first — before that arrival is submitted. Each autoscale sample
+// drains the fleet first, so the occupancy it reads is a function of
+// the tape prefix alone and the whole control sequence is
+// deterministic for a deterministic spec.
+func replayTimeline(f *fleet.Fleet, events []TraceEvent, horizon time.Duration, start time.Time, ctl *autoscale.Controller, timeline []TimelineEvent) (offered, shedPerBucket []uint64, maxLag time.Duration, err error) {
 	offered = make([]uint64, curveBuckets)
 	shedPerBucket = make([]uint64, curveBuckets)
+	var (
+		ti         int
+		nextSample = time.Duration(math.MaxInt64)
+		lastDemand int64
+	)
+	if ctl != nil {
+		nextSample = ctl.Config().Interval
+	}
 	for _, ev := range events {
+		// Fire everything due before this arrival, in model-time order.
+		for {
+			tDue := ti < len(timeline) && timeline[ti].At <= ev.At
+			sDue := ctl != nil && nextSample <= ev.At
+			switch {
+			case tDue && (!sDue || timeline[ti].At <= nextSample):
+				te := timeline[ti]
+				ti++
+				if te.ResizeTo > 0 {
+					if _, rerr := f.ResizeWith(te.ResizeTo, fleet.ResizeOptions{DropState: te.DropState}); rerr != nil {
+						return offered, shedPerBucket, maxLag, fmt.Errorf("loadgen: timeline resize at %v: %w", te.At, rerr)
+					}
+				}
+				continue
+			case sDue:
+				f.Drain()
+				demand := demandCount(f)
+				delta := demand - lastDemand
+				lastDemand = demand
+				shards := f.NumShards()
+				occ := ctl.Config().Occupancy(delta, ctl.Config().Interval, shards)
+				if target, resize := ctl.Step(nextSample, occ, shards); resize {
+					if _, rerr := f.Resize(target); rerr != nil {
+						return offered, shedPerBucket, maxLag, fmt.Errorf("loadgen: autoscale resize to %d: %w", target, rerr)
+					}
+				}
+				nextSample += ctl.Config().Interval
+				continue
+			}
+			break
+		}
 		now := time.Since(start)
 		if wait := ev.At - now; wait > 0 {
 			time.Sleep(wait)
@@ -1057,7 +1255,16 @@ func replayEvents(f *fleet.Fleet, events []TraceEvent, horizon time.Duration, st
 			shedPerBucket[b]++
 		}
 	}
-	return offered, shedPerBucket, maxLag
+	// Timeline events scheduled past the last arrival still run — their
+	// resizes must be measured.
+	for ; ti < len(timeline); ti++ {
+		if te := timeline[ti]; te.ResizeTo > 0 {
+			if _, rerr := f.ResizeWith(te.ResizeTo, fleet.ResizeOptions{DropState: te.DropState}); rerr != nil {
+				return offered, shedPerBucket, maxLag, fmt.Errorf("loadgen: timeline resize at %v: %w", te.At, rerr)
+			}
+		}
+	}
+	return offered, shedPerBucket, maxLag, nil
 }
 
 // RunOpen replays workload queries against the fleet as an open-loop
@@ -1077,12 +1284,23 @@ func RunOpen(f *fleet.Fleet, col *Collector, g *workload.Generator, cfg OpenConf
 	if err != nil {
 		return Report{}, err
 	}
+	var ctl *autoscale.Controller
+	if cfg.Autoscale != nil {
+		ac := cfg.Autoscale.WithDefaults(f.NumShards())
+		if err := ac.Validate(); err != nil {
+			return Report{}, fmt.Errorf("loadgen: %w", err)
+		}
+		ctl = autoscale.New(ac)
+	}
 
 	col.Reset()
-	before, beforeBatch, beforeMig := f.Stats(), f.BatchStats(), f.MigrationStats()
+	before, beforeBatch, beforeMig, beforeEnergy := f.Stats(), f.BatchStats(), f.MigrationStats(), f.EnergyStats()
 	finishResize := scheduleResize(f, cfg.ResizeTo, cfg.ResizeAt, cfg.ResizeDrop)
 	start := time.Now()
-	offered, shedPerBucket, maxLag := replayEvents(f, events, cfg.Duration, start)
+	offered, shedPerBucket, maxLag, err := replayTimeline(f, events, cfg.Duration, start, ctl, cfg.Events)
+	if err != nil {
+		return Report{}, err
+	}
 	f.Drain()
 	if err := finishResize(); err != nil {
 		return Report{}, fmt.Errorf("loadgen: resize: %w", err)
@@ -1109,9 +1327,37 @@ func RunOpen(f *fleet.Fleet, col *Collector, g *workload.Generator, cfg OpenConf
 		r.Arrivals = "mixed"
 	}
 	r.OfferedCurve, r.PeakTroughServedRatio = offeredCurve(cfg.Duration, offered, shedPerBucket)
-	fill(&r, f, col, before, beforeBatch, beforeMig, elapsed)
+	fill(&r, f, col, before, beforeBatch, beforeMig, beforeEnergy, elapsed)
 	r.MeanUserHitRate = f.MeanUserHitRate()
+	if ctl != nil {
+		r.Autoscale = autoscaleReport(ctl, f.NumShards())
+	}
 	return r, nil
+}
+
+// autoscaleReport folds the controller's run into its report block.
+func autoscaleReport(ctl *autoscale.Controller, finalShards int) *AutoscaleReport {
+	cfg := ctl.Config()
+	ar := &AutoscaleReport{
+		IntervalNS:  int64(cfg.Interval),
+		Min:         cfg.Min,
+		Max:         cfg.Max,
+		Samples:     len(ctl.Samples()),
+		FinalShards: finalShards,
+	}
+	var sum float64
+	for _, s := range ctl.Samples() {
+		sum += s.Occupancy
+	}
+	if ar.Samples > 0 {
+		ar.MeanOccupancy = sum / float64(ar.Samples)
+	}
+	for _, a := range ctl.Actions() {
+		ar.Actions = append(ar.Actions, AutoscaleAction{
+			AtNS: int64(a.At), From: a.From, To: a.To, Occupancy: a.Occupancy,
+		})
+	}
+	return ar
 }
 
 // TraceConfig parameterizes a recorded-trace replay run.
@@ -1147,7 +1393,7 @@ func RunTrace(f *fleet.Fleet, col *Collector, events []TraceEvent, cfg TraceConf
 	}
 
 	col.Reset()
-	before, beforeBatch, beforeMig := f.Stats(), f.BatchStats(), f.MigrationStats()
+	before, beforeBatch, beforeMig, beforeEnergy := f.Stats(), f.BatchStats(), f.MigrationStats(), f.EnergyStats()
 	start := time.Now()
 	offered, shedPerBucket, maxLag := replayEvents(f, events, horizon, start)
 	f.Drain()
@@ -1162,7 +1408,7 @@ func RunTrace(f *fleet.Fleet, col *Collector, events []TraceEvent, cfg TraceConf
 		MaxScheduleLagNS: int64(maxLag),
 	}
 	r.OfferedCurve, r.PeakTroughServedRatio = offeredCurve(horizon, offered, shedPerBucket)
-	fill(&r, f, col, before, beforeBatch, beforeMig, elapsed)
+	fill(&r, f, col, before, beforeBatch, beforeMig, beforeEnergy, elapsed)
 	r.MeanUserHitRate = f.MeanUserHitRate()
 	return r, nil
 }
@@ -1290,7 +1536,7 @@ func RunClosed(f *fleet.Fleet, col *Collector, g *workload.Generator, cfg Closed
 	u := g.Config().Universe
 
 	col.Reset()
-	before, beforeBatch, beforeMig := f.Stats(), f.BatchStats(), f.MigrationStats()
+	before, beforeBatch, beforeMig, beforeEnergy := f.Stats(), f.BatchStats(), f.MigrationStats(), f.EnergyStats()
 	finishResize := scheduleResize(f, cfg.ResizeTo, cfg.ResizeAt, cfg.ResizeDrop)
 	outcomes := make([]replay.UserOutcome, cfg.Users)
 	var deadline time.Time
@@ -1364,7 +1610,7 @@ func RunClosed(f *fleet.Fleet, col *Collector, g *workload.Generator, cfg Closed
 		r.Paced = true
 		r.PaceScale = paceScale
 	}
-	fill(&r, f, col, before, beforeBatch, beforeMig, elapsed)
+	fill(&r, f, col, before, beforeBatch, beforeMig, beforeEnergy, elapsed)
 
 	classSum := make(map[string]float64)
 	classN := make(map[string]int)

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"pocketcloudlets/internal/autoscale"
 	"pocketcloudlets/internal/cachegen"
 	"pocketcloudlets/internal/engine"
 	"pocketcloudlets/internal/fleet"
@@ -596,5 +597,191 @@ func TestPerUserOpenLoop(t *testing.T) {
 	}
 	if r1.Arrivals != "peruser" {
 		t.Errorf("arrivals reported as %q, want peruser", r1.Arrivals)
+	}
+}
+
+// newRingRig builds a ring-routed fleet (resizable) with a collector
+// installed, for the autoscale and timeline tests.
+func newRingRig(t testing.TB, g *workload.Generator, content cachegen.Content, shards int) (*fleet.Fleet, *Collector) {
+	t.Helper()
+	ring, err := placement.NewRing(shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	f, err := fleet.New(fleet.Config{
+		Engine:     engine.New(g.Config().Universe),
+		Content:    content,
+		Shards:     shards,
+		Workers:    2,
+		QueueDepth: 4096,
+		Observer:   col,
+		Placement:  ring,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	return f, col
+}
+
+func energyNear(a, b float64) bool {
+	scale := math.Max(math.Max(math.Abs(a), math.Abs(b)), 1)
+	return math.Abs(a-b) <= 1e-6*scale
+}
+
+// TestAutoscaledOpenLoopDeterministic is the controller's determinism
+// acceptance: two identical autoscaled diurnal runs make the same
+// resize decisions at the same model offsets and book the same energy,
+// because each occupancy sample is taken after a drain and so is a
+// pure function of the tape prefix.
+func TestAutoscaledOpenLoopDeterministic(t *testing.T) {
+	g := smallGen(t, 64)
+	content := smallContent(t, g)
+	cfg := OpenConfig{
+		QPS: 2000, Duration: 500 * time.Millisecond, Month: 1, Seed: 11,
+		Arrivals: modeltime.Diurnal, DiurnalPeak: 6,
+		Autoscale: &autoscale.Config{
+			Interval: 50 * time.Millisecond, Min: 2, Max: 12, RatePerShard: 600,
+		},
+	}
+
+	run := func() Report {
+		f, col := newRingRig(t, g, content, 4)
+		r, err := RunOpen(f, col, g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r1, r2 := run(), run()
+
+	if r1.Autoscale == nil || r1.Autoscale.Samples == 0 {
+		t.Fatalf("autoscaled run reported no controller block: %+v", r1.Autoscale)
+	}
+	if len(r1.Autoscale.Actions) == 0 {
+		t.Fatalf("6:1 diurnal curve drove no resizes; config exercises nothing: %+v", r1.Autoscale)
+	}
+	if !reflect.DeepEqual(r1.Autoscale, r2.Autoscale) {
+		t.Errorf("controller runs diverge:\n  %+v\n  %+v", r1.Autoscale, r2.Autoscale)
+	}
+	if r1.Energy == nil || r2.Energy == nil {
+		t.Fatal("autoscaled run has no energy block")
+	}
+	if *r1.Energy != *r2.Energy {
+		t.Errorf("energy ledgers diverge:\n  %+v\n  %+v", *r1.Energy, *r2.Energy)
+	}
+
+	// The controller owns the topology: the fleet's resize counter books
+	// exactly the controller's actions, and the report's final size is
+	// the last action's target.
+	if r1.Resizes != int64(len(r1.Autoscale.Actions)) {
+		t.Errorf("fleet booked %d resizes, controller fired %d actions", r1.Resizes, len(r1.Autoscale.Actions))
+	}
+	last := r1.Autoscale.Actions[len(r1.Autoscale.Actions)-1]
+	if r1.Autoscale.FinalShards != last.To {
+		t.Errorf("final shards %d, last action targeted %d", r1.Autoscale.FinalShards, last.To)
+	}
+
+	// Occupancy cross-foot survives the retirements the down-scales
+	// caused: live shards plus the retired sentinel book every serve.
+	var live uint64
+	for _, so := range r1.ShardOccupancy {
+		live += uint64(so.Served)
+	}
+	if live+uint64(r1.RetiredServed) != r1.Served {
+		t.Errorf("live %d + retired %d != served %d", live, r1.RetiredServed, r1.Served)
+	}
+
+	// Ledger cross-foots (the same sums cmd/loadtest -check enforces).
+	e := r1.Energy
+	if !energyNear(e.DeviceBaseJ+e.RadioJ, e.DeviceJ) ||
+		!energyNear(e.ShardIdleJ+e.ShardActiveJ, e.ShardJ) ||
+		!energyNear(e.DeviceJ+e.ShardJ, e.FleetJ) {
+		t.Errorf("energy report does not cross-foot: %+v", e)
+	}
+	answered := float64(r1.Served - r1.Unavailable)
+	if answered > 0 && !energyNear(e.PerAnsweredJ*answered, e.FleetJ) {
+		t.Errorf("per-answered %g J × %g answered != fleet %g J", e.PerAnsweredJ, answered, e.FleetJ)
+	}
+}
+
+// TestAutoscaleOffReportShape: without a controller the report carries
+// no autoscale block — so older byte-identity comparisons hold through
+// reportnorm — while the energy ledger is always present.
+func TestAutoscaleOffReportShape(t *testing.T) {
+	g := smallGen(t, 32)
+	f, col := newRig(t, g, smallContent(t, g))
+	r, err := RunOpen(f, col, g, OpenConfig{QPS: 500, Duration: 100 * time.Millisecond, Month: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Autoscale != nil {
+		t.Errorf("autoscale off, report has a controller block: %+v", r.Autoscale)
+	}
+	if r.Energy == nil || r.Energy.FleetJ <= 0 || r.Energy.ShardIdleJ <= 0 {
+		t.Errorf("energy ledger missing or empty: %+v", r.Energy)
+	}
+	raw, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["autoscale"]; ok {
+		t.Error(`JSON report carries "autoscale" with the controller off`)
+	}
+	if _, ok := m["energy"]; !ok {
+		t.Error(`JSON report missing "energy"`)
+	}
+}
+
+// TestTimelineResizeEvents: scheduled events fire at model offsets of
+// the arrival tape — including events past the last arrival — so the
+// resulting topology and per-shard occupancy are deterministic.
+func TestTimelineResizeEvents(t *testing.T) {
+	g := smallGen(t, 64)
+	content := smallContent(t, g)
+	cfg := OpenConfig{
+		QPS: 1000, Duration: 200 * time.Millisecond, Month: 1, Seed: 3,
+		Events: []TimelineEvent{
+			{At: 50 * time.Millisecond, ResizeTo: 6},
+			{At: time.Hour, ResizeTo: 3},
+		},
+	}
+
+	run := func() (Report, int) {
+		f, col := newRingRig(t, g, content, 4)
+		r, err := RunOpen(f, col, g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, f.NumShards()
+	}
+	r1, shards1 := run()
+	r2, _ := run()
+
+	if r1.Resizes != 2 {
+		t.Errorf("resizes = %d, want 2 (one mid-tape, one after the last arrival)", r1.Resizes)
+	}
+	if shards1 != 3 {
+		t.Errorf("final shards = %d, want 3 from the trailing event", shards1)
+	}
+	if len(r1.ShardOccupancy) != 3 {
+		t.Errorf("occupancy rows = %d, want 3", len(r1.ShardOccupancy))
+	}
+	var live uint64
+	for _, so := range r1.ShardOccupancy {
+		live += uint64(so.Served)
+	}
+	if live+uint64(r1.RetiredServed) != r1.Served {
+		t.Errorf("live %d + retired %d != served %d", live, r1.RetiredServed, r1.Served)
+	}
+	if !reflect.DeepEqual(r1.ShardOccupancy, r2.ShardOccupancy) ||
+		r1.RetiredServed != r2.RetiredServed {
+		t.Errorf("event timeline not deterministic:\n  %+v retired %d\n  %+v retired %d",
+			r1.ShardOccupancy, r1.RetiredServed, r2.ShardOccupancy, r2.RetiredServed)
 	}
 }

@@ -14,6 +14,8 @@ package radio
 import (
 	"fmt"
 	"time"
+
+	"pocketcloudlets/internal/energy"
 )
 
 // State is the radio state at a point in model time.
@@ -80,36 +82,39 @@ type Params struct {
 // 6 s over 3G, 9.5 s over EDGE and 2.6 s over 802.11g against the 378 ms
 // cache hit — and the Figure 15b energy ratios.
 
+// withPower fills a Params' energy fields from the technology's
+// power envelope in internal/energy — the single source of truth for
+// the power constants.
+func (p Params) withPower(pw energy.RadioPower) Params {
+	p.ExtraActivePower = pw.ExtraActiveW
+	p.ExtraTailPower = pw.ExtraTailW
+	p.ExtraIdlePower = pw.ExtraIdleW
+	p.TailDuration = pw.TailDuration
+	return p
+}
+
 // ThreeG returns the 3G (UMTS/HSPA) parameter set.
 func ThreeG() Params {
 	return Params{
-		Name:             "3G",
-		WakeupLatency:    2000 * time.Millisecond,
-		RTT:              475 * time.Millisecond,
-		HandshakeRTTs:    4,
-		UplinkBps:        8e3,  // ~64 kbit/s effective uplink
-		DownlinkBps:      60e3, // ~480 kbit/s effective downlink
-		ExtraActivePower: 0.45,
-		ExtraTailPower:   0.30,
-		ExtraIdlePower:   0.01,
-		TailDuration:     5 * time.Second,
-	}
+		Name:          "3G",
+		WakeupLatency: 2000 * time.Millisecond,
+		RTT:           475 * time.Millisecond,
+		HandshakeRTTs: 4,
+		UplinkBps:     8e3,  // ~64 kbit/s effective uplink
+		DownlinkBps:   60e3, // ~480 kbit/s effective downlink
+	}.withPower(energy.Radio3G())
 }
 
 // EDGE returns the EDGE (2.75G) parameter set.
 func EDGE() Params {
 	return Params{
-		Name:             "Edge",
-		WakeupLatency:    2000 * time.Millisecond,
-		RTT:              700 * time.Millisecond,
-		HandshakeRTTs:    4,
-		UplinkBps:        3.75e3, // ~30 kbit/s
-		DownlinkBps:      25e3,   // ~200 kbit/s
-		ExtraActivePower: 0.55,
-		ExtraTailPower:   0.30,
-		ExtraIdlePower:   0.01,
-		TailDuration:     5 * time.Second,
-	}
+		Name:          "Edge",
+		WakeupLatency: 2000 * time.Millisecond,
+		RTT:           700 * time.Millisecond,
+		HandshakeRTTs: 4,
+		UplinkBps:     3.75e3, // ~30 kbit/s
+		DownlinkBps:   25e3,   // ~200 kbit/s
+	}.withPower(energy.RadioEDGE())
 }
 
 // WiFi returns the 802.11g parameter set. The wakeup term models the
@@ -118,17 +123,13 @@ func EDGE() Params {
 // point before the first packet flows.
 func WiFi() Params {
 	return Params{
-		Name:             "802.11g",
-		WakeupLatency:    1550 * time.Millisecond,
-		RTT:              100 * time.Millisecond,
-		HandshakeRTTs:    4,
-		UplinkBps:        125e3, // ~1 Mbit/s
-		DownlinkBps:      400e3, // ~3.2 Mbit/s
-		ExtraActivePower: 0.65,
-		ExtraTailPower:   0.25,
-		ExtraIdlePower:   0.02,
-		TailDuration:     2 * time.Second,
-	}
+		Name:          "802.11g",
+		WakeupLatency: 1550 * time.Millisecond,
+		RTT:           100 * time.Millisecond,
+		HandshakeRTTs: 4,
+		UplinkBps:     125e3, // ~1 Mbit/s
+		DownlinkBps:   400e3, // ~3.2 Mbit/s
+	}.withPower(energy.RadioWiFi())
 }
 
 // Technologies returns every built-in link parameter set.
@@ -137,7 +138,7 @@ func Technologies() []Params { return []Params{ThreeG(), EDGE(), WiFi()} }
 // ActiveEnergy returns the radio energy of holding the link in the
 // Active state for d.
 func (p Params) ActiveEnergy(d time.Duration) float64 {
-	return p.ExtraActivePower * d.Seconds()
+	return energy.Integrate(p.ExtraActivePower, d)
 }
 
 // TailEnergy returns the energy of one full post-transfer tail — the
@@ -145,7 +146,7 @@ func (p Params) ActiveEnergy(d time.Duration) float64 {
 // exchanges it carried. Together with the wakeup this is the session
 // overhead the paper's batching argument amortizes.
 func (p Params) TailEnergy() float64 {
-	return p.ExtraTailPower * p.TailDuration.Seconds()
+	return energy.Integrate(p.ExtraTailPower, p.TailDuration)
 }
 
 // Transfer is the modeled outcome of one request/response exchange.
@@ -177,8 +178,8 @@ type Link struct {
 	// tailEnds is the model time at which the current tail expires;
 	// zero or past means the link is idle.
 	tailEnds time.Duration
-	// accumulated radio-only energy in joules
-	energy float64
+	// meter accumulates the radio-only energy in joules.
+	meter energy.Meter
 	// accounting
 	activeTime time.Duration
 	wakeups    int
@@ -214,7 +215,7 @@ func (l *Link) TailRemaining() time.Duration {
 
 // RadioEnergy returns the accumulated radio-only energy in joules
 // (excluding the device baseline, which internal/device adds).
-func (l *Link) RadioEnergy() float64 { return l.energy }
+func (l *Link) RadioEnergy() float64 { return l.meter.Joules() }
 
 // ActiveTime returns the cumulative time spent in the Active state.
 func (l *Link) ActiveTime() time.Duration { return l.activeTime }
@@ -275,7 +276,7 @@ func (l *Link) Request(reqBytes, respBytes int) Transfer {
 		t.WasWarm = true
 	}
 	t.RadioActive = t.Wakeup + t.Handshake + t.Payload
-	l.energy += l.params.ExtraActivePower * t.RadioActive.Seconds()
+	l.meter.Charge(l.params.ExtraActivePower, t.RadioActive)
 	l.activeTime += t.RadioActive
 	l.now += t.Total()
 	l.tailEnds = l.now + l.params.TailDuration
@@ -300,7 +301,7 @@ func (l *Link) FailedRequest() Transfer {
 		t.WasWarm = true
 	}
 	t.RadioActive = t.Wakeup + t.Handshake
-	l.energy += l.params.ExtraActivePower * t.RadioActive.Seconds()
+	l.meter.Charge(l.params.ExtraActivePower, t.RadioActive)
 	l.activeTime += t.RadioActive
 	l.now += t.Total()
 	l.tailEnds = l.now + l.params.TailDuration
@@ -319,10 +320,10 @@ func (l *Link) Advance(d time.Duration) {
 		if tail > d {
 			tail = d
 		}
-		l.energy += l.params.ExtraTailPower * tail.Seconds()
-		l.energy += l.params.ExtraIdlePower * (d - tail).Seconds()
+		l.meter.Charge(l.params.ExtraTailPower, tail)
+		l.meter.Charge(l.params.ExtraIdlePower, d-tail)
 	} else {
-		l.energy += l.params.ExtraIdlePower * d.Seconds()
+		l.meter.Charge(l.params.ExtraIdlePower, d)
 	}
 	l.now = end
 }
@@ -459,7 +460,7 @@ func (l *Link) RequestBatch(items []Exchange) BatchTransfer {
 		b.WasWarm = true
 	}
 	active := b.Total()
-	l.energy += l.params.ExtraActivePower * active.Seconds()
+	l.meter.Charge(l.params.ExtraActivePower, active)
 	l.activeTime += active
 	l.now += active
 	l.tailEnds = l.now + l.params.TailDuration
@@ -474,7 +475,7 @@ func (l *Link) RequestBatch(items []Exchange) BatchTransfer {
 // counter does not move.
 func (l *Link) JoinBatch(wait, share time.Duration) {
 	if share > 0 {
-		l.energy += l.params.ExtraActivePower * share.Seconds()
+		l.meter.Charge(l.params.ExtraActivePower, share)
 		l.activeTime += share
 	}
 	if wait < 0 {

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"pocketcloudlets/internal/autoscale"
 	"pocketcloudlets/internal/backend"
 	"pocketcloudlets/internal/faults"
 	"pocketcloudlets/internal/fleet"
@@ -90,6 +91,28 @@ func Compile(spec *Spec, source string) (*Compiled, error) {
 			Seed:        spec.Seed,
 			MaxRequests: spec.MaxRequests,
 			Scenario:    label,
+		}
+		if a := spec.Fleet.Autoscale; a != nil {
+			c.Open.Autoscale = &autoscale.Config{
+				Interval:     a.Interval.D(),
+				Min:          a.Min,
+				Max:          a.Max,
+				High:         a.High,
+				Low:          a.Low,
+				UpAfter:      a.UpAfter,
+				DownAfter:    a.DownAfter,
+				RatePerShard: a.RatePerShard,
+			}
+		}
+		// Resize events become the generator's model-time timeline;
+		// outage events stay here and lower onto the fault profile in
+		// FleetConfig. Validation already sorted the spec events.
+		for _, ev := range spec.Events {
+			if ev.Resize > 0 {
+				c.Open.Events = append(c.Open.Events, loadgen.TimelineEvent{
+					At: ev.At.D(), ResizeTo: ev.Resize, DropState: ev.Drop,
+				})
+			}
 		}
 		switch len(spec.Classes) {
 		case 0:
@@ -340,6 +363,21 @@ func (c *Compiled) FleetConfig(obs fleet.Observer) (fleet.Config, error) {
 		}
 		cfg.Faults = opts
 		cfg.Retry = faults.RetryPolicy{MaxAttempts: s.Faults.Retries}
+	}
+	// Outage events lower onto the fleet-wide fault profile as absolute
+	// windows; a spec with no profile gets a windows-only injector
+	// seeded from the scenario seed. Classes overriding faults keep
+	// their own profile — event outages are a fleet-wide condition.
+	for _, ev := range s.Events {
+		if ev.Outage <= 0 {
+			continue
+		}
+		if !cfg.Faults.Enabled {
+			cfg.Faults = faults.Options{Enabled: true, Seed: s.Seed}
+		}
+		cfg.Faults.Windows = append(cfg.Faults.Windows, faults.Window{
+			Start: ev.At.D(), End: ev.At.D() + ev.Outage.D(),
+		})
 	}
 	if b := s.Fleet.Backend; b != nil {
 		// Validation already vetted the spellings; replicas and clone

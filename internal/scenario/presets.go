@@ -30,6 +30,12 @@ var presets = map[string]string{
 	// have headroom and feed the queues that create it once they don't;
 	// cancel_on_win is what keeps the storm survivable.
 	"clone-storm": presetCloneStorm,
+	// green-day: one diurnal class riding a full simulated day against
+	// a ring-placed fleet with the occupancy autoscaler on — the
+	// energy-proportionality story. The fleet grows toward the peak
+	// and collapses into the trough, so joules per answered query
+	// beat a statically peak-sized topology.
+	"green-day": presetGreenDay,
 }
 
 const presetCommuter = `{
@@ -160,6 +166,30 @@ const presetCloneStorm = `{
       "slo_class": "interactive",
       "arrival": {"process": "flat"},
       "hedge": {"clone_factor": 2, "delay": "30ms"}
+    }
+  ]
+}
+`
+
+const presetGreenDay = `{
+  "version": 1,
+  "name": "green-day",
+  "mode": "open",
+  "users": 1200,
+  "seed": 1,
+  "qps": 2000,
+  "duration": "8s",
+  "fleet": {
+    "shards": 8,
+    "placement": "ring",
+    "autoscale": {"interval": "250ms", "min": 2, "max": 20, "rate_per_shard": 300}
+  },
+  "classes": [
+    {
+      "name": "day",
+      "share": 1,
+      "slo_class": "diurnal",
+      "arrival": {"process": "diurnal", "peak_trough": 6}
     }
   ]
 }

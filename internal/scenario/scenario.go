@@ -140,6 +140,10 @@ type Spec struct {
 	// Faults is the fleet-wide fault profile; nil disables injection
 	// for every class that does not override it.
 	Faults *FaultSpec `json:"faults,omitempty"`
+	// Events are scheduled operations on the run's model-time
+	// timeline: live resizes and fleet-wide outage windows. Open mode
+	// only; events must be sorted by offset.
+	Events []EventSpec `json:"events,omitempty"`
 	// Classes are the client classes. Empty means one implicit class
 	// covering the whole population with the top-level knobs.
 	Classes []ClassSpec `json:"classes,omitempty"`
@@ -178,6 +182,50 @@ type FleetSpec struct {
 	// requires a fault profile somewhere in the spec (the admission
 	// planner runs on the faulted miss path).
 	Backend *BackendSpec `json:"backend,omitempty"`
+	// Autoscale enables the occupancy-driven shard autoscaler
+	// (internal/autoscale); nil keeps the topology static. Requires
+	// open mode and the ring placement.
+	Autoscale *AutoscaleSpec `json:"autoscale,omitempty"`
+}
+
+// AutoscaleSpec turns on the occupancy-driven shard autoscaler: the
+// load generator samples per-shard occupancy on a model-time cadence
+// and resizes the fleet within [min, max] with hysteresis
+// (internal/autoscale). Zero fields select the controller defaults.
+type AutoscaleSpec struct {
+	// Interval is the model-time sampling cadence (0 = 1s).
+	Interval Duration `json:"interval,omitempty"`
+	// Min and Max bound the shard count the controller may target
+	// (0 = 1 and 4× the initial shard count).
+	Min int `json:"min,omitempty"`
+	Max int `json:"max,omitempty"`
+	// High and Low are the occupancy watermarks (0 = 0.75 and 0.35).
+	High float64 `json:"high,omitempty"`
+	Low  float64 `json:"low,omitempty"`
+	// UpAfter and DownAfter are the consecutive-sample streaks a
+	// resize needs (0 = 2 and 3).
+	UpAfter   int `json:"up_after,omitempty"`
+	DownAfter int `json:"down_after,omitempty"`
+	// RatePerShard is the serving rate, in requests per second of
+	// model time, at which one shard counts as fully occupied
+	// (0 = 50).
+	RatePerShard float64 `json:"rate_per_shard,omitempty"`
+}
+
+// EventSpec is one scheduled operation on the run's model-time
+// timeline. Exactly one of Resize or Outage must be set.
+type EventSpec struct {
+	// At is the model-time offset the event fires at.
+	At Duration `json:"at"`
+	// Resize reshards the fleet to this many shards; Drop discards
+	// movers' personal state instead of migrating it.
+	Resize int  `json:"resize,omitempty"`
+	Drop   bool `json:"drop,omitempty"`
+	// Outage opens a fleet-wide connectivity outage of this length
+	// starting at the offset, lowered onto the fleet fault profile as
+	// an absolute window (classes overriding faults keep their own
+	// profile).
+	Outage Duration `json:"outage,omitempty"`
 }
 
 // BackendSpec models the cloud replica servers behind the miss path as

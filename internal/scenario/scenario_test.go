@@ -76,7 +76,7 @@ func rig(t testing.TB, comp *Compiled, g *workload.Generator, content cachegen.C
 
 func TestPresetsParseAndCompile(t *testing.T) {
 	names := PresetNames()
-	want := []string{"clone-storm", "commuter", "flash-crowd", "mixed-fleet", "regional-outage"}
+	want := []string{"clone-storm", "commuter", "flash-crowd", "green-day", "mixed-fleet", "regional-outage"}
 	if !reflect.DeepEqual(names, want) {
 		t.Fatalf("preset names = %v, want %v", names, want)
 	}
@@ -453,6 +453,119 @@ func TestMultiClassReport(t *testing.T) {
 	}
 	if bg.Served > 0 && bg.Degraded == 0 && bg.Unavailable == 0 && bg.CloudMisses == bg.Served {
 		t.Logf("note: faulted class saw no degradation this run (loss draws can all succeed)")
+	}
+}
+
+// TestAutoscaleEventsLowering: the fleet.autoscale block reaches the
+// open generator config intact, resize events become the model-time
+// timeline, and outage events land on the fleet fault profile as
+// absolute windows (creating one when the spec has none).
+func TestAutoscaleEventsLowering(t *testing.T) {
+	spec, err := Parse([]byte(`{
+		"version": 1, "mode": "open", "users": 60, "qps": 50, "seed": 7,
+		"duration": "2s",
+		"fleet": {"shards": 4, "placement": "ring",
+			"autoscale": {"interval": "100ms", "min": 2, "max": 10,
+				"high": 0.8, "low": 0.3, "up_after": 3, "down_after": 4,
+				"rate_per_shard": 25}},
+		"events": [
+			{"at": "200ms", "outage": "100ms"},
+			{"at": "500ms", "resize": 6},
+			{"at": "1s", "resize": 3, "drop": true}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := Compile(spec, "inline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac := comp.Open.Autoscale
+	if ac == nil || ac.Interval != 100*time.Millisecond || ac.Min != 2 || ac.Max != 10 ||
+		ac.High != 0.8 || ac.Low != 0.3 || ac.UpAfter != 3 || ac.DownAfter != 4 ||
+		ac.RatePerShard != 25 {
+		t.Fatalf("autoscale config not lowered: %+v", ac)
+	}
+	wantEvents := []loadgen.TimelineEvent{
+		{At: 500 * time.Millisecond, ResizeTo: 6},
+		{At: time.Second, ResizeTo: 3, DropState: true},
+	}
+	if !reflect.DeepEqual(comp.Open.Events, wantEvents) {
+		t.Fatalf("timeline events = %+v, want %+v", comp.Open.Events, wantEvents)
+	}
+	cfg, err := comp.FleetConfig(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Faults.Enabled || cfg.Faults.Seed != 7 {
+		t.Fatalf("outage event did not enable a fault profile: %+v", cfg.Faults)
+	}
+	if len(cfg.Faults.Windows) != 1 ||
+		cfg.Faults.Windows[0].Start != 200*time.Millisecond ||
+		cfg.Faults.Windows[0].End != 300*time.Millisecond {
+		t.Fatalf("outage windows = %+v", cfg.Faults.Windows)
+	}
+	if cfg.Faults.LossProb != 0 || cfg.Faults.EngineErrProb != 0 {
+		t.Fatalf("event-only profile should inject nothing but the window: %+v", cfg.Faults)
+	}
+}
+
+// TestAutoscaleEventsValidation pins the semantic checks: autoscale
+// needs open mode and the ring placement, events need exactly one
+// operation, sorted offsets, and resize events need the ring.
+func TestAutoscaleEventsValidation(t *testing.T) {
+	cases := []struct {
+		name, json, wantErr string
+	}{
+		{"closed-mode-autoscale",
+			`{"version":1,"mode":"closed","users":10,
+				"fleet":{"placement":"ring","autoscale":{}}}`,
+			"only open mode drives the autoscaler"},
+		{"modulo-autoscale",
+			`{"version":1,"mode":"open","users":10,"qps":5,"duration":"1s",
+				"fleet":{"autoscale":{}}}`,
+			"needs the ring placement"},
+		{"inverted-watermarks",
+			`{"version":1,"mode":"open","users":10,"qps":5,"duration":"1s",
+				"fleet":{"placement":"ring","autoscale":{"high":0.3,"low":0.5}}}`,
+			"must be below high"},
+		{"empty-event",
+			`{"version":1,"mode":"open","users":10,"qps":5,"duration":"1s",
+				"events":[{"at":"1s"}]}`,
+			"needs a positive resize target or outage length"},
+		{"both-ops",
+			`{"version":1,"mode":"open","users":10,"qps":5,"duration":"1s",
+				"fleet":{"placement":"ring"},
+				"events":[{"at":"1s","resize":4,"outage":"1s"}]}`,
+			"pick one of resize or outage"},
+		{"unsorted",
+			`{"version":1,"mode":"open","users":10,"qps":5,"duration":"1s",
+				"events":[{"at":"2s","outage":"1s"},{"at":"1s","outage":"1s"}]}`,
+			"sorted by offset"},
+		{"resize-on-modulo",
+			`{"version":1,"mode":"open","users":10,"qps":5,"duration":"1s",
+				"events":[{"at":"1s","resize":4}]}`,
+			"resize events need the ring placement"},
+		{"closed-mode-events",
+			`{"version":1,"mode":"closed","users":10,
+				"events":[{"at":"1s","outage":"1s"}]}`,
+			"only open mode replays a timeline"},
+		{"drop-on-outage",
+			`{"version":1,"mode":"open","users":10,"qps":5,"duration":"1s",
+				"events":[{"at":"1s","outage":"1s","drop":true}]}`,
+			"only resize events move state"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.json))
+			if err == nil {
+				t.Fatalf("Parse accepted %s", tc.json)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
 	}
 }
 

@@ -108,6 +108,8 @@ func parseSpec(p *problems, data []byte) *Spec {
 			parseFleet(p, key, v, &s.Fleet)
 		case "faults":
 			s.Faults = parseFaults(p, key, v)
+		case "events":
+			parseEvents(p, key, v, s)
 		case "classes":
 			parseClasses(p, key, v, s)
 		default:
@@ -147,6 +149,8 @@ func parseFleet(p *problems, path string, raw json.RawMessage, f *FleetSpec) {
 			parseBatch(p, kp, v, &f.Batch)
 		case "backend":
 			f.Backend = parseBackend(p, kp, v)
+		case "autoscale":
+			f.Autoscale = parseAutoscale(p, kp, v)
 		default:
 			p.addf("%s: unknown field", kp)
 		}
@@ -181,6 +185,73 @@ func parseBackend(p *problems, path string, raw json.RawMessage) *BackendSpec {
 		}
 	}
 	return b
+}
+
+func parseAutoscale(p *problems, path string, raw json.RawMessage) *AutoscaleSpec {
+	m, ok := decodeObject(p, path, raw)
+	if !ok {
+		return nil
+	}
+	a := &AutoscaleSpec{}
+	for _, key := range sortedKeys(m) {
+		v, kp := m[key], path+"."+key
+		switch key {
+		case "interval":
+			decodeInto(p, kp, v, &a.Interval)
+		case "min":
+			decodeInto(p, kp, v, &a.Min)
+		case "max":
+			decodeInto(p, kp, v, &a.Max)
+		case "high":
+			decodeInto(p, kp, v, &a.High)
+		case "low":
+			decodeInto(p, kp, v, &a.Low)
+		case "up_after":
+			decodeInto(p, kp, v, &a.UpAfter)
+		case "down_after":
+			decodeInto(p, kp, v, &a.DownAfter)
+		case "rate_per_shard":
+			decodeInto(p, kp, v, &a.RatePerShard)
+		default:
+			p.addf("%s: unknown field", kp)
+		}
+	}
+	return a
+}
+
+func parseEvents(p *problems, path string, raw json.RawMessage, s *Spec) {
+	var items []json.RawMessage
+	if err := json.Unmarshal(raw, &items); err != nil {
+		p.addf("%s: want a JSON array", path)
+		return
+	}
+	for i, item := range items {
+		s.Events = append(s.Events, parseEvent(p, fmt.Sprintf("%s[%d]", path, i), item))
+	}
+}
+
+func parseEvent(p *problems, path string, raw json.RawMessage) EventSpec {
+	var e EventSpec
+	m, ok := decodeObject(p, path, raw)
+	if !ok {
+		return e
+	}
+	for _, key := range sortedKeys(m) {
+		v, kp := m[key], path+"."+key
+		switch key {
+		case "at":
+			decodeInto(p, kp, v, &e.At)
+		case "resize":
+			decodeInto(p, kp, v, &e.Resize)
+		case "drop":
+			decodeInto(p, kp, v, &e.Drop)
+		case "outage":
+			decodeInto(p, kp, v, &e.Outage)
+		default:
+			p.addf("%s: unknown field", kp)
+		}
+	}
+	return e
 }
 
 func parseBatch(p *problems, path string, raw json.RawMessage, b *BatchSpec) {
@@ -390,6 +461,10 @@ func validateSpec(p *problems, s *Spec) {
 		p.addf("trace: only trace mode replays a trace file")
 	}
 	validateFleet(p, &s.Fleet)
+	if s.Fleet.Autoscale != nil {
+		validateAutoscale(p, s.Fleet.Autoscale, s)
+	}
+	validateEvents(p, s)
 	if s.Faults != nil {
 		validateFaults(p, "faults", s.Faults)
 	}
@@ -452,6 +527,88 @@ func validateBackend(p *problems, b *BackendSpec) {
 	}
 	if b.Offered < 0 || math.IsInf(b.Offered, 1) {
 		p.addf("fleet.backend.offered: must be a non-negative finite rate, got %g", b.Offered)
+	}
+}
+
+// validateAutoscale vets the raw (pre-WithDefaults) autoscale block;
+// the controller's own WithDefaults/Validate run again at lowering
+// with the real initial shard count, so here only explicitly-set
+// fields are judged.
+func validateAutoscale(p *problems, a *AutoscaleSpec, s *Spec) {
+	if s.Mode != "open" {
+		p.addf("fleet.autoscale: only open mode drives the autoscaler (mode is %q)", s.Mode)
+	}
+	if s.Fleet.Placement != "ring" {
+		p.addf("fleet.autoscale: resizing needs the ring placement, got %q", s.Fleet.Placement)
+	}
+	if a.Interval < 0 {
+		p.addf("fleet.autoscale.interval: must be non-negative, got %v", a.Interval.D())
+	}
+	for _, n := range []struct {
+		name string
+		v    int
+	}{
+		{"min", a.Min}, {"max", a.Max}, {"up_after", a.UpAfter}, {"down_after", a.DownAfter},
+	} {
+		if n.v < 0 {
+			p.addf("fleet.autoscale.%s: must be non-negative, got %d", n.name, n.v)
+		}
+	}
+	if a.Min > 0 && a.Max > 0 && a.Min > a.Max {
+		p.addf("fleet.autoscale: min %d > max %d", a.Min, a.Max)
+	}
+	if a.High < 0 || a.High > 1 {
+		p.addf("fleet.autoscale.high: must be in [0, 1], got %g", a.High)
+	}
+	if a.Low < 0 {
+		p.addf("fleet.autoscale.low: must be non-negative, got %g", a.Low)
+	}
+	if a.High > 0 && a.Low > 0 && a.Low >= a.High {
+		p.addf("fleet.autoscale: low watermark %g must be below high %g", a.Low, a.High)
+	}
+	if a.RatePerShard < 0 {
+		p.addf("fleet.autoscale.rate_per_shard: must be non-negative, got %g", a.RatePerShard)
+	}
+}
+
+func validateEvents(p *problems, s *Spec) {
+	if len(s.Events) == 0 {
+		return
+	}
+	if s.Mode != "open" {
+		p.addf("events: only open mode replays a timeline (mode is %q)", s.Mode)
+	}
+	hasResize := false
+	for i, e := range s.Events {
+		path := fmt.Sprintf("events[%d]", i)
+		if e.At < 0 {
+			p.addf("%s.at: must be non-negative, got %v", path, e.At.D())
+		}
+		if i > 0 && e.At < s.Events[i-1].At {
+			p.addf("%s.at: events must be sorted by offset (%v after %v)",
+				path, e.At.D(), s.Events[i-1].At.D())
+		}
+		if e.Resize < 0 {
+			p.addf("%s.resize: must be non-negative, got %d", path, e.Resize)
+		}
+		if e.Outage < 0 {
+			p.addf("%s.outage: must be non-negative, got %v", path, e.Outage.D())
+		}
+		switch {
+		case e.Resize > 0 && e.Outage > 0:
+			p.addf("%s: pick one of resize or outage per event", path)
+		case e.Resize > 0:
+			hasResize = true
+		case e.Outage > 0:
+			if e.Drop {
+				p.addf("%s.drop: only resize events move state", path)
+			}
+		default:
+			p.addf("%s: needs a positive resize target or outage length", path)
+		}
+	}
+	if hasResize && s.Fleet.Placement != "ring" {
+		p.addf("events: resize events need the ring placement, got %q", s.Fleet.Placement)
 	}
 }
 

@@ -33,9 +33,11 @@ import (
 	"time"
 
 	"pocketcloudlets/internal/adlet"
+	"pocketcloudlets/internal/autoscale"
 	"pocketcloudlets/internal/cachegen"
 	"pocketcloudlets/internal/cloudletos"
 	"pocketcloudlets/internal/device"
+	"pocketcloudlets/internal/energy"
 	"pocketcloudlets/internal/engine"
 	"pocketcloudlets/internal/faults"
 	"pocketcloudlets/internal/flashsim"
@@ -171,6 +173,22 @@ type (
 	// ModelTimeline is the fleet-wide model timeline (high-water mark
 	// over every model clock).
 	ModelTimeline = modeltime.Timeline
+	// EnergySnapshot totals the fleet's energy ledger in joules
+	// (Fleet.EnergyStats).
+	EnergySnapshot = energy.Snapshot
+	// ShardPower is the per-shard idle/active power model feeding the
+	// fleet's energy ledger (FleetConfig.ShardPower).
+	ShardPower = energy.ShardPower
+	// AutoscaleConfig parameterizes the occupancy-driven shard
+	// autoscaler (OpenLoadConfig.Autoscale).
+	AutoscaleConfig = autoscale.Config
+	// LoadTimelineEvent is one scheduled model-time operation an open
+	// load run replays (OpenLoadConfig.Events).
+	LoadTimelineEvent = loadgen.TimelineEvent
+	// EnergyReport is the load report's energy-ledger block.
+	EnergyReport = loadgen.EnergyReport
+	// AutoscaleReport is the load report's autoscale block.
+	AutoscaleReport = loadgen.AutoscaleReport
 )
 
 // Re-exported arrival kinds.

@@ -24,14 +24,25 @@ echo "$raw"
 # model outputs, so a diff between two snapshots surfaces any drift
 # in the hedging policy the serving benchmarks would not see. The
 # queued backends are on (finite rate, bounded PS, cancel-on-win) and
-# the per-replica rows kept (-keep backend), so backend utilization
-# and queue-wait counters diff across commits too.
+# the per-replica rows and energy ledger kept (-keep backend,energy),
+# so backend utilization, queue-wait counters and joules-per-answered
+# diff across commits too.
 hedged=$(go run ./cmd/loadtest -mode closed -users 64 -duration 0 -seed 3 \
     -faults -loss 0.2 -outage 6s/30s -retries 3 \
     -replicas 3 -hedge 2 \
     -backend-rate 30 -backend-queue 16 -backend-disc ps \
     -backend-offered 20 -backend-cancel -json |
-    go run ./cmd/reportnorm -keep backend)
+    go run ./cmd/reportnorm -keep backend,energy)
+
+# An autoscaled diurnal run rides along as well: its energy ledger and
+# autoscale action log are pure model outputs (occupancy is sampled
+# after a drain), so a snapshot diff surfaces any drift in the
+# controller policy or the shard power model — in particular the
+# headline per_answered_j joules-per-answered-query metric.
+autoscaled=$(go run ./cmd/loadtest -users 200 -qps 800 -duration 2s -seed 5 \
+    -arrivals diurnal -diurnal-peak 6 -placement ring -shards 4 \
+    -autoscale -autoscale-interval 250ms -autoscale-rate 120 -json |
+    go run ./cmd/reportnorm -keep energy,autoscale)
 
 {
     echo '{'
@@ -53,7 +64,8 @@ hedged=$(go run ./cmd/loadtest -mode closed -users 64 -duration 0 -seed 3 \
         END { print out }
     '
     echo '  ],'
-    echo "  \"hedged_loadtest\": $hedged"
+    echo "  \"hedged_loadtest\": $hedged,"
+    echo "  \"autoscaled_loadtest\": $autoscaled"
     echo '}'
 } > "$OUT"
 

@@ -127,6 +127,39 @@ if [ -n "${CHECK_ARTIFACT_DIR:-}" ]; then
 fi
 go run ./cmd/loadtest -scenario flash-crowd -users 150 -check -json > "$scenario_out"
 
+echo "== autoscale smoke: green-day preset -check =="
+# The green-day preset drives the occupancy autoscaler over a diurnal
+# day curve: the controller samples per-shard occupancy on its
+# model-time cadence and resizes the ring-routed fleet between its
+# bounds. -check verifies the new invariants end to end — the energy
+# ledger cross-foots (device + shard = fleet, per-answered × answered
+# = fleet) and the autoscale action chain is well-formed (From→To
+# links, targets within bounds, final size matches the last action).
+autoscale_out=/dev/null
+if [ -n "${CHECK_ARTIFACT_DIR:-}" ]; then
+    autoscale_out="$CHECK_ARTIFACT_DIR/loadtest-green-day.json"
+fi
+go run ./cmd/loadtest -scenario green-day -users 300 -check -json > "$autoscale_out"
+
+echo "== autoscale determinism smoke: two identical runs =="
+# Controller decisions sample occupancy after a fleet drain, so every
+# resize is a pure function of the tape prefix: two identical
+# autoscaled diurnal runs must agree byte-for-byte on the normalized
+# report with every model-deterministic block restored — including the
+# energy ledger and the autoscale action log.
+as_smoke() {
+    go run ./cmd/loadtest -users 200 -qps 800 -duration 2s -seed 5 \
+        -arrivals diurnal -diurnal-peak 6 -placement ring -shards 4 \
+        -autoscale -autoscale-interval 250ms -autoscale-rate 120 -json |
+        go run ./cmd/reportnorm -keep backend,energy,autoscale
+}
+as_smoke > "$hedge_tmp/autoscale1.json"
+as_smoke > "$hedge_tmp/autoscale2.json"
+if ! diff -u "$hedge_tmp/autoscale1.json" "$hedge_tmp/autoscale2.json"; then
+    echo "autoscale determinism smoke: two identical runs diverged" >&2
+    exit 1
+fi
+
 echo "== bench smoke: FleetServe =="
 # One iteration of each fleet serving benchmark (batched and unbatched)
 # so a regression that breaks the benchmark fixtures fails the gate.
